@@ -1,0 +1,392 @@
+// Benchmarks: one per experiment in DESIGN.md's index (E1–E11, A1–A3).
+// Each benchmark times the representative workload of its experiment —
+// a full broadcast simulation per iteration — so `go test -bench=. `
+// regenerates the cost side of every paper-shaped result. The statistical
+// side (success rates, thresholds, fits) is produced by cmd/experiments
+// and recorded in EXPERIMENTS.md.
+package faultcast_test
+
+import (
+	"testing"
+
+	"faultcast"
+	"faultcast/internal/adversary"
+	"faultcast/internal/graph"
+	"faultcast/internal/harness"
+	"faultcast/internal/kucera"
+	"faultcast/internal/lowerbound"
+	"faultcast/internal/protocols/decay"
+	"faultcast/internal/protocols/flooding"
+	"faultcast/internal/protocols/gossip"
+	"faultcast/internal/protocols/radiorepeat"
+	"faultcast/internal/protocols/simplemalicious"
+	"faultcast/internal/protocols/simpleomission"
+	"faultcast/internal/radio"
+	"faultcast/internal/rng"
+	"faultcast/internal/sim"
+)
+
+// runCfg executes one simulation per iteration with rotating seeds.
+func runCfg(b *testing.B, mk func(seed uint64) *sim.Config) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(mk(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE1SimpleOmission times Theorem 2.1's algorithm: one phase per
+// node, m steps per phase, on a 64-node tree at p = 0.5 (message passing).
+func BenchmarkE1SimpleOmission(b *testing.B) {
+	g := graph.KaryTree(63, 2)
+	proto := simpleomission.New(g, 0, sim.MessagePassing, 2.5)
+	runCfg(b, func(seed uint64) *sim.Config {
+		return &sim.Config{
+			Graph: g, Model: sim.MessagePassing, Fault: sim.Omission, P: 0.5,
+			Source: 0, SourceMsg: []byte("1"),
+			NewNode: proto.NewNode, Rounds: proto.Rounds(), Seed: seed,
+		}
+	})
+}
+
+// BenchmarkE1SimpleOmissionRadio is the radio-model side of Theorem 2.1.
+func BenchmarkE1SimpleOmissionRadio(b *testing.B) {
+	g := graph.KaryTree(63, 2)
+	proto := simpleomission.New(g, 0, sim.Radio, 2.5)
+	runCfg(b, func(seed uint64) *sim.Config {
+		return &sim.Config{
+			Graph: g, Model: sim.Radio, Fault: sim.Omission, P: 0.5,
+			Source: 0, SourceMsg: []byte("1"),
+			NewNode: proto.NewNode, Rounds: proto.Rounds(), Seed: seed,
+		}
+	})
+}
+
+// BenchmarkE2SimpleMalicious times Theorem 2.2's voting algorithm under a
+// worst-case flipping adversary at p = 0.3.
+func BenchmarkE2SimpleMalicious(b *testing.B) {
+	g := graph.KaryTree(31, 2)
+	proto := simplemalicious.New(g, 0, sim.MessagePassing, 12)
+	runCfg(b, func(seed uint64) *sim.Config {
+		return &sim.Config{
+			Graph: g, Model: sim.MessagePassing, Fault: sim.Malicious, P: 0.3,
+			Source: 0, SourceMsg: []byte("1"),
+			NewNode: proto.NewNode, Rounds: proto.Rounds(), Seed: seed,
+			Adversary: adversary.Flip{Wrong: []byte("0")},
+		}
+	})
+}
+
+// BenchmarkE3Equivocator times the Theorem 2.3 impossibility workload: the
+// history-free equivocating adversary on K2 at p = 1/2.
+func BenchmarkE3Equivocator(b *testing.B) {
+	g := graph.TwoNode()
+	proto := simplemalicious.New(g, 0, sim.MessagePassing, 32)
+	runCfg(b, func(seed uint64) *sim.Config {
+		msg := []byte("0")
+		if seed&1 == 1 {
+			msg = []byte("1")
+		}
+		return &sim.Config{
+			Graph: g, Model: sim.MessagePassing, Fault: sim.Malicious, P: 0.5,
+			Source: 0, SourceMsg: msg,
+			NewNode: proto.NewNode, Rounds: proto.Rounds(), Seed: seed,
+			Adversary: adversary.Equivocator{M0: []byte("0"), M1: []byte("1"), SourceOnly: true},
+		}
+	})
+}
+
+// BenchmarkE4RadioFeasible times Theorem 2.4's feasible side: radio
+// Simple-Malicious below the (1-p)^(Δ+1) threshold on a line.
+func BenchmarkE4RadioFeasible(b *testing.B) {
+	g := graph.Line(16)
+	p := faultcast.RadioThreshold(g.MaxDegree()) * 0.5
+	proto := simplemalicious.New(g, 0, sim.Radio, 10)
+	runCfg(b, func(seed uint64) *sim.Config {
+		return &sim.Config{
+			Graph: g, Model: sim.Radio, Fault: sim.Malicious, P: p,
+			Source: 0, SourceMsg: []byte("1"),
+			NewNode: proto.NewNode, Rounds: proto.Rounds(), Seed: seed,
+			Adversary: adversary.Flip{Wrong: []byte("0")},
+		}
+	})
+}
+
+// BenchmarkE5RadioImpossible times the Theorem 2.4 star adversary at the
+// threshold fixed point.
+func BenchmarkE5RadioImpossible(b *testing.B) {
+	g := graph.Star(6)
+	p := faultcast.RadioThreshold(g.MaxDegree())
+	proto := simplemalicious.New(g, 1, sim.Radio, 8)
+	runCfg(b, func(seed uint64) *sim.Config {
+		return &sim.Config{
+			Graph: g, Model: sim.Radio, Fault: sim.Malicious, P: p,
+			Source: 1, SourceMsg: []byte("1"),
+			NewNode: proto.NewNode, Rounds: proto.Rounds(), Seed: seed,
+			Adversary: adversary.Star{M0: []byte("0"), M1: []byte("1")},
+		}
+	})
+}
+
+// BenchmarkE6HelloProtocol times the two-node timing protocol at p = 0.7.
+func BenchmarkE6HelloProtocol(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := faultcast.Run(faultcast.Config{
+			Graph: faultcast.TwoNode(), Source: 0, Message: []byte("0"),
+			Model: faultcast.MessagePassing, Fault: faultcast.LimitedMalicious,
+			P: 0.7, Algorithm: faultcast.TimingBit, Adversary: faultcast.CrashAdv,
+			WindowC: 64, Seed: uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE7FloodTime times the Θ(D + log n) flood of Theorem 3.1 on a
+// 256-node line at p = 0.5 with completion tracking (the timing
+// experiment's exact workload).
+func BenchmarkE7FloodTime(b *testing.B) {
+	g := graph.Line(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := faultcast.Run(faultcast.Config{
+			Graph: g, Source: 0, Message: []byte("1"),
+			Model: faultcast.MessagePassing, Fault: faultcast.Omission,
+			P: 0.5, Algorithm: faultcast.Flooding, Seed: uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+}
+
+// BenchmarkE8Kucera times the composed CO1/CO2 algorithm (Theorem 3.2) on
+// a 33-node line at p = 0.2, including plan compilation amortized out.
+func BenchmarkE8Kucera(b *testing.B) {
+	g := graph.Line(33)
+	plan, err := kucera.BuildPlan(32, 0.2, kucera.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	proto, err := kucera.New(g, 0, plan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runCfg(b, func(seed uint64) *sim.Config {
+		return &sim.Config{
+			Graph: g, Model: sim.MessagePassing, Fault: sim.LimitedMalicious, P: 0.2,
+			Source: 0, SourceMsg: []byte("1"),
+			NewNode: proto.NewNode, Rounds: proto.Rounds(), Seed: seed,
+			Adversary: adversary.Flip{Wrong: []byte("0")},
+		}
+	})
+}
+
+// BenchmarkE8PlanCompile times plan construction + compilation alone.
+func BenchmarkE8PlanCompile(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		plan, err := kucera.BuildPlan(64, 0.2, kucera.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := kucera.Compile(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE9LayeredOpt times the Lemma 3.3 exhaustive optimum search on
+// G_3 (n = 11; the largest exhaustively tractable instance).
+func BenchmarkE9LayeredOpt(b *testing.B) {
+	g := graph.Layered(3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		opt, err := radio.OptimalLength(g, 0)
+		if err != nil || opt != 4 {
+			b.Fatalf("opt=%d err=%v", opt, err)
+		}
+	}
+}
+
+// BenchmarkE10LowerBound times the Lemma 3.4 hit-count audit: covering
+// G_10's 1023 labels with the geometric sweep family.
+func BenchmarkE10LowerBound(b *testing.B) {
+	const m = 10
+	need, _ := lowerbound.RequiredLength(m, 0.5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		steps := lowerbound.StepsToCover(need, 1<<18, func(k int) *lowerbound.Schedule {
+			return lowerbound.GeometricSweep(m, k, rng.New(uint64(i)))
+		})
+		if steps <= m+1 {
+			b.Fatal("implausible coverage")
+		}
+	}
+}
+
+// BenchmarkE11RadioRepeat times Theorem 3.4's Malicious-Radio on the
+// layered graph (schedule length opt = m+1, each step repeated m times).
+func BenchmarkE11RadioRepeat(b *testing.B) {
+	g := graph.Layered(4)
+	sched := radio.LayeredSchedule(4)
+	p := faultcast.RadioThreshold(g.MaxDegree()) * 0.5
+	proto, err := radiorepeat.New(g, 0, sched, radiorepeat.MaliciousVariant, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runCfg(b, func(seed uint64) *sim.Config {
+		return &sim.Config{
+			Graph: g, Model: sim.Radio, Fault: sim.Malicious, P: p,
+			Source: 0, SourceMsg: []byte("1"),
+			NewNode: proto.NewNode, Rounds: proto.Rounds(), Seed: seed,
+			Adversary: adversary.Flip{Wrong: []byte("0")},
+		}
+	})
+}
+
+// BenchmarkA1WindowSweep times the ablation's unit of work: one
+// Simple-Omission run per window constant.
+func BenchmarkA1WindowSweep(b *testing.B) {
+	g := graph.Line(32)
+	cs := []float64{0.5, 2, 8}
+	protos := make([]*simpleomission.Proto, len(cs))
+	for i, c := range cs {
+		protos[i] = simpleomission.New(g, 0, sim.MessagePassing, c)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		proto := protos[i%len(protos)]
+		cfg := &sim.Config{
+			Graph: g, Model: sim.MessagePassing, Fault: sim.Omission, P: 0.5,
+			Source: 0, SourceMsg: []byte("1"),
+			NewNode: proto.NewNode, Rounds: proto.Rounds(), Seed: uint64(i),
+		}
+		if _, err := sim.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkA2AdversaryStrength times one run against each adversary kind.
+func BenchmarkA2AdversaryStrength(b *testing.B) {
+	g := graph.TwoNode()
+	proto := simplemalicious.New(g, 0, sim.MessagePassing, 16)
+	advs := []sim.Adversary{
+		adversary.Crash{},
+		adversary.RandomNoise{},
+		adversary.Flip{Wrong: []byte("0")},
+		adversary.Equivocator{M0: []byte("0"), M1: []byte("1"), SourceOnly: true},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := &sim.Config{
+			Graph: g, Model: sim.MessagePassing, Fault: sim.Malicious, P: 0.5,
+			Source: 0, SourceMsg: []byte("1"),
+			NewNode: proto.NewNode, Rounds: proto.Rounds(), Seed: uint64(i),
+			Adversary: advs[i%len(advs)],
+		}
+		if _, err := sim.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkA3SequentialEngine and BenchmarkA3ConcurrentEngine compare the
+// two engines on the identical workload (grid flood, omission, p = 0.4).
+func BenchmarkA3SequentialEngine(b *testing.B) {
+	g := graph.Grid(8, 8)
+	proto := simpleomission.New(g, 0, sim.MessagePassing, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := &sim.Config{
+			Graph: g, Model: sim.MessagePassing, Fault: sim.Omission, P: 0.4,
+			Source: 0, SourceMsg: []byte("1"),
+			NewNode: proto.NewNode, Rounds: proto.Rounds(), Seed: uint64(i),
+		}
+		if _, err := sim.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkA3ConcurrentEngine(b *testing.B) {
+	g := graph.Grid(8, 8)
+	proto := simpleomission.New(g, 0, sim.MessagePassing, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := &sim.Config{
+			Graph: g, Model: sim.MessagePassing, Fault: sim.Omission, P: 0.4,
+			Source: 0, SourceMsg: []byte("1"),
+			NewNode: proto.NewNode, Rounds: proto.Rounds(), Seed: uint64(i),
+		}
+		if _, err := sim.RunConcurrent(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkB1Decay times the randomized Decay baseline on a 25-node grid
+// at p = 0.5 (the B1 comparison workload).
+func BenchmarkB1Decay(b *testing.B) {
+	g := graph.Grid(5, 5)
+	proto := decay.New(g)
+	runCfg(b, func(seed uint64) *sim.Config {
+		return &sim.Config{
+			Graph: g, Model: sim.Radio, Fault: sim.Omission, P: 0.5,
+			Source: 0, SourceMsg: []byte("1"),
+			NewNode: proto.NewNode, Rounds: proto.Rounds(100), Seed: seed,
+		}
+	})
+}
+
+// BenchmarkF1InformingCurve times one completion-tracked flooding run on
+// line(128) (the F1 figure workload: per-node informing rounds recorded).
+func BenchmarkF1InformingCurve(b *testing.B) {
+	g := graph.Line(128)
+	proto := flooding.New(g, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := &sim.Config{
+			Graph: g, Model: sim.MessagePassing, Fault: sim.Omission, P: 0.5,
+			Source: 0, SourceMsg: []byte("1"),
+			NewNode: proto.NewNode, Rounds: proto.Rounds(8), Seed: uint64(i),
+			TrackCompletion: true,
+		}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.InformedRound) != g.N() {
+			b.Fatal("informing rounds missing")
+		}
+	}
+}
+
+// BenchmarkG1Gossip times the gossiping extension on grid(6x6) at p=0.5.
+func BenchmarkG1Gossip(b *testing.B) {
+	g := graph.Grid(6, 6)
+	proto := gossip.New(g, 0)
+	full := gossip.FullDigest(g.N())
+	runCfg(b, func(seed uint64) *sim.Config {
+		return &sim.Config{
+			Graph: g, Model: sim.MessagePassing, Fault: sim.Omission, P: 0.5,
+			Source: 0, SourceMsg: full,
+			NewNode: proto.NewNode, Rounds: proto.Rounds(6), Seed: seed,
+		}
+	})
+}
+
+// BenchmarkHarnessQuick times a full quick-mode harness pass of the
+// feasibility experiments (the CI smoke workload).
+func BenchmarkHarnessQuick(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := harness.Options{Quick: true, Trials: 20, Seed: uint64(i + 1)}
+		harness.RunE1(o)
+	}
+}

@@ -1,0 +1,87 @@
+// Command experiments regenerates the paper-reproduction tables recorded
+// in EXPERIMENTS.md: one experiment per theorem/lemma (see DESIGN.md for
+// the index).
+//
+// Examples:
+//
+//	experiments                  # run everything at full size
+//	experiments -only E3,E5      # just the impossibility experiments
+//	experiments -quick           # reduced sizes (seconds instead of minutes)
+//	experiments -trials 1000     # tighter confidence intervals
+//	experiments -csv out/        # additionally dump each table as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"faultcast/internal/harness"
+)
+
+func main() {
+	var (
+		only   = flag.String("only", "", "comma-separated experiment ids (default: all)")
+		quick  = flag.Bool("quick", false, "reduced graph sizes and trial counts")
+		trials = flag.Int("trials", 0, "Monte-Carlo trials per cell (0 = default)")
+		seed   = flag.Uint64("seed", 0, "base seed (0 = default)")
+		csvDir = flag.String("csv", "", "directory to write per-table CSV files (optional)")
+		list   = flag.Bool("list", false, "list experiments and exit")
+		quiet  = flag.Bool("quiet", false, "suppress progress lines")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Registry() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Claim)
+		}
+		return
+	}
+
+	opts := harness.Options{Trials: *trials, Seed: *seed, Quick: *quick}
+	if !*quiet {
+		opts.Progress = os.Stderr
+	}
+
+	var selected []harness.Experiment
+	if *only == "" {
+		selected = harness.Registry()
+	} else {
+		for _, id := range strings.Split(*only, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := harness.Find(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown id %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+
+	for _, e := range selected {
+		fmt.Printf("== %s: %s ==\n\n", e.ID, e.Claim)
+		for i, t := range e.Run(opts) {
+			t.Render(os.Stdout)
+			fmt.Println()
+			if *csvDir != "" {
+				name := fmt.Sprintf("%s_%d.csv", strings.ToLower(e.ID), i+1)
+				f, err := os.Create(filepath.Join(*csvDir, name))
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "experiments:", err)
+					os.Exit(1)
+				}
+				t.RenderCSV(f)
+				f.Close()
+			}
+		}
+	}
+}

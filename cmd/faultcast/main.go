@@ -1,0 +1,156 @@
+// Command faultcast runs one broadcast simulation (or a Monte-Carlo
+// estimate) from the command line.
+//
+// Examples:
+//
+//	faultcast -graph grid:8x8 -fault omission -p 0.5
+//	faultcast -graph line:32 -model radio -fault malicious -p 0.05 -trials 500
+//	faultcast -graph k2 -fault limited -p 0.7 -message 0 -trials 1000
+//	faultcast -graph layered:4 -feasibility
+//	faultcast -graph tree:31:2 -dot > tree.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"faultcast"
+)
+
+func main() {
+	var (
+		graphSpec  = flag.String("graph", "line:16", "graph spec (line:N, grid:RxC, star:N, tree:N:K, layered:M, gnp:N:P, ...)")
+		source     = flag.Int("source", 0, "broadcast source node")
+		model      = flag.String("model", "mp", "communication model: mp | radio")
+		fault      = flag.String("fault", "omission", "fault type: omission | malicious | limited")
+		p          = flag.Float64("p", 0.3, "per-step transmitter failure probability")
+		algo       = flag.String("algo", "auto", "algorithm: auto | simple-omission | simple-malicious | flooding | composed | radio-repeat | timing-bit")
+		adv        = flag.String("adversary", "worst", "malicious strategy: worst | crash | flip | noise")
+		message    = flag.String("message", "1", "source message")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		trials     = flag.Int("trials", 1, "number of Monte-Carlo trials (1 = single traced run)")
+		windowC    = flag.Float64("c", 0, "window constant override (0 = derive from p)")
+		feas       = flag.Bool("feasibility", false, "print the feasibility verdict for this scenario and exit")
+		dot        = flag.Bool("dot", false, "print the graph in DOT format and exit")
+		traceRun   = flag.Bool("trace", false, "print a per-round execution log (single runs only)")
+		concurrent = flag.Bool("concurrent", false, "use the goroutine-per-node engine")
+	)
+	flag.Parse()
+
+	g, err := faultcast.ParseGraph(*graphSpec, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if *dot {
+		if err := g.WriteDOT(os.Stdout, *source); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	cfg := faultcast.Config{
+		Graph:   g,
+		Source:  *source,
+		Message: []byte(*message),
+		P:       *p,
+		WindowC: *windowC,
+		Seed:    *seed,
+	}
+	switch *model {
+	case "mp", "message-passing":
+		cfg.Model = faultcast.MessagePassing
+	case "radio":
+		cfg.Model = faultcast.Radio
+	default:
+		fatal(fmt.Errorf("unknown model %q", *model))
+	}
+	switch *fault {
+	case "omission":
+		cfg.Fault = faultcast.Omission
+	case "malicious":
+		cfg.Fault = faultcast.Malicious
+	case "limited", "limited-malicious":
+		cfg.Fault = faultcast.LimitedMalicious
+	default:
+		fatal(fmt.Errorf("unknown fault type %q", *fault))
+	}
+	switch *algo {
+	case "auto":
+		cfg.Algorithm = faultcast.Auto
+	case "simple-omission":
+		cfg.Algorithm = faultcast.SimpleOmission
+	case "simple-malicious":
+		cfg.Algorithm = faultcast.SimpleMalicious
+	case "flooding":
+		cfg.Algorithm = faultcast.Flooding
+	case "composed":
+		cfg.Algorithm = faultcast.Composed
+	case "radio-repeat":
+		cfg.Algorithm = faultcast.RadioRepeat
+	case "timing-bit":
+		cfg.Algorithm = faultcast.TimingBit
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+	switch *adv {
+	case "worst":
+		cfg.Adversary = faultcast.WorstCase
+	case "crash":
+		cfg.Adversary = faultcast.CrashAdv
+	case "flip":
+		cfg.Adversary = faultcast.FlipAdv
+	case "noise":
+		cfg.Adversary = faultcast.NoiseAdv
+	default:
+		fatal(fmt.Errorf("unknown adversary %q", *adv))
+	}
+
+	delta := g.MaxDegree()
+	if *feas {
+		thr := faultcast.Threshold(cfg.Model, cfg.Fault, delta)
+		fmt.Printf("scenario: %s + %s on %s (n=%d, Δ=%d)\n",
+			cfg.Model, cfg.Fault, g, g.N(), delta)
+		fmt.Printf("threshold: p < %.6f\n", thr)
+		fmt.Printf("p = %.4f: feasible = %v\n", *p, faultcast.Feasible(cfg.Model, cfg.Fault, *p, delta))
+		return
+	}
+
+	fmt.Printf("graph %s, source %d, model %s, fault %s, p=%.3f, algorithm %s\n",
+		g, *source, cfg.Model, cfg.Fault, *p, cfg.Algorithm)
+	if !faultcast.Feasible(cfg.Model, cfg.Fault, *p, delta) {
+		fmt.Printf("warning: p=%.3f is at or above the feasibility threshold %.4f — expect failures\n",
+			*p, faultcast.Threshold(cfg.Model, cfg.Fault, delta))
+	}
+
+	cfg.Concurrent = *concurrent
+	if *trials <= 1 {
+		if *traceRun {
+			cfg.Trace = os.Stdout
+		}
+		res, err := faultcast.Run(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("success=%v rounds=%d faults=%d deliveries=%d collisions=%d\n",
+			res.Success, res.Rounds, res.Faults, res.Deliveries, res.Collisions)
+		if !res.Success {
+			fmt.Printf("first failed node: %d\n", res.FirstFailed)
+			os.Exit(1)
+		}
+		return
+	}
+
+	est, err := faultcast.EstimateSuccess(cfg, *trials)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("success rate: %v\n", est)
+	fmt.Printf("almost-safe (>= 1-1/n = %.4f): %v\n",
+		1-1/float64(g.N()), est.AlmostSafe(g.N()))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "faultcast:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,61 @@
+package faultcast_test
+
+import (
+	"fmt"
+
+	"faultcast"
+)
+
+// The feasibility dichotomy of the paper, queryable directly.
+func ExampleFeasible() {
+	// Omission failures are survivable at any p < 1 (Theorem 2.1).
+	fmt.Println(faultcast.Feasible(faultcast.MessagePassing, faultcast.Omission, 0.99, 4))
+	// Malicious message passing caps at 1/2 (Theorems 2.2/2.3).
+	fmt.Println(faultcast.Feasible(faultcast.MessagePassing, faultcast.Malicious, 0.49, 4))
+	fmt.Println(faultcast.Feasible(faultcast.MessagePassing, faultcast.Malicious, 0.50, 4))
+	// Output:
+	// true
+	// true
+	// false
+}
+
+// The radio threshold p = (1-p)^(Δ+1) of Theorem 2.4.
+func ExampleRadioThreshold() {
+	// Δ = 0 degenerates to p = 1-p.
+	fmt.Printf("%.4f\n", faultcast.RadioThreshold(0))
+	// Δ = 1: p = (1-p)², the golden-ratio-flavored root.
+	fmt.Printf("%.4f\n", faultcast.RadioThreshold(1))
+	// Output:
+	// 0.5000
+	// 0.3820
+}
+
+// One reproducible broadcast simulation.
+func ExampleRun() {
+	res, err := faultcast.Run(faultcast.Config{
+		Graph:   faultcast.Line(8),
+		Source:  0,
+		Message: []byte("msg"),
+		Model:   faultcast.MessagePassing,
+		Fault:   faultcast.Omission,
+		P:       0, // fault-free: flooding finishes in exactly D rounds of work
+		Seed:    1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Success)
+	// Output:
+	// true
+}
+
+// Graph construction from CLI-style specs.
+func ExampleParseGraph() {
+	g, err := faultcast.ParseGraph("layered:3", 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(g.N(), g.MaxDegree())
+	// Output:
+	// 11 5
+}

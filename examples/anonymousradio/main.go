@@ -1,0 +1,67 @@
+// Anonymousradio: broadcasting without a global enumeration (§2.1).
+//
+// Algorithm Simple-Omission assumes every node knows its index in a
+// global enumeration of the graph — a strong preprocessing assumption.
+// The paper notes that in the radio model it suffices that nodes carry
+// distinct labels: with a known label range [0, K), label i transmits
+// only in steps ℓK + i (a TDMA cycle), and with an unknown range, in the
+// prime-power steps p_i^k. Either way at most one node ever transmits
+// per step, so the radio collision rule never fires and omission
+// failures are the only obstacle — which windows of retries defeat for
+// any p < 1.
+//
+// This example drives the internal protocol packages directly (the
+// lower-level API beneath faultcast.Run), which is also how custom
+// protocols plug into the simulator.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"faultcast/internal/graph"
+	"faultcast/internal/protocols/anonymous"
+	"faultcast/internal/sim"
+	"faultcast/internal/stat"
+)
+
+func main() {
+	g := graph.Grid(4, 4)
+	const p = 0.5
+
+	for _, kind := range []anonymous.ScheduleKind{anonymous.ModuloK, anonymous.PrimePowers} {
+		proto, err := anonymous.New(g, kind, g.N())
+		if err != nil {
+			log.Fatal(err)
+		}
+		a := 6.0
+		pFault := p
+		if kind == anonymous.PrimePowers {
+			// Prime slots thin out geometrically: give the existence
+			// construction a deeper horizon and a kinder fault rate.
+			a, pFault = 60, 0.3
+		}
+		rounds := proto.Rounds(g.Radius(0), a)
+
+		est := stat.Estimate(300, 1, func(seed uint64) bool {
+			res, err := sim.Run(&sim.Config{
+				Graph: g, Model: sim.Radio, Fault: sim.Omission, P: pFault,
+				Source: 0, SourceMsg: []byte("M"),
+				NewNode: proto.NewNode, Rounds: rounds, Seed: seed,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if res.Stats.Collisions != 0 {
+				log.Fatalf("%v: collision observed — slot discipline broken", kind)
+			}
+			return res.Success
+		})
+		fmt.Printf("%-13v p=%.1f horizon=%-6d success=%v (0 collisions in all runs)\n",
+			kind, pFault, rounds, est)
+	}
+
+	fmt.Println("\nBoth schedules are collision-free by construction: modulo-K pays a")
+	fmt.Println("~K time factor for anonymity; prime powers additionally pay geometric")
+	fmt.Println("slot spacing for not even knowing K (the paper's existence argument).")
+}

@@ -1,0 +1,177 @@
+// Package faultcast is a simulation library for fault-tolerant
+// broadcasting with random transmission failures, reproducing the system
+// of Pelc & Peleg, "Feasibility and complexity of broadcasting with random
+// transmission failures" (PODC 2005 / TCS 370 (2007) 279–292).
+//
+// The model: a synchronous n-node network (message passing or radio) in
+// which, at every step, each node's transmitter fails independently with
+// constant probability p. Failures are node-omission (a faulty transmitter
+// is silent) or malicious (an adaptive adversary drives the faulty
+// transmitter). A broadcasting algorithm is almost-safe when it delivers
+// the source message to every node with probability at least 1 − 1/n.
+//
+// The package exposes:
+//
+//   - feasibility predicates for the paper's four scenarios (Feasible,
+//     Threshold, RadioThreshold);
+//   - the paper's algorithms, runnable on arbitrary graphs through Run and
+//     EstimateSuccess (Simple-Omission, Simple-Malicious, tree flooding,
+//     the composed Kučera-style algorithm, the Theorem 3.4 radio
+//     algorithms, and the two-node timing protocol);
+//   - graph constructors for the families used in the paper's
+//     constructions, including the layered radio lower-bound graph.
+//
+// Lower-level control (custom protocols, custom adversaries, round
+// observers, the goroutine-per-node engine) is available in the internal
+// packages; see DESIGN.md for the map.
+package faultcast
+
+import (
+	"fmt"
+
+	"faultcast/internal/graph"
+	"faultcast/internal/rng"
+	"faultcast/internal/stat"
+)
+
+// Graph is an undirected network topology (alias of the internal graph
+// type, so all of its methods — N, M, Degree, MaxDegree, BFS, Radius,
+// Validate, WriteDOT, ... — are available to callers).
+type Graph = graph.Graph
+
+// Graph constructors for the families used throughout the paper.
+var (
+	// Line returns the path graph; Lemmas 3.1/3.2 are line results.
+	Line = graph.Line
+	// Ring returns the cycle graph.
+	Ring = graph.Ring
+	// Star returns a star with center 0; the extremal graph for the radio
+	// malicious threshold (Theorem 2.4).
+	Star = graph.Star
+	// Complete returns K_n.
+	Complete = graph.Complete
+	// KaryTree returns the complete k-ary tree in heap layout.
+	KaryTree = graph.KaryTree
+	// Grid returns the rows×cols grid.
+	Grid = graph.Grid
+	// Torus returns the rows×cols torus.
+	Torus = graph.Torus
+	// Hypercube returns the d-dimensional hypercube.
+	Hypercube = graph.Hypercube
+	// Layered returns the three-layer radio lower-bound graph G_m of
+	// Section 3 (n = 2^m + m).
+	Layered = graph.Layered
+	// TwoNode returns K2.
+	TwoNode = graph.TwoNode
+	// Caterpillar returns a spine path with legs leaves per spine vertex.
+	Caterpillar = graph.Caterpillar
+)
+
+// RandomTree returns a random labeled tree on n vertices (deterministic in
+// seed).
+func RandomTree(n int, seed uint64) *Graph {
+	return graph.RandomTree(n, rng.New(seed))
+}
+
+// GNP returns a connected Erdős–Rényi-style random graph (deterministic in
+// seed; a random spanning tree guarantees connectivity).
+func GNP(n int, p float64, seed uint64) *Graph {
+	return graph.GNP(n, p, rng.New(seed))
+}
+
+// Model selects the communication model.
+type Model int
+
+const (
+	// MessagePassing: a node may send distinct messages to all neighbors
+	// each step.
+	MessagePassing Model = iota
+	// Radio: one transmission per step, heard only by neighbors with
+	// exactly one transmitting neighbor; collisions read as silence.
+	Radio
+)
+
+func (m Model) String() string {
+	switch m {
+	case MessagePassing:
+		return "message-passing"
+	case Radio:
+		return "radio"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// Fault selects the failure semantics.
+type Fault int
+
+const (
+	// Omission: a faulty transmitter is silent for the step.
+	Omission Fault = iota
+	// Malicious: an adaptive adversary drives faulty transmitters, and may
+	// transmit even when the algorithm says to stay silent.
+	Malicious
+	// LimitedMalicious: the adversary may alter or drop intended
+	// transmissions but cannot make a silent node speak.
+	LimitedMalicious
+)
+
+func (f Fault) String() string {
+	switch f {
+	case Omission:
+		return "omission"
+	case Malicious:
+		return "malicious"
+	case LimitedMalicious:
+		return "limited-malicious"
+	default:
+		return fmt.Sprintf("Fault(%d)", int(f))
+	}
+}
+
+// RadioThreshold returns p*, the unique solution of p = (1−p)^(Δ+1): the
+// feasibility threshold for malicious failures in the radio model on
+// graphs of maximum degree Δ (Theorem 2.4).
+func RadioThreshold(maxDegree int) float64 {
+	return stat.RadioThreshold(maxDegree)
+}
+
+// Threshold returns the supremum of failure probabilities p for which
+// almost-safe broadcasting is feasible in the given scenario on graphs of
+// maximum degree maxDegree (the paper's feasibility dichotomy):
+//
+//   - omission, either model: 1 (any p < 1 works; Theorem 2.1);
+//   - malicious, message passing: 1/2 (Theorems 2.2/2.3);
+//   - malicious, radio: the fixed point of p = (1−p)^(Δ+1) (Theorem 2.4);
+//   - limited malicious, message passing: 1 on bounded topologies via
+//     timing protocols (§2.2.2) and 1/2 for the content-based algorithms
+//     of Theorem 3.2 — Threshold reports 1, the information-theoretic
+//     bound.
+func Threshold(model Model, fault Fault, maxDegree int) float64 {
+	switch fault {
+	case Omission:
+		return 1
+	case LimitedMalicious:
+		if model == Radio {
+			return RadioThreshold(maxDegree) // conservatively, the full-malicious bound
+		}
+		return 1
+	case Malicious:
+		if model == Radio {
+			return RadioThreshold(maxDegree)
+		}
+		return 0.5
+	default:
+		panic(fmt.Sprintf("faultcast: unknown fault %d", int(fault)))
+	}
+}
+
+// Feasible reports whether almost-safe broadcasting is feasible at failure
+// probability p in the given scenario (strict inequality against
+// Threshold, as in the paper).
+func Feasible(model Model, fault Fault, p float64, maxDegree int) bool {
+	if p < 0 || p >= 1 {
+		return false
+	}
+	return p < Threshold(model, fault, maxDegree)
+}

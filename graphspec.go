@@ -1,0 +1,165 @@
+package faultcast
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"faultcast/internal/graph"
+)
+
+// ParseGraph builds a graph from a compact textual spec, the format used
+// by the faultcast CLI:
+//
+//	line:N        ring:N        star:N       complete:N    k2
+//	tree:N:K      grid:RxC      torus:RxC    hypercube:D
+//	layered:M     caterpillar:SPINE:LEGS
+//	gnp:N:P       randtree:N    file:PATH
+//
+// Random families (gnp, randtree) are deterministic in seed. file:PATH
+// loads an edge list ("n <count>" header, then one "u v" pair per line,
+// '#' comments allowed).
+func ParseGraph(spec string, seed uint64) (*Graph, error) {
+	trimmed := strings.TrimSpace(spec)
+	if path, ok := strings.CutPrefix(trimmed, "file:"); ok {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("faultcast: graph spec %q: %w", spec, err)
+		}
+		defer f.Close()
+		g, err := graph.ReadEdgeList(f, path)
+		if err != nil {
+			return nil, err
+		}
+		if err := g.Validate(); err != nil {
+			return nil, fmt.Errorf("faultcast: graph file %q: %w", path, err)
+		}
+		return g, nil
+	}
+	parts := strings.Split(strings.ToLower(trimmed), ":")
+	kind := parts[0]
+	args := parts[1:]
+
+	argN := func(i int) (int, error) {
+		if i >= len(args) {
+			return 0, fmt.Errorf("faultcast: graph spec %q: missing argument %d", spec, i+1)
+		}
+		n, err := strconv.Atoi(args[i])
+		if err != nil || n < 1 {
+			return 0, fmt.Errorf("faultcast: graph spec %q: bad integer %q", spec, args[i])
+		}
+		return n, nil
+	}
+	argDims := func(i int) (int, int, error) {
+		if i >= len(args) {
+			return 0, 0, fmt.Errorf("faultcast: graph spec %q: missing RxC argument", spec)
+		}
+		dims := strings.Split(args[i], "x")
+		if len(dims) != 2 {
+			return 0, 0, fmt.Errorf("faultcast: graph spec %q: want RxC, got %q", spec, args[i])
+		}
+		r, err1 := strconv.Atoi(dims[0])
+		c, err2 := strconv.Atoi(dims[1])
+		if err1 != nil || err2 != nil || r < 1 || c < 1 {
+			return 0, 0, fmt.Errorf("faultcast: graph spec %q: bad dimensions %q", spec, args[i])
+		}
+		return r, c, nil
+	}
+
+	switch kind {
+	case "line", "path":
+		n, err := argN(0)
+		if err != nil {
+			return nil, err
+		}
+		return Line(n), nil
+	case "ring", "cycle":
+		n, err := argN(0)
+		if err != nil {
+			return nil, err
+		}
+		return Ring(n), nil
+	case "star":
+		n, err := argN(0)
+		if err != nil {
+			return nil, err
+		}
+		return Star(n), nil
+	case "complete", "clique":
+		n, err := argN(0)
+		if err != nil {
+			return nil, err
+		}
+		return Complete(n), nil
+	case "k2", "twonode":
+		return TwoNode(), nil
+	case "tree":
+		n, err := argN(0)
+		if err != nil {
+			return nil, err
+		}
+		k := 2
+		if len(args) > 1 {
+			if k, err = argN(1); err != nil {
+				return nil, err
+			}
+		}
+		return KaryTree(n, k), nil
+	case "grid":
+		r, c, err := argDims(0)
+		if err != nil {
+			return nil, err
+		}
+		return Grid(r, c), nil
+	case "torus":
+		r, c, err := argDims(0)
+		if err != nil {
+			return nil, err
+		}
+		return Torus(r, c), nil
+	case "hypercube", "cube":
+		d, err := argN(0)
+		if err != nil {
+			return nil, err
+		}
+		return Hypercube(d), nil
+	case "layered":
+		m, err := argN(0)
+		if err != nil {
+			return nil, err
+		}
+		return Layered(m), nil
+	case "caterpillar":
+		spine, err := argN(0)
+		if err != nil {
+			return nil, err
+		}
+		legs, err := argN(1)
+		if err != nil {
+			return nil, err
+		}
+		return Caterpillar(spine, legs), nil
+	case "gnp":
+		n, err := argN(0)
+		if err != nil {
+			return nil, err
+		}
+		if len(args) < 2 {
+			return nil, fmt.Errorf("faultcast: graph spec %q: gnp needs a probability", spec)
+		}
+		p, err := strconv.ParseFloat(args[1], 64)
+		if err != nil || p < 0 || p > 1 {
+			return nil, fmt.Errorf("faultcast: graph spec %q: bad probability %q", spec, args[1])
+		}
+		return GNP(n, p, seed), nil
+	case "randtree":
+		n, err := argN(0)
+		if err != nil {
+			return nil, err
+		}
+		return RandomTree(n, seed), nil
+	default:
+		return nil, fmt.Errorf("faultcast: unknown graph kind %q (see ParseGraph doc for the spec grammar)", kind)
+	}
+}

@@ -1,0 +1,90 @@
+package faultcast
+
+import (
+	"os"
+	"testing"
+)
+
+func TestParseGraphValid(t *testing.T) {
+	cases := []struct {
+		spec string
+		n    int
+	}{
+		{"line:10", 10},
+		{"path:5", 5},
+		{"ring:6", 6},
+		{"star:7", 7},
+		{"complete:5", 5},
+		{"clique:4", 4},
+		{"k2", 2},
+		{"twonode", 2},
+		{"tree:15", 15},
+		{"tree:13:3", 13},
+		{"grid:3x4", 12},
+		{"torus:3x3", 9},
+		{"hypercube:4", 16},
+		{"cube:3", 8},
+		{"layered:3", 11},
+		{"caterpillar:4:2", 12},
+		{"gnp:20:0.1", 20},
+		{"randtree:9", 9},
+		{" LINE:10 ", 10}, // trimming + case folding
+	}
+	for _, tc := range cases {
+		g, err := ParseGraph(tc.spec, 7)
+		if err != nil {
+			t.Errorf("ParseGraph(%q): %v", tc.spec, err)
+			continue
+		}
+		if g.N() != tc.n {
+			t.Errorf("ParseGraph(%q): n=%d, want %d", tc.spec, g.N(), tc.n)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("ParseGraph(%q): invalid graph: %v", tc.spec, err)
+		}
+	}
+}
+
+func TestParseGraphInvalid(t *testing.T) {
+	for _, spec := range []string{
+		"", "wat:3", "line", "line:x", "line:0", "grid:3", "grid:3x",
+		"gnp:10", "gnp:10:2", "caterpillar:3", "torus:axb",
+	} {
+		if _, err := ParseGraph(spec, 1); err == nil {
+			t.Errorf("ParseGraph(%q) accepted", spec)
+		}
+	}
+}
+
+func TestParseGraphFile(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/g.edges"
+	if err := os.WriteFile(path, []byte("# demo\nn 3\n0 1\n1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ParseGraph("file:"+path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	if _, err := ParseGraph("file:"+dir+"/missing", 0); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestParseGraphDeterministicSeeds(t *testing.T) {
+	a, err := ParseGraph("gnp:30:0.2", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := ParseGraph("gnp:30:0.2", 5)
+	c, _ := ParseGraph("gnp:30:0.2", 6)
+	if a.M() != b.M() {
+		t.Fatal("same seed produced different graphs")
+	}
+	if a.M() == c.M() {
+		t.Log("different seeds coincided on edge count (possible)")
+	}
+}

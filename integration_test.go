@@ -1,0 +1,89 @@
+package faultcast
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestScenarioMatrix drives every algorithm through the public API in
+// every communication/fault scenario it supports, fault-free and at a
+// modest failure rate below the scenario's threshold. Every run must
+// succeed (fault-free) or at least be error-free (faulty); feasible-side
+// faulty runs on these small graphs are also checked for success at
+// lenient thresholds via EstimateSuccess.
+func TestScenarioMatrix(t *testing.T) {
+	type scenario struct {
+		algo  Algorithm
+		model Model
+		fault Fault
+		graph *Graph
+		src   int
+		msg   string
+		p     float64
+	}
+	line := Line(8)
+	scenarios := []scenario{
+		{SimpleOmission, MessagePassing, Omission, line, 0, "m", 0.4},
+		{SimpleOmission, Radio, Omission, line, 0, "m", 0.4},
+		{SimpleMalicious, MessagePassing, Malicious, line, 0, "1", 0.25},
+		{SimpleMalicious, Radio, Malicious, line, 0, "1", 0.08},
+		{SimpleMalicious, MessagePassing, LimitedMalicious, line, 0, "1", 0.25},
+		{Flooding, MessagePassing, Omission, Grid(3, 4), 0, "m", 0.4},
+		{Composed, MessagePassing, LimitedMalicious, Line(6), 0, "1", 0.2},
+		{RadioRepeat, Radio, Omission, Star(8), 1, "m", 0.4},
+		{RadioRepeat, Radio, Malicious, line, 0, "1", 0.08},
+		{TimingBit, MessagePassing, LimitedMalicious, TwoNode(), 0, "0", 0.5},
+		{TimingBit, MessagePassing, LimitedMalicious, TwoNode(), 0, "1", 0.5},
+	}
+	for _, sc := range scenarios {
+		name := fmt.Sprintf("%v/%v/%v", sc.algo, sc.model, sc.fault)
+		t.Run(name, func(t *testing.T) {
+			base := Config{
+				Graph: sc.graph, Source: sc.src, Message: []byte(sc.msg),
+				Model: sc.model, Fault: sc.fault,
+				Algorithm: sc.algo, Adversary: CrashAdv, Seed: 7,
+			}
+			// Fault-free: must succeed outright.
+			ff := base
+			ff.P = 0
+			res, err := Run(ff)
+			if err != nil {
+				t.Fatalf("fault-free: %v", err)
+			}
+			if !res.Success {
+				t.Fatalf("fault-free run failed: %+v", res)
+			}
+			// Below threshold: high success over a small sample.
+			faulty := base
+			faulty.P = sc.p
+			est, err := EstimateSuccess(faulty, 60)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if est.Rate < 0.8 {
+				t.Fatalf("faulty runs at p=%v: %v", sc.p, est)
+			}
+		})
+	}
+}
+
+// TestAutoSelectionMatrix checks that Auto picks a runnable algorithm in
+// every scenario combination.
+func TestAutoSelectionMatrix(t *testing.T) {
+	for _, model := range []Model{MessagePassing, Radio} {
+		for _, fault := range []Fault{Omission, Malicious, LimitedMalicious} {
+			g := Line(6)
+			res, err := Run(Config{
+				Graph: g, Source: 0, Message: []byte("1"),
+				Model: model, Fault: fault, P: 0,
+				Adversary: CrashAdv, Seed: 5,
+			})
+			if err != nil {
+				t.Fatalf("%v/%v: %v", model, fault, err)
+			}
+			if !res.Success {
+				t.Fatalf("%v/%v: auto fault-free run failed", model, fault)
+			}
+		}
+	}
+}

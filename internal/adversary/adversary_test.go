@@ -1,0 +1,209 @@
+package adversary
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"faultcast/internal/graph"
+	"faultcast/internal/protocols/simplemalicious"
+	"faultcast/internal/sim"
+	"faultcast/internal/stat"
+)
+
+var (
+	m0 = []byte("0")
+	m1 = []byte("1")
+)
+
+func TestSwapPayload(t *testing.T) {
+	if got := swapPayload(m0, m0, m1); !bytes.Equal(got, m1) {
+		t.Fatalf("swap(0) = %q", got)
+	}
+	if got := swapPayload(m1, m0, m1); !bytes.Equal(got, m0) {
+		t.Fatalf("swap(1) = %q", got)
+	}
+	if got := swapPayload([]byte("x"), m0, m1); string(got) != "x" {
+		t.Fatalf("swap(other) = %q", got)
+	}
+}
+
+// receiverOutput runs Simple-Malicious on K2 under the given adversary and
+// failure rate, with the source message chosen by the trial seed's low bit
+// (emulating the proofs' uniform source distribution), and reports whether
+// the receiver decoded correctly.
+func receiverCorrect(t *testing.T, adv sim.Adversary, p float64, c float64, seed uint64) bool {
+	t.Helper()
+	msg := m0
+	if seed&1 == 1 {
+		msg = m1
+	}
+	g := graph.TwoNode()
+	proto := simplemalicious.New(g, 0, sim.MessagePassing, c)
+	cfg := &sim.Config{
+		Graph: g, Model: sim.MessagePassing, Fault: sim.Malicious, P: p,
+		Source: 0, SourceMsg: msg,
+		NewNode: proto.NewNode, Rounds: proto.Rounds(), Seed: seed * 2654435761,
+		Adversary: adv,
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Success
+}
+
+// TestTheorem23AtHalf: with the equivocator at p = 1/2, the receiver's
+// error is pinned at 1/2 — the sequence of delivered messages carries no
+// information about the source message, no matter how long the run is.
+func TestTheorem23AtHalf(t *testing.T) {
+	for _, c := range []float64{2, 8, 24} { // longer runs do NOT help
+		est := stat.Estimate(2000, 11, func(seed uint64) bool {
+			return receiverCorrect(t, Equivocator{M0: m0, M1: m1, SourceOnly: true}, 0.5, c, seed)
+		})
+		if math.Abs(est.Rate()-0.5) > 0.05 {
+			t.Errorf("c=%v: success %v, want ~0.5 (posterior must stay uninformative)", c, est)
+		}
+	}
+}
+
+// TestTheorem23AboveHalf: the slowing reduction keeps the error at 1/2 for
+// p > 1/2 as well.
+func TestTheorem23AboveHalf(t *testing.T) {
+	for _, p := range []float64{0.6, 0.75, 0.9} {
+		est := stat.Estimate(2000, 23, func(seed uint64) bool {
+			return receiverCorrect(t, Equivocator{M0: m0, M1: m1, SourceOnly: true}, p, 6, seed)
+		})
+		if math.Abs(est.Rate()-0.5) > 0.05 {
+			t.Errorf("p=%v: success %v, want ~0.5", p, est)
+		}
+	}
+}
+
+// TestEquivocatorHarmlessBelowHalf: below the threshold the same adversary
+// loses — majority voting recovers the message almost surely (Theorem 2.2
+// side of the dichotomy).
+func TestEquivocatorHarmlessBelowHalf(t *testing.T) {
+	// On K2, log2(n) = 1, so m = c; c = 48 gives 48 votes and a
+	// P(Bin(48, 0.3) >= 24) ~ 2e-3 error per trial.
+	est := stat.Estimate(1000, 37, func(seed uint64) bool {
+		return receiverCorrect(t, Equivocator{M0: m0, M1: m1, SourceOnly: true}, 0.3, 48, seed)
+	})
+	if est.Rate() < 0.99 {
+		t.Errorf("p=0.3: success %v, want ~1", est)
+	}
+}
+
+// starReceiverCorrect runs Simple-Malicious on the (Δ+1)-node star of the
+// Theorem 2.4 proof — source at a leaf, receiver at the root — and
+// reports whether the ROOT (the node the proof argues about) decoded the
+// source message.
+func starReceiverCorrect(t *testing.T, delta int, p float64, c float64, seed uint64) bool {
+	t.Helper()
+	msg := m0
+	if seed&1 == 1 {
+		msg = m1
+	}
+	g := graph.Star(delta + 1) // root 0 has degree Δ
+	source := 1                // a leaf
+	proto := simplemalicious.New(g, source, sim.Radio, c)
+	cfg := &sim.Config{
+		Graph: g, Model: sim.Radio, Fault: sim.Malicious, P: p,
+		Source: source, SourceMsg: msg,
+		NewNode: proto.NewNode, Rounds: proto.Rounds(), Seed: seed*2654435761 + 17,
+		Adversary: Star{M0: m0, M1: m1},
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.Equal(res.Outputs[0], msg)
+}
+
+// TestTheorem24AtThreshold: at p = p* (the fixed point of p = (1−p)^(Δ+1))
+// the star adversary pins the root's error at 1/2.
+func TestTheorem24AtThreshold(t *testing.T) {
+	for _, delta := range []int{2, 4} {
+		pStar := stat.RadioThreshold(delta)
+		est := stat.Estimate(2000, 51, func(seed uint64) bool {
+			return starReceiverCorrect(t, delta, pStar, 6, seed)
+		})
+		if math.Abs(est.Rate()-0.5) > 0.05 {
+			t.Errorf("Δ=%d, p*=%.4f: success %v, want ~0.5", delta, pStar, est)
+		}
+	}
+}
+
+// TestTheorem24AboveThreshold: slowing keeps the error at 1/2 above p*.
+func TestTheorem24AboveThreshold(t *testing.T) {
+	delta := 3
+	pStar := stat.RadioThreshold(delta)
+	for _, p := range []float64{pStar * 1.5, 0.6} {
+		est := stat.Estimate(2000, 87, func(seed uint64) bool {
+			return starReceiverCorrect(t, delta, p, 6, seed)
+		})
+		if math.Abs(est.Rate()-0.5) > 0.05 {
+			t.Errorf("Δ=%d p=%.3f: success %v, want ~0.5", delta, p, est)
+		}
+	}
+}
+
+// TestTheorem24BelowThreshold: the same adversary is harmless below p*.
+func TestTheorem24BelowThreshold(t *testing.T) {
+	delta := 2
+	p := stat.RadioThreshold(delta) * 0.4
+	est := stat.Estimate(1000, 99, func(seed uint64) bool {
+		return starReceiverCorrect(t, delta, p, 14, seed)
+	})
+	if est.Rate() < 0.98 {
+		t.Errorf("below threshold: success %v, want ~1", est)
+	}
+}
+
+func TestCrashSilences(t *testing.T) {
+	e := &sim.Exec{Intents: [][]sim.Transmission{
+		{{To: sim.Broadcast, Payload: []byte("x")}},
+	}}
+	out := Crash{}.Corrupt(e, []int{0})
+	if ts, ok := out[0]; !ok || len(ts) != 0 {
+		t.Fatalf("crash output = %v", out)
+	}
+}
+
+func TestFlipRewritesAllIntents(t *testing.T) {
+	e := &sim.Exec{Intents: [][]sim.Transmission{
+		{{To: 1, Payload: []byte("a")}, {To: 2, Payload: []byte("b")}},
+	}}
+	out := Flip{}.Corrupt(e, []int{0})
+	ts := out[0]
+	if len(ts) != 2 || string(ts[0].Payload) != "X" || string(ts[1].Payload) != "X" {
+		t.Fatalf("flip output = %v", ts)
+	}
+	if ts[0].To != 1 || ts[1].To != 2 {
+		t.Fatalf("flip changed destinations: %v", ts)
+	}
+}
+
+func TestOutOfTurnBroadcasts(t *testing.T) {
+	e := &sim.Exec{Intents: [][]sim.Transmission{nil, nil}}
+	out := OutOfTurn{}.Corrupt(e, []int{1})
+	ts := out[1]
+	if len(ts) != 1 || ts[0].To != sim.Broadcast {
+		t.Fatalf("out-of-turn output = %v", ts)
+	}
+}
+
+// A2 ablation in miniature: the equivocator strictly beats random noise at
+// p = 1/2 on K2 — random corruption still lets majority voting win often,
+// while equivocation pins the receiver at a coin flip.
+func TestEquivocatorBeatsRandomNoise(t *testing.T) {
+	noise := stat.Estimate(1500, 3, func(seed uint64) bool {
+		return receiverCorrect(t, RandomNoise{Alphabet: [][]byte{m0, m1}}, 0.5, 8, seed)
+	})
+	equiv := stat.Estimate(1500, 3, func(seed uint64) bool {
+		return receiverCorrect(t, Equivocator{M0: m0, M1: m1, SourceOnly: true}, 0.5, 8, seed)
+	})
+	if noise.Rate() <= equiv.Rate()+0.1 {
+		t.Errorf("random noise (%v) should be much weaker than equivocation (%v)", noise, equiv)
+	}
+}

@@ -1,0 +1,216 @@
+package graph
+
+import (
+	"fmt"
+
+	"faultcast/internal/rng"
+)
+
+// Line returns the path graph 0-1-...-n-1. With the source at endpoint 0
+// this is the setting of Lemma 3.1 (Diks–Pelc) and Lemma 3.2 (Kučera).
+func Line(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	return b.Build(fmt.Sprintf("line(%d)", n))
+}
+
+// Ring returns the cycle graph on n >= 3 vertices.
+func Ring(n int) *Graph {
+	if n < 3 {
+		panic("graph: ring needs n >= 3")
+	}
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(i, (i+1)%n)
+	}
+	return b.Build(fmt.Sprintf("ring(%d)", n))
+}
+
+// Star returns a star with center 0 and leaves 1..n-1. Its max degree is
+// n-1, making it the extremal case for the radio threshold p < (1-p)^(Δ+1)
+// of Theorem 2.4 (the impossibility proof uses a (Δ+1)-node star with the
+// source at a leaf).
+func Star(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, i)
+	}
+	return b.Build(fmt.Sprintf("star(%d)", n))
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	return b.Build(fmt.Sprintf("K(%d)", n))
+}
+
+// KaryTree returns the complete k-ary tree with n vertices rooted at 0
+// (vertex i's children are k*i+1 .. k*i+k, heap layout).
+func KaryTree(n, k int) *Graph {
+	if k < 1 {
+		panic("graph: k-ary tree needs k >= 1")
+	}
+	b := NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(i, (i-1)/k)
+	}
+	return b.Build(fmt.Sprintf("tree(%d,k=%d)", n, k))
+}
+
+// Grid returns the rows x cols grid graph; vertex (r,c) has index r*cols+c.
+func Grid(rows, cols int) *Graph {
+	b := NewBuilder(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.Build(fmt.Sprintf("grid(%dx%d)", rows, cols))
+}
+
+// Torus returns the rows x cols torus (grid with wraparound); needs both
+// dimensions >= 3 to avoid multi-edges.
+func Torus(rows, cols int) *Graph {
+	if rows < 3 || cols < 3 {
+		panic("graph: torus needs rows, cols >= 3")
+	}
+	b := NewBuilder(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			b.AddEdge(id(r, c), id(r, (c+1)%cols))
+			b.AddEdge(id(r, c), id((r+1)%rows, c))
+		}
+	}
+	return b.Build(fmt.Sprintf("torus(%dx%d)", rows, cols))
+}
+
+// Hypercube returns the d-dimensional hypercube on 2^d vertices.
+func Hypercube(d int) *Graph {
+	if d < 0 || d > 30 {
+		panic("graph: hypercube dimension out of range")
+	}
+	n := 1 << d
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for bit := 0; bit < d; bit++ {
+			w := v ^ (1 << bit)
+			if v < w {
+				b.AddEdge(v, w)
+			}
+		}
+	}
+	return b.Build(fmt.Sprintf("hypercube(%d)", d))
+}
+
+// RandomTree returns a uniformly random labeled tree on n vertices (via a
+// random Prüfer-like attachment: vertex i attaches to a uniform earlier
+// vertex), rooted at 0. The result is always connected.
+func RandomTree(n int, r *rng.Source) *Graph {
+	b := NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(i, r.Intn(i))
+	}
+	return b.Build(fmt.Sprintf("randtree(%d)", n))
+}
+
+// GNP returns an Erdős–Rényi G(n, p) random graph augmented with a random
+// spanning tree so it is always connected (broadcast is undefined
+// otherwise). The augmentation only adds edges, so edge probability is
+// at least p.
+func GNP(n int, p float64, r *rng.Source) *Graph {
+	b := NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(i, r.Intn(i)) // connectivity backbone
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if !b.HasEdge(i, j) && r.Bernoulli(p) {
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	return b.Build(fmt.Sprintf("gnp(%d,%.3g)", n, p))
+}
+
+// Caterpillar returns a caterpillar: a spine path of length spine with legs
+// leaves attached to every spine vertex. Useful as a bounded-degree family
+// with large D.
+func Caterpillar(spine, legs int) *Graph {
+	n := spine + spine*legs
+	b := NewBuilder(n)
+	for i := 0; i+1 < spine; i++ {
+		b.AddEdge(i, i+1)
+	}
+	for i := 0; i < spine; i++ {
+		for l := 0; l < legs; l++ {
+			b.AddEdge(i, spine+i*legs+l)
+		}
+	}
+	return b.Build(fmt.Sprintf("caterpillar(%d,%d)", spine, legs))
+}
+
+// Layered returns the three-layer radio lower-bound graph G of Section 3
+// (Lemma 3.3/3.4), parameterized by m (so N = 2^m):
+//
+//   - layer 1: the root s (vertex 0);
+//   - layer 2: vertices b_1..b_m (indices 1..m), all adjacent to s;
+//   - layer 3: vertices labeled 1..N-1 (indices m+1..m+N-1; layer-3 label v
+//     has index m+v), with b_i adjacent to label v iff bit i of v is 1
+//     (bit 1 = least significant).
+//
+// Altogether n = N + log N = 2^m + m vertices. Fault-free radio broadcast
+// from s takes exactly m+1 steps on this graph (Lemma 3.3), yet almost-safe
+// broadcast needs Ω(log n·log log n/log log log n) steps (Lemma 3.4).
+func Layered(m int) *Graph {
+	if m < 1 || m > 24 {
+		panic("graph: layered graph needs 1 <= m <= 24")
+	}
+	bigN := 1 << m
+	n := bigN + m
+	b := NewBuilder(n)
+	for i := 1; i <= m; i++ {
+		b.AddEdge(0, i)
+	}
+	for v := 1; v < bigN; v++ {
+		for i := 1; i <= m; i++ {
+			if v&(1<<(i-1)) != 0 {
+				b.AddEdge(i, m+v)
+			}
+		}
+	}
+	return b.Build(fmt.Sprintf("layered(m=%d)", m))
+}
+
+// LayeredSource returns the source vertex of the Layered graph (the root).
+func LayeredSource() int { return 0 }
+
+// LayeredLabel returns the index of the layer-3 vertex with binary label v
+// (1 <= v <= 2^m - 1) in Layered(m).
+func LayeredLabel(m, v int) int {
+	if v < 1 || v >= 1<<m {
+		panic("graph: layered label out of range")
+	}
+	return m + v
+}
+
+// TwoNode returns K2, the two-node graph of the Theorem 2.3 impossibility
+// argument and of the "hello" parity protocol.
+func TwoNode() *Graph {
+	b := NewBuilder(2)
+	b.AddEdge(0, 1)
+	return b.Build("K2")
+}

@@ -1,0 +1,49 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format for inspection and
+// documentation. Vertices listed in highlight are drawn filled (the CLI
+// uses this to mark the source).
+func (g *Graph) WriteDOT(w io.Writer, highlight ...int) error {
+	hi := make(map[int]bool, len(highlight))
+	for _, v := range highlight {
+		hi[v] = true
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %q {\n", g.name)
+	for v := 0; v < g.N(); v++ {
+		if hi[v] {
+			fmt.Fprintf(&b, "  %d [style=filled];\n", v)
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		for _, w32 := range g.neighbors32(v) {
+			if int(w32) > v {
+				fmt.Fprintf(&b, "  %d -- %d;\n", v, w32)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteTreeDOT renders a rooted tree in DOT format (directed, parent to
+// child).
+func WriteTreeDOT(w io.Writer, t *Tree) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph tree {\n  %d [style=filled];\n", t.Root)
+	for v := range t.Children {
+		for _, c := range t.Children[v] {
+			fmt.Fprintf(&b, "  %d -> %d;\n", v, c)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

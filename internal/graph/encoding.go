@@ -1,0 +1,80 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteEdgeList serializes the graph in a simple line format:
+//
+//	# optional comments
+//	n <vertex-count>
+//	<u> <v>        one edge per line
+//
+// ReadEdgeList parses the same format, so graphs round-trip.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n", g.name)
+	fmt.Fprintf(bw, "n %d\n", g.N())
+	for v := 0; v < g.N(); v++ {
+		for _, w32 := range g.neighbors32(v) {
+			if int(w32) > v {
+				fmt.Fprintf(bw, "%d %d\n", v, w32)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the WriteEdgeList format. Blank lines and lines
+// starting with '#' are ignored; the "n <count>" header must precede the
+// first edge.
+func ReadEdgeList(r io.Reader, name string) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	var b *Builder
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if fields[0] == "n" {
+			if b != nil {
+				return nil, fmt.Errorf("graph: line %d: duplicate vertex-count header", lineNo)
+			}
+			var n int
+			if _, err := fmt.Sscanf(fields[1], "%d", &n); err != nil || len(fields) != 2 || n < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad header %q", lineNo, line)
+			}
+			b = NewBuilder(n)
+			continue
+		}
+		if b == nil {
+			return nil, fmt.Errorf("graph: line %d: edge before the \"n <count>\" header", lineNo)
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("graph: line %d: want \"u v\", got %q", lineNo, line)
+		}
+		var u, v int
+		if _, err := fmt.Sscanf(line, "%d %d", &u, &v); err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+		}
+		if u < 0 || v < 0 || u >= bN(b) || v >= bN(b) || u == v {
+			return nil, fmt.Errorf("graph: line %d: invalid edge (%d,%d)", lineNo, u, v)
+		}
+		b.AddEdge(u, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("graph: missing \"n <count>\" header")
+	}
+	return b.Build(name), nil
+}
+
+func bN(b *Builder) int { return b.n }

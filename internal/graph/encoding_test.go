@@ -1,0 +1,79 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"faultcast/internal/rng"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	r := rng.New(17)
+	for _, g := range []*Graph{Line(7), Star(5), Grid(3, 3), GNP(20, 0.15, r), Layered(3)} {
+		var sb strings.Builder
+		if err := g.WriteEdgeList(&sb); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadEdgeList(strings.NewReader(sb.String()), "roundtrip")
+		if err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		if back.N() != g.N() || back.M() != g.M() {
+			t.Fatalf("%v: round-trip n=%d m=%d", g, back.N(), back.M())
+		}
+		for v := 0; v < g.N(); v++ {
+			g.ForNeighbors(v, func(w int) {
+				if !back.HasEdge(v, w) {
+					t.Fatalf("%v: lost edge (%d,%d)", g, v, w)
+				}
+			})
+		}
+		if err := back.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"no header", "0 1\n"},
+		{"bad header", "n x\n"},
+		{"duplicate header", "n 3\nn 3\n"},
+		{"bad edge line", "n 3\n0 1 2\n"},
+		{"out of range", "n 3\n0 5\n"},
+		{"self loop", "n 3\n1 1\n"},
+		{"empty", ""},
+		{"garbage edge", "n 3\na b\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadEdgeList(strings.NewReader(tc.in), "bad"); err == nil {
+				t.Fatalf("accepted %q", tc.in)
+			}
+		})
+	}
+}
+
+func TestReadEdgeListCommentsAndBlanks(t *testing.T) {
+	in := "# a comment\n\nn 3\n# another\n0 1\n\n1 2\n"
+	g, err := ReadEdgeList(strings.NewReader(in), "commented")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+}
+
+func TestReadEdgeListIsolatedVertices(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("n 4\n0 1\n"), "sparse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.Degree(3) != 0 {
+		t.Fatalf("isolated vertices lost: n=%d", g.N())
+	}
+}

@@ -1,0 +1,239 @@
+// Package graph implements the undirected-graph substrate the simulator
+// runs on: a compact adjacency representation, the graph families used in
+// the paper's constructions and experiments, breadth-first search, spanning
+// trees, and the distance/degree statistics (radius w.r.t. a source, max
+// degree Δ) that parameterize the paper's bounds.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is a simple undirected graph on vertices 0..N-1. The zero value is
+// an empty graph; use New or a builder from builders.go.
+//
+// Internally adjacency is stored CSR-style (one shared edge array indexed
+// by per-vertex offsets) so that Neighbors returns a shared sub-slice with
+// no per-call allocation. Callers must not mutate returned slices.
+type Graph struct {
+	name    string
+	offsets []int32 // len N+1
+	adj     []int32 // concatenated sorted neighbor lists
+}
+
+// Builder accumulates edges and produces an immutable Graph.
+type Builder struct {
+	n     int
+	edges map[[2]int32]struct{}
+}
+
+// NewBuilder returns a Builder for a graph on n vertices.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Builder{n: n, edges: make(map[[2]int32]struct{})}
+}
+
+// AddEdge inserts the undirected edge {u, v}. Self-loops and duplicate
+// edges are rejected because neither is meaningful for the broadcast
+// models (a node never "hears itself", and multi-edges would distort the
+// radio collision rule).
+func (b *Builder) AddEdge(u, v int) {
+	if u < 0 || v < 0 || u >= b.n || v >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
+	}
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at %d", u))
+	}
+	if u > v {
+		u, v = v, u
+	}
+	b.edges[[2]int32{int32(u), int32(v)}] = struct{}{}
+}
+
+// HasEdge reports whether {u,v} has been added.
+func (b *Builder) HasEdge(u, v int) bool {
+	if u > v {
+		u, v = v, u
+	}
+	_, ok := b.edges[[2]int32{int32(u), int32(v)}]
+	return ok
+}
+
+// Build finalizes the graph. The Builder may be reused afterwards.
+func (b *Builder) Build(name string) *Graph {
+	deg := make([]int32, b.n)
+	for e := range b.edges {
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	offsets := make([]int32, b.n+1)
+	for i := 0; i < b.n; i++ {
+		offsets[i+1] = offsets[i] + deg[i]
+	}
+	adj := make([]int32, offsets[b.n])
+	cursor := make([]int32, b.n)
+	copy(cursor, offsets[:b.n])
+	for e := range b.edges {
+		u, v := e[0], e[1]
+		adj[cursor[u]] = v
+		cursor[u]++
+		adj[cursor[v]] = u
+		cursor[v]++
+	}
+	g := &Graph{name: name, offsets: offsets, adj: adj}
+	for v := 0; v < b.n; v++ {
+		nb := g.neighbors32(v)
+		sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.offsets) - 1 }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return len(g.adj) / 2 }
+
+// Name returns the label given at construction (e.g. "line(64)").
+func (g *Graph) Name() string { return g.name }
+
+func (g *Graph) neighbors32(v int) []int32 {
+	return g.adj[g.offsets[v]:g.offsets[v+1]]
+}
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// MaxDegree returns Δ, the maximum degree. The radio feasibility threshold
+// of Theorem 2.4 is p < (1-p)^(Δ+1).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.N(); v++ {
+		if d := g.Degree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Neighbors appends the neighbors of v (in increasing order) to dst and
+// returns the extended slice. Passing dst[:0] avoids allocation.
+func (g *Graph) Neighbors(v int, dst []int) []int {
+	for _, w := range g.neighbors32(v) {
+		dst = append(dst, int(w))
+	}
+	return dst
+}
+
+// ForNeighbors calls fn for each neighbor of v in increasing order.
+func (g *Graph) ForNeighbors(v int, fn func(w int)) {
+	for _, w := range g.neighbors32(v) {
+		fn(int(w))
+	}
+}
+
+// HasEdge reports whether {u,v} is an edge, by binary search.
+func (g *Graph) HasEdge(u, v int) bool {
+	nb := g.neighbors32(u)
+	t := int32(v)
+	i := sort.Search(len(nb), func(i int) bool { return nb[i] >= t })
+	return i < len(nb) && nb[i] == t
+}
+
+// BFS returns the distance (in hops) from src to every vertex; unreachable
+// vertices get -1.
+func (g *Graph) BFS(src int) []int {
+	n := g.N()
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]int32, 0, n)
+	queue = append(queue, int32(src))
+	for len(queue) > 0 {
+		v := int(queue[0])
+		queue = queue[1:]
+		for _, w := range g.neighbors32(v) {
+			if dist[w] == -1 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// Connected reports whether the graph is connected (true for N <= 1).
+func (g *Graph) Connected() bool {
+	if g.N() <= 1 {
+		return true
+	}
+	for _, d := range g.BFS(0) {
+		if d == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Radius returns the eccentricity of src: the largest distance from src to
+// any vertex. This is the paper's D. It panics if some vertex is
+// unreachable, since broadcast is undefined on disconnected graphs.
+func (g *Graph) Radius(src int) int {
+	max := 0
+	for v, d := range g.BFS(src) {
+		if d == -1 {
+			panic(fmt.Sprintf("graph: vertex %d unreachable from %d", v, src))
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Diameter returns the maximum eccentricity over all vertices. O(N·(N+M)).
+func (g *Graph) Diameter() int {
+	max := 0
+	for v := 0; v < g.N(); v++ {
+		if r := g.Radius(v); r > max {
+			max = r
+		}
+	}
+	return max
+}
+
+// Validate checks internal consistency (sorted neighbor lists, symmetry,
+// no loops). It is used by property tests and returns a descriptive error.
+func (g *Graph) Validate() error {
+	n := g.N()
+	for v := 0; v < n; v++ {
+		nb := g.neighbors32(v)
+		for i, w := range nb {
+			if int(w) == v {
+				return fmt.Errorf("self-loop at %d", v)
+			}
+			if w < 0 || int(w) >= n {
+				return fmt.Errorf("neighbor %d of %d out of range", w, v)
+			}
+			if i > 0 && nb[i-1] >= w {
+				return fmt.Errorf("neighbors of %d not strictly increasing", v)
+			}
+			if !g.HasEdge(int(w), v) {
+				return fmt.Errorf("edge (%d,%d) not symmetric", v, w)
+			}
+		}
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (g *Graph) String() string {
+	return fmt.Sprintf("%s{n=%d m=%d}", g.name, g.N(), g.M())
+}

@@ -1,0 +1,348 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"faultcast/internal/rng"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 1)
+	b.AddEdge(3, 0)
+	b.AddEdge(1, 3)
+	g := b.Build("test")
+	if g.N() != 4 {
+		t.Fatalf("N = %d, want 4", g.N())
+	}
+	if g.M() != 4 {
+		t.Fatalf("M = %d, want 4", g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 3}, {1, 3}} {
+		if !g.HasEdge(e[0], e[1]) || !g.HasEdge(e[1], e[0]) {
+			t.Fatalf("missing edge %v", e)
+		}
+	}
+	if g.HasEdge(2, 3) {
+		t.Fatal("phantom edge (2,3)")
+	}
+}
+
+func TestBuilderDuplicateEdgeIdempotent(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	g := b.Build("dup")
+	if g.M() != 1 {
+		t.Fatalf("duplicate edge counted: M = %d", g.M())
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 1 {
+		t.Fatal("duplicate edge inflated degree")
+	}
+}
+
+func TestBuilderRejectsSelfLoop(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("self-loop did not panic")
+		}
+	}()
+	NewBuilder(2).AddEdge(1, 1)
+}
+
+func TestBuilderRejectsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range edge did not panic")
+		}
+	}()
+	NewBuilder(2).AddEdge(0, 2)
+}
+
+func TestLine(t *testing.T) {
+	g := Line(5)
+	if g.M() != 4 || g.MaxDegree() != 2 {
+		t.Fatalf("line(5): m=%d Δ=%d", g.M(), g.MaxDegree())
+	}
+	if g.Radius(0) != 4 {
+		t.Fatalf("line(5) radius from 0 = %d, want 4", g.Radius(0))
+	}
+	if g.Radius(2) != 2 {
+		t.Fatalf("line(5) radius from middle = %d, want 2", g.Radius(2))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleVertexLine(t *testing.T) {
+	g := Line(1)
+	if g.N() != 1 || g.M() != 0 {
+		t.Fatalf("line(1): n=%d m=%d", g.N(), g.M())
+	}
+	if !g.Connected() {
+		t.Fatal("single vertex should be connected")
+	}
+	if g.Radius(0) != 0 {
+		t.Fatal("single vertex radius should be 0")
+	}
+}
+
+func TestRing(t *testing.T) {
+	g := Ring(6)
+	if g.M() != 6 || g.MaxDegree() != 2 || g.Radius(0) != 3 {
+		t.Fatalf("ring(6): m=%d Δ=%d D=%d", g.M(), g.MaxDegree(), g.Radius(0))
+	}
+}
+
+func TestStar(t *testing.T) {
+	g := Star(8)
+	if g.MaxDegree() != 7 {
+		t.Fatalf("star(8) Δ = %d, want 7", g.MaxDegree())
+	}
+	if g.Radius(0) != 1 {
+		t.Fatalf("star radius from center = %d, want 1", g.Radius(0))
+	}
+	if g.Radius(3) != 2 {
+		t.Fatalf("star radius from leaf = %d, want 2", g.Radius(3))
+	}
+}
+
+func TestComplete(t *testing.T) {
+	g := Complete(6)
+	if g.M() != 15 || g.Diameter() != 1 {
+		t.Fatalf("K6: m=%d diam=%d", g.M(), g.Diameter())
+	}
+}
+
+func TestKaryTree(t *testing.T) {
+	g := KaryTree(15, 2)
+	if g.M() != 14 {
+		t.Fatalf("binary tree m=%d, want 14", g.M())
+	}
+	if g.Radius(0) != 3 {
+		t.Fatalf("complete binary tree of 15 has height 3, got %d", g.Radius(0))
+	}
+	if g.MaxDegree() != 3 {
+		t.Fatalf("Δ=%d, want 3", g.MaxDegree())
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(3, 4)
+	if g.N() != 12 || g.M() != 3*3+2*4 {
+		t.Fatalf("grid(3,4): n=%d m=%d", g.N(), g.M())
+	}
+	if g.Radius(0) != 5 {
+		t.Fatalf("grid corner radius = %d, want 5", g.Radius(0))
+	}
+}
+
+func TestTorus(t *testing.T) {
+	g := Torus(3, 3)
+	if g.N() != 9 || g.M() != 18 {
+		t.Fatalf("torus(3,3): n=%d m=%d", g.N(), g.M())
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("torus vertex %d degree %d, want 4", v, g.Degree(v))
+		}
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	g := Hypercube(4)
+	if g.N() != 16 || g.M() != 32 {
+		t.Fatalf("Q4: n=%d m=%d", g.N(), g.M())
+	}
+	if g.Radius(0) != 4 || g.MaxDegree() != 4 {
+		t.Fatalf("Q4: D=%d Δ=%d", g.Radius(0), g.MaxDegree())
+	}
+}
+
+func TestRandomTreeIsTree(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + r.Intn(100)
+		g := RandomTree(n, r)
+		if g.M() != n-1 {
+			t.Fatalf("random tree m=%d, want %d", g.M(), n-1)
+		}
+		if !g.Connected() {
+			t.Fatal("random tree disconnected")
+		}
+	}
+}
+
+func TestGNPConnected(t *testing.T) {
+	r := rng.New(2)
+	for _, p := range []float64{0, 0.05, 0.5} {
+		g := GNP(50, p, r)
+		if !g.Connected() {
+			t.Fatalf("GNP(50,%v) disconnected", p)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCaterpillar(t *testing.T) {
+	g := Caterpillar(5, 3)
+	if g.N() != 20 || g.M() != 19 {
+		t.Fatalf("caterpillar: n=%d m=%d", g.N(), g.M())
+	}
+	if !g.Connected() {
+		t.Fatal("caterpillar disconnected")
+	}
+	if g.MaxDegree() != 5 { // interior spine: 2 spine + 3 legs
+		t.Fatalf("caterpillar Δ=%d, want 5", g.MaxDegree())
+	}
+}
+
+func TestTwoNode(t *testing.T) {
+	g := TwoNode()
+	if g.N() != 2 || g.M() != 1 || !g.HasEdge(0, 1) {
+		t.Fatalf("K2 malformed: %v", g)
+	}
+}
+
+// TestLayeredStructure verifies the Lemma 3.3 construction: n = 2^m + m,
+// root adjacent to exactly the m layer-2 vertices, and b_i adjacent to
+// layer-3 label v iff bit i of v is set.
+func TestLayeredStructure(t *testing.T) {
+	for _, m := range []int{1, 2, 3, 4, 6} {
+		g := Layered(m)
+		bigN := 1 << m
+		if g.N() != bigN+m {
+			t.Fatalf("m=%d: n=%d, want %d", m, g.N(), bigN+m)
+		}
+		if g.Degree(0) != m {
+			t.Fatalf("m=%d: root degree %d, want %d", m, g.Degree(0), m)
+		}
+		for v := 1; v < bigN; v++ {
+			idx := LayeredLabel(m, v)
+			for i := 1; i <= m; i++ {
+				want := v&(1<<(i-1)) != 0
+				if got := g.HasEdge(i, idx); got != want {
+					t.Fatalf("m=%d: edge (b_%d, label %d) = %v, want %v", m, i, v, got, want)
+				}
+			}
+			if g.HasEdge(0, idx) {
+				t.Fatalf("m=%d: root adjacent to layer-3 label %d", m, v)
+			}
+		}
+		if g.Radius(0) != 2 {
+			t.Fatalf("m=%d: radius %d, want 2", m, g.Radius(0))
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestLayeredMaxDegree(t *testing.T) {
+	// b_m (highest bit) is adjacent to s plus the 2^(m-1) labels with top
+	// bit set; every b_i has the same layer-3 degree 2^(m-1), except label 0
+	// doesn't exist so b_i loses label 2^(i-1)? No: label v ranges over
+	// 1..2^m-1, and exactly 2^(m-1) of them have bit i set. So deg(b_i) =
+	// 2^(m-1) + 1.
+	m := 5
+	g := Layered(m)
+	for i := 1; i <= m; i++ {
+		if d := g.Degree(i); d != (1<<(m-1))+1 {
+			t.Fatalf("deg(b_%d) = %d, want %d", i, d, (1<<(m-1))+1)
+		}
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	g := Grid(4, 4)
+	dist := g.BFS(0)
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			if dist[r*4+c] != r+c {
+				t.Fatalf("grid BFS dist(%d,%d) = %d, want %d", r, c, dist[r*4+c], r+c)
+			}
+		}
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	g := NewBuilder(3)
+	g.AddEdge(0, 1)
+	dist := g.Build("disc").BFS(0)
+	if dist[2] != -1 {
+		t.Fatalf("unreachable vertex distance = %d, want -1", dist[2])
+	}
+}
+
+func TestRadiusPanicsOnDisconnected(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	g := b.Build("disc")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Radius on disconnected graph did not panic")
+		}
+	}()
+	g.Radius(0)
+}
+
+// Property: on any random connected graph, BFS distances obey the edge
+// relaxation |d(u)-d(v)| <= 1 for every edge.
+func TestBFSTriangleProperty(t *testing.T) {
+	r := rng.New(7)
+	check := func(seed uint32) bool {
+		rr := rng.New(uint64(seed))
+		n := 2 + rr.Intn(60)
+		g := GNP(n, 0.1, rr)
+		src := r.Intn(n)
+		dist := g.BFS(src)
+		ok := true
+		for v := 0; v < n && ok; v++ {
+			g.ForNeighbors(v, func(w int) {
+				d := dist[v] - dist[w]
+				if d < -1 || d > 1 {
+					ok = false
+				}
+			})
+		}
+		return ok
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	r := rng.New(9)
+	g := GNP(40, 0.2, r)
+	for v := 0; v < g.N(); v++ {
+		nb := g.Neighbors(v, nil)
+		for i := 1; i < len(nb); i++ {
+			if nb[i-1] >= nb[i] {
+				t.Fatalf("neighbors of %d not sorted: %v", v, nb)
+			}
+		}
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	var sb strings.Builder
+	if err := Line(3).WriteDOT(&sb, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"0 -- 1", "1 -- 2", "0 [style=filled]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}

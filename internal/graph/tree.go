@@ -1,0 +1,143 @@
+package graph
+
+import "fmt"
+
+// Tree is a rooted spanning tree of a Graph, the structure every algorithm
+// in Section 2 broadcasts along. Vertices are indexed as in the parent
+// graph; Parent[root] == -1.
+type Tree struct {
+	Root     int
+	Parent   []int   // Parent[v] = parent of v in the tree, -1 for the root
+	Children [][]int // Children[v] = children of v, in increasing order
+	Depth    []int   // Depth[v] = distance from the root along the tree
+	order    []int   // vertices sorted by nondecreasing depth (BFS order)
+}
+
+// BFSTree builds a breadth-first spanning tree of g rooted at src. Because
+// it is breadth-first, Depth[v] equals the graph distance from src, so the
+// tree height equals the radius D — the property Theorems 3.1/3.2 rely on.
+// It panics if g is disconnected.
+func BFSTree(g *Graph, src int) *Tree {
+	n := g.N()
+	t := &Tree{
+		Root:     src,
+		Parent:   make([]int, n),
+		Children: make([][]int, n),
+		Depth:    make([]int, n),
+		order:    make([]int, 0, n),
+	}
+	for i := range t.Parent {
+		t.Parent[i] = -1
+		t.Depth[i] = -1
+	}
+	t.Depth[src] = 0
+	t.order = append(t.order, src)
+	for head := 0; head < len(t.order); head++ {
+		v := t.order[head]
+		g.ForNeighbors(v, func(w int) {
+			if t.Depth[w] == -1 {
+				t.Depth[w] = t.Depth[v] + 1
+				t.Parent[w] = v
+				t.Children[v] = append(t.Children[v], w)
+				t.order = append(t.order, w)
+			}
+		})
+	}
+	if len(t.order) != n {
+		panic(fmt.Sprintf("graph: BFSTree on disconnected graph (%d of %d reached)", len(t.order), n))
+	}
+	return t
+}
+
+// Order returns all vertices ordered by nondecreasing distance from the
+// root — the enumeration v_1..v_n used by Simple-Omission/Simple-Malicious
+// ("ordered by nondecreasing distance from s in T"). Callers must not
+// mutate the returned slice.
+func (t *Tree) Order() []int { return t.order }
+
+// Height returns the maximum depth (the tree's height; equals the radius D
+// for BFS trees).
+func (t *Tree) Height() int {
+	h := 0
+	for _, d := range t.Depth {
+		if d > h {
+			h = d
+		}
+	}
+	return h
+}
+
+// N returns the number of vertices.
+func (t *Tree) N() int { return len(t.Parent) }
+
+// Branch returns the root-to-v path (inclusive). Each branch of the BFS
+// tree is the "line" to which Lemma 3.1/3.2 are applied.
+func (t *Tree) Branch(v int) []int {
+	var rev []int
+	for u := v; u != -1; u = t.Parent[u] {
+		rev = append(rev, u)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Leaves returns all vertices with no children.
+func (t *Tree) Leaves() []int {
+	var ls []int
+	for v := range t.Children {
+		if len(t.Children[v]) == 0 {
+			ls = append(ls, v)
+		}
+	}
+	return ls
+}
+
+// Validate checks tree invariants: exactly one root, parent/child
+// consistency, depths increment along edges, and all vertices reachable.
+func (t *Tree) Validate() error {
+	n := t.N()
+	roots := 0
+	for v := 0; v < n; v++ {
+		if t.Parent[v] == -1 {
+			roots++
+			if v != t.Root {
+				return fmt.Errorf("vertex %d has no parent but is not the root", v)
+			}
+			if t.Depth[v] != 0 {
+				return fmt.Errorf("root depth %d != 0", t.Depth[v])
+			}
+			continue
+		}
+		p := t.Parent[v]
+		if p < 0 || p >= n {
+			return fmt.Errorf("parent of %d out of range: %d", v, p)
+		}
+		if t.Depth[v] != t.Depth[p]+1 {
+			return fmt.Errorf("depth of %d (%d) != depth of parent %d (%d)+1", v, t.Depth[v], p, t.Depth[p])
+		}
+		found := false
+		for _, c := range t.Children[p] {
+			if c == v {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("vertex %d missing from children of its parent %d", v, p)
+		}
+	}
+	if roots != 1 {
+		return fmt.Errorf("expected 1 root, found %d", roots)
+	}
+	if len(t.order) != n {
+		return fmt.Errorf("order covers %d of %d vertices", len(t.order), n)
+	}
+	for i := 1; i < len(t.order); i++ {
+		if t.Depth[t.order[i]] < t.Depth[t.order[i-1]] {
+			return fmt.Errorf("order not sorted by depth at position %d", i)
+		}
+	}
+	return nil
+}

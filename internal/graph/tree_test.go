@@ -1,0 +1,138 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"faultcast/internal/rng"
+)
+
+func TestBFSTreeLine(t *testing.T) {
+	g := Line(5)
+	tr := BFSTree(g, 0)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v < 5; v++ {
+		if tr.Parent[v] != v-1 {
+			t.Fatalf("parent of %d = %d, want %d", v, tr.Parent[v], v-1)
+		}
+	}
+	if tr.Height() != 4 {
+		t.Fatalf("height = %d, want 4", tr.Height())
+	}
+}
+
+func TestBFSTreeDepthEqualsDistance(t *testing.T) {
+	r := rng.New(21)
+	for trial := 0; trial < 10; trial++ {
+		g := GNP(60, 0.08, r)
+		src := r.Intn(g.N())
+		tr := BFSTree(g, src)
+		dist := g.BFS(src)
+		for v := 0; v < g.N(); v++ {
+			if tr.Depth[v] != dist[v] {
+				t.Fatalf("depth[%d]=%d != dist %d", v, tr.Depth[v], dist[v])
+			}
+		}
+		if tr.Height() != g.Radius(src) {
+			t.Fatalf("height %d != radius %d", tr.Height(), g.Radius(src))
+		}
+	}
+}
+
+func TestBFSTreePanicsOnDisconnected(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g := b.Build("disc")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BFSTree on disconnected graph did not panic")
+		}
+	}()
+	BFSTree(g, 0)
+}
+
+func TestOrderRespectsLevels(t *testing.T) {
+	g := KaryTree(31, 2)
+	tr := BFSTree(g, 0)
+	ord := tr.Order()
+	if len(ord) != 31 || ord[0] != 0 {
+		t.Fatalf("order malformed: %v", ord[:3])
+	}
+	for i := 1; i < len(ord); i++ {
+		if tr.Depth[ord[i]] < tr.Depth[ord[i-1]] {
+			t.Fatal("order does not respect levels")
+		}
+	}
+}
+
+func TestBranch(t *testing.T) {
+	g := KaryTree(7, 2)
+	tr := BFSTree(g, 0)
+	br := tr.Branch(6) // 6's parent is 2, 2's parent is 0
+	want := []int{0, 2, 6}
+	if len(br) != 3 {
+		t.Fatalf("branch = %v, want %v", br, want)
+	}
+	for i := range want {
+		if br[i] != want[i] {
+			t.Fatalf("branch = %v, want %v", br, want)
+		}
+	}
+	root := tr.Branch(0)
+	if len(root) != 1 || root[0] != 0 {
+		t.Fatalf("branch(root) = %v", root)
+	}
+}
+
+func TestLeaves(t *testing.T) {
+	g := Star(5)
+	tr := BFSTree(g, 0)
+	if got := len(tr.Leaves()); got != 4 {
+		t.Fatalf("star(5) leaves = %d, want 4", got)
+	}
+	// From a leaf, the BFS tree of a star has center as the only internal
+	// non-root vertex: leaves are the other 3 leaves.
+	tr2 := BFSTree(g, 1)
+	if got := len(tr2.Leaves()); got != 3 {
+		t.Fatalf("star from leaf: leaves = %d, want 3", got)
+	}
+}
+
+// Property: a BFS tree of any connected random graph passes Validate and
+// has exactly n-1 parent links.
+func TestBFSTreePropertyValid(t *testing.T) {
+	check := func(seed uint32) bool {
+		r := rng.New(uint64(seed))
+		n := 2 + r.Intn(80)
+		g := GNP(n, 0.1, r)
+		tr := BFSTree(g, r.Intn(n))
+		if tr.Validate() != nil {
+			return false
+		}
+		links := 0
+		for _, p := range tr.Parent {
+			if p != -1 {
+				links++
+			}
+		}
+		return links == n-1
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteTreeDOT(t *testing.T) {
+	tr := BFSTree(Line(3), 0)
+	var sb strings.Builder
+	if err := WriteTreeDOT(&sb, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "0 -> 1") || !strings.Contains(sb.String(), "1 -> 2") {
+		t.Fatalf("tree DOT missing edges:\n%s", sb.String())
+	}
+}

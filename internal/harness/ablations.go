@@ -1,0 +1,152 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"faultcast/internal/adversary"
+	"faultcast/internal/graph"
+	"faultcast/internal/protocols/simplemalicious"
+	"faultcast/internal/protocols/simpleomission"
+	"faultcast/internal/sim"
+	"faultcast/internal/stat"
+)
+
+// RunA1 sweeps the window constant c: the knob every Section-2 algorithm
+// turns. Success must rise monotonically (in expectation) with c, and the
+// running time grows linearly in it — the time/safety trade the paper's
+// "suitable constant c" hides.
+func RunA1(o Options) []*Table {
+	o = o.withDefaults()
+	t := &Table{
+		Title:   "A1 — window constant sweep: Simple-Omission on line(32), p = 0.5",
+		Note:    "m = ceil(c·log n): success rises with c, time rises linearly; c ≈ 2/log2(1/p) is the paper's break-even",
+		Headers: []string{"c", "m", "rounds", "success", "95% CI"},
+	}
+	g := graph.Line(32)
+	if o.Quick {
+		g = graph.Line(16)
+	}
+	for i, c := range []float64{0.25, 0.5, 1, 2, 4, 8} {
+		proto := simpleomission.New(g, 0, sim.MessagePassing, c)
+		est := successRate(o, uint64(i+1)*86028121, func(seed uint64) *sim.Config {
+			return &sim.Config{
+				Graph: g, Model: sim.MessagePassing, Fault: sim.Omission, P: 0.5,
+				Source: 0, SourceMsg: msg1,
+				NewNode: proto.NewNode, Rounds: proto.Rounds(), Seed: seed,
+			}
+		})
+		lo, hi := est.Wilson(1.96)
+		t.AddRow(c, proto.WindowLen(), proto.Rounds(), est.Rate(),
+			fmt.Sprintf("[%.3f,%.3f]", lo, hi))
+		o.logf("A1 c=%v: %v", c, est)
+	}
+	return []*Table{t}
+}
+
+// RunA2 compares adversary strategies at the p = 1/2 threshold on K2: the
+// proof-strategy equivocator is the unique strategy that pins the receiver
+// at a coin flip; weaker strategies leave majority voting a way to win.
+func RunA2(o Options) []*Table {
+	o = o.withDefaults()
+	t := &Table{
+		Title:   "A2 — adversary strength at p = 0.5 on K2 (Simple-Malicious, c = 16)",
+		Note:    "only the equivocator realizes the Theorem 2.3 bound; crash/noise/flip leave exploitable signal",
+		Headers: []string{"adversary", "success", "95% CI"},
+	}
+	g := graph.TwoNode()
+	proto := simplemalicious.New(g, 0, sim.MessagePassing, 16)
+	advs := []struct {
+		name string
+		mk   func() sim.Adversary
+	}{
+		{"crash (silence)", func() sim.Adversary { return adversary.Crash{} }},
+		{"random noise", func() sim.Adversary { return adversary.RandomNoise{Alphabet: [][]byte{{'0'}, {'1'}}} }},
+		{"flip to wrong", func() sim.Adversary { return adversary.Flip{Wrong: []byte("0")} }},
+		{"equivocator", func() sim.Adversary {
+			return adversary.Equivocator{M0: []byte("0"), M1: []byte("1"), SourceOnly: true}
+		}},
+	}
+	for i, a := range advs {
+		adv := a.mk()
+		est := stat.Estimate(o.Trials*4, o.Seed+uint64(i)*53, func(seed uint64) bool {
+			msg := []byte("0")
+			if seed&1 == 1 {
+				msg = []byte("1")
+			}
+			cfg := &sim.Config{
+				Graph: g, Model: sim.MessagePassing, Fault: sim.Malicious, P: 0.5,
+				Source: 0, SourceMsg: msg,
+				NewNode: proto.NewNode, Rounds: proto.Rounds(), Seed: seed * 2654435761,
+				Adversary: adv,
+			}
+			res, err := sim.Run(cfg)
+			if err != nil {
+				panic(err)
+			}
+			return res.Success
+		})
+		lo, hi := est.Wilson(1.96)
+		t.AddRow(a.name, est.Rate(), fmt.Sprintf("[%.3f,%.3f]", lo, hi))
+		o.logf("A2 %s: %v", a.name, est)
+	}
+	return []*Table{t}
+}
+
+// RunA3 checks engine equivalence and relative cost: the sequential engine
+// and the goroutine-per-node engine must agree on every outcome bit, and
+// the table reports their wall-clock ratio.
+func RunA3(o Options) []*Table {
+	o = o.withDefaults()
+	t := &Table{
+		Title:   "A3 — sequential vs goroutine-per-node engine",
+		Note:    "outcomes must be bit-identical (same seeds); the concurrent engine pays barrier overhead",
+		Headers: []string{"graph", "trials", "identical", "seq time", "conc time", "ratio", "verdict"},
+	}
+	graphs := []namedGraph{{graph.Grid(6, 6), 0}, {graph.Line(48), 0}}
+	if o.Quick {
+		graphs = []namedGraph{{graph.Grid(4, 4), 0}}
+	}
+	trials := o.Trials / 4
+	if trials < 10 {
+		trials = 10
+	}
+	for _, ng := range graphs {
+		proto := simpleomission.New(ng.g, ng.src, sim.MessagePassing, 2)
+		mk := func(seed uint64) *sim.Config {
+			return &sim.Config{
+				Graph: ng.g, Model: sim.MessagePassing, Fault: sim.Omission, P: 0.4,
+				Source: ng.src, SourceMsg: msg1,
+				NewNode: proto.NewNode, Rounds: proto.Rounds(), Seed: seed,
+			}
+		}
+		identical := true
+		seqStart := time.Now()
+		seqResults := make([]*sim.Result, trials)
+		for i := 0; i < trials; i++ {
+			res, err := sim.Run(mk(o.Seed + uint64(i)))
+			if err != nil {
+				panic(err)
+			}
+			seqResults[i] = res
+		}
+		seqDur := time.Since(seqStart)
+		concStart := time.Now()
+		for i := 0; i < trials; i++ {
+			res, err := sim.RunConcurrent(mk(o.Seed + uint64(i)))
+			if err != nil {
+				panic(err)
+			}
+			if res.Success != seqResults[i].Success || res.Stats != seqResults[i].Stats {
+				identical = false
+			}
+		}
+		concDur := time.Since(concStart)
+		ratio := float64(concDur) / float64(seqDur)
+		t.AddRow(ng.g.Name(), trials, identical,
+			seqDur.Round(time.Millisecond).String(), concDur.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.1fx", ratio), verdict(identical))
+		o.logf("A3 %s: identical=%v ratio=%.1f", ng.g.Name(), identical, ratio)
+	}
+	return []*Table{t}
+}

@@ -1,0 +1,125 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"faultcast/internal/graph"
+	"faultcast/internal/protocols/decay"
+	"faultcast/internal/protocols/flooding"
+	"faultcast/internal/sim"
+)
+
+// RunF1 produces the repository's "figure": informing-curve quartiles —
+// the round by which 25% / 50% / 75% / 100% of the nodes hold the
+// message — for flooding at several failure rates, and for the Decay
+// baseline. The p-dependence of the curve is the visual content of
+// Theorem 3.1: the whole curve scales by ~1/(1−p), staying linear in
+// distance.
+func RunF1(o Options) []*Table {
+	o = o.withDefaults()
+	t := &Table{
+		Title:   "F1 — informing curves: round by which a fraction of nodes holds the message (line graph, omission)",
+		Note:    "flooding curves scale by ~1/(1-p) and stay linear in distance; Decay (radio) pays its log-factor",
+		Headers: []string{"algorithm", "n", "p", "q25", "q50", "q75", "q100 (completion)", "failed runs"},
+	}
+	n := 128
+	if o.Quick {
+		n = 32
+	}
+	g := graph.Line(n)
+	for i, p := range []float64{0, 0.3, 0.5, 0.7} {
+		proto := flooding.New(g, 0)
+		q := quartiles(o, uint64(i+1)*211, o.Trials/2, func(seed uint64) *sim.Config {
+			return &sim.Config{
+				Graph: g, Model: sim.MessagePassing, Fault: sim.Omission, P: p,
+				Source: 0, SourceMsg: msg1,
+				NewNode: proto.NewNode, Rounds: proto.Rounds(8), Seed: seed,
+				TrackCompletion: true,
+			}
+		})
+		t.AddRow("flooding (Thm 3.1)", n, p, q.q25, q.q50, q.q75, q.q100, q.failed)
+		o.logf("F1 flooding p=%.1f done", p)
+	}
+	// Decay on the same line in the radio model for contrast.
+	dec := decay.New(g)
+	for i, p := range []float64{0, 0.5} {
+		q := quartiles(o, uint64(i+11)*223, o.Trials/2, func(seed uint64) *sim.Config {
+			return &sim.Config{
+				Graph: g, Model: sim.Radio, Fault: sim.Omission, P: p,
+				Source: 0, SourceMsg: msg1,
+				NewNode: dec.NewNode, Rounds: dec.Rounds(12*n + 60), Seed: seed,
+				TrackCompletion: true,
+			}
+		})
+		t.AddRow("decay (radio baseline)", n, p, q.q25, q.q50, q.q75, q.q100, q.failed)
+		o.logf("F1 decay p=%.1f done", p)
+	}
+	return []*Table{t}
+}
+
+type curveQuartiles struct {
+	q25, q50, q75, q100 string
+	failed              int
+}
+
+// quartiles averages, across trials, the first round by which each
+// quarter of the nodes was informed.
+func quartiles(o Options, cellSeed uint64, trials int, mk func(seed uint64) *sim.Config) curveQuartiles {
+	if trials < 10 {
+		trials = 10
+	}
+	type quad [4]float64
+	var mu sync.Mutex
+	var samples []quad
+	failed := 0
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 8)
+	for i := 0; i < trials; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(seed uint64) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			res, err := sim.Run(mk(seed))
+			if err != nil {
+				panic(err)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if !res.Success {
+				failed++
+				return
+			}
+			rounds := append([]int(nil), res.InformedRound...)
+			sort.Ints(rounds)
+			n := len(rounds)
+			var q quad
+			for k, frac := range []float64{0.25, 0.5, 0.75, 1.0} {
+				idx := int(frac*float64(n)) - 1
+				if idx < 0 {
+					idx = 0
+				}
+				q[k] = float64(rounds[idx] + 1)
+			}
+			samples = append(samples, q)
+		}(o.Seed ^ cellSeed + uint64(i))
+	}
+	wg.Wait()
+	out := curveQuartiles{failed: failed, q25: "-", q50: "-", q75: "-", q100: "-"}
+	if len(samples) == 0 {
+		return out
+	}
+	var sums quad
+	for _, s := range samples {
+		for k := range sums {
+			sums[k] += s[k]
+		}
+	}
+	fmtMean := func(k int) string {
+		return fmt.Sprintf("%.0f", sums[k]/float64(len(samples)))
+	}
+	out.q25, out.q50, out.q75, out.q100 = fmtMean(0), fmtMean(1), fmtMean(2), fmtMean(3)
+	return out
+}

@@ -1,0 +1,330 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+
+	"faultcast/internal/adversary"
+	"faultcast/internal/graph"
+	"faultcast/internal/protocols/simplemalicious"
+	"faultcast/internal/protocols/simpleomission"
+	"faultcast/internal/protocols/twonode"
+	"faultcast/internal/sim"
+	"faultcast/internal/stat"
+)
+
+// RunE1 exercises Theorem 2.1: Simple-Omission is almost-safe for any
+// p < 1 in both the message passing and the radio model.
+func RunE1(o Options) []*Table {
+	o = o.withDefaults()
+	t := &Table{
+		Title:   "E1 (Thm 2.1) — Simple-Omission under node-omission failures",
+		Note:    "PASS = measured success rate >= 1 - 1/n (window m = ceil(c·log n), c from p)",
+		Headers: []string{"graph", "model", "p", "m", "rounds", "success", "95% CI", "target", "verdict"},
+	}
+	ps := []float64{0.3, 0.5, 0.7}
+	if !o.Quick {
+		ps = append(ps, 0.9)
+	}
+	cell := uint64(0)
+	for _, ng := range standardGraphs(o) {
+		for _, model := range []sim.Model{sim.MessagePassing, sim.Radio} {
+			for _, p := range ps {
+				cell++
+				proto := simpleomission.New(ng.g, ng.src, model, omissionWindowC(p))
+				est := successRate(o, cell*7919, func(seed uint64) *sim.Config {
+					return &sim.Config{
+						Graph: ng.g, Model: model, Fault: sim.Omission, P: p,
+						Source: ng.src, SourceMsg: msg1,
+						NewNode: proto.NewNode, Rounds: proto.Rounds(), Seed: seed,
+					}
+				})
+				target := almostSafe(ng.g.N())
+				lo, hi := est.Wilson(1.96)
+				t.AddRow(ng.g.Name(), model.String(), p, proto.WindowLen(), proto.Rounds(),
+					est.Rate(), fmt.Sprintf("[%.3f,%.3f]", lo, hi), target, verdict(hi >= target))
+				o.logf("E1 %s/%s p=%.2f: %v", ng.g.Name(), model, p, est)
+			}
+		}
+	}
+	return []*Table{t}
+}
+
+// RunE2 exercises Theorem 2.2: Simple-Malicious in the message passing
+// model is almost-safe for p < 1/2 and collapses above.
+func RunE2(o Options) []*Table {
+	o = o.withDefaults()
+	t := &Table{
+		Title:   "E2 (Thm 2.2) — Simple-Malicious, message passing, flipping adversary",
+		Note:    "feasible iff p < 1/2: below-threshold rows must PASS, above-threshold rows must FAIL",
+		Headers: []string{"graph", "p", "m", "success", "95% CI", "target", "below 1/2", "verdict"},
+	}
+	g := graph.KaryTree(31, 2)
+	if o.Quick {
+		g = graph.KaryTree(15, 2)
+	}
+	for i, p := range []float64{0.1, 0.2, 0.3, 0.4, 0.45, 0.5, 0.6} {
+		c := maliciousWindowC(p)
+		proto := simplemalicious.New(g, 0, sim.MessagePassing, c)
+		est := successRate(o, uint64(i+1)*104729, func(seed uint64) *sim.Config {
+			return &sim.Config{
+				Graph: g, Model: sim.MessagePassing, Fault: sim.Malicious, P: p,
+				Source: 0, SourceMsg: msg1,
+				NewNode: proto.NewNode, Rounds: proto.Rounds(), Seed: seed,
+				Adversary: adversary.Flip{Wrong: []byte("0")},
+			}
+		})
+		target := almostSafe(g.N())
+		lo, hi := est.Wilson(1.96)
+		below := p < 0.5
+		pass := hi >= target
+		if !below {
+			pass = lo < target // above threshold the algorithm must NOT be almost-safe
+		}
+		t.AddRow(g.Name(), p, proto.WindowLen(), est.Rate(),
+			fmt.Sprintf("[%.3f,%.3f]", lo, hi), target, below, verdict(pass))
+		o.logf("E2 p=%.2f: %v", p, est)
+	}
+	return []*Table{t}
+}
+
+// RunE3 exercises Theorem 2.3: at and above p = 1/2 the equivocating
+// adversary pins the receiver's success probability at 1/2 regardless of
+// the running time.
+func RunE3(o Options) []*Table {
+	o = o.withDefaults()
+	t := &Table{
+		Title:   "E3 (Thm 2.3) — equivocator on K2, message passing, p >= 1/2",
+		Note:    "success must hover at 0.5 for every p >= 1/2 and EVERY window length (longer runs don't help)",
+		Headers: []string{"p", "c", "rounds", "success", "95% CI", "pinned at 1/2", "verdict"},
+	}
+	g := graph.TwoNode()
+	// Odd window lengths (on K2, m = ceil(c)) eliminate vote ties, whose
+	// default-"0" resolution would otherwise bias measured success above
+	// 1/2 without conveying any information about the source message.
+	cs := []float64{5, 17, 65}
+	if o.Quick {
+		cs = []float64{5, 17}
+	}
+	cell := uint64(0)
+	for _, p := range []float64{0.5, 0.6, 0.75, 0.9} {
+		for _, c := range cs {
+			cell++
+			proto := simplemalicious.New(g, 0, sim.MessagePassing, c)
+			est := stat.Estimate(o.Trials*4, o.Seed^cell*130363, func(seed uint64) bool {
+				msg := []byte("0")
+				if seed&1 == 1 {
+					msg = []byte("1")
+				}
+				cfg := &sim.Config{
+					Graph: g, Model: sim.MessagePassing, Fault: sim.Malicious, P: p,
+					Source: 0, SourceMsg: msg,
+					NewNode: proto.NewNode, Rounds: proto.Rounds(), Seed: seed * 2654435761,
+					Adversary: adversary.Equivocator{M0: []byte("0"), M1: []byte("1"), SourceOnly: true},
+				}
+				res, err := sim.Run(cfg)
+				if err != nil {
+					panic(err)
+				}
+				return res.Success
+			})
+			lo, hi := est.Wilson(1.96)
+			// The pinned check spans 12 cells; use a 99.9% band so the
+			// family-wise false-alarm rate stays small.
+			wlo, whi := est.Wilson(3.29)
+			pinned := wlo <= 0.5 && 0.5 <= whi
+			t.AddRow(p, c, proto.Rounds(), est.Rate(),
+				fmt.Sprintf("[%.3f,%.3f]", lo, hi), pinned, verdict(pinned))
+			o.logf("E3 p=%.2f c=%v: %v", p, c, est)
+		}
+	}
+	return []*Table{t}
+}
+
+// starTrial runs Simple-Malicious on the Theorem 2.4 star (source at a
+// leaf) and reports whether the ROOT decoded the message — the node the
+// impossibility argument is about.
+func starTrial(delta int, p, c float64, adv sim.Adversary, seed uint64) bool {
+	g := graph.Star(delta + 1)
+	const source = 1
+	proto := simplemalicious.New(g, source, sim.Radio, c)
+	msg := []byte("0")
+	if seed&1 == 1 {
+		msg = []byte("1")
+	}
+	cfg := &sim.Config{
+		Graph: g, Model: sim.Radio, Fault: sim.Malicious, P: p,
+		Source: source, SourceMsg: msg,
+		NewNode: proto.NewNode, Rounds: proto.Rounds(), Seed: seed*2654435761 + 99,
+		Adversary: adv,
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return bytes.Equal(res.Outputs[0], msg)
+}
+
+// RunE4 exercises the feasibility direction of Theorem 2.4: malicious
+// radio broadcasting succeeds for p < p* = fix(p = (1-p)^(Δ+1)).
+func RunE4(o Options) []*Table {
+	o = o.withDefaults()
+	t := &Table{
+		Title:   "E4 (Thm 2.4 feasibility) — Simple-Malicious, radio, p below (1-p)^(Δ+1)",
+		Note:    "whole-graph success >= 1 - 1/n below the threshold p*(Δ)",
+		Headers: []string{"graph", "Δ", "p*", "p", "m", "success", "95% CI", "target", "verdict"},
+	}
+	graphs := []namedGraph{{graph.Line(16), 0}, {graph.Star(5), 1}, {graph.KaryTree(13, 3), 0}}
+	if o.Quick {
+		graphs = graphs[:2]
+	}
+	for i, ng := range graphs {
+		delta := ng.g.MaxDegree()
+		pStar := stat.RadioThreshold(delta)
+		p := pStar * 0.5
+		q := pow(1-p, delta+1)
+		c := maliciousWindowC(p/(p+q)) * (2 / q)
+		proto := simplemalicious.New(ng.g, ng.src, sim.Radio, c)
+		est := successRate(o, uint64(i+1)*95483, func(seed uint64) *sim.Config {
+			return &sim.Config{
+				Graph: ng.g, Model: sim.Radio, Fault: sim.Malicious, P: p,
+				Source: ng.src, SourceMsg: msg1,
+				NewNode: proto.NewNode, Rounds: proto.Rounds(), Seed: seed,
+				Adversary: adversary.Flip{Wrong: []byte("0")},
+			}
+		})
+		target := almostSafe(ng.g.N())
+		lo, hi := est.Wilson(1.96)
+		t.AddRow(ng.g.Name(), delta, pStar, p, proto.WindowLen(), est.Rate(),
+			fmt.Sprintf("[%.3f,%.3f]", lo, hi), target, verdict(hi >= target))
+		o.logf("E4 %s: %v", ng.g.Name(), est)
+	}
+	return []*Table{t}
+}
+
+// RunE5 exercises the impossibility direction of Theorem 2.4: at and above
+// p*, the star adversary pins the root's decode probability at 1/2.
+func RunE5(o Options) []*Table {
+	o = o.withDefaults()
+	t := &Table{
+		Title:   "E5 (Thm 2.4 impossibility) — star adversary, radio, p >= (1-p)^(Δ+1)",
+		Note:    "root decode probability must hover at 0.5 at and above p*(Δ); well below p* it must recover",
+		Headers: []string{"Δ", "p*", "p", "regime", "root correct", "95% CI", "verdict"},
+	}
+	deltas := []int{2, 4}
+	if !o.Quick {
+		deltas = append(deltas, 8)
+	}
+	adv := func() sim.Adversary {
+		return adversary.Star{M0: []byte("0"), M1: []byte("1")}
+	}
+	cell := uint64(0)
+	for _, delta := range deltas {
+		pStar := stat.RadioThreshold(delta)
+		cases := []struct {
+			p      float64
+			regime string
+		}{
+			{pStar * 0.4, "below"},
+			{pStar, "at"},
+			{minF(pStar*1.5, 0.9), "above"},
+		}
+		for _, tc := range cases {
+			cell++
+			c := 8.0
+			if tc.regime == "below" {
+				q := pow(1-tc.p, delta+1)
+				c = maliciousWindowC(tc.p/(tc.p+q)) * (2 / q)
+			}
+			est := stat.Estimate(o.Trials*4, o.Seed^cell*15485863, func(seed uint64) bool {
+				return starTrial(delta, tc.p, c, adv(), seed)
+			})
+			lo, hi := est.Wilson(1.96)
+			wlo, whi := est.Wilson(3.29) // family-wise band, as in E3
+			var pass bool
+			if tc.regime == "below" {
+				pass = lo > 0.9
+			} else {
+				pass = wlo <= 0.5 && 0.5 <= whi
+			}
+			t.AddRow(delta, pStar, tc.p, tc.regime, est.Rate(),
+				fmt.Sprintf("[%.3f,%.3f]", lo, hi), verdict(pass))
+			o.logf("E5 Δ=%d %s: %v", delta, tc.regime, est)
+		}
+	}
+	return []*Table{t}
+}
+
+// RunE6 exercises the two-node timing protocol: almost-safe for ANY p < 1
+// under limited malicious failures, with error e^(-Θ(m)) for bit 0 and
+// zero error for bit 1.
+func RunE6(o Options) []*Table {
+	o = o.withDefaults()
+	t := &Table{
+		Title:   "E6 (§2.2.2) — 'hello' timing protocol on K2, limited malicious, dropping adversary",
+		Note:    "bit 1 never errs; bit 0 success must match the exact closed form P[two consecutive healthy steps in 2m] — decaying error for any p < 1",
+		Headers: []string{"p", "m", "bit", "success", "95% CI", "predicted", "verdict"},
+	}
+	ms := []int{16, 64, 256}
+	if o.Quick {
+		ms = []int{16, 64}
+	}
+	cell := uint64(0)
+	for _, p := range []float64{0.3, 0.5, 0.7, 0.85} {
+		for _, m := range ms {
+			for _, bit := range [][]byte{twonode.Bit0, twonode.Bit1} {
+				cell++
+				proto := twonode.New(m)
+				est := successRate(o, cell*179426549, func(seed uint64) *sim.Config {
+					return &sim.Config{
+						Graph: graph.TwoNode(), Model: sim.MessagePassing,
+						Fault: sim.LimitedMalicious, P: p,
+						Source: 0, SourceMsg: bit,
+						NewNode: proto.NewNode, Rounds: proto.Rounds(), Seed: seed,
+						Adversary: adversary.Crash{},
+					}
+				})
+				lo, hi := est.Wilson(1.96)
+				// Bit 1 is deterministic; bit 0 succeeds iff the execution
+				// contains two consecutive healthy steps among 2m.
+				predicted := 1.0
+				if string(bit) == "0" {
+					predicted = probConsecutivePair(2*m, 1-p)
+				}
+				pass := lo <= predicted && predicted <= hi
+				if string(bit) == "1" {
+					pass = est.Rate() == 1
+				}
+				t.AddRow(p, m, string(bit), est.Rate(),
+					fmt.Sprintf("[%.3f,%.3f]", lo, hi), predicted, verdict(pass))
+			}
+		}
+		o.logf("E6 p=%.2f done", p)
+	}
+	return []*Table{t}
+}
+
+// probConsecutivePair returns the probability that a sequence of `rounds`
+// independent Bernoulli(q) trials contains at least two consecutive
+// successes — the exact bit-0 success probability of the timing protocol
+// against a dropping adversary. Computed by the standard linear DP over
+// (no-pair-yet, last-trial-outcome) states.
+func probConsecutivePair(rounds int, q float64) float64 {
+	if rounds < 2 {
+		return 0
+	}
+	// noPairEnd0/noPairEnd1: probability of no pair so far with the last
+	// trial failed/succeeded.
+	noPairEnd0, noPairEnd1 := 1-q, q
+	for i := 1; i < rounds; i++ {
+		noPairEnd0, noPairEnd1 = (noPairEnd0+noPairEnd1)*(1-q), noPairEnd0*q
+	}
+	return 1 - (noPairEnd0 + noPairEnd1)
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,165 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"faultcast/internal/graph"
+	"faultcast/internal/protocol"
+	"faultcast/internal/sim"
+	"faultcast/internal/stat"
+)
+
+// Options tunes a harness run.
+type Options struct {
+	// Trials is the Monte-Carlo sample size per table cell (default 200).
+	Trials int
+	// Seed is the base seed; every cell derives its own stream from it.
+	Seed uint64
+	// Quick shrinks graphs and trial counts so the whole suite runs in
+	// seconds (used by tests); full-size runs feed EXPERIMENTS.md.
+	Quick bool
+	// Progress, if non-nil, receives one line per experiment stage.
+	Progress io.Writer
+}
+
+func (o Options) withDefaults() Options {
+	if o.Trials == 0 {
+		o.Trials = 200
+		if o.Quick {
+			o.Trials = 60
+		}
+	}
+	if o.Seed == 0 {
+		o.Seed = 0x5eed
+	}
+	return o
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Progress != nil {
+		fmt.Fprintf(o.Progress, format+"\n", args...)
+	}
+}
+
+// Experiment is one reproducible unit: a theorem/lemma of the paper mapped
+// to a table generator.
+type Experiment struct {
+	ID    string
+	Claim string // the paper statement being exercised
+	Run   func(o Options) []*Table
+}
+
+// Registry returns all experiments in display order.
+func Registry() []Experiment {
+	return []Experiment{
+		{ID: "E1", Claim: "Thm 2.1: omission failures, any p<1: Simple-Omission is almost-safe in both models", Run: RunE1},
+		{ID: "E2", Claim: "Thm 2.2: malicious MP, p<1/2: Simple-Malicious is almost-safe", Run: RunE2},
+		{ID: "E3", Claim: "Thm 2.3: malicious MP, p>=1/2: infeasible (equivocator pins error at 1/2)", Run: RunE3},
+		{ID: "E4", Claim: "Thm 2.4(<=): malicious radio, p<(1-p)^(Δ+1): Simple-Malicious is almost-safe", Run: RunE4},
+		{ID: "E5", Claim: "Thm 2.4(=>): malicious radio, p>=(1-p)^(Δ+1): infeasible (star adversary)", Run: RunE5},
+		{ID: "E6", Claim: "§2.2.2 remark: limited malicious on K2: timing protocol works for any p<1", Run: RunE6},
+		{ID: "E7", Claim: "Thm 3.1: omission MP: flooding runs in optimal Θ(D+log n)", Run: RunE7},
+		{ID: "E8", Claim: "Thm 3.2/Lem 3.2: limited-malicious MP in O(D+log^α n) via CO1/CO2 composition", Run: RunE8},
+		{ID: "E9", Claim: "Lem 3.3: layered graph G_m has fault-free radio opt exactly m+1", Run: RunE9},
+		{ID: "E10", Claim: "Lem 3.4/Thm 3.3: almost-safe radio on G_m needs ω(opt+log n) steps", Run: RunE10},
+		{ID: "E11", Claim: "Thm 3.4: radio, both fault types: almost-safe in O(opt·log n)", Run: RunE11},
+		{ID: "A1", Claim: "Ablation: window constant c in m=⌈c·log n⌉ trades time for safety", Run: RunA1},
+		{ID: "A2", Claim: "Ablation: adversary strength (crash < noise < flip < equivocator)", Run: RunA2},
+		{ID: "A3", Claim: "Ablation: sequential vs goroutine-per-node engine equivalence", Run: RunA3},
+		{ID: "A4", Claim: "Ablation: synchronized phases vs the unsynchronized sliding-window variant", Run: RunA4},
+		{ID: "A5", Claim: "Ablation: anonymous radio schedules (modulo-K / prime powers, §2.1)", Run: RunA5},
+		{ID: "A6", Claim: "Ablation: Kučera serial fan-out ρ — time constant vs error exponent", Run: RunA6},
+		{ID: "B1", Claim: "Baseline: Thm 3.4 Omission-Radio vs randomized Decay broadcast", Run: RunB1},
+		{ID: "F1", Claim: "Figure: informing curves (fraction informed vs round) for flooding and Decay", Run: RunF1},
+		{ID: "OP1", Claim: "Open problem 1 probe: MP malicious time — known techniques pay D·log n, not D+log n", Run: RunOP1},
+		{ID: "OP2", Claim: "Open problem 2 probe: the radio repetition window cannot shrink below Θ(log n)", Run: RunOP2},
+		{ID: "G1", Claim: "Extension (ref [13]): almost-safe gossiping in O(D + log n) under omission faults", Run: RunG1},
+	}
+}
+
+// Find returns the experiment with the given ID.
+func Find(id string) (Experiment, bool) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunAll executes every experiment and renders results to w.
+func RunAll(o Options, w io.Writer) {
+	for _, e := range Registry() {
+		fmt.Fprintf(w, "== %s: %s ==\n\n", e.ID, e.Claim)
+		for _, t := range e.Run(o) {
+			t.Render(w)
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// --- shared helpers -------------------------------------------------------
+
+// msg1 is the canonical experiment payload.
+var msg1 = []byte("1")
+
+// successRate runs cfg-template trials; mkCfg must return a fresh Config
+// per seed (configs are not reusable across goroutines).
+func successRate(o Options, cellSeed uint64, mkCfg func(seed uint64) *sim.Config) stat.Proportion {
+	return stat.Estimate(o.Trials, o.Seed^cellSeed, func(seed uint64) bool {
+		cfg := mkCfg(seed)
+		res, err := sim.Run(cfg)
+		if err != nil {
+			panic(fmt.Sprintf("harness: %v", err))
+		}
+		return res.Success
+	})
+}
+
+// almostSafe is the paper's target success probability for an n-node graph.
+func almostSafe(n int) float64 { return 1 - 1/float64(n) }
+
+// omissionWindowC and maliciousWindowC alias the shared window-constant
+// derivations in internal/protocol (see WindowCOmission/WindowCMalicious).
+func omissionWindowC(p float64) float64  { return protocol.WindowCOmission(p) }
+func maliciousWindowC(q float64) float64 { return protocol.WindowCMalicious(q) }
+
+// graphSet returns the standard experiment graphs, scaled down in Quick
+// mode. Each entry carries its broadcast source.
+type namedGraph struct {
+	g   *graph.Graph
+	src int
+}
+
+func standardGraphs(o Options) []namedGraph {
+	if o.Quick {
+		return []namedGraph{
+			{graph.Line(16), 0},
+			{graph.KaryTree(15, 2), 0},
+			{graph.Grid(4, 4), 0},
+		}
+	}
+	return []namedGraph{
+		{graph.Line(64), 0},
+		{graph.KaryTree(63, 2), 0},
+		{graph.Grid(8, 8), 0},
+		{graph.Star(32), 1},
+	}
+}
+
+func pow(x float64, y int) float64 { return math.Pow(x, float64(y)) }
+
+func ln(x float64) float64 { return math.Log(x) }
+
+// sortedKeys returns map keys in sorted order (determinism for tables).
+func sortedKeys[K int | string, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

@@ -1,0 +1,192 @@
+package kucera
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The compiler lowers a Plan into static per-position instruction tables.
+// Positions index nodes along the line (0 = source, i = i-th node); on a
+// tree, position = depth, a send goes to all children and a receive
+// listens to the parent (the Theorem 3.2 extension: "whenever a node has
+// more than one child, it transmits to all its children the message that
+// it is instructed to transmit along the line").
+//
+// Registers are single-assignment value cells owned by one position each;
+// the runtime materializes only the registers of its own position. The
+// timing discipline is: a register written by a receive in round t, or by
+// a combine executing at round t, is readable by sends/combines in rounds
+// > t and >= t respectively (the runtime resolves receives of round t-1
+// and combines of round t before sends of round t).
+
+type sendInstr struct {
+	Round int
+	Reg   int // register to transmit (at this position)
+}
+
+type recvInstr struct {
+	Round int
+	Reg   int // register receiving the payload (Default on silence)
+}
+
+type combineInstr struct {
+	Round int
+	Dst   int
+	Srcs  []int // majority over these registers
+}
+
+// posProgram is the instruction table of one position.
+type posProgram struct {
+	Sends    []sendInstr
+	Recvs    []recvInstr
+	Combines []combineInstr
+	// FinalReg is the register holding this position's final committed
+	// value (the output register of the longest block ending here), or -1
+	// for position 0 (the source, which knows the message a priori).
+	FinalReg int
+	// finalLen tracks the block length backing FinalReg during compile.
+	finalLen int
+}
+
+// Program is a compiled plan.
+type Program struct {
+	Positions []posProgram // index 0..Length
+	Rounds    int          // horizon: all instructions finish before this
+	Guar      Guarantee
+}
+
+type compiler struct {
+	prog    *Program
+	nextReg int
+}
+
+// Compile lowers the plan to a Program over positions 0..plan.G.Length.
+func Compile(plan *Plan) (*Program, error) {
+	c := &compiler{prog: &Program{
+		Positions: make([]posProgram, plan.G.Length+1),
+		Guar:      plan.G,
+	}}
+	for i := range c.prog.Positions {
+		c.prog.Positions[i].FinalReg = -1
+	}
+	inReg := c.alloc() // position 0's input register, loaded at Init
+	c.setFinal(0, inReg, plan.G.Length+1)
+	outReg := c.alloc()
+	end := c.emit(plan, 0, 0, inReg, outReg)
+	c.setFinal(plan.G.Length, outReg, plan.G.Length+1)
+	c.prog.Rounds = end
+	for pos := range c.prog.Positions {
+		p := &c.prog.Positions[pos]
+		sort.Slice(p.Sends, func(i, j int) bool { return p.Sends[i].Round < p.Sends[j].Round })
+		sort.Slice(p.Recvs, func(i, j int) bool { return p.Recvs[i].Round < p.Recvs[j].Round })
+		// Stable: an inner block's combine can share a round with the
+		// enclosing combine that reads its output, and emission order
+		// (inner first) must be preserved.
+		sort.SliceStable(p.Combines, func(i, j int) bool { return p.Combines[i].Round < p.Combines[j].Round })
+	}
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	return c.prog, nil
+}
+
+func (c *compiler) alloc() int {
+	r := c.nextReg
+	c.nextReg++
+	return r
+}
+
+// setFinal records reg as pos's final value if it closes a longer block
+// than any previously recorded one.
+func (c *compiler) setFinal(pos, reg, blockLen int) {
+	p := &c.prog.Positions[pos]
+	if blockLen > p.finalLen {
+		p.finalLen = blockLen
+		p.FinalReg = reg
+	}
+}
+
+// emit compiles plan starting at (startPos, startRound), reading its input
+// from inReg (a register at startPos) and writing its output to outReg (a
+// register at startPos+plan.G.Length). It returns the round at which
+// outReg becomes usable: startRound + plan.G.Time.
+func (c *compiler) emit(plan *Plan, startPos, startRound, inReg, outReg int) int {
+	switch plan.Kind {
+	case KindBase:
+		c.prog.Positions[startPos].Sends = append(c.prog.Positions[startPos].Sends,
+			sendInstr{Round: startRound, Reg: inReg})
+		c.prog.Positions[startPos+1].Recvs = append(c.prog.Positions[startPos+1].Recvs,
+			recvInstr{Round: startRound, Reg: outReg})
+		return startRound + 1
+
+	case KindSerial:
+		// Segment j spans positions [startPos+j·L, startPos+(j+1)·L] and
+		// starts at startRound+j·τ; its input is the previous boundary
+		// register, which [CO1]'s timing makes usable exactly on time.
+		subLen, subTime := plan.Sub.G.Length, plan.Sub.G.Time
+		cur := inReg
+		end := startRound
+		for j := 0; j < plan.Count; j++ {
+			segOut := outReg
+			if j < plan.Count-1 {
+				segOut = c.alloc()
+				c.setFinal(startPos+(j+1)*subLen, segOut, subLen)
+			}
+			end = c.emit(plan.Sub, startPos+j*subLen, startRound+j*subTime, cur, segOut)
+			cur = segOut
+		}
+		return end
+
+	case KindRepeat:
+		// Execution k starts at startRound+k·δ; all executions read inReg
+		// (single-assignment, already usable) and write private slots at
+		// the end position; the majority combine fires once the last
+		// execution delivers.
+		endPos := startPos + plan.G.Length
+		delta := plan.Sub.G.Delay
+		srcs := make([]int, plan.Count)
+		end := startRound
+		for k := 0; k < plan.Count; k++ {
+			slot := c.alloc()
+			srcs[k] = slot
+			e := c.emit(plan.Sub, startPos, startRound+k*delta, inReg, slot)
+			if e > end {
+				end = e
+			}
+		}
+		c.prog.Positions[endPos].Combines = append(c.prog.Positions[endPos].Combines,
+			combineInstr{Round: end, Dst: outReg, Srcs: srcs})
+		return end
+
+	default:
+		panic(fmt.Sprintf("kucera: unknown plan kind %d", plan.Kind))
+	}
+}
+
+// validate checks the compile-time invariants the runtime relies on:
+// no two sends (or receives) share a (position, round) slot, rounds fit
+// the horizon, and every non-source position has a final register.
+func (c *compiler) validate() error {
+	for pos := range c.prog.Positions {
+		p := &c.prog.Positions[pos]
+		for i := 1; i < len(p.Sends); i++ {
+			if p.Sends[i].Round == p.Sends[i-1].Round {
+				return fmt.Errorf("kucera: position %d has two sends in round %d", pos, p.Sends[i].Round)
+			}
+		}
+		for i := 1; i < len(p.Recvs); i++ {
+			if p.Recvs[i].Round == p.Recvs[i-1].Round {
+				return fmt.Errorf("kucera: position %d has two receives in round %d", pos, p.Recvs[i].Round)
+			}
+		}
+		for _, s := range p.Sends {
+			if s.Round < 0 || s.Round >= c.prog.Rounds {
+				return fmt.Errorf("kucera: position %d send at round %d outside horizon %d", pos, s.Round, c.prog.Rounds)
+			}
+		}
+		if p.FinalReg == -1 {
+			return fmt.Errorf("kucera: position %d has no final register", pos)
+		}
+	}
+	return nil
+}

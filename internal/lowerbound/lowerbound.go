@@ -1,0 +1,189 @@
+// Package lowerbound implements the counting machinery of Lemma 3.4 — the
+// paper's proof that on the layered graph G_m (graph.Layered) almost-safe
+// radio broadcasting needs ω(opt + log n) steps even with node-omission
+// failures.
+//
+// The setting: layer-2 nodes b_1..b_m must inform the 2^m − 1 layer-3
+// nodes, whose labels v ⊆ {1..m} are their neighborhood bitmasks. A
+// schedule is a sequence A_1..A_τ of transmitter subsets of {1..m}. A
+// layer-3 node v is HIT in step t iff |A_t ∩ P_v| = 1 (exactly one
+// transmitting neighbor — the only way v can hear anything). If v is hit
+// h_v times in the whole schedule, it stays uninformed with probability at
+// least p^(h_v); almost-safety therefore requires h_v ≥ c·log n for every
+// v, and the lemma's counting argument shows a schedule achieving that
+// must be long.
+package lowerbound
+
+import (
+	"math"
+	"math/bits"
+
+	"faultcast/internal/stat"
+)
+
+// Schedule is a layer-2 transmission schedule: Steps[t] is the bitmask of
+// transmitting b_i's in step t (bit i−1 ⇔ b_i transmits).
+type Schedule struct {
+	M     int      // number of layer-2 nodes
+	Steps []uint32 // transmitter masks
+}
+
+// Hit reports whether the layer-3 node with label mask v is hit by the
+// transmitter set mask a: H(v,t) = 1 iff |A_t ∩ P_v| = 1.
+func Hit(a, v uint32) bool {
+	return bits.OnesCount32(a&v) == 1
+}
+
+// HitCounts returns h_v for every layer-3 label v in 1..2^m−1
+// (index v, entry 0 unused).
+func (s *Schedule) HitCounts() []int {
+	n := 1 << s.M
+	h := make([]int, n)
+	for _, a := range s.Steps {
+		for v := 1; v < n; v++ {
+			if Hit(a, uint32(v)) {
+				h[v]++
+			}
+		}
+	}
+	return h
+}
+
+// MinHits returns min over layer-3 labels of h_v and one label attaining
+// it.
+func (s *Schedule) MinHits() (minHits, argmin int) {
+	h := s.HitCounts()
+	minHits, argmin = math.MaxInt, 0
+	for v := 1; v < len(h); v++ {
+		if h[v] < minHits {
+			minHits, argmin = h[v], v
+		}
+	}
+	return minHits, argmin
+}
+
+// FailureProbability returns, per Claim 3.1, the probability that the
+// worst layer-3 node receives nothing: p^min_v(h_v). (Assuming, as the
+// lemma does, that the source and layer 2 are already informed.)
+func (s *Schedule) FailureProbability(p float64) float64 {
+	minHits, _ := s.MinHits()
+	return math.Pow(p, float64(minHits))
+}
+
+// ExpectedUninformed returns Σ_v p^(h_v), the expected number of layer-3
+// nodes left uninformed under omission failures.
+func (s *Schedule) ExpectedUninformed(p float64) float64 {
+	total := 0.0
+	for v, hv := range s.HitCounts() {
+		if v == 0 {
+			continue
+		}
+		total += math.Pow(p, float64(hv))
+	}
+	return total
+}
+
+// HitsOnLevel returns h(t, j) of Claim 3.3: the number of weight-j labels
+// hit by the transmitter mask a, which equals ℓ·C(m−ℓ, j−1) for
+// ℓ = |a| — verified exhaustively in tests.
+func HitsOnLevel(m int, a uint32, j int) int {
+	count := 0
+	for v := 1; v < 1<<m; v++ {
+		if bits.OnesCount32(uint32(v)) == j && Hit(a, uint32(v)) {
+			count++
+		}
+	}
+	return count
+}
+
+// HitsOnLevelFormula is the closed form of Claim 3.3.
+func HitsOnLevelFormula(m, ell, j int) float64 {
+	return float64(ell) * stat.Choose(m-ell, j-1)
+}
+
+// FractionOnLevel returns f(t, j) = h(t, j)/C(m, j), the fraction of
+// weight-j labels hit by a set of size ell (closed form).
+func FractionOnLevel(m, ell, j int) float64 {
+	if j < 1 || j > m {
+		return 0
+	}
+	return HitsOnLevelFormula(m, ell, j) / stat.Choose(m, j)
+}
+
+// FractionBound is the upper bound of Claim 3.4:
+// f(t,j) ≤ (ℓj/m)·(1 − (ℓ−1)/(m−1))^(j−1).
+func FractionBound(m, ell, j int) float64 {
+	if m <= 1 {
+		return 1
+	}
+	base := 1 - float64(ell-1)/float64(m-1)
+	if base < 0 {
+		base = 0
+	}
+	return float64(ell) * float64(j) / float64(m) * math.Pow(base, float64(j-1))
+}
+
+// RequiredLength returns the paper's lower-bound target for the schedule
+// length needed for almost-safety at failure probability p on G_m:
+// every label must accumulate h_v ≥ need := ceil(log(n²)/log(1/p)) hits so
+// that n·p^(h_v) ≤ 1/n. Combined with Claim 3.7 — each step contributes a
+// sizable hit fraction to at most one of the K/4 chosen levels — the bound
+// is Ω(K·log n) with K = log m / log log m.
+func RequiredLength(m int, p float64) (needPerNode int, lowerBound int) {
+	n := float64(int(1)<<m + m)
+	needPerNode = int(math.Ceil(2 * math.Log(n) / math.Log(1/p)))
+	k := kOf(m)
+	lowerBound = int(math.Ceil(float64(k) * float64(needPerNode) / 8))
+	return needPerNode, lowerBound
+}
+
+// kOf returns K = log m / log log m (the paper's K), at least 1.
+func kOf(m int) int {
+	if m < 4 {
+		return 1
+	}
+	lm := math.Log(float64(m))
+	k := lm / math.Log(lm)
+	if k < 1 {
+		return 1
+	}
+	return int(k)
+}
+
+// Levels returns the paper's level sequence j_i = ceil(m / (K(Z+1))^(i-1))
+// for i = 1..K/4 (with Z = log K + log log K), the pairwise "far apart"
+// weights used in Claim 3.7.
+func Levels(m int) []int {
+	k := kOf(m)
+	z := zOf(k)
+	var out []int
+	denom := 1.0
+	count := k / 4
+	if count < 1 {
+		count = 1
+	}
+	for i := 0; i < count; i++ {
+		j := int(math.Ceil(float64(m) / denom))
+		if j < 1 {
+			j = 1
+		}
+		out = append(out, j)
+		denom *= float64(k) * (z + 1)
+	}
+	return out
+}
+
+func zOf(k int) float64 {
+	if k < 2 {
+		return 1
+	}
+	lk := math.Log(float64(k))
+	z := math.Log2(float64(k))
+	if lk > 1 {
+		z += math.Log2(lk)
+	}
+	if z < 1 {
+		z = 1
+	}
+	return z
+}

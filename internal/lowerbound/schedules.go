@@ -1,0 +1,92 @@
+package lowerbound
+
+import "faultcast/internal/rng"
+
+// Candidate schedule families for auditing: the experiment (E10) extends
+// each family until every layer-3 label accumulates the required hit
+// count, and reports how far beyond opt + O(log n) each must run.
+
+// RoundRobinSingles transmits b_1, b_2, ..., b_m cyclically, one per step
+// (the generalization of the optimal fault-free schedule). Each step hits
+// exactly the labels containing that single transmitter: every label of
+// weight w is hit w times per full cycle.
+func RoundRobinSingles(m, steps int) *Schedule {
+	s := &Schedule{M: m}
+	for t := 0; t < steps; t++ {
+		s.Steps = append(s.Steps, 1<<(t%m))
+	}
+	return s
+}
+
+// RandomSets transmits a uniformly random subset of a fixed size each
+// step.
+func RandomSets(m, steps, size int, r *rng.Source) *Schedule {
+	s := &Schedule{M: m}
+	for t := 0; t < steps; t++ {
+		var mask uint32
+		for bits := 0; bits < size; {
+			b := uint32(1) << r.Intn(m)
+			if mask&b == 0 {
+				mask |= b
+				bits++
+			}
+		}
+		s.Steps = append(s.Steps, mask)
+	}
+	return s
+}
+
+// GeometricSweep cycles through set sizes 1, 2, 4, ..., m (random sets of
+// each size), covering all weight scales — the natural strategy suggested
+// by Claim 3.5's window ℓ ≈ m/j.
+func GeometricSweep(m, steps int, r *rng.Source) *Schedule {
+	s := &Schedule{M: m}
+	var sizes []int
+	for sz := 1; sz <= m; sz *= 2 {
+		sizes = append(sizes, sz)
+	}
+	for t := 0; t < steps; t++ {
+		size := sizes[t%len(sizes)]
+		var mask uint32
+		for bits := 0; bits < size; {
+			b := uint32(1) << r.Intn(m)
+			if mask&b == 0 {
+				mask |= b
+				bits++
+			}
+		}
+		s.Steps = append(s.Steps, mask)
+	}
+	return s
+}
+
+// StepsToCover grows the schedule produced by gen(steps) until min_v h_v
+// reaches need, doubling then binary-searching; it returns the smallest
+// length found, or maxSteps if not reached. Generators must be monotone:
+// gen(k) is a prefix of gen(k') for k <= k' (true for all families here
+// when driven by a fixed-seed rng factory).
+func StepsToCover(need, maxSteps int, gen func(steps int) *Schedule) int {
+	lo, hi := 1, 1
+	for hi <= maxSteps {
+		if minh, _ := gen(hi).MinHits(); minh >= need {
+			break
+		}
+		lo = hi + 1
+		hi *= 2
+	}
+	if hi > maxSteps {
+		if minh, _ := gen(maxSteps).MinHits(); minh < need {
+			return maxSteps
+		}
+		hi = maxSteps
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if minh, _ := gen(mid).MinHits(); minh >= need {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return hi
+}

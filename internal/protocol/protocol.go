@@ -1,0 +1,149 @@
+// Package protocol provides the shared building blocks of the paper's
+// broadcasting algorithms: majority voting over received messages, the
+// window arithmetic m = ceil(c·log n) that all Section-2 algorithms use,
+// and the default message ("0" in the paper) adopted when no majority
+// exists.
+package protocol
+
+import (
+	"math"
+	"sort"
+)
+
+// Default is the paper's default message "0": the value a node adopts when
+// it has received nothing or when a vote ties.
+var Default = []byte{'0'}
+
+// IsDefault reports whether payload equals the default message.
+func IsDefault(payload []byte) bool {
+	return len(payload) == 1 && payload[0] == Default[0]
+}
+
+// WindowLen returns m = ceil(c * log2(n)), the per-phase window length used
+// by Simple-Omission, Simple-Malicious, and the Theorem 3.4 radio
+// algorithms. For n <= 1 it returns max(1, ceil(c)) so degenerate graphs
+// still get a positive window.
+func WindowLen(c float64, n int) int {
+	if c <= 0 {
+		panic("protocol: window constant must be positive")
+	}
+	lg := 1.0
+	if n > 1 {
+		lg = math.Log2(float64(n))
+	}
+	m := int(math.Ceil(c * lg))
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// Tally counts votes over message payloads and reports the plurality
+// winner. Ties (including an empty tally) resolve to Default, matching the
+// paper's "or 0 if there is no majority".
+type Tally struct {
+	counts map[string]int
+	total  int
+}
+
+// NewTally returns an empty Tally.
+func NewTally() *Tally {
+	return &Tally{counts: make(map[string]int)}
+}
+
+// Add records one vote for payload.
+func (t *Tally) Add(payload []byte) {
+	t.counts[string(payload)]++
+	t.total++
+}
+
+// Total returns the number of votes recorded.
+func (t *Tally) Total() int { return t.total }
+
+// Count returns the number of votes for payload.
+func (t *Tally) Count(payload []byte) int { return t.counts[string(payload)] }
+
+// Winner returns the payload with strictly the most votes, or Default when
+// the tally is empty or the top count is shared by two or more payloads.
+func (t *Tally) Winner() []byte {
+	best, bestCount, tie := "", -1, false
+	// Iterate in sorted key order so behaviour is deterministic even in
+	// the tie-inspection path.
+	keys := make([]string, 0, len(t.counts))
+	for k := range t.counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		c := t.counts[k]
+		switch {
+		case c > bestCount:
+			best, bestCount, tie = k, c, false
+		case c == bestCount:
+			tie = true
+		}
+	}
+	if bestCount <= 0 || tie {
+		return append([]byte(nil), Default...)
+	}
+	return []byte(best)
+}
+
+// Reset clears the tally for reuse.
+func (t *Tally) Reset() {
+	t.counts = make(map[string]int)
+	t.total = 0
+}
+
+// MajorityBuffer is a sliding-window vote used by the unsynchronized
+// variant of Simple-Malicious described after Theorem 2.2: a node accepts
+// a message as genuine once at least half of the last m observations on a
+// link carry identical content.
+type MajorityBuffer struct {
+	window int
+	buf    [][]byte
+	next   int
+	filled int
+}
+
+// NewMajorityBuffer returns a buffer over windows of the given length.
+func NewMajorityBuffer(window int) *MajorityBuffer {
+	if window < 1 {
+		panic("protocol: window must be >= 1")
+	}
+	return &MajorityBuffer{window: window, buf: make([][]byte, window)}
+}
+
+// Observe records one observation (nil = silence) for the current round.
+func (b *MajorityBuffer) Observe(payload []byte) {
+	var cp []byte
+	if payload != nil {
+		cp = append([]byte(nil), payload...)
+	}
+	b.buf[b.next] = cp
+	b.next = (b.next + 1) % b.window
+	if b.filled < b.window {
+		b.filled++
+	}
+}
+
+// Accepted returns the payload occupying at least half the window, or nil
+// if none does (silence never qualifies).
+func (b *MajorityBuffer) Accepted() []byte {
+	if b.filled == 0 {
+		return nil
+	}
+	counts := make(map[string]int)
+	for i := 0; i < b.filled; i++ {
+		if b.buf[i] != nil {
+			counts[string(b.buf[i])]++
+		}
+	}
+	need := (b.window + 1) / 2
+	for k, c := range counts {
+		if c >= need {
+			return []byte(k)
+		}
+	}
+	return nil
+}

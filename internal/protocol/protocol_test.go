@@ -1,0 +1,180 @@
+package protocol
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"faultcast/internal/rng"
+)
+
+func TestWindowLen(t *testing.T) {
+	cases := []struct {
+		c    float64
+		n    int
+		want int
+	}{
+		{1, 2, 1},
+		{1, 1024, 10},
+		{2, 1024, 20},
+		{3.5, 8, 11}, // ceil(3.5*3)
+		{1, 1, 1},
+		{0.1, 4, 1},
+	}
+	for _, tc := range cases {
+		if got := WindowLen(tc.c, tc.n); got != tc.want {
+			t.Errorf("WindowLen(%v, %d) = %d, want %d", tc.c, tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestWindowLenPanicsOnBadC(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WindowLen(0, n) did not panic")
+		}
+	}()
+	WindowLen(0, 10)
+}
+
+func TestTallyWinner(t *testing.T) {
+	tl := NewTally()
+	tl.Add([]byte("a"))
+	tl.Add([]byte("b"))
+	tl.Add([]byte("a"))
+	if got := tl.Winner(); string(got) != "a" {
+		t.Fatalf("winner = %q, want a", got)
+	}
+	if tl.Total() != 3 || tl.Count([]byte("a")) != 2 {
+		t.Fatalf("total=%d count(a)=%d", tl.Total(), tl.Count([]byte("a")))
+	}
+}
+
+func TestTallyTieGivesDefault(t *testing.T) {
+	tl := NewTally()
+	tl.Add([]byte("a"))
+	tl.Add([]byte("b"))
+	if got := tl.Winner(); !IsDefault(got) {
+		t.Fatalf("tie winner = %q, want default", got)
+	}
+}
+
+func TestTallyEmptyGivesDefault(t *testing.T) {
+	if got := NewTally().Winner(); !IsDefault(got) {
+		t.Fatalf("empty winner = %q, want default", got)
+	}
+}
+
+func TestTallyReset(t *testing.T) {
+	tl := NewTally()
+	tl.Add([]byte("a"))
+	tl.Reset()
+	if tl.Total() != 0 || !IsDefault(tl.Winner()) {
+		t.Fatal("reset did not clear tally")
+	}
+}
+
+// Property: the winner is permutation-invariant and, when some payload has
+// a strict plurality, equals that payload.
+func TestTallyPluralityProperty(t *testing.T) {
+	r := rng.New(5)
+	check := func(seed uint32) bool {
+		rr := rng.New(uint64(seed))
+		votes := make([][]byte, 0, 30)
+		n := 1 + rr.Intn(30)
+		for i := 0; i < n; i++ {
+			votes = append(votes, []byte{byte('a' + rr.Intn(3))})
+		}
+		tl := NewTally()
+		for _, v := range votes {
+			tl.Add(v)
+		}
+		w1 := tl.Winner()
+		// Shuffle and re-tally.
+		r.Shuffle(len(votes), func(i, j int) { votes[i], votes[j] = votes[j], votes[i] })
+		t2 := NewTally()
+		for _, v := range votes {
+			t2.Add(v)
+		}
+		return bytes.Equal(w1, t2.Winner())
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTallyStrictPlurality(t *testing.T) {
+	tl := NewTally()
+	for i := 0; i < 5; i++ {
+		tl.Add([]byte("x"))
+	}
+	for i := 0; i < 4; i++ {
+		tl.Add([]byte("y"))
+	}
+	tl.Add([]byte("z"))
+	if got := tl.Winner(); string(got) != "x" {
+		t.Fatalf("winner = %q, want x", got)
+	}
+}
+
+func TestMajorityBufferAccepts(t *testing.T) {
+	b := NewMajorityBuffer(4)
+	b.Observe([]byte("m"))
+	if b.Accepted() != nil {
+		t.Fatal("accepted with only 1 of 4 observations")
+	}
+	b.Observe([]byte("m"))
+	if got := b.Accepted(); string(got) != "m" {
+		t.Fatalf("2 of window 4 should accept, got %q", got)
+	}
+}
+
+func TestMajorityBufferSilenceNeverAccepted(t *testing.T) {
+	b := NewMajorityBuffer(3)
+	b.Observe(nil)
+	b.Observe(nil)
+	b.Observe(nil)
+	if b.Accepted() != nil {
+		t.Fatal("silence was accepted as a message")
+	}
+}
+
+func TestMajorityBufferSlides(t *testing.T) {
+	b := NewMajorityBuffer(4)
+	for i := 0; i < 4; i++ {
+		b.Observe([]byte("old"))
+	}
+	if got := b.Accepted(); string(got) != "old" {
+		t.Fatalf("got %q", got)
+	}
+	for i := 0; i < 4; i++ {
+		b.Observe([]byte("new"))
+	}
+	if got := b.Accepted(); string(got) != "new" {
+		t.Fatalf("window did not slide: got %q", got)
+	}
+}
+
+func TestMajorityBufferEmpty(t *testing.T) {
+	if NewMajorityBuffer(3).Accepted() != nil {
+		t.Fatal("empty buffer accepted something")
+	}
+}
+
+func TestMajorityBufferPanicsOnZeroWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMajorityBuffer(0) did not panic")
+		}
+	}()
+	NewMajorityBuffer(0)
+}
+
+func TestIsDefault(t *testing.T) {
+	if !IsDefault(Default) {
+		t.Fatal("Default not recognized")
+	}
+	if IsDefault([]byte("00")) || IsDefault(nil) || IsDefault([]byte("1")) {
+		t.Fatal("false positive in IsDefault")
+	}
+}

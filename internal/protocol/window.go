@@ -1,0 +1,46 @@
+package protocol
+
+import "math"
+
+// WindowCOmission returns a window constant c making p^(c·log2 n) ≤ 1/n²
+// with a 25% margin — the paper's "let c be such that p^(c·log n) < 1/n²"
+// for Algorithm Simple-Omission: c = 2.5 / log2(1/p).
+func WindowCOmission(p float64) float64 {
+	if p <= 0 {
+		return 1
+	}
+	if p >= 1 {
+		panic("protocol: omission window undefined for p >= 1")
+	}
+	return 2.5 / math.Log2(1/p)
+}
+
+// WindowCMalicious returns a window constant for the Chernoff argument of
+// Theorems 2.2/2.4: the per-window majority vote over observations that
+// are wrong with probability q < 1/2 must err with probability ≤ 1/n².
+// Hoeffding gives error ≤ exp(−2m(1/2−q)²); with m = c·log2 n the n's
+// cancel into c = 2·ln2/(1/2−q)² (already including a 2x margin). For
+// q ≥ 1/2 the vote cannot work; the constant is capped so callers can
+// still build (deliberately failing) configurations.
+func WindowCMalicious(q float64) float64 {
+	if q >= 0.5 {
+		return 64
+	}
+	d := 0.5 - q
+	return 2 * math.Ln2 / (d * d)
+}
+
+// WindowCRadioMalicious adapts WindowCMalicious to the radio analysis of
+// Theorem 2.4: with per-step failure probability p on a node of degree
+// ≤ delta, a listener receives something with probability ≥ q_good =
+// (1−p)^(delta+1) and a received message is wrong with probability
+// ≤ p/(p+q_good); the window must be inflated by 2/q_good so that enough
+// receptions arrive (the event E_rec of the proof).
+func WindowCRadioMalicious(p float64, delta int) float64 {
+	qGood := math.Pow(1-p, float64(delta+1))
+	if qGood <= 0 {
+		return 64
+	}
+	condWrong := p / (p + qGood)
+	return WindowCMalicious(condWrong) * (2 / qGood)
+}

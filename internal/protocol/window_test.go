@@ -1,0 +1,72 @@
+package protocol
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWindowCOmission(t *testing.T) {
+	// At p = 0.5: c = 2.5/log2(2) = 2.5, so p^(c·log2 n) = n^(-2.5) < 1/n².
+	if c := WindowCOmission(0.5); math.Abs(c-2.5) > 1e-12 {
+		t.Fatalf("c(0.5) = %v, want 2.5", c)
+	}
+	// The defining inequality p^(c·log2 n) <= 1/n² for a range of p, n.
+	for _, p := range []float64{0.1, 0.5, 0.9, 0.99} {
+		c := WindowCOmission(p)
+		for _, n := range []float64{4, 64, 1024} {
+			lhs := math.Pow(p, c*math.Log2(n))
+			if lhs > 1/(n*n)+1e-12 {
+				t.Fatalf("p=%v n=%v: p^(c log n) = %v > 1/n²", p, n, lhs)
+			}
+		}
+	}
+	if c := WindowCOmission(0); c != 1 {
+		t.Fatalf("c(0) = %v, want 1", c)
+	}
+}
+
+func TestWindowCOmissionPanicsAtOne(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("p=1 did not panic")
+		}
+	}()
+	WindowCOmission(1)
+}
+
+func TestWindowCMalicious(t *testing.T) {
+	// The Hoeffding bound with m = c·log2 n must push the vote error
+	// below 1/n².
+	for _, q := range []float64{0.1, 0.3, 0.45} {
+		c := WindowCMalicious(q)
+		for _, n := range []float64{8, 256} {
+			m := c * math.Log2(n)
+			bound := math.Exp(-2 * m * (0.5 - q) * (0.5 - q))
+			if bound > 1/(n*n)+1e-9 {
+				t.Fatalf("q=%v n=%v: bound %v > 1/n²", q, n, bound)
+			}
+		}
+	}
+	if WindowCMalicious(0.5) != 64 || WindowCMalicious(0.7) != 64 {
+		t.Fatal("q >= 1/2 should cap at 64")
+	}
+	// Monotone: harder q -> bigger window.
+	if WindowCMalicious(0.4) <= WindowCMalicious(0.2) {
+		t.Fatal("window constant not monotone in q")
+	}
+}
+
+func TestWindowCRadioMalicious(t *testing.T) {
+	// Below the radio threshold the constant is finite and grows with
+	// both p and Δ.
+	c1 := WindowCRadioMalicious(0.05, 2)
+	c2 := WindowCRadioMalicious(0.1, 2)
+	c3 := WindowCRadioMalicious(0.05, 8)
+	if c1 <= 0 || c2 <= c1 || c3 <= c1 {
+		t.Fatalf("radio window constants not monotone: %v %v %v", c1, c2, c3)
+	}
+	// p -> 1 degenerates to the cap path (qGood -> 0 handled).
+	if c := WindowCRadioMalicious(1, 4); c != 64 {
+		t.Fatalf("p=1 radio window = %v, want 64 (cap)", c)
+	}
+}

@@ -1,0 +1,170 @@
+// Package anonymous implements the label-scheduled radio variants of
+// Simple-Omission sketched at the end of Section 2.1. The phase algorithm
+// assumes each node knows its index in a global enumeration; the paper
+// notes this can be replaced, in the radio model, by distinct labels from
+// a range [0, K−1]:
+//
+//   - if K is known, a node with label i transmits only in time steps
+//     ℓ·K + i for integers ℓ ≥ 0 (a TDMA cycle), so at most one node
+//     transmits per step and no collisions occur;
+//   - if K is unknown, label i transmits in steps p_i^k for k ≥ 1, where
+//     p_i is the i-th prime — unique factorization keeps the slots
+//     disjoint across labels without anyone knowing the label range.
+//
+// Unlike the phase algorithm, there is no enumeration: every informed
+// node transmits the source message in all of its slots, and (omission
+// failures only — content is trustworthy) receivers adopt anything they
+// hear. With K ≥ n slots per cycle, the message advances one hop per
+// cycle with probability ≥ 1−p, so O(K·(D + log n)) steps suffice; the
+// prime schedule trades that for slot times that grow geometrically, the
+// price of not knowing K (it exists to establish feasibility, as in the
+// paper).
+package anonymous
+
+import (
+	"fmt"
+	"math"
+
+	"faultcast/internal/graph"
+	"faultcast/internal/protocol"
+	"faultcast/internal/sim"
+)
+
+// ScheduleKind selects how labels map to transmission slots.
+type ScheduleKind int
+
+const (
+	// ModuloK: label i transmits in steps ℓK + i (K known to all nodes).
+	ModuloK ScheduleKind = iota
+	// PrimePowers: label i transmits in steps p_i^k (K unknown).
+	PrimePowers
+)
+
+func (k ScheduleKind) String() string {
+	if k == ModuloK {
+		return "modulo-K"
+	}
+	return "prime-powers"
+}
+
+// Proto holds the shared parameters. Nodes are anonymous in the sense of
+// the paper: they know only their own label (their id), the range bound K
+// (ModuloK only), n, and p — no global enumeration or topology knowledge.
+type Proto struct {
+	kind ScheduleKind
+	k    int // label range bound (ModuloK)
+	n    int
+}
+
+// New prepares the protocol for an n-node network. For ModuloK, k must be
+// at least the number of labels in use (node ids are the labels).
+func New(g *graph.Graph, kind ScheduleKind, k int) (*Proto, error) {
+	switch kind {
+	case ModuloK:
+		if k < g.N() {
+			return nil, fmt.Errorf("anonymous: label range K=%d below n=%d", k, g.N())
+		}
+	case PrimePowers:
+		if g.N() > len(smallPrimes) {
+			return nil, fmt.Errorf("anonymous: prime schedule supports up to %d labels", len(smallPrimes))
+		}
+	default:
+		return nil, fmt.Errorf("anonymous: unknown schedule kind %d", int(kind))
+	}
+	return &Proto{kind: kind, k: k, n: g.N()}, nil
+}
+
+// Rounds returns a horizon for the ModuloK schedule: a·K·(D + ceil(log2 n))
+// steps, the anonymous analogue of the flooding horizon (each hop needs an
+// expected 1/(1−p) cycles of length K).
+func (p *Proto) Rounds(d int, a float64) int {
+	if a <= 0 {
+		panic("anonymous: round multiplier must be positive")
+	}
+	lg := 1.0
+	if p.n > 1 {
+		lg = math.Ceil(math.Log2(float64(p.n)))
+	}
+	cycle := p.k
+	if p.kind == PrimePowers {
+		// The last label's first slot alone is p_n; the horizon must at
+		// least reach its first few powers. Callers supply `a` to scale.
+		cycle = int(smallPrimes[p.n-1])
+	}
+	r := int(a * float64(cycle) * (float64(d) + lg))
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// NewNode returns the protocol instance for the node with label id.
+func (p *Proto) NewNode(id int) sim.Node {
+	return &node{proto: p}
+}
+
+type node struct {
+	proto *Proto
+	env   *sim.Env
+	msg   []byte
+}
+
+func (n *node) Init(env *sim.Env) {
+	n.env = env
+	if env.IsSource() {
+		n.msg = env.SourceMsg
+	}
+}
+
+// slot reports whether this node's label owns the given time step.
+func (n *node) slot(round int) bool {
+	label := n.env.ID
+	switch n.proto.kind {
+	case ModuloK:
+		return round%n.proto.k == label
+	case PrimePowers:
+		// Steps are 1-indexed in the paper (p_i^k, k >= 1).
+		return isPowerOf(round+1, smallPrimes[label])
+	default:
+		return false
+	}
+}
+
+func (n *node) Transmit(round int) []sim.Transmission {
+	if n.msg == nil || !n.slot(round) {
+		return nil
+	}
+	return []sim.Transmission{{To: sim.Broadcast, Payload: n.msg}}
+}
+
+// Deliver adopts any non-default message: under omission failures all
+// content is genuine.
+func (n *node) Deliver(round, from int, payload []byte) {
+	if n.msg == nil && !protocol.IsDefault(payload) {
+		n.msg = append([]byte(nil), payload...)
+	}
+}
+
+func (n *node) Output() []byte { return n.msg }
+
+// isPowerOf reports whether v = p^k for some k >= 1.
+func isPowerOf(v int, p int64) bool {
+	if v < int(p) {
+		return false
+	}
+	x := int64(v)
+	for x%p == 0 {
+		x /= p
+	}
+	return x == 1
+}
+
+// smallPrimes are the first 64 primes — enough labels for every anonymous
+// test and demo (the prime schedule is an existence construction; its
+// slots grow geometrically, so large deployments use ModuloK).
+var smallPrimes = []int64{
+	2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53,
+	59, 61, 67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131,
+	137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199, 211, 223,
+	227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281, 283, 293, 307, 311,
+}

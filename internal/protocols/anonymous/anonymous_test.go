@@ -1,0 +1,171 @@
+package anonymous
+
+import (
+	"testing"
+
+	"faultcast/internal/graph"
+	"faultcast/internal/sim"
+	"faultcast/internal/stat"
+)
+
+var msg = []byte("M")
+
+func run(t *testing.T, g *graph.Graph, kind ScheduleKind, k int, p, a float64, seed uint64) (*sim.Result, *Proto) {
+	t.Helper()
+	proto, err := New(g, kind, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &sim.Config{
+		Graph: g, Model: sim.Radio, Fault: sim.Omission, P: p,
+		Source: 0, SourceMsg: msg,
+		NewNode: proto.NewNode, Rounds: proto.Rounds(g.Radius(0), a), Seed: seed,
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, proto
+}
+
+func TestModuloFaultFree(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.Line(8), graph.Star(6), graph.Grid(3, 3), graph.Ring(7)} {
+		res, _ := run(t, g, ModuloK, g.N(), 0, 2, 1)
+		if !res.Success {
+			t.Errorf("%v: fault-free modulo-K failed at node %d", g, res.FirstFailed)
+		}
+		if res.Stats.Collisions != 0 {
+			t.Errorf("%v: modulo-K produced %d collisions (labels are distinct mod K)", g, res.Stats.Collisions)
+		}
+	}
+}
+
+func TestModuloNoCollisionsEver(t *testing.T) {
+	// Even with K > n and faults, slots are exclusive, so the collision
+	// counter must stay zero.
+	g := graph.Grid(3, 4)
+	res, _ := run(t, g, ModuloK, 20, 0.4, 3, 7)
+	if res.Stats.Collisions != 0 {
+		t.Fatalf("collisions = %d", res.Stats.Collisions)
+	}
+}
+
+// TestModuloAlmostSafe: the anonymous schedule keeps Theorem 2.1 alive at
+// p = 0.5 with an O(K·(D+log n)) horizon.
+func TestModuloAlmostSafe(t *testing.T) {
+	g := graph.Line(16)
+	n := float64(g.N())
+	est := stat.Estimate(300, 50, func(seed uint64) bool {
+		res, _ := run(t, g, ModuloK, 16, 0.5, 6, seed)
+		return res.Success
+	})
+	lo, _ := est.Wilson(1.96)
+	if lo < 1-1/n {
+		t.Errorf("modulo-K p=0.5: %v, want >= %.4f", est, 1-1/n)
+	}
+}
+
+func TestModuloRejectsSmallK(t *testing.T) {
+	if _, err := New(graph.Line(8), ModuloK, 7); err == nil {
+		t.Fatal("K < n accepted")
+	}
+}
+
+func TestPrimeSlotsDisjoint(t *testing.T) {
+	// No two labels may ever own the same step (unique factorization).
+	owners := map[int]int{}
+	for label := 0; label < 10; label++ {
+		p := smallPrimes[label]
+		for v := int64(1); v <= 10000; v++ {
+			if isPowerOf(int(v), p) {
+				if prev, taken := owners[int(v)]; taken {
+					t.Fatalf("step %d owned by labels %d and %d", v, prev, label)
+				}
+				owners[int(v)] = label
+			}
+		}
+	}
+	if len(owners) == 0 {
+		t.Fatal("no slots found")
+	}
+}
+
+func TestIsPowerOf(t *testing.T) {
+	cases := []struct {
+		v    int
+		p    int64
+		want bool
+	}{
+		{2, 2, true}, {4, 2, true}, {1024, 2, true},
+		{6, 2, false}, {1, 2, false}, {0, 2, false},
+		{3, 3, true}, {27, 3, true}, {12, 3, false},
+		{25, 5, true}, {50, 5, false},
+	}
+	for _, tc := range cases {
+		if got := isPowerOf(tc.v, tc.p); got != tc.want {
+			t.Errorf("isPowerOf(%d, %d) = %v, want %v", tc.v, tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestPrimeFaultFreeSmallLine(t *testing.T) {
+	// Line(4): labels 0..3 use primes 2,3,5,7. The message must traverse
+	// 3 hops within the horizon; node i's slots are p_i^k, so the horizon
+	// needs to reach ~7^2. Rounds(d=3, a) covers it with a modest a.
+	g := graph.Line(4)
+	proto, err := New(g, PrimePowers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &sim.Config{
+		Graph: g, Model: sim.Radio, Fault: sim.NoFaults,
+		Source: 0, SourceMsg: msg,
+		NewNode: proto.NewNode, Rounds: 400, Seed: 1,
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success {
+		t.Fatalf("prime schedule fault-free failed at node %d (outputs %q)", res.FirstFailed, res.Outputs)
+	}
+	if res.Stats.Collisions != 0 {
+		t.Fatalf("prime schedule collided %d times", res.Stats.Collisions)
+	}
+}
+
+func TestPrimeUnderFaults(t *testing.T) {
+	g := graph.Line(3)
+	proto, err := New(g, PrimePowers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := stat.Estimate(200, 90, func(seed uint64) bool {
+		cfg := &sim.Config{
+			Graph: g, Model: sim.Radio, Fault: sim.Omission, P: 0.3,
+			Source: 0, SourceMsg: msg,
+			NewNode: proto.NewNode, Rounds: 3000, Seed: seed,
+		}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			t.Error(err)
+			return false
+		}
+		return res.Success
+	})
+	if est.Rate() < 0.9 {
+		t.Errorf("prime schedule at p=0.3: %v", est)
+	}
+}
+
+func TestPrimeRejectsTooManyLabels(t *testing.T) {
+	if _, err := New(graph.Line(100), PrimePowers, 0); err == nil {
+		t.Fatal("100 labels accepted for the prime schedule")
+	}
+}
+
+func TestScheduleKindString(t *testing.T) {
+	if ModuloK.String() == "" || PrimePowers.String() == "" {
+		t.Fatal("empty kind strings")
+	}
+}

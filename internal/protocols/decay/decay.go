@@ -1,0 +1,93 @@
+// Package decay implements a randomized Decay-style broadcast baseline
+// for the radio model, in the spirit of Bar-Yehuda, Goldreich & Itai
+// (the paper's reference [7]). It is NOT one of the paper's algorithms —
+// those are deterministic and rely on centrally precomputed schedules —
+// but serves as the natural topology-oblivious comparison point for the
+// Theorem 3.4 algorithms: it needs no spanning tree, no schedule, and no
+// labels, paying instead with randomization and a log-factor of expected
+// collisions.
+//
+// Time is divided into epochs of ⌈log2 n⌉ + 1 steps. In step j of every
+// epoch (j = 0, 1, ...), each informed node transmits the message
+// independently with probability 2^(−j). Whatever a node's neighborhood
+// density, some step's transmission probability is within a factor 2 of
+// 1/(#informed neighbors), giving each uninformed node a constant
+// per-epoch chance to hear exactly one transmitter. Node-omission
+// failures merely scale that chance by (1−p).
+//
+// Content is trustworthy under omission failures, so receivers adopt
+// anything they hear. The protocol is unsuitable for malicious failures
+// as implemented (no voting) and the constructor rejects them is left to
+// callers — the experiment harness only runs it under omission.
+package decay
+
+import (
+	"math"
+
+	"faultcast/internal/graph"
+	"faultcast/internal/sim"
+)
+
+// Proto holds the epoch parameters.
+type Proto struct {
+	epochLen int
+	n        int
+}
+
+// New prepares the protocol for an n-node graph.
+func New(g *graph.Graph) *Proto {
+	n := g.N()
+	epochLen := 1
+	if n > 1 {
+		epochLen = int(math.Ceil(math.Log2(float64(n)))) + 1
+	}
+	return &Proto{epochLen: epochLen, n: n}
+}
+
+// EpochLen returns the epoch length ⌈log2 n⌉ + 1.
+func (p *Proto) EpochLen() int { return p.epochLen }
+
+// Rounds returns a horizon of `epochs` full epochs.
+func (p *Proto) Rounds(epochs int) int {
+	if epochs < 1 {
+		panic("decay: need at least one epoch")
+	}
+	return epochs * p.epochLen
+}
+
+// NewNode returns the protocol instance for node id.
+func (p *Proto) NewNode(id int) sim.Node {
+	return &node{proto: p}
+}
+
+type node struct {
+	proto *Proto
+	env   *sim.Env
+	msg   []byte
+}
+
+func (n *node) Init(env *sim.Env) {
+	n.env = env
+	if env.IsSource() {
+		n.msg = env.SourceMsg
+	}
+}
+
+func (n *node) Transmit(round int) []sim.Transmission {
+	if n.msg == nil {
+		return nil
+	}
+	j := round % n.proto.epochLen
+	if !n.env.Rand.Bernoulli(math.Pow(0.5, float64(j))) {
+		return nil
+	}
+	return []sim.Transmission{{To: sim.Broadcast, Payload: n.msg}}
+}
+
+func (n *node) Deliver(round, from int, payload []byte) {
+	if n.msg == nil {
+		n.msg = append([]byte(nil), payload...)
+	}
+}
+
+func (n *node) Output() []byte { return n.msg }

@@ -1,0 +1,151 @@
+package flooding
+
+import (
+	"testing"
+
+	"faultcast/internal/graph"
+	"faultcast/internal/sim"
+	"faultcast/internal/stat"
+)
+
+func estimate(t *testing.T, g *graph.Graph, p, a float64, trials int) stat.Proportion {
+	t.Helper()
+	proto := New(g, 0)
+	return stat.Estimate(trials, 300, func(seed uint64) bool {
+		cfg := &sim.Config{
+			Graph: g, Model: sim.MessagePassing, Fault: sim.Omission, P: p,
+			Source: 0, SourceMsg: []byte("MSG"),
+			NewNode: proto.NewNode, Rounds: proto.Rounds(a), Seed: seed,
+		}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			t.Error(err)
+			return false
+		}
+		return res.Success
+	})
+}
+
+func TestFaultFreeCompletesInRadius(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.Line(12), graph.Grid(4, 5), graph.KaryTree(31, 2)} {
+		proto := New(g, 0)
+		cfg := &sim.Config{
+			Graph: g, Model: sim.MessagePassing, Fault: sim.NoFaults,
+			Source: 0, SourceMsg: []byte("MSG"),
+			NewNode: proto.NewNode, Rounds: g.Radius(0), Seed: 1,
+			TrackCompletion: true,
+		}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Success {
+			t.Errorf("%v: fault-free flood failed", g)
+		}
+		if res.CompletedRound != g.Radius(0)-1 {
+			t.Errorf("%v: completed round %d, want %d", g, res.CompletedRound, g.Radius(0)-1)
+		}
+	}
+}
+
+// TestLemma31Line: on a line with omission failures, O(L) rounds of
+// simultaneous transmission deliver the message to all with probability
+// approaching 1 — the Diks–Pelc lemma the paper builds on.
+func TestLemma31Line(t *testing.T) {
+	g := graph.Line(32)
+	est := estimate(t, g, 0.5, 4, 300)
+	n := float64(g.N())
+	lo, _ := est.Wilson(1.96)
+	if lo < 1-1/n {
+		t.Errorf("line flood: success %v, want >= %.4f", est, 1-1/n)
+	}
+}
+
+// TestTheorem31Tree: general graph via BFS tree, p = 0.5, time
+// a·(D + log n) — almost-safe.
+func TestTheorem31Tree(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.Grid(6, 6), graph.KaryTree(63, 2), graph.Caterpillar(12, 2)} {
+		est := estimate(t, g, 0.5, 5, 300)
+		n := float64(g.N())
+		lo, _ := est.Wilson(1.96)
+		if lo < 1-1/n {
+			t.Errorf("%v: success %v, want >= %.4f", g, est, 1-1/n)
+		}
+	}
+}
+
+// TestTooFewRoundsFails: with a << 1 the flood cannot even cover the
+// radius, so it must fail.
+func TestTooFewRoundsFails(t *testing.T) {
+	g := graph.Line(64)
+	proto := New(g, 0)
+	cfg := &sim.Config{
+		Graph: g, Model: sim.MessagePassing, Fault: sim.Omission, P: 0.5,
+		Source: 0, SourceMsg: []byte("MSG"),
+		NewNode: proto.NewNode, Rounds: 10, Seed: 9,
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Success {
+		t.Fatal("10 rounds cannot flood line(64)")
+	}
+}
+
+func TestRoundsFormula(t *testing.T) {
+	g := graph.Line(16) // D = 15, log2 16 = 4
+	proto := New(g, 0)
+	if got := proto.Rounds(1); got != 19 {
+		t.Fatalf("Rounds(1) = %d, want 19", got)
+	}
+	if got := proto.Rounds(2); got != 38 {
+		t.Fatalf("Rounds(2) = %d, want 38", got)
+	}
+}
+
+func TestRoundsPanicsOnBadMultiplier(t *testing.T) {
+	proto := New(graph.Line(4), 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Rounds(0) did not panic")
+		}
+	}()
+	proto.Rounds(0)
+}
+
+// TestCompletionTimeScalesLinearly fits measured completion time against
+// D + log n across line lengths and checks the fit is strongly linear —
+// the Θ(D + log n) shape of Theorem 3.1.
+func TestCompletionTimeScalesLinearly(t *testing.T) {
+	var xs, ys []float64
+	for _, n := range []int{16, 32, 64, 128} {
+		g := graph.Line(n)
+		proto := New(g, 0)
+		mean, _, failed := stat.MeanStd(60, 40, func(seed uint64) (float64, bool) {
+			cfg := &sim.Config{
+				Graph: g, Model: sim.MessagePassing, Fault: sim.Omission, P: 0.5,
+				Source: 0, SourceMsg: []byte("MSG"),
+				NewNode: proto.NewNode, Rounds: proto.Rounds(6), Seed: seed,
+				TrackCompletion: true,
+			}
+			res, err := sim.Run(cfg)
+			if err != nil || !res.Success {
+				return 0, false
+			}
+			return float64(res.CompletedRound + 1), true
+		})
+		if failed > 6 {
+			t.Fatalf("line(%d): %d of 60 trials failed", n, failed)
+		}
+		xs = append(xs, float64(g.Radius(0)))
+		ys = append(ys, mean)
+	}
+	slope, _, r2 := stat.LinearFit(xs, ys)
+	if r2 < 0.99 {
+		t.Errorf("completion time not linear in D: R² = %.4f (times %v)", r2, ys)
+	}
+	if slope < 1 || slope > 4 {
+		t.Errorf("slope %.2f outside the expected constant range [1,4]", slope)
+	}
+}

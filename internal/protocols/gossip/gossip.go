@@ -1,0 +1,143 @@
+// Package gossip extends the broadcasting library to almost-safe
+// GOSSIPING — the all-to-all primitive of Diks & Pelc, "Almost safe
+// gossiping in bounded degree networks" (the paper's reference [13] and
+// the source of its Lemma 3.1). Every node starts with its own rumor and
+// must learn everyone's.
+//
+// The algorithm is the natural extension of the Theorem 3.1 flood: on a
+// BFS tree, every node transmits its entire known rumor set to its parent
+// and all children in every round (the message passing model allows
+// arbitrary messages). Known sets only grow, and under node-omission
+// failures all content is genuine, so each tree edge forwards each rumor
+// with success probability 1−p per round; rumors travel ≤ 2D tree hops
+// (up to the root, back down), giving completion in O(D + log n) rounds
+// with probability 1 − 1/n for suitable constants — the gossip analogue
+// of Theorem 3.1.
+//
+// The engine's success criterion (every Output equals Config.SourceMsg)
+// is reused by setting the source message to the digest of ALL rumors:
+// a node's Output is the digest of its known set, which equals the full
+// digest exactly when it has learned everything.
+package gossip
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"faultcast/internal/graph"
+	"faultcast/internal/sim"
+)
+
+// Rumor returns node id's initial rumor.
+func Rumor(id int) string { return fmt.Sprintf("r%d", id) }
+
+// FullDigest returns the digest of all n rumors — pass it as
+// sim.Config.SourceMsg so the engine's success check means "everyone
+// knows everything".
+func FullDigest(n int) []byte {
+	rumors := make([]string, n)
+	for i := range rumors {
+		rumors[i] = Rumor(i)
+	}
+	return digest(rumors)
+}
+
+// digest canonically encodes a rumor set (sorted, comma-joined).
+func digest(rumors []string) []byte {
+	sorted := append([]string(nil), rumors...)
+	sort.Strings(sorted)
+	return []byte(strings.Join(sorted, ","))
+}
+
+// Proto holds the precomputed BFS tree.
+type Proto struct {
+	tree *graph.Tree
+}
+
+// New prepares gossiping over a BFS tree of g rooted at root (any vertex;
+// the root only shapes the tree).
+func New(g *graph.Graph, root int) *Proto {
+	return &Proto{tree: graph.BFSTree(g, root)}
+}
+
+// Rounds returns the horizon a·(2D + ceil(log2 n)): rumors cross at most
+// 2D tree edges, each retried until a fault-free round.
+func (p *Proto) Rounds(a float64) int {
+	if a <= 0 {
+		panic("gossip: round multiplier must be positive")
+	}
+	n := p.tree.N()
+	lg := 1.0
+	if n > 1 {
+		lg = math.Ceil(math.Log2(float64(n)))
+	}
+	r := int(math.Ceil(a * (2*float64(p.tree.Height()) + lg)))
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// NewNode returns the protocol instance for node id.
+func (p *Proto) NewNode(id int) sim.Node {
+	return &node{proto: p, known: make(map[string]bool)}
+}
+
+type node struct {
+	proto *Proto
+	env   *sim.Env
+	known map[string]bool
+	// cache invalidation: encoded is rebuilt only when the set grows.
+	encoded []byte
+	dirty   bool
+}
+
+func (n *node) Init(env *sim.Env) {
+	n.env = env
+	n.known[Rumor(env.ID)] = true
+	n.dirty = true
+}
+
+// payload returns the canonical encoding of the known set.
+func (n *node) payload() []byte {
+	if n.dirty {
+		rumors := make([]string, 0, len(n.known))
+		for r := range n.known {
+			rumors = append(rumors, r)
+		}
+		n.encoded = digest(rumors)
+		n.dirty = false
+	}
+	return n.encoded
+}
+
+// Transmit sends the full known set to the parent and every child, every
+// round.
+func (n *node) Transmit(round int) []sim.Transmission {
+	payload := n.payload()
+	var ts []sim.Transmission
+	if parent := n.proto.tree.Parent[n.env.ID]; parent != -1 {
+		ts = append(ts, sim.Transmission{To: parent, Payload: payload})
+	}
+	for _, c := range n.proto.tree.Children[n.env.ID] {
+		ts = append(ts, sim.Transmission{To: c, Payload: payload})
+	}
+	return ts
+}
+
+// Deliver unions the received rumor set into the known set. Under
+// omission failures all content is genuine.
+func (n *node) Deliver(round, from int, payload []byte) {
+	for _, r := range strings.Split(string(payload), ",") {
+		if r != "" && !n.known[r] {
+			n.known[r] = true
+			n.dirty = true
+		}
+	}
+}
+
+// Output returns the digest of the known set; it equals FullDigest(n)
+// exactly when this node has learned every rumor.
+func (n *node) Output() []byte { return n.payload() }

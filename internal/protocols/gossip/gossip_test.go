@@ -1,0 +1,138 @@
+package gossip
+
+import (
+	"bytes"
+	"testing"
+
+	"faultcast/internal/graph"
+	"faultcast/internal/sim"
+	"faultcast/internal/stat"
+)
+
+func config(g *graph.Graph, p, a float64, seed uint64) *sim.Config {
+	proto := New(g, 0)
+	return &sim.Config{
+		Graph: g, Model: sim.MessagePassing, Fault: sim.Omission, P: p,
+		Source: 0, SourceMsg: FullDigest(g.N()),
+		NewNode: proto.NewNode, Rounds: proto.Rounds(a), Seed: seed,
+	}
+}
+
+func TestFullDigestShape(t *testing.T) {
+	d := FullDigest(3)
+	if string(d) != "r0,r1,r2" {
+		t.Fatalf("digest = %q", d)
+	}
+	if Rumor(7) != "r7" {
+		t.Fatalf("rumor = %q", Rumor(7))
+	}
+}
+
+func TestFaultFreeGossip(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.Line(10), graph.Star(8), graph.Grid(4, 4), graph.Ring(9)} {
+		res, err := sim.Run(config(g, 0, 1, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Success {
+			t.Errorf("%v: fault-free gossip failed at node %d (output %q)",
+				g, res.FirstFailed, res.Outputs[res.FirstFailed])
+		}
+	}
+}
+
+func TestFaultFreeCompletesIn2D(t *testing.T) {
+	g := graph.Line(12)
+	cfg := config(g, 0, 1, 1)
+	cfg.TrackCompletion = true
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success {
+		t.Fatal("gossip failed")
+	}
+	// Rumors from the two line endpoints must cross all 11 edges: the
+	// last node learns the far rumor at round 10 (0-indexed).
+	if res.CompletedRound+1 != g.Radius(0) {
+		t.Fatalf("completed in %d rounds, want %d", res.CompletedRound+1, g.Radius(0))
+	}
+}
+
+// TestAlmostSafeGossip is the [13]-shaped claim: gossip at p = 0.5 in
+// O(D + log n) rounds succeeds with probability >= 1 - 1/n.
+func TestAlmostSafeGossip(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.Line(24), graph.Grid(5, 5)} {
+		n := float64(g.N())
+		est := stat.Estimate(200, 31, func(seed uint64) bool {
+			res, err := sim.Run(config(g, 0.5, 5, seed))
+			if err != nil {
+				t.Error(err)
+				return false
+			}
+			return res.Success
+		})
+		lo, _ := est.Wilson(1.96)
+		if lo < 1-1/n {
+			t.Errorf("%v: gossip at p=0.5: %v, want >= %.4f", g, est, 1-1/n)
+		}
+	}
+}
+
+func TestPartialKnowledgeIsVisible(t *testing.T) {
+	// Stop long before completion: some node must still be ignorant.
+	g := graph.Line(16)
+	cfg := config(g, 0, 1, 1)
+	cfg.Rounds = 3
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Success {
+		t.Fatal("3 rounds cannot gossip line(16)")
+	}
+	// Node 0 after 3 rounds knows exactly rumors of 0..3.
+	if got := string(res.Outputs[0]); got != "r0,r1,r2,r3" {
+		t.Fatalf("node 0 knows %q", got)
+	}
+}
+
+func TestRumorSetsMonotone(t *testing.T) {
+	// Under faults the output only grows; verify via successive horizons
+	// on the same seed.
+	g := graph.Grid(3, 3)
+	prev := 0
+	for _, rounds := range []int{1, 3, 6, 12} {
+		cfg := config(g, 0.3, 1, 9)
+		cfg.Rounds = rounds
+		res, err := sim.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur := len(bytes.Split(res.Outputs[4], []byte(",")))
+		if cur < prev {
+			t.Fatalf("rumor count shrank: %d -> %d at rounds=%d", prev, cur, rounds)
+		}
+		prev = cur
+	}
+}
+
+func TestRoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Rounds(0) did not panic")
+		}
+	}()
+	New(graph.Line(3), 0).Rounds(0)
+}
+
+func TestSingleNodeGossip(t *testing.T) {
+	g := graph.Line(1)
+	res, err := sim.Run(config(g, 0.5, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success {
+		t.Fatal("single node gossip should trivially succeed")
+	}
+}

@@ -1,0 +1,141 @@
+package radiorepeat
+
+import (
+	"testing"
+
+	"faultcast/internal/adversary"
+	"faultcast/internal/graph"
+	"faultcast/internal/radio"
+	"faultcast/internal/sim"
+	"faultcast/internal/stat"
+)
+
+var msg = []byte("1")
+
+func mkProto(t *testing.T, g *graph.Graph, s *radio.Schedule, v Variant, c float64) *Proto {
+	t.Helper()
+	p, err := New(g, 0, s, v, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func estimate(t *testing.T, g *graph.Graph, s *radio.Schedule, v Variant, fault sim.FaultType, adv sim.Adversary, p, c float64, trials int) stat.Proportion {
+	t.Helper()
+	proto := mkProto(t, g, s, v, c)
+	return stat.Estimate(trials, 700, func(seed uint64) bool {
+		cfg := &sim.Config{
+			Graph: g, Model: sim.Radio, Fault: fault, P: p,
+			Source: 0, SourceMsg: msg,
+			NewNode: proto.NewNode, Rounds: proto.Rounds(), Seed: seed,
+			Adversary: adv,
+		}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			t.Error(err)
+			return false
+		}
+		return res.Success
+	})
+}
+
+func TestFaultFreeBothVariants(t *testing.T) {
+	cases := []struct {
+		g *graph.Graph
+		s *radio.Schedule
+	}{
+		{graph.Line(10), radio.LineSchedule(10)},
+		{graph.Layered(4), radio.LayeredSchedule(4)},
+		{graph.Grid(4, 4), radio.Greedy(graph.Grid(4, 4), 0)},
+	}
+	for _, tc := range cases {
+		for _, v := range []Variant{OmissionVariant, MaliciousVariant} {
+			proto := mkProto(t, tc.g, tc.s, v, 2)
+			cfg := &sim.Config{
+				Graph: tc.g, Model: sim.Radio, Fault: sim.NoFaults,
+				Source: 0, SourceMsg: msg,
+				NewNode: proto.NewNode, Rounds: proto.Rounds(), Seed: 1,
+			}
+			res, err := sim.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Success {
+				t.Errorf("%v/%v fault-free failed at node %d", tc.g, v, res.FirstFailed)
+			}
+		}
+	}
+}
+
+// TestOmissionRadioAlmostSafe is Theorem 3.4 part 1: Omission-Radio is
+// almost-safe for any p < 1, in time |A|·m.
+func TestOmissionRadioAlmostSafe(t *testing.T) {
+	g := graph.Layered(4) // n = 20
+	s := radio.LayeredSchedule(4)
+	n := float64(g.N())
+	est := estimate(t, g, s, OmissionVariant, sim.Omission, nil, 0.6, 6, 300)
+	lo, _ := est.Wilson(1.96)
+	if lo < 1-1/n {
+		t.Errorf("omission-radio p=0.6: %v, want >= %.4f", est, 1-1/n)
+	}
+}
+
+// TestMaliciousRadioAlmostSafeBelowThreshold is Theorem 3.4 part 2 on a
+// bounded-degree graph with p below the (1−p)^(Δ+1) fixed point.
+func TestMaliciousRadioAlmostSafeBelowThreshold(t *testing.T) {
+	g := graph.Line(12) // Δ=2, p* ≈ 0.276
+	s := radio.LineSchedule(12)
+	p := stat.RadioThreshold(g.MaxDegree()) * 0.45
+	n := float64(g.N())
+	est := estimate(t, g, s, MaliciousVariant, sim.Malicious,
+		adversary.Flip{Wrong: []byte("0")}, p, 10, 300)
+	lo, _ := est.Wilson(1.96)
+	if lo < 1-1/n {
+		t.Errorf("malicious-radio p=%.3f: %v, want >= %.4f", p, est, 1-1/n)
+	}
+}
+
+// TestOmissionVariantSmallWindowFails: with m=1 and large p the repetition
+// buys nothing and the broadcast usually dies.
+func TestOmissionVariantSmallWindowFails(t *testing.T) {
+	g := graph.Line(16)
+	s := radio.LineSchedule(16)
+	est := estimate(t, g, s, OmissionVariant, sim.Omission, nil, 0.7, 0.25, 200)
+	if est.Rate() > 0.3 {
+		t.Errorf("m=1 at p=0.7 should usually fail, got %v", est)
+	}
+}
+
+func TestRejectsIncompleteSchedule(t *testing.T) {
+	g := graph.Line(5)
+	if _, err := New(g, 0, &radio.Schedule{Steps: [][]int{{0}}}, OmissionVariant, 2); err == nil {
+		t.Fatal("incomplete schedule accepted")
+	}
+}
+
+func TestRoundsFormula(t *testing.T) {
+	g := graph.Line(8)
+	s := radio.LineSchedule(8)
+	proto := mkProto(t, g, s, OmissionVariant, 2)
+	if proto.WindowLen() != 6 { // ceil(2·log2 8)
+		t.Fatalf("m = %d, want 6", proto.WindowLen())
+	}
+	if proto.Rounds() != 7*6 {
+		t.Fatalf("rounds = %d, want 42", proto.Rounds())
+	}
+}
+
+// TestGreedyScheduleUnderFaults: the full pipeline (greedy scheduler →
+// malicious-radio) on a small bounded-degree graph below threshold.
+func TestGreedyScheduleUnderFaults(t *testing.T) {
+	g := graph.Grid(3, 3) // Δ = 4
+	s := radio.Greedy(g, 0)
+	p := stat.RadioThreshold(g.MaxDegree()) * 0.4
+	n := float64(g.N())
+	est := estimate(t, g, s, MaliciousVariant, sim.Malicious,
+		adversary.Flip{Wrong: []byte("0")}, p, 10, 300)
+	if est.Rate() < 1-1/n {
+		t.Errorf("grid malicious-radio p=%.4f: %v", p, est)
+	}
+}

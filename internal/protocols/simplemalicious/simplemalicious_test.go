@@ -1,0 +1,144 @@
+package simplemalicious
+
+import (
+	"bytes"
+	"testing"
+
+	"faultcast/internal/adversary"
+	"faultcast/internal/graph"
+	"faultcast/internal/sim"
+	"faultcast/internal/stat"
+)
+
+var msg = []byte("1")
+
+func estimate(t *testing.T, g *graph.Graph, model sim.Model, adv sim.Adversary, p, c float64, trials int) stat.Proportion {
+	t.Helper()
+	proto := New(g, 0, model, c)
+	return stat.Estimate(trials, 500, func(seed uint64) bool {
+		cfg := &sim.Config{
+			Graph: g, Model: model, Fault: sim.Malicious, P: p,
+			Source: 0, SourceMsg: msg,
+			NewNode: proto.NewNode, Rounds: proto.Rounds(), Seed: seed,
+			Adversary: adv,
+		}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			t.Error(err)
+			return false
+		}
+		return res.Success
+	})
+}
+
+func TestFaultFree(t *testing.T) {
+	for _, model := range []sim.Model{sim.MessagePassing, sim.Radio} {
+		for _, g := range []*graph.Graph{graph.Line(8), graph.KaryTree(15, 2), graph.Star(6)} {
+			proto := New(g, 0, model, 1)
+			cfg := &sim.Config{
+				Graph: g, Model: model, Fault: sim.NoFaults,
+				Source: 0, SourceMsg: msg,
+				NewNode: proto.NewNode, Rounds: proto.Rounds(), Seed: 1,
+			}
+			res, err := sim.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Success {
+				t.Errorf("%v/%v fault-free Simple-Malicious failed at node %d", g, model, res.FirstFailed)
+			}
+		}
+	}
+}
+
+// TestTheorem22BelowThreshold: message passing, p < 1/2, flipping
+// adversary — success rate must clear 1 − 1/n.
+func TestTheorem22BelowThreshold(t *testing.T) {
+	g := graph.KaryTree(15, 2)
+	n := float64(g.N())
+	// c=12 gives m=48: per-node vote error P(Bin(48,0.3) >= 24) ~ 2e-3,
+	// comfortably under the 1/n² the Chernoff argument needs.
+	est := estimate(t, g, sim.MessagePassing, adversary.Flip{Wrong: []byte("0")}, 0.3, 12, 300)
+	lo, _ := est.Wilson(1.96)
+	if lo < 1-1/n {
+		t.Errorf("p=0.3 below threshold: success %v, want >= %.4f", est, 1-1/n)
+	}
+}
+
+// TestMessagePassingIgnoresNonParent: an out-of-turn adversary shouting on
+// every faulty node must not poison votes, because MP receivers only count
+// the parent link.
+func TestMessagePassingIgnoresNonParent(t *testing.T) {
+	g := graph.Complete(8) // every node hears every faulty node
+	n := float64(g.N())
+	est := estimate(t, g, sim.MessagePassing, adversary.OutOfTurn{Noise: []byte("0")}, 0.3, 8, 200)
+	if est.Rate() < 1-1/n {
+		t.Errorf("out-of-turn noise poisoned MP votes: %v", est)
+	}
+}
+
+// TestTheorem24RadioBelowThreshold: radio, bounded degree, p below
+// (1−p)^(Δ+1) fixed point — almost-safe.
+func TestTheorem24RadioBelowThreshold(t *testing.T) {
+	g := graph.Line(12) // Δ = 2, p* ≈ 0.276
+	pStar := stat.RadioThreshold(g.MaxDegree())
+	p := pStar * 0.5
+	est := estimate(t, g, sim.Radio, adversary.Flip{Wrong: []byte("0")}, p, 10, 300)
+	n := float64(g.N())
+	lo, _ := est.Wilson(1.96)
+	if lo < 1-1/n {
+		t.Errorf("radio p=%.3f < p*=%.3f: success %v, want >= %.4f", p, pStar, est, 1-1/n)
+	}
+}
+
+// TestRadioAboveThresholdDegrades: on a high-degree star above the
+// threshold, the out-of-turn adversary jams and flips enough windows that
+// almost-safety fails by a wide margin.
+func TestRadioAboveThresholdDegrades(t *testing.T) {
+	g := graph.Star(10) // Δ = 9, p* ≈ small
+	pStar := stat.RadioThreshold(g.MaxDegree())
+	p := 0.45 // far above p*
+	if p <= pStar {
+		t.Fatalf("test broken: p %v <= p* %v", p, pStar)
+	}
+	est := estimate(t, g, sim.Radio, adversary.OutOfTurn{Noise: []byte("0")}, p, 6, 200)
+	n := float64(g.N())
+	if est.Rate() >= 1-1/n {
+		t.Errorf("radio far above threshold still almost-safe: %v", est)
+	}
+}
+
+func TestOutputBeforeCommitIsBestBelief(t *testing.T) {
+	// A run truncated before the node's listening window closes: Output
+	// falls back to the current tally.
+	g := graph.Line(3)
+	proto := New(g, 0, sim.MessagePassing, 4)
+	cfg := &sim.Config{
+		Graph: g, Model: sim.MessagePassing, Fault: sim.NoFaults,
+		Source: 0, SourceMsg: msg,
+		NewNode: proto.NewNode,
+		Rounds:  proto.WindowLen(), // source phase only
+		Seed:    1,
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 1 listened through phase 0 and has votes; node 2 heard nothing.
+	if !bytes.Equal(res.Outputs[1], msg) {
+		t.Errorf("node 1 best belief = %q, want %q", res.Outputs[1], msg)
+	}
+	if res.Outputs[2] != nil {
+		t.Errorf("node 2 output = %q, want nil", res.Outputs[2])
+	}
+}
+
+func TestCrashAdversaryEquivalentToOmission(t *testing.T) {
+	// With a crash adversary the protocol must do at least as well as
+	// under omission: success at p=0.4, c=8 on a small tree.
+	g := graph.KaryTree(7, 2)
+	est := estimate(t, g, sim.MessagePassing, adversary.Crash{}, 0.4, 8, 200)
+	if est.Rate() < 1-1.0/7 {
+		t.Errorf("crash adversary: %v", est)
+	}
+}

@@ -1,0 +1,107 @@
+// Package simpleomission implements Algorithm Simple-Omission (Section 2.1
+// of the paper): broadcasting along a spanning tree where, for i = 1..n,
+// phase i consists of m = ceil(c·log n) steps in which node v_i transmits
+// the source message (or the default "0" if it has not received it) while
+// all other nodes remain silent.
+//
+// Because only one node transmits per step, the same algorithm runs
+// unchanged in the message passing and the radio model, establishing
+// Theorem 2.1: almost-safe broadcasting is feasible for any p < 1 under
+// node-omission failures in both models.
+package simpleomission
+
+import (
+	"faultcast/internal/graph"
+	"faultcast/internal/protocol"
+	"faultcast/internal/sim"
+)
+
+// Proto holds the centrally precomputed structures shared by all node
+// instances: the spanning tree, the level-respecting enumeration v_1..v_n,
+// and the window length m. The paper allows this preprocessing ("construct
+// and fix a spanning tree of the network rooted at the source... This can
+// be done centrally").
+type Proto struct {
+	tree  *graph.Tree
+	model sim.Model
+	m     int
+	pos   []int // pos[v] = 0-based index of v in the enumeration
+}
+
+// New prepares the protocol for the given graph, source, model, and window
+// constant c (the paper's c, chosen so that p^(c·log n) < 1/n²).
+func New(g *graph.Graph, source int, model sim.Model, c float64) *Proto {
+	tree := graph.BFSTree(g, source)
+	pos := make([]int, g.N())
+	for i, v := range tree.Order() {
+		pos[v] = i
+	}
+	return &Proto{
+		tree:  tree,
+		model: model,
+		m:     protocol.WindowLen(c, g.N()),
+		pos:   pos,
+	}
+}
+
+// WindowLen returns the per-phase window length m.
+func (p *Proto) WindowLen() int { return p.m }
+
+// Rounds returns the total running time n·m of the algorithm.
+func (p *Proto) Rounds() int { return p.tree.N() * p.m }
+
+// NewNode returns the protocol instance for node id; pass this method as
+// sim.Config.NewNode.
+func (p *Proto) NewNode(id int) sim.Node {
+	return &node{proto: p}
+}
+
+type node struct {
+	proto *Proto
+	env   *sim.Env
+	msg   []byte // the source message once known, nil before
+}
+
+func (n *node) Init(env *sim.Env) {
+	n.env = env
+	if env.IsSource() {
+		n.msg = env.SourceMsg
+	}
+}
+
+// Transmit implements the phase structure: node v_i transmits during phase
+// i only. In the message passing model "transmit" means sending to each
+// child in the tree; in the radio model it is a single broadcast.
+func (n *node) Transmit(round int) []sim.Transmission {
+	phase := round / n.proto.m
+	if phase != n.proto.pos[n.env.ID] {
+		return nil
+	}
+	payload := n.msg
+	if payload == nil {
+		payload = protocol.Default // "or 0 if it has not received Ms"
+	}
+	if n.proto.model == sim.Radio {
+		return []sim.Transmission{{To: sim.Broadcast, Payload: payload}}
+	}
+	children := n.proto.tree.Children[n.env.ID]
+	ts := make([]sim.Transmission, len(children))
+	for i, c := range children {
+		ts[i] = sim.Transmission{To: c, Payload: payload}
+	}
+	return ts
+}
+
+// Deliver adopts the first non-default message heard. Under node-omission
+// failures every delivered message is a genuine belief of its sender, and
+// beliefs are always either the true source message or the default, so
+// adopting any non-default message is safe. (The default marker exists so
+// an uninformed v_i can still "transmit 0" as the paper specifies without
+// corrupting its children.)
+func (n *node) Deliver(round, from int, payload []byte) {
+	if n.msg == nil && !protocol.IsDefault(payload) {
+		n.msg = append([]byte(nil), payload...)
+	}
+}
+
+func (n *node) Output() []byte { return n.msg }

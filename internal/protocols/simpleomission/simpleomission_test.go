@@ -1,0 +1,148 @@
+package simpleomission
+
+import (
+	"testing"
+
+	"faultcast/internal/graph"
+	"faultcast/internal/sim"
+	"faultcast/internal/stat"
+)
+
+func runOnce(t *testing.T, g *graph.Graph, model sim.Model, p float64, c float64, seed uint64) bool {
+	t.Helper()
+	proto := New(g, 0, model, c)
+	cfg := &sim.Config{
+		Graph: g, Model: model, Fault: sim.Omission, P: p,
+		Source: 0, SourceMsg: []byte("MSG"),
+		NewNode: proto.NewNode, Rounds: proto.Rounds(), Seed: seed,
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Success
+}
+
+func TestFaultFreeAlwaysSucceeds(t *testing.T) {
+	for _, model := range []sim.Model{sim.MessagePassing, sim.Radio} {
+		for _, g := range []*graph.Graph{
+			graph.Line(8), graph.Star(8), graph.KaryTree(15, 2), graph.Grid(3, 4),
+		} {
+			if !runOnce(t, g, model, 0, 1, 1) {
+				t.Errorf("%v/%v: fault-free Simple-Omission failed", g, model)
+			}
+		}
+	}
+}
+
+// TestAlmostSafeBothModels is the Theorem 2.1 check in miniature: at
+// p = 0.5 with a sufficient window constant, the success rate exceeds
+// 1 - 1/n in both communication models.
+func TestAlmostSafeBothModels(t *testing.T) {
+	g := graph.KaryTree(31, 2)
+	n := float64(g.N())
+	for _, model := range []sim.Model{sim.MessagePassing, sim.Radio} {
+		proto := New(g, 0, model, 4) // c=4: p^m = 0.5^20 ≪ 1/n²
+		est := stat.Estimate(300, 1000, func(seed uint64) bool {
+			cfg := &sim.Config{
+				Graph: g, Model: model, Fault: sim.Omission, P: 0.5,
+				Source: 0, SourceMsg: []byte("MSG"),
+				NewNode: proto.NewNode, Rounds: proto.Rounds(), Seed: seed,
+			}
+			res, err := sim.Run(cfg)
+			if err != nil {
+				t.Error(err)
+				return false
+			}
+			return res.Success
+		})
+		lo, _ := est.Wilson(1.96)
+		if lo < 1-1/n {
+			t.Errorf("%v: success %v, lower bound %.4f < 1-1/n = %.4f", model, est, lo, 1-1/n)
+		}
+	}
+}
+
+// TestHighFailureRateStillFeasible exercises the "any p < 1" part of
+// Theorem 2.1 at p = 0.9 with a correspondingly larger window.
+func TestHighFailureRateStillFeasible(t *testing.T) {
+	g := graph.Line(16)
+	// p^m < 1/n² needs m > 2·log2(16)/log2(1/0.9) ≈ 52.6; c = 14 gives m = 56.
+	proto := New(g, 0, sim.MessagePassing, 14)
+	est := stat.Estimate(200, 2000, func(seed uint64) bool {
+		cfg := &sim.Config{
+			Graph: g, Model: sim.MessagePassing, Fault: sim.Omission, P: 0.9,
+			Source: 0, SourceMsg: []byte("MSG"),
+			NewNode: proto.NewNode, Rounds: proto.Rounds(), Seed: seed,
+		}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			t.Error(err)
+			return false
+		}
+		return res.Success
+	})
+	if est.Rate() < 1-1.0/16 {
+		t.Errorf("p=0.9: success %v below 1-1/n", est)
+	}
+}
+
+// TestUndersizedWindowFails checks the converse scaling: with m far too
+// small, broadcasts regularly fail, confirming the window is load-bearing.
+func TestUndersizedWindowFails(t *testing.T) {
+	g := graph.Line(32)
+	proto := New(g, 0, sim.MessagePassing, 0.2) // m = 1
+	est := stat.Estimate(200, 3000, func(seed uint64) bool {
+		cfg := &sim.Config{
+			Graph: g, Model: sim.MessagePassing, Fault: sim.Omission, P: 0.7,
+			Source: 0, SourceMsg: []byte("MSG"),
+			NewNode: proto.NewNode, Rounds: proto.Rounds(), Seed: seed,
+		}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			t.Error(err)
+			return false
+		}
+		return res.Success
+	})
+	if est.Rate() > 0.2 {
+		t.Errorf("window m=1 at p=0.7 should almost always fail, got %v", est)
+	}
+}
+
+// TestRadioNoCollisions verifies the schedule discipline: only one node
+// transmits per step, so the radio run records zero collisions.
+func TestRadioNoCollisions(t *testing.T) {
+	g := graph.Grid(3, 3)
+	proto := New(g, 0, sim.Radio, 2)
+	cfg := &sim.Config{
+		Graph: g, Model: sim.Radio, Fault: sim.Omission, P: 0.3,
+		Source: 0, SourceMsg: []byte("MSG"),
+		NewNode: proto.NewNode, Rounds: proto.Rounds(), Seed: 7,
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Collisions != 0 {
+		t.Fatalf("Simple-Omission produced %d collisions; at most one node may transmit per step", res.Stats.Collisions)
+	}
+}
+
+func TestWindowAndRounds(t *testing.T) {
+	g := graph.Line(16)
+	proto := New(g, 0, sim.MessagePassing, 2)
+	if proto.WindowLen() != 8 {
+		t.Fatalf("m = %d, want 8", proto.WindowLen())
+	}
+	if proto.Rounds() != 16*8 {
+		t.Fatalf("rounds = %d, want %d", proto.Rounds(), 16*8)
+	}
+}
+
+func TestSingleNodeGraph(t *testing.T) {
+	g := graph.Line(1)
+	if !runOnce(t, g, sim.MessagePassing, 0.5, 1, 3) {
+		t.Fatal("single-node broadcast should trivially succeed")
+	}
+}

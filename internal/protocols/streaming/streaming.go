@@ -1,0 +1,131 @@
+// Package streaming implements the unsynchronized variant of
+// Simple-Malicious described after Theorem 2.2: it removes the two
+// assumptions of the phase-based algorithm — that nodes know their index
+// in the enumeration and that all nodes wake up simultaneously.
+//
+// In this variant there are no global phases. Every node listens on all
+// incident links all the time. On each round t and for each link, a node
+// examines the messages heard on that link in the window of the last m
+// rounds; once at least m/2 identical copies of the same message have
+// arrived on some link, it accepts that message as genuine and starts its
+// own transmission window, sending the accepted message to all tree
+// children in every subsequent round. By Chernoff's bound, a false
+// message accumulates m/2 copies within a window only with exponentially
+// small probability when p < 1/2, while a transmitting healthy parent
+// fills the window in roughly m/(2(1−p)) rounds.
+//
+// The cost relative to the phase algorithm is pipelining granularity: a
+// node relays only after its own acceptance, so end-to-end time is
+// O(D·m) = O(D·log n) rather than O(n·m) — much faster on deep trees,
+// and with no shared clock.
+package streaming
+
+import (
+	"faultcast/internal/graph"
+	"faultcast/internal/protocol"
+	"faultcast/internal/sim"
+)
+
+// Proto holds the preprocessed tree and window parameters.
+type Proto struct {
+	tree *graph.Tree
+	m    int
+}
+
+// New prepares the protocol; c is the window constant of m = ceil(c·log n).
+func New(g *graph.Graph, source int, c float64) *Proto {
+	return &Proto{
+		tree: graph.BFSTree(g, source),
+		m:    protocol.WindowLen(c, g.N()),
+	}
+}
+
+// WindowLen returns m.
+func (p *Proto) WindowLen() int { return p.m }
+
+// Rounds returns a horizon sufficient for almost-safe completion: each
+// hop accepts within ~m rounds of its parent starting to transmit (the
+// window needs m/2 hits at rate ≥ 1−p ≥ 1/2), so a·D·m rounds with a
+// small constant a suffice.
+func (p *Proto) Rounds(a float64) int {
+	if a <= 0 {
+		panic("streaming: round multiplier must be positive")
+	}
+	d := p.tree.Height()
+	if d == 0 {
+		return 1
+	}
+	r := int(a * float64(d) * float64(p.m))
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// NewNode returns the protocol instance for node id.
+func (p *Proto) NewNode(id int) sim.Node {
+	return &node{proto: p}
+}
+
+type node struct {
+	proto  *Proto
+	env    *sim.Env
+	window *protocol.MajorityBuffer
+	// heardThisRound buffers the parent-link observation for the current
+	// round (nil = silence), folded into the window when the round ends.
+	heardThisRound []byte
+	lastSeenRound  int
+	msg            []byte
+}
+
+func (n *node) Init(env *sim.Env) {
+	n.env = env
+	n.window = protocol.NewMajorityBuffer(n.proto.m)
+	n.lastSeenRound = -1
+	if env.IsSource() {
+		n.msg = env.SourceMsg
+	}
+}
+
+// rollWindow folds the pending observation of every completed round into
+// the sliding window. Rounds with no Deliver call count as silence.
+func (n *node) rollWindow(nowRound int) {
+	if n.msg != nil {
+		return // already accepted; the window is no longer consulted
+	}
+	for n.lastSeenRound < nowRound-1 {
+		n.lastSeenRound++
+		n.window.Observe(n.heardThisRound)
+		n.heardThisRound = nil
+		if accepted := n.window.Accepted(); accepted != nil {
+			n.msg = accepted
+			return
+		}
+	}
+}
+
+func (n *node) Transmit(round int) []sim.Transmission {
+	n.rollWindow(round)
+	if n.msg == nil {
+		return nil
+	}
+	children := n.proto.tree.Children[n.env.ID]
+	if len(children) == 0 {
+		return nil
+	}
+	ts := make([]sim.Transmission, len(children))
+	for i, c := range children {
+		ts[i] = sim.Transmission{To: c, Payload: n.msg}
+	}
+	return ts
+}
+
+func (n *node) Deliver(round, from int, payload []byte) {
+	if n.msg != nil || from != n.proto.tree.Parent[n.env.ID] {
+		return
+	}
+	n.heardThisRound = append([]byte(nil), payload...)
+	n.lastSeenRound = round - 1 // ensure rollWindow folds exactly this round next
+}
+
+func (n *node) Output() []byte { return n.msg }

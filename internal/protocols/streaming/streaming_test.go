@@ -1,0 +1,136 @@
+package streaming
+
+import (
+	"testing"
+
+	"faultcast/internal/adversary"
+	"faultcast/internal/graph"
+	"faultcast/internal/sim"
+	"faultcast/internal/stat"
+)
+
+var msg = []byte("1")
+
+func estimate(t *testing.T, g *graph.Graph, fault sim.FaultType, adv sim.Adversary, p, c, a float64, trials int) stat.Proportion {
+	t.Helper()
+	proto := New(g, 0, c)
+	return stat.Estimate(trials, 4200, func(seed uint64) bool {
+		cfg := &sim.Config{
+			Graph: g, Model: sim.MessagePassing, Fault: fault, P: p,
+			Source: 0, SourceMsg: msg,
+			NewNode: proto.NewNode, Rounds: proto.Rounds(a), Seed: seed,
+			Adversary: adv,
+		}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			t.Error(err)
+			return false
+		}
+		return res.Success
+	})
+}
+
+func TestFaultFree(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.Line(10), graph.KaryTree(15, 2), graph.Star(8)} {
+		proto := New(g, 0, 4)
+		cfg := &sim.Config{
+			Graph: g, Model: sim.MessagePassing, Fault: sim.NoFaults,
+			Source: 0, SourceMsg: msg,
+			NewNode: proto.NewNode, Rounds: proto.Rounds(3), Seed: 1,
+		}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Success {
+			t.Errorf("%v: fault-free streaming failed at node %d", g, res.FirstFailed)
+		}
+	}
+}
+
+// TestAlmostSafeBelowHalf: the unsynchronized variant retains the p < 1/2
+// guarantee against a flipping adversary.
+func TestAlmostSafeBelowHalf(t *testing.T) {
+	g := graph.KaryTree(15, 2)
+	n := float64(g.N())
+	est := estimate(t, g, sim.Malicious, adversary.Flip{Wrong: []byte("0")}, 0.3, 12, 4, 300)
+	lo, _ := est.Wilson(1.96)
+	if lo < 1-1/n {
+		t.Errorf("streaming p=0.3: %v, want >= %.4f", est, 1-1/n)
+	}
+}
+
+// TestFalseAcceptanceRare: even when every faulty transmission carries the
+// same wrong message, a node should essentially never accept it — the
+// wrong message must fill half a window, which at p = 0.3 has probability
+// e^(-Θ(m)).
+func TestFalseAcceptanceRare(t *testing.T) {
+	g := graph.Line(6)
+	est := estimate(t, g, sim.Malicious, adversary.Flip{Wrong: []byte("0")}, 0.3, 16, 4, 300)
+	if est.Rate() < 0.98 {
+		t.Errorf("false acceptances too common: %v", est)
+	}
+}
+
+// TestFasterThanPhasesOnDeepTrees: the pipelined variant finishes in
+// O(D·m), far below the phase algorithm's n·m on a deep line.
+func TestFasterThanPhasesOnDeepTrees(t *testing.T) {
+	g := graph.Line(32)
+	proto := New(g, 0, 8)
+	cfg := &sim.Config{
+		Graph: g, Model: sim.MessagePassing, Fault: sim.Malicious, P: 0.2,
+		Source: 0, SourceMsg: msg,
+		NewNode: proto.NewNode, Rounds: proto.Rounds(3), Seed: 5,
+		Adversary:       adversary.Flip{Wrong: []byte("0")},
+		TrackCompletion: true,
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success {
+		t.Fatal("streaming run failed")
+	}
+	phaseRounds := 32 * proto.WindowLen() // what Simple-Malicious would need
+	if res.CompletedRound+1 >= phaseRounds {
+		t.Errorf("completed in %d rounds, not faster than the %d-round phase algorithm",
+			res.CompletedRound+1, phaseRounds)
+	}
+}
+
+// TestAboveHalfFails: above the 1/2 threshold the flipping adversary owns
+// windows and the protocol cannot be almost-safe (consistent with Thm 2.3).
+func TestAboveHalfFails(t *testing.T) {
+	g := graph.Line(8)
+	est := estimate(t, g, sim.Malicious, adversary.Flip{Wrong: []byte("0")}, 0.6, 8, 4, 200)
+	if est.Rate() > 0.9 {
+		t.Errorf("streaming at p=0.6 should not be almost-safe: %v", est)
+	}
+}
+
+func TestRoundsPanicsOnBadMultiplier(t *testing.T) {
+	proto := New(graph.Line(4), 0, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Rounds(0) did not panic")
+		}
+	}()
+	proto.Rounds(0)
+}
+
+func TestSingleNode(t *testing.T) {
+	g := graph.Line(1)
+	proto := New(g, 0, 2)
+	cfg := &sim.Config{
+		Graph: g, Model: sim.MessagePassing, Fault: sim.Omission, P: 0.5,
+		Source: 0, SourceMsg: msg,
+		NewNode: proto.NewNode, Rounds: proto.Rounds(2), Seed: 1,
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success {
+		t.Fatal("single node should trivially succeed")
+	}
+}

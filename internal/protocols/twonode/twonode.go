@@ -1,0 +1,113 @@
+// Package twonode implements the parity-timing ("hello") protocol from the
+// remark following Theorem 2.3: under the *limited* malicious model —
+// where a failure can alter or suppress an intended transmission but
+// cannot make a silent node speak — a sender can almost-safely broadcast
+// one bit to a receiver over a single link for ANY p < 1, information
+// being carried by the timing pattern rather than the content:
+//
+//   - bit 0: the sender transmits "hello" in every step 1..2m;
+//   - bit 1: the sender transmits "hello" only in the even steps 2,4,..,2m;
+//   - the receiver outputs 0 iff it received transmissions in two
+//     consecutive steps.
+//
+// If the bit is 1 the receiver is ALWAYS correct (the sender never
+// transmits twice in a row and the adversary cannot add transmissions).
+// If the bit is 0 it errs only when no two consecutive steps are both
+// fault-free, which by Chernoff happens with probability e^(−Θ(m)).
+package twonode
+
+import (
+	"fmt"
+
+	"faultcast/internal/sim"
+)
+
+// Bit0 and Bit1 are the two admissible source messages.
+var (
+	Bit0 = []byte{'0'}
+	Bit1 = []byte{'1'}
+)
+
+// hello is the content transmitted; its value is irrelevant to the
+// receiver (the adversary may corrupt it freely).
+var hello = []byte("hello")
+
+// Proto configures the protocol: m determines the 2m-step horizon.
+type Proto struct {
+	m int
+}
+
+// New returns the protocol with parameter m > 1.
+func New(m int) *Proto {
+	if m <= 1 {
+		panic("twonode: m must be > 1")
+	}
+	return &Proto{m: m}
+}
+
+// Rounds returns the horizon 2m.
+func (p *Proto) Rounds() int { return 2 * p.m }
+
+// NewNode returns the instance for node id (0 = sender, 1 = receiver).
+func (p *Proto) NewNode(id int) sim.Node {
+	return &node{proto: p}
+}
+
+type node struct {
+	proto    *Proto
+	env      *sim.Env
+	bit      byte // sender only
+	lastRecv int  // receiver: last round a transmission was received
+	sawPair  bool // receiver: two consecutive receptions observed
+}
+
+func (n *node) Init(env *sim.Env) {
+	n.env = env
+	n.lastRecv = -2
+	if env.IsSource() {
+		switch string(env.SourceMsg) {
+		case string(Bit0):
+			n.bit = '0'
+		case string(Bit1):
+			n.bit = '1'
+		default:
+			panic(fmt.Sprintf("twonode: source message %q is not a bit", env.SourceMsg))
+		}
+	}
+}
+
+// Transmit implements the sender's timing pattern. Using the paper's
+// 1-indexed steps: step s = round+1; bit 0 transmits on every step
+// 1..2m, bit 1 only on even steps.
+func (n *node) Transmit(round int) []sim.Transmission {
+	if !n.env.IsSource() || round >= 2*n.proto.m {
+		return nil
+	}
+	step := round + 1
+	if n.bit == '1' && step%2 != 0 {
+		return nil
+	}
+	return []sim.Transmission{{To: sim.Broadcast, Payload: hello}}
+}
+
+// Deliver tracks reception timing; content is deliberately ignored, since
+// a limited-malicious failure may corrupt it arbitrarily.
+func (n *node) Deliver(round, from int, payload []byte) {
+	if n.env.IsSource() {
+		return
+	}
+	if round == n.lastRecv+1 {
+		n.sawPair = true
+	}
+	n.lastRecv = round
+}
+
+func (n *node) Output() []byte {
+	if n.env.IsSource() {
+		return []byte{n.bit}
+	}
+	if n.sawPair {
+		return append([]byte(nil), Bit0...)
+	}
+	return append([]byte(nil), Bit1...)
+}

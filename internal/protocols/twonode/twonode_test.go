@@ -1,0 +1,141 @@
+package twonode
+
+import (
+	"bytes"
+	"testing"
+
+	"faultcast/internal/adversary"
+	"faultcast/internal/graph"
+	"faultcast/internal/sim"
+	"faultcast/internal/stat"
+)
+
+// run executes the protocol against a dropping (crash) adversary — the
+// worst case for this protocol: flipping content is harmless because only
+// timing carries information, so the adversary's best move is to suppress
+// transmissions, which can only push bit 0 towards a bit-1 reading.
+func run(t *testing.T, bit []byte, m int, p float64, seed uint64) *sim.Result {
+	t.Helper()
+	proto := New(m)
+	cfg := &sim.Config{
+		Graph: graph.TwoNode(), Model: sim.MessagePassing,
+		Fault: sim.LimitedMalicious, P: p,
+		Source: 0, SourceMsg: bit,
+		NewNode: proto.NewNode, Rounds: proto.Rounds(), Seed: seed,
+		Adversary: adversary.Crash{},
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestFaultFreeBothBits(t *testing.T) {
+	for _, bit := range [][]byte{Bit0, Bit1} {
+		proto := New(8)
+		cfg := &sim.Config{
+			Graph: graph.TwoNode(), Model: sim.MessagePassing, Fault: sim.NoFaults,
+			Source: 0, SourceMsg: bit,
+			NewNode: proto.NewNode, Rounds: proto.Rounds(), Seed: 1,
+		}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Success {
+			t.Errorf("bit %q: fault-free run failed; receiver output %q", bit, res.Outputs[1])
+		}
+	}
+}
+
+// TestBit1NeverErrs: when the source bit is 1, the receiver is ALWAYS
+// correct — the sender never transmits in consecutive rounds and a
+// limited-malicious adversary cannot add transmissions.
+func TestBit1NeverErrs(t *testing.T) {
+	for seed := uint64(0); seed < 200; seed++ {
+		res := run(t, Bit1, 16, 0.8, seed)
+		if !bytes.Equal(res.Outputs[1], Bit1) {
+			t.Fatalf("seed %d: receiver decoded %q for bit 1", seed, res.Outputs[1])
+		}
+	}
+}
+
+// TestBit0AlmostSafeAtHighP: bit 0 fails only when no two consecutive
+// rounds are fault-free, which is exponentially unlikely in m even at
+// p = 0.8 — this is the "any p < 1" claim for the limited model.
+func TestBit0AlmostSafeAtHighP(t *testing.T) {
+	est := stat.Estimate(400, 100, func(seed uint64) bool {
+		return run(t, Bit0, 64, 0.8, seed).Success
+	})
+	if est.Rate() < 0.95 {
+		t.Errorf("bit 0 at p=0.8, m=64: success %v", est)
+	}
+}
+
+// TestContentIgnored: a corrupting adversary that garbles every payload
+// must not affect decoding, since only timing carries information.
+func TestContentIgnored(t *testing.T) {
+	proto := New(16)
+	cfg := &sim.Config{
+		Graph: graph.TwoNode(), Model: sim.MessagePassing,
+		Fault: sim.LimitedMalicious, P: 0.0,
+		Source: 0, SourceMsg: Bit0,
+		NewNode: proto.NewNode, Rounds: proto.Rounds(), Seed: 5,
+		Adversary: adversary.Flip{Wrong: []byte("zzz")},
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success {
+		t.Fatal("fault-free run with corrupting adversary configured failed")
+	}
+}
+
+// TestSmallWindowFailsSometimes: with m tiny and p large, bit 0 decoding
+// should fail noticeably often — the error really is e^(−Θ(m)).
+func TestSmallWindowFailsSometimes(t *testing.T) {
+	est := stat.Estimate(500, 900, func(seed uint64) bool {
+		return run(t, Bit0, 2, 0.85, seed).Success
+	})
+	if est.Rate() > 0.9 {
+		t.Errorf("m=2 at p=0.85 should fail often for bit 0, got %v", est)
+	}
+}
+
+func TestErrorScalesWithM(t *testing.T) {
+	rate := func(m int) float64 {
+		return stat.Estimate(300, 77, func(seed uint64) bool {
+			return run(t, Bit0, m, 0.8, seed).Success
+		}).Rate()
+	}
+	small, large := rate(4), rate(64)
+	if large < small {
+		t.Errorf("success did not improve with m: m=4 %.3f vs m=64 %.3f", small, large)
+	}
+}
+
+func TestRejectsBadMessage(t *testing.T) {
+	proto := New(4)
+	cfg := &sim.Config{
+		Graph: graph.TwoNode(), Model: sim.MessagePassing, Fault: sim.NoFaults,
+		Source: 0, SourceMsg: []byte("2"),
+		NewNode: proto.NewNode, Rounds: proto.Rounds(), Seed: 1,
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-bit source message did not panic")
+		}
+	}()
+	_, _ = sim.Run(cfg)
+}
+
+func TestNewPanicsOnTinyM(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(1) did not panic")
+		}
+	}()
+	New(1)
+}

@@ -1,0 +1,79 @@
+package radio
+
+import (
+	"fmt"
+
+	"faultcast/internal/graph"
+)
+
+// MaxExhaustiveN bounds the graph size accepted by OptimalLength; the
+// state space is 2^n informed-sets with up to 2^n actions each.
+const MaxExhaustiveN = 16
+
+// OptimalLength computes the exact fault-free radio broadcast time (opt)
+// of a small graph by breadth-first search over informed-set states, where
+// an action is any subset of the informed set transmitting simultaneously.
+// It is exponential in n and rejects graphs larger than MaxExhaustiveN;
+// Lemma 3.3's exact-optimum claims are verified with it for small m.
+func OptimalLength(g *graph.Graph, source int) (int, error) {
+	n := g.N()
+	if n > MaxExhaustiveN {
+		return 0, fmt.Errorf("radio: exhaustive search limited to n <= %d (got %d)", MaxExhaustiveN, n)
+	}
+	full := uint32(1)<<n - 1
+	start := uint32(1) << source
+	if start == full {
+		return 0, nil
+	}
+	// Precompute neighbor masks.
+	nbr := make([]uint32, n)
+	for v := 0; v < n; v++ {
+		g.ForNeighbors(v, func(w int) { nbr[v] |= 1 << w })
+	}
+	// step applies transmitter set T to informed set I.
+	step := func(informed, t uint32) uint32 {
+		newInf := informed
+		for v := 0; v < n; v++ {
+			bit := uint32(1) << v
+			if informed&bit != 0 || t&bit != 0 {
+				continue
+			}
+			talkers := popcount(nbr[v] & t)
+			if talkers == 1 {
+				newInf |= bit
+			}
+		}
+		return newInf
+	}
+	dist := map[uint32]int{start: 0}
+	queue := []uint32{start}
+	for len(queue) > 0 {
+		informed := queue[0]
+		queue = queue[1:]
+		d := dist[informed]
+		// Enumerate all non-empty subsets of the informed set.
+		for t := informed; t > 0; t = (t - 1) & informed {
+			next := step(informed, t)
+			if next == informed {
+				continue
+			}
+			if _, seen := dist[next]; !seen {
+				dist[next] = d + 1
+				if next == full {
+					return d + 1, nil
+				}
+				queue = append(queue, next)
+			}
+		}
+	}
+	return 0, fmt.Errorf("radio: graph not broadcastable from %d (disconnected?)", source)
+}
+
+func popcount(x uint32) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}

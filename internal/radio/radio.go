@@ -1,0 +1,240 @@
+// Package radio computes and analyzes fault-free broadcast schedules for
+// the radio model — the benchmark `opt` of Section 3. A schedule lists,
+// for each step, the set of nodes that transmit; a node is informed when,
+// in some step, it is silent and exactly one informed neighbor transmits.
+//
+// The package provides exact optimal schedules for the graph families used
+// in the experiments (line, star, the layered lower-bound graph of Lemma
+// 3.3), an exhaustive-search optimum for tiny graphs, and a greedy
+// scheduler whose achieved length serves as the `opt` stand-in on general
+// graphs (computing true optima is NP-hard; see DESIGN.md §5).
+package radio
+
+import (
+	"fmt"
+
+	"faultcast/internal/graph"
+)
+
+// Schedule is a fault-free radio broadcast schedule: Steps[t] is the
+// sorted set of nodes transmitting in step t.
+type Schedule struct {
+	Steps [][]int
+}
+
+// Len returns the number of steps.
+func (s *Schedule) Len() int { return len(s.Steps) }
+
+// Outcome describes the execution of a schedule on a fault-free network.
+type Outcome struct {
+	// Informed[v] reports whether v ever received the message (the source
+	// counts as informed from the start).
+	Informed []bool
+	// RecvStep[v] is the step at which v was informed (-1 for the source
+	// and for uninformed nodes).
+	RecvStep []int
+	// RecvFrom[v] is the paper's p(v): the node from which v received the
+	// message (-1 for the source and uninformed nodes).
+	RecvFrom []int
+}
+
+// Simulate runs the schedule fault-free from the given source and reports
+// the outcome. It returns an error if the schedule ever instructs an
+// uninformed node to transmit, since such a schedule is not a valid
+// broadcast algorithm (an uninformed node has nothing to send).
+func Simulate(g *graph.Graph, source int, s *Schedule) (*Outcome, error) {
+	n := g.N()
+	out := &Outcome{
+		Informed: make([]bool, n),
+		RecvStep: make([]int, n),
+		RecvFrom: make([]int, n),
+	}
+	for v := range out.RecvStep {
+		out.RecvStep[v] = -1
+		out.RecvFrom[v] = -1
+	}
+	out.Informed[source] = true
+	transmitting := make([]bool, n)
+	for t, set := range s.Steps {
+		for i := range transmitting {
+			transmitting[i] = false
+		}
+		for _, v := range set {
+			if v < 0 || v >= n {
+				return nil, fmt.Errorf("radio: step %d: node %d out of range", t, v)
+			}
+			if !out.Informed[v] {
+				return nil, fmt.Errorf("radio: step %d: uninformed node %d scheduled to transmit", t, v)
+			}
+			if transmitting[v] {
+				return nil, fmt.Errorf("radio: step %d: node %d scheduled twice", t, v)
+			}
+			transmitting[v] = true
+		}
+		// Collect receptions before updating informedness so all of this
+		// step's receivers see the pre-step state.
+		type hit struct{ v, from int }
+		var hits []hit
+		for v := 0; v < n; v++ {
+			if transmitting[v] || out.Informed[v] {
+				continue
+			}
+			talkers, talker := 0, -1
+			g.ForNeighbors(v, func(w int) {
+				if transmitting[w] {
+					talkers++
+					talker = w
+				}
+			})
+			if talkers == 1 {
+				hits = append(hits, hit{v, talker})
+			}
+		}
+		for _, h := range hits {
+			out.Informed[h.v] = true
+			out.RecvStep[h.v] = t
+			out.RecvFrom[h.v] = h.from
+		}
+	}
+	return out, nil
+}
+
+// Complete reports whether the schedule informs every node of g from
+// source.
+func Complete(g *graph.Graph, source int, s *Schedule) (bool, error) {
+	out, err := Simulate(g, source, s)
+	if err != nil {
+		return false, err
+	}
+	for _, inf := range out.Informed {
+		if !inf {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// LineSchedule returns the optimal fault-free schedule for Line(n) with
+// the source at endpoint 0: node i transmits at step i, informing i+1.
+// Its length n−1 equals the radius D, which is optimal.
+func LineSchedule(n int) *Schedule {
+	s := &Schedule{}
+	for i := 0; i+1 < n; i++ {
+		s.Steps = append(s.Steps, []int{i})
+	}
+	return s
+}
+
+// StarSchedule returns the optimal schedule for Star(n) with the given
+// source: 1 step from the center, 2 steps (leaf then center) from a leaf.
+func StarSchedule(n, source int) *Schedule {
+	if source == 0 {
+		return &Schedule{Steps: [][]int{{0}}}
+	}
+	return &Schedule{Steps: [][]int{{source}, {0}}}
+}
+
+// LayeredSchedule returns the (m+1)-step schedule of Lemma 3.3 for
+// Layered(m): the source transmits in step 0, then layer-2 node b_i
+// transmits in step i. Lemma 3.3 shows m+1 steps are also necessary, so
+// this is opt.
+func LayeredSchedule(m int) *Schedule {
+	s := &Schedule{Steps: [][]int{{0}}}
+	for i := 1; i <= m; i++ {
+		s.Steps = append(s.Steps, []int{i})
+	}
+	return s
+}
+
+// Greedy computes a valid broadcast schedule by maximal marginal coverage:
+// each step it grows a transmitter set, starting empty and repeatedly
+// adding the informed node that newly informs the most uninformed
+// receivers (under the collision rule), until no addition helps. Progress
+// is guaranteed (a single informed node adjacent to the uninformed region
+// always informs at least one receiver), so the schedule terminates in at
+// most n−1 steps.
+func Greedy(g *graph.Graph, source int) *Schedule {
+	n := g.N()
+	informed := make([]bool, n)
+	informed[source] = true
+	remaining := n - 1
+	s := &Schedule{}
+	for remaining > 0 {
+		set := greedyStep(g, informed)
+		if len(set) == 0 {
+			panic("radio: greedy made no progress on a connected graph")
+		}
+		s.Steps = append(s.Steps, set)
+		// Apply the step.
+		inSet := make(map[int]bool, len(set))
+		for _, v := range set {
+			inSet[v] = true
+		}
+		for v := 0; v < n; v++ {
+			if informed[v] || inSet[v] {
+				continue
+			}
+			talkers := 0
+			g.ForNeighbors(v, func(w int) {
+				if inSet[w] {
+					talkers++
+				}
+			})
+			if talkers == 1 {
+				informed[v] = true
+				remaining--
+			}
+		}
+	}
+	return s
+}
+
+// greedyStep picks a transmitter set greedily for the current informed
+// frontier.
+func greedyStep(g *graph.Graph, informed []bool) []int {
+	n := g.N()
+	chosen := make([]bool, n)
+	// talkersAt[v] = number of chosen transmitting neighbors of v.
+	talkersAt := make([]int, n)
+	var set []int
+	for {
+		bestGain, best := 0, -1
+		for c := 0; c < n; c++ {
+			if !informed[c] || chosen[c] {
+				continue
+			}
+			gain := 0
+			g.ForNeighbors(c, func(v int) {
+				if informed[v] || chosen[v] {
+					return
+				}
+				switch talkersAt[v] {
+				case 0:
+					gain++ // v becomes newly hearable
+				case 1:
+					gain-- // v now collides
+				}
+			})
+			if gain > bestGain {
+				bestGain, best = gain, c
+			}
+		}
+		if best == -1 {
+			break
+		}
+		chosen[best] = true
+		set = append(set, best)
+		g.ForNeighbors(best, func(v int) { talkersAt[v]++ })
+	}
+	// Keep deterministic order.
+	sortInts(set)
+	return set
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j-1] > xs[j]; j-- {
+			xs[j-1], xs[j] = xs[j], xs[j-1]
+		}
+	}
+}

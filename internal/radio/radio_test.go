@@ -1,0 +1,184 @@
+package radio
+
+import (
+	"testing"
+
+	"faultcast/internal/graph"
+	"faultcast/internal/rng"
+)
+
+func mustComplete(t *testing.T, g *graph.Graph, source int, s *Schedule) *Outcome {
+	t.Helper()
+	out, err := Simulate(g, source, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, inf := range out.Informed {
+		if !inf {
+			t.Fatalf("%v: schedule leaves node %d uninformed", g, v)
+		}
+	}
+	return out
+}
+
+func TestLineSchedule(t *testing.T) {
+	g := graph.Line(8)
+	s := LineSchedule(8)
+	if s.Len() != 7 {
+		t.Fatalf("line schedule length %d, want 7", s.Len())
+	}
+	out := mustComplete(t, g, 0, s)
+	for v := 1; v < 8; v++ {
+		if out.RecvFrom[v] != v-1 || out.RecvStep[v] != v-1 {
+			t.Fatalf("node %d informed by %d at %d", v, out.RecvFrom[v], out.RecvStep[v])
+		}
+	}
+}
+
+func TestStarSchedules(t *testing.T) {
+	g := graph.Star(6)
+	if s := StarSchedule(6, 0); s.Len() != 1 {
+		t.Fatalf("center schedule length %d, want 1", s.Len())
+	} else {
+		mustComplete(t, g, 0, s)
+	}
+	if s := StarSchedule(6, 3); s.Len() != 2 {
+		t.Fatalf("leaf schedule length %d, want 2", s.Len())
+	} else {
+		mustComplete(t, g, 3, s)
+	}
+}
+
+// TestLayeredSchedule verifies the Lemma 3.3 upper bound: the (m+1)-step
+// schedule informs everyone on Layered(m).
+func TestLayeredSchedule(t *testing.T) {
+	for _, m := range []int{1, 2, 3, 5, 8} {
+		g := graph.Layered(m)
+		s := LayeredSchedule(m)
+		if s.Len() != m+1 {
+			t.Fatalf("m=%d: schedule length %d, want %d", m, s.Len(), m+1)
+		}
+		mustComplete(t, g, 0, s)
+	}
+}
+
+// TestLayeredOptimalLength verifies the Lemma 3.3 lower bound exactly for
+// small m by exhaustive search: fault-free broadcast on Layered(m) needs
+// exactly m+1 steps.
+func TestLayeredOptimalLength(t *testing.T) {
+	for _, m := range []int{1, 2, 3} {
+		g := graph.Layered(m)
+		opt, err := OptimalLength(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt != m+1 {
+			t.Fatalf("m=%d: opt = %d, want %d", m, opt, m+1)
+		}
+	}
+}
+
+func TestOptimalLengthKnownGraphs(t *testing.T) {
+	cases := []struct {
+		g    *graph.Graph
+		src  int
+		want int
+	}{
+		{graph.Line(5), 0, 4},
+		{graph.Star(6), 0, 1},
+		{graph.Star(6), 2, 2},
+		{graph.Complete(5), 0, 1}, // one transmission reaches every other node
+		{graph.TwoNode(), 0, 1},
+		{graph.Ring(6), 0, 3},
+	}
+	for _, tc := range cases {
+		got, err := OptimalLength(tc.g, tc.src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("%v from %d: opt = %d, want %d", tc.g, tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestOptimalLengthRejectsBigGraphs(t *testing.T) {
+	if _, err := OptimalLength(graph.Line(30), 0); err == nil {
+		t.Fatal("exhaustive search accepted n=30")
+	}
+}
+
+func TestGreedyCompletesEverywhere(t *testing.T) {
+	r := rng.New(3)
+	graphs := []*graph.Graph{
+		graph.Line(40), graph.Star(20), graph.Grid(6, 6), graph.Hypercube(5),
+		graph.Layered(4), graph.GNP(50, 0.1, r), graph.Caterpillar(10, 3),
+	}
+	for _, g := range graphs {
+		s := Greedy(g, 0)
+		mustComplete(t, g, 0, s)
+		if s.Len() > g.N() {
+			t.Errorf("%v: greedy used %d steps > n", g, s.Len())
+		}
+	}
+}
+
+func TestGreedyMatchesOptOnEasyGraphs(t *testing.T) {
+	// On a star from the center greedy should take 1 step; on a line it
+	// should not be worse than ~2x optimal.
+	if s := Greedy(graph.Star(12), 0); s.Len() != 1 {
+		t.Errorf("greedy on star from center: %d steps, want 1", s.Len())
+	}
+	if s := Greedy(graph.Line(20), 0); s.Len() > 2*19 {
+		t.Errorf("greedy on line(20): %d steps", s.Len())
+	}
+}
+
+func TestSimulateRejectsInvalidSchedules(t *testing.T) {
+	g := graph.Line(4)
+	// Uninformed node transmits.
+	if _, err := Simulate(g, 0, &Schedule{Steps: [][]int{{2}}}); err == nil {
+		t.Fatal("uninformed transmitter accepted")
+	}
+	// Out-of-range node.
+	if _, err := Simulate(g, 0, &Schedule{Steps: [][]int{{7}}}); err == nil {
+		t.Fatal("out-of-range transmitter accepted")
+	}
+	// Duplicate node in one step.
+	if _, err := Simulate(g, 0, &Schedule{Steps: [][]int{{0, 0}}}); err == nil {
+		t.Fatal("duplicate transmitter accepted")
+	}
+}
+
+func TestSimulateCollision(t *testing.T) {
+	// Ring(4) from source 0: step 0 informs 1 and 3; in step 1 both
+	// transmit, so node 2 (adjacent to both) hears a collision and stays
+	// uninformed until node 1 transmits alone in step 2.
+	g := graph.Ring(4)
+	s := &Schedule{Steps: [][]int{{0}, {1, 3}, {1}}}
+	out, err := Simulate(g, 0, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.RecvStep[1] != 0 || out.RecvStep[3] != 0 {
+		t.Fatalf("step 0 should inform 1 and 3: %v", out.RecvStep)
+	}
+	if out.RecvStep[2] != 2 {
+		t.Fatalf("collision not honored: node 2 informed at %d, want 2", out.RecvStep[2])
+	}
+	if out.RecvFrom[2] != 1 {
+		t.Fatalf("node 2 informed by %d, want 1", out.RecvFrom[2])
+	}
+}
+
+func TestCompleteHelper(t *testing.T) {
+	g := graph.Line(4)
+	ok, err := Complete(g, 0, LineSchedule(4))
+	if err != nil || !ok {
+		t.Fatalf("complete line schedule: ok=%v err=%v", ok, err)
+	}
+	ok, err = Complete(g, 0, &Schedule{Steps: [][]int{{0}}})
+	if err != nil || ok {
+		t.Fatalf("truncated schedule reported complete: ok=%v err=%v", ok, err)
+	}
+}

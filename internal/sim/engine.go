@@ -1,0 +1,391 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"faultcast/internal/rng"
+)
+
+// Run executes the configuration on the sequential engine and returns the
+// result. It is the engine used by the Monte-Carlo harness; RunConcurrent
+// provides identical semantics with one goroutine per node.
+func Run(cfg *Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	st, err := newRunState(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for round := 0; round < cfg.Rounds; round++ {
+		if err := st.transmitPhase(round); err != nil {
+			return nil, err
+		}
+		if err := st.faultAndDeliver(round); err != nil {
+			return nil, err
+		}
+		st.deliverPhase(round)
+		st.finishRound(round)
+	}
+	return st.result(), nil
+}
+
+// runState holds all mutable execution state shared by the two engines.
+type runState struct {
+	cfg      *Config
+	n        int
+	nodes    []Node
+	faultRnd *rng.Source
+	advRnd   *rng.Source
+	history  *History
+
+	intents   [][]Transmission
+	actual    [][]Transmission
+	delivered [][]Received
+	faulty    []int
+
+	stats          Stats
+	lastCollisions int
+	completedRound int
+	informedRound  []int
+	trackDone      bool
+	doneAt         bool // completion already observed
+}
+
+func newRunState(cfg *Config) (*runState, error) {
+	n := cfg.Graph.N()
+	master := rng.New(cfg.Seed)
+	st := &runState{
+		cfg:            cfg,
+		n:              n,
+		nodes:          make([]Node, n),
+		faultRnd:       master.Split(),
+		advRnd:         master.Split(),
+		intents:        make([][]Transmission, n),
+		actual:         make([][]Transmission, n),
+		delivered:      make([][]Received, n),
+		completedRound: -1,
+		trackDone:      cfg.TrackCompletion,
+	}
+	if cfg.RecordHistory {
+		st.history = &History{}
+	}
+	if cfg.TrackCompletion {
+		st.informedRound = make([]int, n)
+		for i := range st.informedRound {
+			st.informedRound[i] = -1
+		}
+	}
+	nodeSeeds := master.Split()
+	for id := 0; id < n; id++ {
+		node := cfg.NewNode(id)
+		if node == nil {
+			return nil, fmt.Errorf("sim: NewNode(%d) returned nil", id)
+		}
+		env := &Env{
+			ID: id, N: n, G: cfg.Graph, Source: cfg.Source, P: cfg.P,
+			Rand: nodeSeeds.Split(),
+		}
+		if id == cfg.Source {
+			env.SourceMsg = cfg.SourceMsg
+		}
+		node.Init(env)
+		st.nodes[id] = node
+	}
+	return st, nil
+}
+
+// transmitPhase collects and validates every node's intent (sequentially).
+func (st *runState) transmitPhase(round int) error {
+	for id := 0; id < st.n; id++ {
+		ts := st.nodes[id].Transmit(round)
+		if err := st.validateTransmissions(id, ts); err != nil {
+			return fmt.Errorf("sim: round %d: %w", round, err)
+		}
+		st.intents[id] = ts
+	}
+	return nil
+}
+
+func (st *runState) validateTransmissions(id int, ts []Transmission) error {
+	if st.cfg.Model == Radio {
+		if len(ts) > 1 {
+			return fmt.Errorf("node %d returned %d transmissions in the radio model (max 1)", id, len(ts))
+		}
+		if len(ts) == 1 && ts[0].To != Broadcast {
+			return fmt.Errorf("node %d used a directed transmission in the radio model", id)
+		}
+	}
+	for _, t := range ts {
+		if t.Payload == nil {
+			return fmt.Errorf("node %d transmitted a nil payload (return no Transmission for silence)", id)
+		}
+		if t.To != Broadcast && !st.cfg.Graph.HasEdge(id, t.To) {
+			return fmt.Errorf("node %d addressed non-neighbor %d", id, t.To)
+		}
+	}
+	return nil
+}
+
+// faultAndDeliver samples faults, applies fault semantics, and computes
+// this round's deliveries into st.delivered.
+func (st *runState) faultAndDeliver(round int) error {
+	// Phase 2: sample faults. Draw per node in id order so the pattern is
+	// identical across engines.
+	st.faulty = st.faulty[:0]
+	if st.cfg.Fault != NoFaults {
+		for id := 0; id < st.n; id++ {
+			if st.faultRnd.Bernoulli(st.cfg.P) {
+				st.faulty = append(st.faulty, id)
+			}
+		}
+	}
+	st.stats.Faults += len(st.faulty)
+
+	// Phase 3: map intents to actual transmissions.
+	copy(st.actual, st.intents)
+	switch st.cfg.Fault {
+	case NoFaults:
+	case Omission:
+		for _, id := range st.faulty {
+			st.actual[id] = nil
+		}
+	case Malicious, LimitedMalicious:
+		if len(st.faulty) > 0 {
+			exec := &Exec{
+				G:         st.cfg.Graph,
+				Model:     st.cfg.Model,
+				Fault:     st.cfg.Fault,
+				Source:    st.cfg.Source,
+				SourceMsg: st.cfg.SourceMsg,
+				P:         st.cfg.P,
+				Round:     round,
+				Intents:   st.intents,
+				History:   st.history,
+				Rand:      st.advRnd,
+			}
+			repl := st.cfg.Adversary.Corrupt(exec, append([]int(nil), st.faulty...))
+			if err := st.applyCorruption(repl); err != nil {
+				return fmt.Errorf("sim: round %d: %w", round, err)
+			}
+		}
+	}
+
+	// Phase 4: delivery rule.
+	for i := range st.delivered {
+		st.delivered[i] = nil
+	}
+	if st.cfg.Model == MessagePassing {
+		st.deliverMessagePassing()
+	} else {
+		st.deliverRadio(round)
+	}
+	return nil
+}
+
+func (st *runState) applyCorruption(repl map[int][]Transmission) error {
+	if len(repl) == 0 {
+		return nil
+	}
+	isFaulty := make(map[int]bool, len(st.faulty))
+	for _, id := range st.faulty {
+		isFaulty[id] = true
+	}
+	// Apply in increasing id order for determinism of error reporting.
+	ids := make([]int, 0, len(repl))
+	for id := range repl {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if !isFaulty[id] {
+			return fmt.Errorf("adversary corrupted non-faulty node %d", id)
+		}
+		ts := repl[id]
+		if err := st.validateTransmissions(id, ts); err != nil {
+			return fmt.Errorf("adversary: %w", err)
+		}
+		if st.cfg.Fault == LimitedMalicious {
+			if err := checkLimited(st.intents[id], ts); err != nil {
+				return fmt.Errorf("adversary violated limited-malicious constraint at node %d: %w", id, err)
+			}
+		}
+		st.actual[id] = ts
+	}
+	return nil
+}
+
+// checkLimited verifies that actual is obtainable from intent by altering
+// payloads and dropping transmissions: for every destination, the adversary
+// may emit at most as many transmissions as were intended to it.
+func checkLimited(intent, actual []Transmission) error {
+	slots := make(map[int]int, len(intent))
+	for _, t := range intent {
+		slots[t.To]++
+	}
+	for _, t := range actual {
+		if slots[t.To] == 0 {
+			return fmt.Errorf("transmission to %d was not intended (limited-malicious cannot speak out of turn)", t.To)
+		}
+		slots[t.To]--
+	}
+	return nil
+}
+
+func (st *runState) deliverMessagePassing() {
+	// Iterate senders in increasing id so each receiver's list arrives in
+	// increasing sender order (deterministic across engines).
+	for from := 0; from < st.n; from++ {
+		for _, t := range st.actual[from] {
+			st.stats.Transmissions++
+			if t.To == Broadcast {
+				st.cfg.Graph.ForNeighbors(from, func(w int) {
+					st.delivered[w] = append(st.delivered[w], Received{From: from, Payload: t.Payload})
+					st.stats.Deliveries++
+				})
+			} else {
+				st.delivered[t.To] = append(st.delivered[t.To], Received{From: from, Payload: t.Payload})
+				st.stats.Deliveries++
+			}
+		}
+	}
+}
+
+func (st *runState) deliverRadio(round int) {
+	collisions := 0
+	for v := 0; v < st.n; v++ {
+		if len(st.actual[v]) > 0 {
+			continue // a transmitting node hears nothing
+		}
+		talkers := 0
+		talker := -1
+		st.cfg.Graph.ForNeighbors(v, func(w int) {
+			if len(st.actual[w]) > 0 {
+				talkers++
+				talker = w
+			}
+		})
+		switch {
+		case talkers == 1:
+			st.delivered[v] = append(st.delivered[v], Received{From: talker, Payload: st.actual[talker][0].Payload})
+			st.stats.Deliveries++
+		case talkers > 1:
+			collisions++
+		}
+	}
+	for v := 0; v < st.n; v++ {
+		if len(st.actual[v]) > 0 {
+			st.stats.Transmissions++
+		}
+	}
+	st.stats.Collisions += collisions
+	st.lastCollisions = collisions
+}
+
+// deliverPhase hands this round's receptions to the nodes (sequentially).
+func (st *runState) deliverPhase(round int) {
+	for v := 0; v < st.n; v++ {
+		for _, r := range st.delivered[v] {
+			st.nodes[v].Deliver(round, r.From, r.Payload)
+		}
+	}
+}
+
+// finishRound records history/observer state and completion tracking.
+func (st *runState) finishRound(round int) {
+	st.stats.Rounds = round + 1
+	var rec *RoundRecord
+	if st.history != nil || st.cfg.Observer != nil {
+		rec = &RoundRecord{
+			Round:      round,
+			Faulty:     append([]int(nil), st.faulty...),
+			Actual:     cloneTransmissions(st.actual),
+			Delivered:  cloneReceived(st.delivered),
+			Collisions: st.lastCollisions,
+		}
+	}
+	if st.history != nil {
+		st.history.Rounds = append(st.history.Rounds, *rec)
+	}
+	if st.cfg.Observer != nil {
+		st.cfg.Observer(rec)
+	}
+	st.lastCollisions = 0
+	if st.trackDone && !st.doneAt {
+		all := true
+		for id, node := range st.nodes {
+			correct := bytes.Equal(node.Output(), st.cfg.SourceMsg)
+			if correct && st.informedRound[id] == -1 {
+				st.informedRound[id] = round
+			}
+			if !correct {
+				all = false
+				// A node can in principle revert (e.g. a vote flips);
+				// first-informed semantics keep the earlier round.
+			}
+		}
+		if all {
+			st.completedRound = round
+			st.doneAt = true
+		}
+	}
+}
+
+func (st *runState) result() *Result {
+	res := &Result{
+		Success:        true,
+		FirstFailed:    -1,
+		CompletedRound: st.completedRound,
+		InformedRound:  st.informedRound,
+		Outputs:        make([][]byte, st.n),
+		Stats:          st.stats,
+		History:        st.history,
+	}
+	for id, node := range st.nodes {
+		out := node.Output()
+		res.Outputs[id] = out
+		if res.Success && !bytes.Equal(out, st.cfg.SourceMsg) {
+			res.Success = false
+			res.FirstFailed = id
+		}
+	}
+	if res.Success && !st.trackDone {
+		res.CompletedRound = st.stats.Rounds - 1
+	}
+	if !res.Success {
+		res.CompletedRound = -1
+	}
+	return res
+}
+
+func cloneTransmissions(src [][]Transmission) [][]Transmission {
+	out := make([][]Transmission, len(src))
+	for i, ts := range src {
+		if len(ts) == 0 {
+			continue
+		}
+		cp := make([]Transmission, len(ts))
+		for j, t := range ts {
+			cp[j] = Transmission{To: t.To, Payload: append([]byte(nil), t.Payload...)}
+		}
+		out[i] = cp
+	}
+	return out
+}
+
+func cloneReceived(src [][]Received) [][]Received {
+	out := make([][]Received, len(src))
+	for i, rs := range src {
+		if len(rs) == 0 {
+			continue
+		}
+		cp := make([]Received, len(rs))
+		for j, r := range rs {
+			cp[j] = Received{From: r.From, Payload: append([]byte(nil), r.Payload...)}
+		}
+		out[i] = cp
+	}
+	return out
+}

@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"faultcast/internal/graph"
+)
+
+// echoAdversary is an adaptive, history-driven adversary: whenever a node
+// is faulty, it replays the last message that was DELIVERED to the
+// receiver (an adversary of the "knows the whole execution" kind the
+// model permits). It exists to pin the Exec.History contract: the history
+// visible during round t contains exactly rounds 0..t-1.
+type echoAdversary struct {
+	t          *testing.T
+	seenRounds []int
+}
+
+func (a *echoAdversary) Corrupt(e *Exec, faulty []int) map[int][]Transmission {
+	if e.History == nil {
+		a.t.Error("adversary ran without history despite RecordHistory")
+		return nil
+	}
+	if got := len(e.History.Rounds); got != e.Round {
+		a.t.Errorf("round %d: history holds %d rounds, want %d", e.Round, got, e.Round)
+	}
+	a.seenRounds = append(a.seenRounds, e.Round)
+	out := make(map[int][]Transmission, len(faulty))
+	for _, id := range faulty {
+		past := e.History.DeliveredTo(1)
+		if len(past) == 0 || len(e.Intents[id]) == 0 {
+			out[id] = nil
+			continue
+		}
+		replay := past[len(past)-1].Payload
+		ts := make([]Transmission, 0, len(e.Intents[id]))
+		for _, intent := range e.Intents[id] {
+			ts = append(ts, Transmission{To: intent.To, Payload: replay})
+		}
+		out[id] = ts
+	}
+	return out
+}
+
+func TestAdaptiveAdversarySeesHistory(t *testing.T) {
+	g := graph.TwoNode()
+	adv := &echoAdversary{t: t}
+	cfg := &Config{
+		Graph: g, Model: MessagePassing, Fault: Malicious, P: 0.5,
+		Source: 0, SourceMsg: []byte("m"),
+		NewNode: func(id int) Node { return &floodNode{} },
+		Rounds:  50, Seed: 13,
+		Adversary:     adv,
+		RecordHistory: true,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adv.seenRounds) == 0 {
+		t.Fatal("adversary never invoked at p=0.5 over 50 rounds")
+	}
+	// History in the result covers the whole run.
+	if len(res.History.Rounds) != 50 {
+		t.Fatalf("final history has %d rounds", len(res.History.Rounds))
+	}
+}
+
+func TestHistoryRequiresOptIn(t *testing.T) {
+	// Without RecordHistory the adversary's Exec.History must be nil, and
+	// the result carries no history.
+	g := graph.TwoNode()
+	sawNil := false
+	cfg := &Config{
+		Graph: g, Model: MessagePassing, Fault: Malicious, P: 0.5,
+		Source: 0, SourceMsg: []byte("m"),
+		NewNode: func(id int) Node { return &floodNode{} },
+		Rounds:  30, Seed: 3,
+		Adversary: adversaryFunc(func(e *Exec, faulty []int) map[int][]Transmission {
+			if e.History == nil {
+				sawNil = true
+			}
+			return nil
+		}),
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawNil {
+		t.Fatal("adversary never ran or saw non-nil history")
+	}
+	if res.History != nil {
+		t.Fatal("result carries history without RecordHistory")
+	}
+}
+
+// adversaryFunc adapts a closure to the Adversary interface.
+type adversaryFunc func(e *Exec, faulty []int) map[int][]Transmission
+
+func (f adversaryFunc) Corrupt(e *Exec, faulty []int) map[int][]Transmission {
+	return f(e, faulty)
+}
+
+func TestInformedRoundTracking(t *testing.T) {
+	g := graph.Line(5)
+	cfg := floodConfig(g, 10)
+	cfg.TrackCompletion = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.InformedRound) != 5 {
+		t.Fatalf("InformedRound has %d entries", len(res.InformedRound))
+	}
+	// Fault-free flood on a line: node i informed at the end of round i-1;
+	// the source counts as informed at round 0 (the first tracked scan).
+	for v := 1; v < 5; v++ {
+		if res.InformedRound[v] != v-1 {
+			t.Fatalf("node %d informed at round %d, want %d", v, res.InformedRound[v], v-1)
+		}
+	}
+	if res.InformedRound[0] != 0 {
+		t.Fatalf("source informed-round = %d, want 0", res.InformedRound[0])
+	}
+}
+
+func TestInformedRoundNilWithoutTracking(t *testing.T) {
+	g := graph.Line(3)
+	res, err := Run(floodConfig(g, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InformedRound != nil {
+		t.Fatal("InformedRound populated without TrackCompletion")
+	}
+}
+
+func TestHistoryFaultCount(t *testing.T) {
+	g := graph.TwoNode()
+	cfg := floodConfig(g, 100)
+	cfg.Fault = Omission
+	cfg.P = 0.5
+	cfg.RecordHistory = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.History.FaultCount(); got != res.Stats.Faults {
+		t.Fatalf("history fault count %d != stats %d", got, res.Stats.Faults)
+	}
+	if res.Stats.Faults < 60 || res.Stats.Faults > 140 {
+		t.Fatalf("fault count %d implausible for 2 nodes x 100 rounds at p=0.5", res.Stats.Faults)
+	}
+}
+
+func TestOutputsMatchSuccess(t *testing.T) {
+	g := graph.Line(4)
+	res, err := Run(floodConfig(g, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, out := range res.Outputs {
+		if !bytes.Equal(out, []byte("M")) {
+			t.Fatalf("node %d output %q", id, out)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package stat
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Trial is one Monte-Carlo trial: it runs an experiment with the given
+// seed and reports success. Trials must be independent and safe to run
+// concurrently (each trial derives all randomness from its seed).
+type Trial func(seed uint64) bool
+
+// Estimate runs `trials` independent trials with seeds baseSeed+0,
+// baseSeed+1, ... spread across GOMAXPROCS workers, and returns the
+// estimated success proportion. Seed assignment is deterministic, so the
+// estimate is reproducible regardless of parallelism.
+func Estimate(trials int, baseSeed uint64, trial Trial) Proportion {
+	return EstimateParallel(trials, baseSeed, runtime.GOMAXPROCS(0), trial)
+}
+
+// EstimateParallel is Estimate with an explicit worker count (used by
+// tests and by benchmarks that manage parallelism themselves).
+func EstimateParallel(trials int, baseSeed uint64, workers int, trial Trial) Proportion {
+	if trials <= 0 {
+		return Proportion{}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > trials {
+		workers = trials
+	}
+	var next atomic.Int64
+	var successes atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(trials) {
+					return
+				}
+				if trial(baseSeed + uint64(i)) {
+					successes.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return Proportion{Successes: int(successes.Load()), Trials: trials}
+}
+
+// MeanStd runs trials that produce a numeric measurement (e.g. broadcast
+// completion time) and returns the sample mean and standard deviation.
+// Trials returning ok=false (e.g. failed broadcasts with no completion
+// time) are excluded from the aggregate but counted in failed.
+func MeanStd(trials int, baseSeed uint64, measure func(seed uint64) (value float64, ok bool)) (mean, std float64, failed int) {
+	var mu sync.Mutex
+	var values []float64
+	workers := runtime.GOMAXPROCS(0)
+	if workers > trials {
+		workers = trials
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(trials) {
+					return
+				}
+				if v, ok := measure(baseSeed + uint64(i)); ok {
+					mu.Lock()
+					values = append(values, v)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	failed = trials - len(values)
+	if len(values) == 0 {
+		return 0, 0, failed
+	}
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	mean = sum / float64(len(values))
+	var ss float64
+	for _, v := range values {
+		ss += (v - mean) * (v - mean)
+	}
+	if len(values) > 1 {
+		std = math.Sqrt(ss / float64(len(values)-1))
+	}
+	return mean, std, failed
+}

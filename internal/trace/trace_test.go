@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"faultcast/internal/graph"
+	"faultcast/internal/protocols/simpleomission"
+	"faultcast/internal/sim"
+)
+
+func runTraced(t *testing.T, observer func(*sim.RoundRecord)) {
+	t.Helper()
+	g := graph.Line(4)
+	proto := simpleomission.New(g, 0, sim.MessagePassing, 2)
+	cfg := &sim.Config{
+		Graph: g, Model: sim.MessagePassing, Fault: sim.Omission, P: 0.3,
+		Source: 0, SourceMsg: []byte("M"),
+		NewNode: proto.NewNode, Rounds: proto.Rounds(), Seed: 5,
+		Observer: observer,
+	}
+	if _, err := sim.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoggerWritesRounds(t *testing.T) {
+	var sb strings.Builder
+	l := &Logger{W: &sb}
+	runTraced(t, l.Observe)
+	out := sb.String()
+	if !strings.Contains(out, "round    0:") {
+		t.Fatalf("missing round 0 line:\n%s", out)
+	}
+	if strings.Count(out, "round") < 8 {
+		t.Fatalf("too few round lines:\n%s", out)
+	}
+}
+
+func TestLoggerVerboseShowsPayloads(t *testing.T) {
+	var sb strings.Builder
+	l := &Logger{W: &sb, Verbose: true}
+	runTraced(t, l.Observe)
+	if !strings.Contains(sb.String(), `"M"`) {
+		t.Fatalf("verbose log missing payloads:\n%s", sb.String())
+	}
+}
+
+func TestCountersAggregate(t *testing.T) {
+	c := NewCounters()
+	runTraced(t, c.Observe)
+	if c.Rounds != 8 { // 4 nodes x m=2·log2(4)=4... rounds = n*m = 4*4 = 16
+		// WindowLen(2, 4) = ceil(2*2) = 4; rounds = 16.
+		if c.Rounds != 16 {
+			t.Fatalf("rounds = %d, want 16", c.Rounds)
+		}
+	}
+	if c.Deliveries == 0 || c.Transmissions == 0 {
+		t.Fatalf("counters empty: %+v", c)
+	}
+	total := 0
+	for _, cnt := range c.FaultsPerRound {
+		total += cnt
+	}
+	if total != c.Rounds {
+		t.Fatalf("fault histogram covers %d of %d rounds", total, c.Rounds)
+	}
+	if c.String() == "" {
+		t.Fatal("empty counter string")
+	}
+}

@@ -1,0 +1,426 @@
+package faultcast
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"faultcast/internal/adversary"
+	"faultcast/internal/graph"
+	"faultcast/internal/kucera"
+	"faultcast/internal/protocol"
+	"faultcast/internal/protocols/flooding"
+	"faultcast/internal/protocols/radiorepeat"
+	"faultcast/internal/protocols/simplemalicious"
+	"faultcast/internal/protocols/simpleomission"
+	"faultcast/internal/protocols/twonode"
+	"faultcast/internal/radio"
+	"faultcast/internal/sim"
+	"faultcast/internal/stat"
+	"faultcast/internal/trace"
+)
+
+// Algorithm selects one of the paper's broadcasting algorithms.
+type Algorithm int
+
+const (
+	// Auto picks the paper's algorithm for the configured scenario:
+	// flooding for omission message passing (Theorem 3.1), the composed
+	// algorithm for limited-malicious message passing (Theorem 3.2),
+	// Simple-Malicious for malicious message passing, and the repeated-
+	// schedule algorithms for radio (Theorem 3.4).
+	Auto Algorithm = iota
+	// SimpleOmission is Algorithm Simple-Omission (§2.1): node v_i
+	// transmits for a window of m steps in phase i; works in both models
+	// for any p < 1 under omission failures.
+	SimpleOmission
+	// SimpleMalicious is Algorithm Simple-Malicious (§2.2.1): phases plus
+	// a majority vote over the parent's window.
+	SimpleMalicious
+	// Flooding is the Θ(D + log n) BFS-tree flood of Theorem 3.1
+	// (message passing + omission only).
+	Flooding
+	// Composed is the Kučera-style CO1/CO2 composition of Theorem 3.2
+	// (message passing + limited malicious, p < 1/2).
+	Composed
+	// RadioRepeat is Omission-Radio/Malicious-Radio of Theorem 3.4: each
+	// step of a fault-free schedule repeated m times (radio only).
+	RadioRepeat
+	// TimingBit is the two-node "hello" protocol (§2.2.2): one bit over
+	// K2 under limited malicious failures, any p < 1. The message must be
+	// "0" or "1" and the graph K2.
+	TimingBit
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case Auto:
+		return "auto"
+	case SimpleOmission:
+		return "simple-omission"
+	case SimpleMalicious:
+		return "simple-malicious"
+	case Flooding:
+		return "flooding"
+	case Composed:
+		return "composed"
+	case RadioRepeat:
+		return "radio-repeat"
+	case TimingBit:
+		return "timing-bit"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// AdversaryKind selects the malicious strategy for Run.
+type AdversaryKind int
+
+const (
+	// WorstCase picks the paper's proof-strategy adversary for the
+	// scenario: the equivocator (Theorem 2.3) in the message passing
+	// model, the star adversary (Theorem 2.4) in the radio model. Both
+	// need to know the two candidate messages; Run uses the configured
+	// message and its byte-flipped sibling "0"/"1" when applicable, else
+	// falls back to Flip.
+	WorstCase AdversaryKind = iota
+	// CrashAdv silences faulty nodes.
+	CrashAdv
+	// FlipAdv rewrites faulty payloads to a fixed wrong value.
+	FlipAdv
+	// NoiseAdv randomizes faulty payloads.
+	NoiseAdv
+)
+
+// Config describes one broadcast simulation.
+type Config struct {
+	Graph   *Graph
+	Source  int
+	Message []byte
+	Model   Model
+	Fault   Fault
+	// P is the per-step transmitter failure probability in [0, 1).
+	P float64
+	// Algorithm selects the protocol (Auto = the paper's choice for the
+	// scenario).
+	Algorithm Algorithm
+	// WindowC overrides the window constant c of m = ceil(c·log n)
+	// (0 = derive from P as the analyses prescribe).
+	WindowC float64
+	// Alpha is the Theorem 3.2 exponent for Composed (default 1.5).
+	Alpha float64
+	// Adversary selects the malicious strategy (ignored for omission).
+	Adversary AdversaryKind
+	// Seed makes the run reproducible.
+	Seed uint64
+	// Rounds overrides the running time (0 = the algorithm's own horizon).
+	Rounds int
+	// Trace, if non-nil, receives a per-round execution log (faults,
+	// transmissions, deliveries, collisions). Single runs only; ignored
+	// by EstimateSuccess.
+	Trace io.Writer
+	// Concurrent runs the goroutine-per-node engine instead of the
+	// sequential one (identical results, slower; the model-faithful
+	// reference implementation).
+	Concurrent bool
+}
+
+// Result summarizes a run.
+type Result struct {
+	// Success is true iff every node ended with exactly the source
+	// message.
+	Success bool
+	// Rounds is the executed horizon.
+	Rounds int
+	// FirstFailed is the smallest node id with a wrong output (-1 on
+	// success).
+	FirstFailed int
+	// Faults is the total number of (node, step) transmitter failures.
+	Faults int
+	// Deliveries is the number of delivered messages.
+	Deliveries int
+	// Collisions is the number of radio collision events.
+	Collisions int
+}
+
+// Run executes one simulation.
+func Run(cfg Config) (Result, error) {
+	simCfg, err := build(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	if cfg.Trace != nil {
+		logger := &trace.Logger{W: cfg.Trace}
+		simCfg.Observer = logger.Observe
+	}
+	engine := sim.Run
+	if cfg.Concurrent {
+		engine = sim.RunConcurrent
+	}
+	res, err := engine(simCfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Success:     res.Success,
+		Rounds:      res.Stats.Rounds,
+		FirstFailed: res.FirstFailed,
+		Faults:      res.Stats.Faults,
+		Deliveries:  res.Stats.Deliveries,
+		Collisions:  res.Stats.Collisions,
+	}, nil
+}
+
+// Estimate is a Monte-Carlo success estimate with a 95% Wilson interval.
+type Estimate struct {
+	Rate     float64
+	Low, Hi  float64
+	Trials   int
+	Succeeds int
+}
+
+// AlmostSafe reports whether the estimate is compatible with the paper's
+// almost-safety target 1 − 1/n (i.e. the interval reaches it).
+func (e Estimate) AlmostSafe(n int) bool {
+	return e.Hi >= 1-1/float64(n)
+}
+
+func (e Estimate) String() string {
+	return fmt.Sprintf("%.4f [%.4f, %.4f] (%d/%d)", e.Rate, e.Low, e.Hi, e.Succeeds, e.Trials)
+}
+
+// EstimateSuccess runs `trials` independent simulations (seeds Seed+i) in
+// parallel and estimates the success probability.
+func EstimateSuccess(cfg Config, trials int) (Estimate, error) {
+	// Validate once up front so worker panics can't be configuration
+	// errors.
+	if _, err := build(cfg); err != nil {
+		return Estimate{}, err
+	}
+	prop := stat.Estimate(trials, cfg.Seed, func(seed uint64) bool {
+		c := cfg
+		c.Seed = seed
+		simCfg, err := build(c)
+		if err != nil {
+			panic(err) // unreachable: validated above
+		}
+		res, err := sim.Run(simCfg)
+		if err != nil {
+			panic(err)
+		}
+		return res.Success
+	})
+	lo, hi := prop.Wilson(1.96)
+	return Estimate{
+		Rate: prop.Rate(), Low: lo, Hi: hi,
+		Trials: prop.Trials, Succeeds: prop.Successes,
+	}, nil
+}
+
+// build lowers the public Config to an engine configuration.
+func build(cfg Config) (*sim.Config, error) {
+	if cfg.Graph == nil {
+		return nil, errors.New("faultcast: Config.Graph is nil")
+	}
+	if len(cfg.Message) == 0 {
+		return nil, errors.New("faultcast: empty message")
+	}
+	if cfg.Source < 0 || cfg.Source >= cfg.Graph.N() {
+		return nil, fmt.Errorf("faultcast: source %d out of range", cfg.Source)
+	}
+	if cfg.P < 0 || cfg.P >= 1 {
+		return nil, fmt.Errorf("faultcast: P=%v outside [0,1)", cfg.P)
+	}
+	model := sim.MessagePassing
+	if cfg.Model == Radio {
+		model = sim.Radio
+	}
+	var fault sim.FaultType
+	switch cfg.Fault {
+	case Omission:
+		fault = sim.Omission
+	case Malicious:
+		fault = sim.Malicious
+	case LimitedMalicious:
+		fault = sim.LimitedMalicious
+	default:
+		return nil, fmt.Errorf("faultcast: unknown fault %d", int(cfg.Fault))
+	}
+
+	algo := cfg.Algorithm
+	if algo == Auto {
+		algo = pickAlgorithm(cfg)
+	}
+	newNode, rounds, err := buildProtocol(cfg, algo, model)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Rounds > 0 {
+		rounds = cfg.Rounds
+	}
+	simCfg := &sim.Config{
+		Graph:     cfg.Graph,
+		Model:     model,
+		Fault:     fault,
+		P:         cfg.P,
+		Source:    cfg.Source,
+		SourceMsg: cfg.Message,
+		NewNode:   newNode,
+		Rounds:    rounds,
+		Seed:      cfg.Seed,
+	}
+	if fault == sim.Malicious || fault == sim.LimitedMalicious {
+		simCfg.Adversary = buildAdversary(cfg)
+	}
+	return simCfg, nil
+}
+
+func pickAlgorithm(cfg Config) Algorithm {
+	if cfg.Model == Radio {
+		return RadioRepeat
+	}
+	switch cfg.Fault {
+	case Omission:
+		return Flooding
+	case LimitedMalicious:
+		if cfg.Graph.N() == 2 && isBit(cfg.Message) {
+			return TimingBit
+		}
+		return Composed
+	default:
+		return SimpleMalicious
+	}
+}
+
+func isBit(msg []byte) bool {
+	return len(msg) == 1 && (msg[0] == '0' || msg[0] == '1')
+}
+
+func buildProtocol(cfg Config, algo Algorithm, model sim.Model) (func(int) sim.Node, int, error) {
+	n := cfg.Graph.N()
+	switch algo {
+	case SimpleOmission:
+		c := cfg.WindowC
+		if c == 0 {
+			c = protocol.WindowCOmission(cfg.P)
+		}
+		p := simpleomission.New(cfg.Graph, cfg.Source, model, c)
+		return p.NewNode, p.Rounds(), nil
+
+	case SimpleMalicious:
+		c := cfg.WindowC
+		if c == 0 {
+			if model == sim.Radio {
+				c = protocol.WindowCRadioMalicious(cfg.P, cfg.Graph.MaxDegree())
+			} else {
+				c = protocol.WindowCMalicious(cfg.P)
+			}
+		}
+		p := simplemalicious.New(cfg.Graph, cfg.Source, model, c)
+		return p.NewNode, p.Rounds(), nil
+
+	case Flooding:
+		if model != sim.MessagePassing {
+			return nil, 0, errors.New("faultcast: flooding requires the message passing model")
+		}
+		a := cfg.WindowC
+		if a == 0 {
+			a = 6
+		}
+		p := flooding.New(cfg.Graph, cfg.Source)
+		return p.NewNode, p.Rounds(a), nil
+
+	case Composed:
+		if model != sim.MessagePassing {
+			return nil, 0, errors.New("faultcast: the composed algorithm requires the message passing model")
+		}
+		alpha := cfg.Alpha
+		if alpha == 0 {
+			alpha = 1.5
+		}
+		plan, err := kucera.PlanForGraph(cfg.Graph, cfg.Source, cfg.P, alpha, 1, kucera.Options{})
+		if err != nil {
+			return nil, 0, err
+		}
+		p, err := kucera.New(cfg.Graph, cfg.Source, plan)
+		if err != nil {
+			return nil, 0, err
+		}
+		return p.NewNode, p.Rounds(), nil
+
+	case RadioRepeat:
+		if model != sim.Radio {
+			return nil, 0, errors.New("faultcast: radio-repeat requires the radio model")
+		}
+		variant := radiorepeat.OmissionVariant
+		c := cfg.WindowC
+		if cfg.Fault == Omission {
+			if c == 0 {
+				c = protocol.WindowCOmission(cfg.P)
+			}
+		} else {
+			variant = radiorepeat.MaliciousVariant
+			if c == 0 {
+				c = protocol.WindowCRadioMalicious(cfg.P, cfg.Graph.MaxDegree())
+			}
+		}
+		sched := radio.Greedy(cfg.Graph, cfg.Source)
+		p, err := radiorepeat.New(cfg.Graph, cfg.Source, sched, variant, c)
+		if err != nil {
+			return nil, 0, err
+		}
+		return p.NewNode, p.Rounds(), nil
+
+	case TimingBit:
+		if n != 2 {
+			return nil, 0, errors.New("faultcast: the timing protocol runs on K2 only")
+		}
+		if !isBit(cfg.Message) {
+			return nil, 0, errors.New("faultcast: the timing protocol broadcasts a single bit (\"0\" or \"1\")")
+		}
+		m := 64
+		if cfg.WindowC > 0 {
+			m = int(cfg.WindowC)
+		}
+		p := twonode.New(m)
+		return p.NewNode, p.Rounds(), nil
+
+	default:
+		return nil, 0, fmt.Errorf("faultcast: unknown algorithm %d", int(algo))
+	}
+}
+
+func buildAdversary(cfg Config) sim.Adversary {
+	switch cfg.Adversary {
+	case CrashAdv:
+		return adversary.Crash{}
+	case FlipAdv:
+		return adversary.Flip{Wrong: flipOf(cfg.Message)}
+	case NoiseAdv:
+		return adversary.RandomNoise{}
+	case WorstCase:
+		m0, m1 := []byte("0"), []byte("1")
+		if isBit(cfg.Message) {
+			if cfg.Model == Radio {
+				return adversary.Star{M0: m0, M1: m1}
+			}
+			return adversary.Equivocator{M0: m0, M1: m1, SourceOnly: true}
+		}
+		return adversary.Flip{Wrong: flipOf(cfg.Message)}
+	default:
+		return adversary.Flip{Wrong: flipOf(cfg.Message)}
+	}
+}
+
+// flipOf returns a payload guaranteed to differ from msg ("0" unless msg
+// is "0").
+func flipOf(msg []byte) []byte {
+	if len(msg) == 1 && msg[0] == '0' {
+		return []byte("1")
+	}
+	return []byte("0")
+}
+
+// BFSTree re-exports breadth-first spanning tree construction for callers
+// building custom schedules or visualizations.
+func BFSTree(g *Graph, source int) *graph.Tree { return graph.BFSTree(g, source) }
