@@ -24,6 +24,7 @@ import (
 	"faultcast/internal/radio"
 	"faultcast/internal/rng"
 	"faultcast/internal/sim"
+	"faultcast/internal/stat"
 )
 
 // runCfg executes one simulation per iteration with rotating seeds.
@@ -390,3 +391,75 @@ func BenchmarkHarnessQuick(b *testing.B) {
 		harness.RunE1(o)
 	}
 }
+
+// --- compile-once plans vs the per-trial seed path -----------------------
+//
+// The pairs below measure the tentpole: BenchmarkEstimateSeed* rebuilds
+// the scenario for every trial (the pre-Plan EstimateSuccess behaviour:
+// Kučera plan / greedy radio schedule / BFS tree / protocol state per
+// trial), while BenchmarkEstimatePlan* compiles once and streams trials
+// through per-worker reusable engine states. One iteration = one
+// estimateTrials-trial estimate of the same scenario.
+
+const estimateTrials = 64
+
+func composedCfg() faultcast.Config {
+	return faultcast.Config{
+		Graph: faultcast.Line(33), Source: 0, Message: []byte("1"),
+		Model: faultcast.MessagePassing, Fault: faultcast.LimitedMalicious,
+		P: 0.2, Algorithm: faultcast.Composed, Adversary: faultcast.FlipAdv,
+	}
+}
+
+func radioRepeatCfg() faultcast.Config {
+	return faultcast.Config{
+		Graph: faultcast.Layered(4), Source: 0, Message: []byte("1"),
+		Model: faultcast.Radio, Fault: faultcast.Omission,
+		P: 0.4, Algorithm: faultcast.RadioRepeat,
+	}
+}
+
+// benchEstimateSeedPath reproduces the seed repository's estimator: every
+// trial re-runs the full Config lowering (faultcast.Run compiles a fresh
+// plan per call).
+func benchEstimateSeedPath(b *testing.B, cfg faultcast.Config) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		prop := stat.Estimate(estimateTrials, uint64(i), func(seed uint64) bool {
+			c := cfg
+			c.Seed = seed
+			res, err := faultcast.Run(c)
+			if err != nil {
+				panic(err)
+			}
+			return res.Success
+		})
+		if prop.Trials != estimateTrials {
+			b.Fatal("short estimate")
+		}
+	}
+}
+
+func benchEstimatePlan(b *testing.B, cfg faultcast.Config) {
+	plan, err := faultcast.Compile(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est, err := plan.Estimate(estimateTrials, faultcast.WithBaseSeed(uint64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if est.Trials != estimateTrials {
+			b.Fatal("short estimate")
+		}
+	}
+}
+
+func BenchmarkEstimateSeedComposed(b *testing.B) { benchEstimateSeedPath(b, composedCfg()) }
+func BenchmarkEstimatePlanComposed(b *testing.B) { benchEstimatePlan(b, composedCfg()) }
+
+func BenchmarkEstimateSeedRadioRepeat(b *testing.B) { benchEstimateSeedPath(b, radioRepeatCfg()) }
+func BenchmarkEstimatePlanRadioRepeat(b *testing.B) { benchEstimatePlan(b, radioRepeatCfg()) }

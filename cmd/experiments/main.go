@@ -25,6 +25,7 @@ func main() {
 	var (
 		only   = flag.String("only", "", "comma-separated experiment ids (default: all)")
 		quick  = flag.Bool("quick", false, "reduced graph sizes and trial counts")
+		full   = flag.Bool("full", false, "run every cell's full trial count (disable early stopping on decided cells)")
 		trials = flag.Int("trials", 0, "Monte-Carlo trials per cell (0 = default)")
 		seed   = flag.Uint64("seed", 0, "base seed (0 = default)")
 		csvDir = flag.String("csv", "", "directory to write per-table CSV files (optional)")
@@ -40,7 +41,7 @@ func main() {
 		return
 	}
 
-	opts := harness.Options{Trials: *trials, Seed: *seed, Quick: *quick}
+	opts := harness.Options{Trials: *trials, Seed: *seed, Quick: *quick, FullTrials: *full}
 	if !*quiet {
 		opts.Progress = os.Stderr
 	}

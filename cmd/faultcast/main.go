@@ -35,6 +35,7 @@ func main() {
 		dot        = flag.Bool("dot", false, "print the graph in DOT format and exit")
 		traceRun   = flag.Bool("trace", false, "print a per-round execution log (single runs only)")
 		concurrent = flag.Bool("concurrent", false, "use the goroutine-per-node engine")
+		full       = flag.Bool("full", false, "run all trials (disable early stopping at the almost-safe target)")
 	)
 	flag.Parse()
 
@@ -124,11 +125,17 @@ func main() {
 	}
 
 	cfg.Concurrent = *concurrent
+	if *trials <= 1 && *traceRun {
+		cfg.Trace = os.Stdout
+	}
+	// Compile once: protocol, composition plan, radio schedule, BFS tree,
+	// adversary, and horizon are shared by every trial below.
+	plan, err := faultcast.Compile(cfg)
+	if err != nil {
+		fatal(err)
+	}
 	if *trials <= 1 {
-		if *traceRun {
-			cfg.Trace = os.Stdout
-		}
-		res, err := faultcast.Run(cfg)
+		res, err := plan.Run(cfg.Seed)
 		if err != nil {
 			fatal(err)
 		}
@@ -141,11 +148,19 @@ func main() {
 		return
 	}
 
-	est, err := faultcast.EstimateSuccess(cfg, *trials)
+	var opts []faultcast.EstimateOption
+	if !*full {
+		opts = append(opts, faultcast.WithAlmostSafeTarget())
+	}
+	est, err := plan.Estimate(*trials, opts...)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("success rate: %v\n", est)
+	if est.Trials < *trials {
+		fmt.Printf("stopped early after %d/%d trials (interval decided against the almost-safe bound; -full disables)\n",
+			est.Trials, *trials)
+	}
 	fmt.Printf("almost-safe (>= 1-1/n = %.4f): %v\n",
 		1-1/float64(g.N()), est.AlmostSafe(g.N()))
 }

@@ -14,10 +14,14 @@
 //
 //   - feasibility predicates for the paper's four scenarios (Feasible,
 //     Threshold, RadioThreshold);
-//   - the paper's algorithms, runnable on arbitrary graphs through Run and
-//     EstimateSuccess (Simple-Omission, Simple-Malicious, tree flooding,
-//     the composed Kučera-style algorithm, the Theorem 3.4 radio
-//     algorithms, and the two-node timing protocol);
+//   - the paper's algorithms, runnable on arbitrary graphs (Simple-Omission,
+//     Simple-Malicious, tree flooding, the composed Kučera-style algorithm,
+//     the Theorem 3.4 radio algorithms, and the two-node timing protocol);
+//   - a compile-once/run-many execution model: Compile lowers a Config to a
+//     Plan exactly once (protocol construction, composition plans, radio
+//     schedules, spanning trees), and Plan.Run / Plan.Estimate stream any
+//     number of trials against it, with optional early-stopped estimation;
+//     Run and EstimateSuccess are one-shot wrappers over the same path;
 //   - graph constructors for the families used in the paper's
 //     constructions, including the layered radio lower-bound graph.
 //

@@ -1,0 +1,3 @@
+module faultcast
+
+go 1.24

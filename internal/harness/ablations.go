@@ -29,12 +29,11 @@ func RunA1(o Options) []*Table {
 	}
 	for i, c := range []float64{0.25, 0.5, 1, 2, 4, 8} {
 		proto := simpleomission.New(g, 0, sim.MessagePassing, c)
-		est := successRate(o, uint64(i+1)*86028121, func(seed uint64) *sim.Config {
-			return &sim.Config{
-				Graph: g, Model: sim.MessagePassing, Fault: sim.Omission, P: 0.5,
-				Source: 0, SourceMsg: msg1,
-				NewNode: proto.NewNode, Rounds: proto.Rounds(), Seed: seed,
-			}
+		// The sweep is the table's content — no target, no early stop.
+		est := successRate(o, uint64(i+1)*86028121, -1, &sim.Config{
+			Graph: g, Model: sim.MessagePassing, Fault: sim.Omission, P: 0.5,
+			Source: 0, SourceMsg: msg1,
+			NewNode: proto.NewNode, Rounds: proto.Rounds(),
 		})
 		lo, hi := est.Wilson(1.96)
 		t.AddRow(c, proto.WindowLen(), proto.Rounds(), est.Rate(),
@@ -68,24 +67,17 @@ func RunA2(o Options) []*Table {
 		}},
 	}
 	for i, a := range advs {
-		adv := a.mk()
-		est := stat.Estimate(o.Trials*4, o.Seed+uint64(i)*53, func(seed uint64) bool {
-			msg := []byte("0")
-			if seed&1 == 1 {
-				msg = []byte("1")
-			}
-			cfg := &sim.Config{
-				Graph: g, Model: sim.MessagePassing, Fault: sim.Malicious, P: 0.5,
-				Source: 0, SourceMsg: msg,
-				NewNode: proto.NewNode, Rounds: proto.Rounds(), Seed: seed * 2654435761,
-				Adversary: adv,
-			}
-			res, err := sim.Run(cfg)
-			if err != nil {
-				panic(err)
-			}
-			return res.Success
-		})
+		// Comparison rates are the content — run the full sample.
+		est := stat.EstimateWith(o.Trials*4, o.Seed+uint64(i)*53, 0,
+			bitTrial(func(msg []byte) *sim.Config {
+				return &sim.Config{
+					Graph: g, Model: sim.MessagePassing, Fault: sim.Malicious, P: 0.5,
+					Source: 0, SourceMsg: msg,
+					NewNode: proto.NewNode, Rounds: proto.Rounds(),
+					Adversary: a.mk(),
+				}
+			}, func(seed uint64) uint64 { return seed * 2654435761 },
+				func(res *sim.Result, _ []byte) bool { return res.Success }))
 		lo, hi := est.Wilson(1.96)
 		t.AddRow(a.name, est.Rate(), fmt.Sprintf("[%.3f,%.3f]", lo, hi))
 		o.logf("A2 %s: %v", a.name, est)
@@ -100,7 +92,7 @@ func RunA3(o Options) []*Table {
 	o = o.withDefaults()
 	t := &Table{
 		Title:   "A3 — sequential vs goroutine-per-node engine",
-		Note:    "outcomes must be bit-identical (same seeds); the concurrent engine pays barrier overhead",
+		Note:    "outcomes must be bit-identical (same seeds); ratio = reference engine (per-trial state, barriers) vs the production path (reused runner)",
 		Headers: []string{"graph", "trials", "identical", "seq time", "conc time", "ratio", "verdict"},
 	}
 	graphs := []namedGraph{{graph.Grid(6, 6), 0}, {graph.Line(48), 0}}
@@ -113,18 +105,17 @@ func RunA3(o Options) []*Table {
 	}
 	for _, ng := range graphs {
 		proto := simpleomission.New(ng.g, ng.src, sim.MessagePassing, 2)
-		mk := func(seed uint64) *sim.Config {
-			return &sim.Config{
-				Graph: ng.g, Model: sim.MessagePassing, Fault: sim.Omission, P: 0.4,
-				Source: ng.src, SourceMsg: msg1,
-				NewNode: proto.NewNode, Rounds: proto.Rounds(), Seed: seed,
-			}
+		cfg := &sim.Config{
+			Graph: ng.g, Model: sim.MessagePassing, Fault: sim.Omission, P: 0.4,
+			Source: ng.src, SourceMsg: msg1,
+			NewNode: proto.NewNode, Rounds: proto.Rounds(),
 		}
 		identical := true
 		seqStart := time.Now()
+		runner := newRunner(cfg) // one reused state for the whole stream
 		seqResults := make([]*sim.Result, trials)
 		for i := 0; i < trials; i++ {
-			res, err := sim.Run(mk(o.Seed + uint64(i)))
+			res, err := runner.Run(o.Seed + uint64(i))
 			if err != nil {
 				panic(err)
 			}
@@ -133,7 +124,9 @@ func RunA3(o Options) []*Table {
 		seqDur := time.Since(seqStart)
 		concStart := time.Now()
 		for i := 0; i < trials; i++ {
-			res, err := sim.RunConcurrent(mk(o.Seed + uint64(i)))
+			c := *cfg
+			c.Seed = o.Seed + uint64(i)
+			res, err := sim.RunConcurrent(&c)
 			if err != nil {
 				panic(err)
 			}

@@ -57,22 +57,12 @@ func RunB1(o Options) []*Table {
 		}
 		for _, v := range variants {
 			cell++
-			mean, _, failed := stat.MeanStd(o.Trials, o.Seed^cell*101, func(seed uint64) (float64, bool) {
-				cfg := &sim.Config{
-					Graph: tc.ng.g, Model: sim.Radio, Fault: sim.Omission, P: p,
-					Source: tc.ng.src, SourceMsg: msg1,
-					NewNode: v.newNode, Rounds: v.rounds, Seed: seed,
-					TrackCompletion: true,
-				}
-				res, err := sim.Run(cfg)
-				if err != nil {
-					panic(err)
-				}
-				if !res.Success {
-					return 0, false
-				}
-				return float64(res.CompletedRound + 1), true
-			})
+			mean, _, failed := stat.MeanStdWith(o.Trials, o.Seed^cell*101, completionMeasure(&sim.Config{
+				Graph: tc.ng.g, Model: sim.Radio, Fault: sim.Omission, P: p,
+				Source: tc.ng.src, SourceMsg: msg1,
+				NewNode: v.newNode, Rounds: v.rounds,
+				TrackCompletion: true,
+			}))
 			est := stat.Proportion{Successes: o.Trials - failed, Trials: o.Trials}
 			lo, hi := est.Wilson(1.96)
 			t.AddRow(tc.ng.g.Name(), v.name, v.rounds, fmt.Sprintf("%.0f", mean),

@@ -38,22 +38,12 @@ func RunE7(o Options) []*Table {
 		proto := flooding.New(g, 0)
 		rounds := proto.Rounds(6)
 		var failures int
-		mean, std, failed := stat.MeanStd(o.Trials, o.Seed+uint64(i)*31, func(seed uint64) (float64, bool) {
-			cfg := &sim.Config{
-				Graph: g, Model: sim.MessagePassing, Fault: sim.Omission, P: p,
-				Source: 0, SourceMsg: msg1,
-				NewNode: proto.NewNode, Rounds: rounds, Seed: seed,
-				TrackCompletion: true,
-			}
-			res, err := sim.Run(cfg)
-			if err != nil {
-				panic(err)
-			}
-			if !res.Success {
-				return 0, false
-			}
-			return float64(res.CompletedRound + 1), true
-		})
+		mean, std, failed := stat.MeanStdWith(o.Trials, o.Seed+uint64(i)*31, completionMeasure(&sim.Config{
+			Graph: g, Model: sim.MessagePassing, Fault: sim.Omission, P: p,
+			Source: 0, SourceMsg: msg1,
+			NewNode: proto.NewNode, Rounds: rounds,
+			TrackCompletion: true,
+		}))
 		failures = failed
 		d := float64(g.Radius(0))
 		x := d + math.Log2(float64(n))
@@ -124,15 +114,13 @@ func RunE8(o Options) []*Table {
 		if err != nil {
 			panic(err)
 		}
-		est := successRate(o, uint64(i+1)*32452843, func(seed uint64) *sim.Config {
-			return &sim.Config{
-				Graph: ng.g, Model: sim.MessagePassing, Fault: sim.LimitedMalicious, P: p,
-				Source: ng.src, SourceMsg: msg1,
-				NewNode: proto.NewNode, Rounds: proto.Rounds(), Seed: seed,
-				Adversary: adversary.Flip{Wrong: []byte("0")},
-			}
-		})
 		target := almostSafe(ng.g.N())
+		est := successRate(o, uint64(i+1)*32452843, target, &sim.Config{
+			Graph: ng.g, Model: sim.MessagePassing, Fault: sim.LimitedMalicious, P: p,
+			Source: ng.src, SourceMsg: msg1,
+			NewNode: proto.NewNode, Rounds: proto.Rounds(),
+			Adversary: adversary.Flip{Wrong: []byte("0")},
+		})
 		lo, hi := est.Wilson(1.96)
 		runs.AddRow(ng.g.Name(), ng.g.N(), ng.g.Radius(ng.src), proto.Rounds(),
 			est.Rate(), fmt.Sprintf("[%.3f,%.3f]", lo, hi), target, verdict(hi >= target))
@@ -280,15 +268,13 @@ func RunE11(o Options) []*Table {
 			if err != nil {
 				panic(err)
 			}
-			est := successRate(o, cell*49979687, func(seed uint64) *sim.Config {
-				return &sim.Config{
-					Graph: tc.ng.g, Model: sim.Radio, Fault: va.fault, P: va.p,
-					Source: tc.ng.src, SourceMsg: msg1,
-					NewNode: proto.NewNode, Rounds: proto.Rounds(), Seed: seed,
-					Adversary: va.adv,
-				}
-			})
 			target := almostSafe(tc.ng.g.N())
+			est := successRate(o, cell*49979687, target, &sim.Config{
+				Graph: tc.ng.g, Model: sim.Radio, Fault: va.fault, P: va.p,
+				Source: tc.ng.src, SourceMsg: msg1,
+				NewNode: proto.NewNode, Rounds: proto.Rounds(),
+				Adversary: va.adv,
+			})
 			lo, hi := est.Wilson(1.96)
 			t.AddRow(tc.ng.g.Name(), va.v.String(), va.p, tc.sched.Len(), proto.WindowLen(),
 				proto.Rounds(), est.Rate(), fmt.Sprintf("[%.3f,%.3f]", lo, hi), target,

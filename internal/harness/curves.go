@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"faultcast/internal/graph"
 	"faultcast/internal/protocols/decay"
@@ -31,13 +32,11 @@ func RunF1(o Options) []*Table {
 	g := graph.Line(n)
 	for i, p := range []float64{0, 0.3, 0.5, 0.7} {
 		proto := flooding.New(g, 0)
-		q := quartiles(o, uint64(i+1)*211, o.Trials/2, func(seed uint64) *sim.Config {
-			return &sim.Config{
-				Graph: g, Model: sim.MessagePassing, Fault: sim.Omission, P: p,
-				Source: 0, SourceMsg: msg1,
-				NewNode: proto.NewNode, Rounds: proto.Rounds(8), Seed: seed,
-				TrackCompletion: true,
-			}
+		q := quartiles(o, uint64(i+1)*211, o.Trials/2, &sim.Config{
+			Graph: g, Model: sim.MessagePassing, Fault: sim.Omission, P: p,
+			Source: 0, SourceMsg: msg1,
+			NewNode: proto.NewNode, Rounds: proto.Rounds(8),
+			TrackCompletion: true,
 		})
 		t.AddRow("flooding (Thm 3.1)", n, p, q.q25, q.q50, q.q75, q.q100, q.failed)
 		o.logf("F1 flooding p=%.1f done", p)
@@ -45,13 +44,11 @@ func RunF1(o Options) []*Table {
 	// Decay on the same line in the radio model for contrast.
 	dec := decay.New(g)
 	for i, p := range []float64{0, 0.5} {
-		q := quartiles(o, uint64(i+11)*223, o.Trials/2, func(seed uint64) *sim.Config {
-			return &sim.Config{
-				Graph: g, Model: sim.Radio, Fault: sim.Omission, P: p,
-				Source: 0, SourceMsg: msg1,
-				NewNode: dec.NewNode, Rounds: dec.Rounds(12*n + 60), Seed: seed,
-				TrackCompletion: true,
-			}
+		q := quartiles(o, uint64(i+11)*223, o.Trials/2, &sim.Config{
+			Graph: g, Model: sim.Radio, Fault: sim.Omission, P: p,
+			Source: 0, SourceMsg: msg1,
+			NewNode: dec.NewNode, Rounds: dec.Rounds(12*n + 60),
+			TrackCompletion: true,
 		})
 		t.AddRow("decay (radio baseline)", n, p, q.q25, q.q50, q.q75, q.q100, q.failed)
 		o.logf("F1 decay p=%.1f done", p)
@@ -65,8 +62,9 @@ type curveQuartiles struct {
 }
 
 // quartiles averages, across trials, the first round by which each
-// quarter of the nodes was informed.
-func quartiles(o Options, cellSeed uint64, trials int, mk func(seed uint64) *sim.Config) curveQuartiles {
+// quarter of the nodes was informed. cfg is compiled once; each worker
+// streams its trials through a reusable runner.
+func quartiles(o Options, cellSeed uint64, trials int, cfg *sim.Config) curveQuartiles {
 	if trials < 10 {
 		trials = 10
 	}
@@ -75,36 +73,49 @@ func quartiles(o Options, cellSeed uint64, trials int, mk func(seed uint64) *sim
 	var samples []quad
 	failed := 0
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, 8)
-	for i := 0; i < trials; i++ {
+	var next atomic.Int64
+	workers := 8
+	if workers > trials {
+		workers = trials
+	}
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		sem <- struct{}{}
-		go func(seed uint64) {
+		go func() {
 			defer wg.Done()
-			defer func() { <-sem }()
-			res, err := sim.Run(mk(seed))
-			if err != nil {
-				panic(err)
-			}
-			mu.Lock()
-			defer mu.Unlock()
-			if !res.Success {
-				failed++
-				return
-			}
-			rounds := append([]int(nil), res.InformedRound...)
-			sort.Ints(rounds)
-			n := len(rounds)
-			var q quad
-			for k, frac := range []float64{0.25, 0.5, 0.75, 1.0} {
-				idx := int(frac*float64(n)) - 1
-				if idx < 0 {
-					idx = 0
+			r := newRunner(cfg)
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(trials) {
+					return
 				}
-				q[k] = float64(rounds[idx] + 1)
+				res, err := r.Run(o.Seed ^ cellSeed + uint64(i))
+				if err != nil {
+					panic(err)
+				}
+				if !res.Success {
+					mu.Lock()
+					failed++
+					mu.Unlock()
+					continue
+				}
+				// The Result is trial-local (Runner.Run copies it out of
+				// the reused state), so sorting in place is safe.
+				rounds := res.InformedRound
+				sort.Ints(rounds)
+				n := len(rounds)
+				var q quad
+				for k, frac := range []float64{0.25, 0.5, 0.75, 1.0} {
+					idx := int(frac*float64(n)) - 1
+					if idx < 0 {
+						idx = 0
+					}
+					q[k] = float64(rounds[idx] + 1)
+				}
+				mu.Lock()
+				samples = append(samples, q)
+				mu.Unlock()
 			}
-			samples = append(samples, q)
-		}(o.Seed ^ cellSeed + uint64(i))
+		}()
 	}
 	wg.Wait()
 	out := curveQuartiles{failed: failed, q25: "-", q50: "-", q75: "-", q100: "-"}

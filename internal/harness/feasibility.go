@@ -32,14 +32,12 @@ func RunE1(o Options) []*Table {
 			for _, p := range ps {
 				cell++
 				proto := simpleomission.New(ng.g, ng.src, model, omissionWindowC(p))
-				est := successRate(o, cell*7919, func(seed uint64) *sim.Config {
-					return &sim.Config{
-						Graph: ng.g, Model: model, Fault: sim.Omission, P: p,
-						Source: ng.src, SourceMsg: msg1,
-						NewNode: proto.NewNode, Rounds: proto.Rounds(), Seed: seed,
-					}
-				})
 				target := almostSafe(ng.g.N())
+				est := successRate(o, cell*7919, target, &sim.Config{
+					Graph: ng.g, Model: model, Fault: sim.Omission, P: p,
+					Source: ng.src, SourceMsg: msg1,
+					NewNode: proto.NewNode, Rounds: proto.Rounds(),
+				})
 				lo, hi := est.Wilson(1.96)
 				t.AddRow(ng.g.Name(), model.String(), p, proto.WindowLen(), proto.Rounds(),
 					est.Rate(), fmt.Sprintf("[%.3f,%.3f]", lo, hi), target, verdict(hi >= target))
@@ -66,15 +64,13 @@ func RunE2(o Options) []*Table {
 	for i, p := range []float64{0.1, 0.2, 0.3, 0.4, 0.45, 0.5, 0.6} {
 		c := maliciousWindowC(p)
 		proto := simplemalicious.New(g, 0, sim.MessagePassing, c)
-		est := successRate(o, uint64(i+1)*104729, func(seed uint64) *sim.Config {
-			return &sim.Config{
-				Graph: g, Model: sim.MessagePassing, Fault: sim.Malicious, P: p,
-				Source: 0, SourceMsg: msg1,
-				NewNode: proto.NewNode, Rounds: proto.Rounds(), Seed: seed,
-				Adversary: adversary.Flip{Wrong: []byte("0")},
-			}
-		})
 		target := almostSafe(g.N())
+		est := successRate(o, uint64(i+1)*104729, target, &sim.Config{
+			Graph: g, Model: sim.MessagePassing, Fault: sim.Malicious, P: p,
+			Source: 0, SourceMsg: msg1,
+			NewNode: proto.NewNode, Rounds: proto.Rounds(),
+			Adversary: adversary.Flip{Wrong: []byte("0")},
+		})
 		lo, hi := est.Wilson(1.96)
 		below := p < 0.5
 		pass := hi >= target
@@ -111,23 +107,19 @@ func RunE3(o Options) []*Table {
 		for _, c := range cs {
 			cell++
 			proto := simplemalicious.New(g, 0, sim.MessagePassing, c)
-			est := stat.Estimate(o.Trials*4, o.Seed^cell*130363, func(seed uint64) bool {
-				msg := []byte("0")
-				if seed&1 == 1 {
-					msg = []byte("1")
-				}
-				cfg := &sim.Config{
-					Graph: g, Model: sim.MessagePassing, Fault: sim.Malicious, P: p,
-					Source: 0, SourceMsg: msg,
-					NewNode: proto.NewNode, Rounds: proto.Rounds(), Seed: seed * 2654435761,
-					Adversary: adversary.Equivocator{M0: []byte("0"), M1: []byte("1"), SourceOnly: true},
-				}
-				res, err := sim.Run(cfg)
-				if err != nil {
-					panic(err)
-				}
-				return res.Success
-			})
+			// Stop early only once a band wider than the 99.9% pinned-
+			// verdict band is decided against 1/2, so a truly pinned cell
+			// still runs its full sample.
+			est := stat.EstimateStream(o.Trials*4, o.Seed^cell*130363, 0, o.stopRule(0.5, 3.29),
+				bitTrial(func(msg []byte) *sim.Config {
+					return &sim.Config{
+						Graph: g, Model: sim.MessagePassing, Fault: sim.Malicious, P: p,
+						Source: 0, SourceMsg: msg,
+						NewNode: proto.NewNode, Rounds: proto.Rounds(),
+						Adversary: adversary.Equivocator{M0: []byte("0"), M1: []byte("1"), SourceOnly: true},
+					}
+				}, func(seed uint64) uint64 { return seed * 2654435761 },
+					func(res *sim.Result, _ []byte) bool { return res.Success }))
 			lo, hi := est.Wilson(1.96)
 			// The pinned check spans 12 cells; use a 99.9% band so the
 			// family-wise false-alarm rate stays small.
@@ -141,28 +133,22 @@ func RunE3(o Options) []*Table {
 	return []*Table{t}
 }
 
-// starTrial runs Simple-Malicious on the Theorem 2.4 star (source at a
-// leaf) and reports whether the ROOT decoded the message — the node the
-// impossibility argument is about.
-func starTrial(delta int, p, c float64, adv sim.Adversary, seed uint64) bool {
+// starTrials compiles the Theorem 2.4 star scenario (source at a leaf)
+// once per cell and scores each trial on whether the ROOT decoded the
+// message — the node the impossibility argument is about.
+func starTrials(delta int, p, c float64, mkAdv func() sim.Adversary) stat.TrialMaker {
 	g := graph.Star(delta + 1)
 	const source = 1
 	proto := simplemalicious.New(g, source, sim.Radio, c)
-	msg := []byte("0")
-	if seed&1 == 1 {
-		msg = []byte("1")
-	}
-	cfg := &sim.Config{
-		Graph: g, Model: sim.Radio, Fault: sim.Malicious, P: p,
-		Source: source, SourceMsg: msg,
-		NewNode: proto.NewNode, Rounds: proto.Rounds(), Seed: seed*2654435761 + 99,
-		Adversary: adv,
-	}
-	res, err := sim.Run(cfg)
-	if err != nil {
-		panic(err)
-	}
-	return bytes.Equal(res.Outputs[0], msg)
+	return bitTrial(func(msg []byte) *sim.Config {
+		return &sim.Config{
+			Graph: g, Model: sim.Radio, Fault: sim.Malicious, P: p,
+			Source: source, SourceMsg: msg,
+			NewNode: proto.NewNode, Rounds: proto.Rounds(),
+			Adversary: mkAdv(),
+		}
+	}, func(seed uint64) uint64 { return seed*2654435761 + 99 },
+		func(res *sim.Result, msg []byte) bool { return bytes.Equal(res.Outputs[0], msg) })
 }
 
 // RunE4 exercises the feasibility direction of Theorem 2.4: malicious
@@ -185,15 +171,13 @@ func RunE4(o Options) []*Table {
 		q := pow(1-p, delta+1)
 		c := maliciousWindowC(p/(p+q)) * (2 / q)
 		proto := simplemalicious.New(ng.g, ng.src, sim.Radio, c)
-		est := successRate(o, uint64(i+1)*95483, func(seed uint64) *sim.Config {
-			return &sim.Config{
-				Graph: ng.g, Model: sim.Radio, Fault: sim.Malicious, P: p,
-				Source: ng.src, SourceMsg: msg1,
-				NewNode: proto.NewNode, Rounds: proto.Rounds(), Seed: seed,
-				Adversary: adversary.Flip{Wrong: []byte("0")},
-			}
-		})
 		target := almostSafe(ng.g.N())
+		est := successRate(o, uint64(i+1)*95483, target, &sim.Config{
+			Graph: ng.g, Model: sim.Radio, Fault: sim.Malicious, P: p,
+			Source: ng.src, SourceMsg: msg1,
+			NewNode: proto.NewNode, Rounds: proto.Rounds(),
+			Adversary: adversary.Flip{Wrong: []byte("0")},
+		})
 		lo, hi := est.Wilson(1.96)
 		t.AddRow(ng.g.Name(), delta, pStar, p, proto.WindowLen(), est.Rate(),
 			fmt.Sprintf("[%.3f,%.3f]", lo, hi), target, verdict(hi >= target))
@@ -232,13 +216,14 @@ func RunE5(o Options) []*Table {
 		for _, tc := range cases {
 			cell++
 			c := 8.0
+			rule := o.stopRule(0.5, 3.29) // pinned rows read the 99.9% band
 			if tc.regime == "below" {
 				q := pow(1-tc.p, delta+1)
 				c = maliciousWindowC(tc.p/(tc.p+q)) * (2 / q)
+				rule = o.stopRule(0.9, 1.96) // recovery rows read lo > 0.9
 			}
-			est := stat.Estimate(o.Trials*4, o.Seed^cell*15485863, func(seed uint64) bool {
-				return starTrial(delta, tc.p, c, adv(), seed)
-			})
+			est := stat.EstimateStream(o.Trials*4, o.Seed^cell*15485863, 0, rule,
+				starTrials(delta, tc.p, c, adv))
 			lo, hi := est.Wilson(1.96)
 			wlo, whi := est.Wilson(3.29) // family-wise band, as in E3
 			var pass bool
@@ -275,14 +260,14 @@ func RunE6(o Options) []*Table {
 			for _, bit := range [][]byte{twonode.Bit0, twonode.Bit1} {
 				cell++
 				proto := twonode.New(m)
-				est := successRate(o, cell*179426549, func(seed uint64) *sim.Config {
-					return &sim.Config{
-						Graph: graph.TwoNode(), Model: sim.MessagePassing,
-						Fault: sim.LimitedMalicious, P: p,
-						Source: 0, SourceMsg: bit,
-						NewNode: proto.NewNode, Rounds: proto.Rounds(), Seed: seed,
-						Adversary: adversary.Crash{},
-					}
+				// No early stopping: the verdict is two-sided (the predicted
+				// value must fall inside the interval), not a target bound.
+				est := successRate(o, cell*179426549, -1, &sim.Config{
+					Graph: graph.TwoNode(), Model: sim.MessagePassing,
+					Fault: sim.LimitedMalicious, P: p,
+					Source: 0, SourceMsg: bit,
+					NewNode: proto.NewNode, Rounds: proto.Rounds(),
+					Adversary: adversary.Crash{},
 				})
 				lo, hi := est.Wilson(1.96)
 				// Bit 1 is deterministic; bit 0 succeeds iff the execution

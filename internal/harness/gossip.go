@@ -35,22 +35,12 @@ func RunG1(o Options) []*Table {
 			rounds := proto.Rounds(a)
 			full := gossip.FullDigest(n)
 			succ := 0
-			mean, _, failed := stat.MeanStd(o.Trials, o.Seed^cell*3001, func(seed uint64) (float64, bool) {
-				cfg := &sim.Config{
-					Graph: ng.g, Model: sim.MessagePassing, Fault: sim.Omission, P: p,
-					Source: ng.src, SourceMsg: full,
-					NewNode: proto.NewNode, Rounds: rounds, Seed: seed,
-					TrackCompletion: true,
-				}
-				res, err := sim.Run(cfg)
-				if err != nil {
-					panic(err)
-				}
-				if !res.Success {
-					return 0, false
-				}
-				return float64(res.CompletedRound + 1), true
-			})
+			mean, _, failed := stat.MeanStdWith(o.Trials, o.Seed^cell*3001, completionMeasure(&sim.Config{
+				Graph: ng.g, Model: sim.MessagePassing, Fault: sim.Omission, P: p,
+				Source: ng.src, SourceMsg: full,
+				NewNode: proto.NewNode, Rounds: rounds,
+				TrackCompletion: true,
+			}))
 			succ = o.Trials - failed
 			est := stat.Proportion{Successes: succ, Trials: o.Trials}
 			lo, hi := est.Wilson(1.96)

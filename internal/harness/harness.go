@@ -21,6 +21,22 @@ type Options struct {
 	// Quick shrinks graphs and trial counts so the whole suite runs in
 	// seconds (used by tests); full-size runs feed EXPERIMENTS.md.
 	Quick bool
+	// FullTrials disables early stopping: every cell runs all of its
+	// trials even after its interval is already decided against the
+	// cell's target. Early stopping halts on a band strictly wider than
+	// the one the verdict reads, so a stopped cell's displayed verdict is
+	// always decided in the stopping direction; for a frontier cell whose
+	// true rate sits at the target, the repeated per-batch looks still
+	// make a momentarily-decided stop more likely than a single look at
+	// the full sample would be, so its verdict can differ from a -full
+	// run's. That caveat includes the pinned cells of E3/E5, whose
+	// two-sided verdict locks in "not pinned" on a stop (for a truly
+	// pinned cell a spurious stop needs a >4-sigma excursion, so they run
+	// their full sample in practice). Cells with no pass/fail target —
+	// A1's constant sweep, A2's adversary comparison, E6's
+	// predicted-value check, and the completion-time tables — never stop
+	// early.
+	FullTrials bool
 	// Progress, if non-nil, receives one line per experiment stage.
 	Progress io.Writer
 }
@@ -106,17 +122,89 @@ func RunAll(o Options, w io.Writer) {
 // msg1 is the canonical experiment payload.
 var msg1 = []byte("1")
 
-// successRate runs cfg-template trials; mkCfg must return a fresh Config
-// per seed (configs are not reusable across goroutines).
-func successRate(o Options, cellSeed uint64, mkCfg func(seed uint64) *sim.Config) stat.Proportion {
-	return stat.Estimate(o.Trials, o.Seed^cellSeed, func(seed uint64) bool {
-		cfg := mkCfg(seed)
-		res, err := sim.Run(cfg)
-		if err != nil {
-			panic(fmt.Sprintf("harness: %v", err))
+// newRunner compiles the cell configuration into a reusable engine runner;
+// harness configurations are static, so construction errors are bugs.
+func newRunner(cfg *sim.Config) *sim.Runner {
+	r, err := sim.NewRunner(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("harness: %v", err))
+	}
+	return r
+}
+
+// stopRule returns the cell's early-stopping rule: decided against target
+// on a Wilson band 30% wider than the verdict's z, so that whenever the
+// stream stops, the verdict band (a subset of the stopping band) is
+// decided the same way on the executed sample. target < 0, or
+// Options.FullTrials, disables stopping.
+func (o Options) stopRule(target, z float64) stat.StopRule {
+	if o.FullTrials || target < 0 {
+		return stat.StopRule{}
+	}
+	return stat.StopRule{Target: target, UseTarget: true, Z: z * 1.3}
+}
+
+// successRate estimates the success rate of one cell. cfg is compiled once
+// (its Seed field is ignored) and every worker streams trials through its
+// own reusable runner; trial seeds are o.Seed^cellSeed + i. target >= 0
+// stops the stream early once the interval is decided against it (on a
+// band wider than the 95% verdict band; see stopRule).
+func successRate(o Options, cellSeed uint64, target float64, cfg *sim.Config) stat.Proportion {
+	return successRateN(o.Trials, o.Seed^cellSeed, o.stopRule(target, 1.96), cfg)
+}
+
+// successRateN is successRate with an explicit trial count and stop rule.
+func successRateN(trials int, baseSeed uint64, rule stat.StopRule, cfg *sim.Config) stat.Proportion {
+	return stat.EstimateStream(trials, baseSeed, 0, rule, func() stat.Trial {
+		r := newRunner(cfg)
+		return func(seed uint64) bool {
+			res, err := r.Run(seed)
+			if err != nil {
+				panic(fmt.Sprintf("harness: %v", err))
+			}
+			return res.Success
 		}
-		return res.Success
 	})
+}
+
+// bitTrial returns a per-worker trial stream for the impossibility cells,
+// whose trials alternate the broadcast bit by seed parity. mk compiles one
+// configuration per bit (called twice, up front); mapSeed maps the trial
+// seed to the run seed; won scores a run given the bit that was sent.
+func bitTrial(mk func(msg []byte) *sim.Config, mapSeed func(uint64) uint64, won func(res *sim.Result, msg []byte) bool) stat.TrialMaker {
+	cfg0, cfg1 := mk([]byte("0")), mk([]byte("1"))
+	return func() stat.Trial {
+		r0, r1 := newRunner(cfg0), newRunner(cfg1)
+		return func(seed uint64) bool {
+			r, msg := r0, cfg0.SourceMsg
+			if seed&1 == 1 {
+				r, msg = r1, cfg1.SourceMsg
+			}
+			res, err := r.Run(mapSeed(seed))
+			if err != nil {
+				panic(fmt.Sprintf("harness: %v", err))
+			}
+			return won(res, msg)
+		}
+	}
+}
+
+// completionMeasure adapts one cell to stat.MeanStdWith: each worker owns a
+// reusable runner; a trial yields its completion time (rounds) on success.
+func completionMeasure(cfg *sim.Config) func() stat.Measure {
+	return func() stat.Measure {
+		r := newRunner(cfg)
+		return func(seed uint64) (float64, bool) {
+			res, err := r.Run(seed)
+			if err != nil {
+				panic(fmt.Sprintf("harness: %v", err))
+			}
+			if !res.Success {
+				return 0, false
+			}
+			return float64(res.CompletedRound + 1), true
+		}
+	}
 }
 
 // almostSafe is the paper's target success probability for an n-node graph.

@@ -45,23 +45,13 @@ func RunOP1(o Options) []*Table {
 		g := graph.Caterpillar(sh.spine, sh.legs)
 		proto := streaming.New(g, 0, protocol.WindowCMalicious(p))
 		rounds := proto.Rounds(6)
-		mean, _, failed := stat.MeanStd(o.Trials, o.Seed+uint64(i)*1009, func(seed uint64) (float64, bool) {
-			cfg := &sim.Config{
-				Graph: g, Model: sim.MessagePassing, Fault: sim.Malicious, P: p,
-				Source: 0, SourceMsg: msg1,
-				NewNode: proto.NewNode, Rounds: rounds, Seed: seed,
-				Adversary:       adversary.Flip{Wrong: []byte("0")},
-				TrackCompletion: true,
-			}
-			res, err := sim.Run(cfg)
-			if err != nil {
-				panic(err)
-			}
-			if !res.Success {
-				return 0, false
-			}
-			return float64(res.CompletedRound + 1), true
-		})
+		mean, _, failed := stat.MeanStdWith(o.Trials, o.Seed+uint64(i)*1009, completionMeasure(&sim.Config{
+			Graph: g, Model: sim.MessagePassing, Fault: sim.Malicious, P: p,
+			Source: 0, SourceMsg: msg1,
+			NewNode: proto.NewNode, Rounds: rounds,
+			Adversary:       adversary.Flip{Wrong: []byte("0")},
+			TrackCompletion: true,
+		}))
 		d := float64(g.Radius(0))
 		ds = append(ds, d)
 		times = append(times, mean)
@@ -110,12 +100,10 @@ func RunOP2(o Options) []*Table {
 			if err != nil {
 				panic(err)
 			}
-			est := successRate(o, uint64(gm*100+i)*2003, func(seed uint64) *sim.Config {
-				return &sim.Config{
-					Graph: g, Model: sim.Radio, Fault: sim.Omission, P: 0.5,
-					Source: 0, SourceMsg: msg1,
-					NewNode: proto.NewNode, Rounds: proto.Rounds(), Seed: seed,
-				}
+			est := successRate(o, uint64(gm*100+i)*2003, target, &sim.Config{
+				Graph: g, Model: sim.Radio, Fault: sim.Omission, P: 0.5,
+				Source: 0, SourceMsg: msg1,
+				NewNode: proto.NewNode, Rounds: proto.Rounds(),
 			})
 			lo, hi := est.Wilson(1.96)
 			t.AddRow(gm, n, sched.Len(), proto.WindowLen(), proto.Rounds(),

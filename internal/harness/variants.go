@@ -47,23 +47,13 @@ func RunA4(o Options) []*Table {
 		for _, v := range variants {
 			cell++
 			succ := 0
-			meanDone, _, failed := stat.MeanStd(o.Trials, o.Seed^cell*7, func(seed uint64) (float64, bool) {
-				cfg := &sim.Config{
-					Graph: ng.g, Model: sim.MessagePassing, Fault: sim.Malicious, P: p,
-					Source: ng.src, SourceMsg: msg1,
-					NewNode: v.newNode, Rounds: v.rounds, Seed: seed,
-					Adversary:       adversary.Flip{Wrong: []byte("0")},
-					TrackCompletion: true,
-				}
-				res, err := sim.Run(cfg)
-				if err != nil {
-					panic(err)
-				}
-				if !res.Success {
-					return 0, false
-				}
-				return float64(res.CompletedRound + 1), true
-			})
+			meanDone, _, failed := stat.MeanStdWith(o.Trials, o.Seed^cell*7, completionMeasure(&sim.Config{
+				Graph: ng.g, Model: sim.MessagePassing, Fault: sim.Malicious, P: p,
+				Source: ng.src, SourceMsg: msg1,
+				NewNode: v.newNode, Rounds: v.rounds,
+				Adversary:       adversary.Flip{Wrong: []byte("0")},
+				TrackCompletion: true,
+			}))
 			succ = o.Trials - failed
 			est := stat.Proportion{Successes: succ, Trials: o.Trials}
 			lo, hi := est.Wilson(1.96)
@@ -120,18 +110,23 @@ func RunA5(o Options) []*Table {
 		}
 		rounds := proto.Rounds(ng.g.Radius(ng.src), tc.a)
 		var collisions atomic.Int64
-		est := stat.Estimate(o.Trials, o.Seed^cell*13, func(seed uint64) bool {
-			cfg := &sim.Config{
-				Graph: ng.g, Model: sim.Radio, Fault: sim.Omission, P: tc.p,
-				Source: ng.src, SourceMsg: msg1,
-				NewNode: proto.NewNode, Rounds: rounds, Seed: seed,
+		cfg := &sim.Config{
+			Graph: ng.g, Model: sim.Radio, Fault: sim.Omission, P: tc.p,
+			Source: ng.src, SourceMsg: msg1,
+			NewNode: proto.NewNode, Rounds: rounds,
+		}
+		// Full sample: the collision tally spans every trial, so the
+		// zero-collision verdict reads the whole stream.
+		est := stat.EstimateWith(o.Trials, o.Seed^cell*13, 0, func() stat.Trial {
+			r := newRunner(cfg)
+			return func(seed uint64) bool {
+				res, err := r.Run(seed)
+				if err != nil {
+					panic(err)
+				}
+				collisions.Add(int64(res.Stats.Collisions))
+				return res.Success
 			}
-			res, err := sim.Run(cfg)
-			if err != nil {
-				panic(err)
-			}
-			collisions.Add(int64(res.Stats.Collisions))
-			return res.Success
 		})
 		lo, hi := est.Wilson(1.96)
 		t.AddRow(ng.g.Name(), tc.kind.String(), rounds, collisions.Load(), est.Rate(),

@@ -10,16 +10,46 @@ import (
 
 // Run executes the configuration on the sequential engine and returns the
 // result. It is the engine used by the Monte-Carlo harness; RunConcurrent
-// provides identical semantics with one goroutine per node.
+// provides identical semantics with one goroutine per node. Trial streams
+// over a fixed configuration should use a Runner, which reuses the run
+// state instead of reallocating it per trial.
 func Run(cfg *Config) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	st, err := newRunState(cfg)
+	r, err := NewRunner(cfg)
 	if err != nil {
 		return nil, err
 	}
-	for round := 0; round < cfg.Rounds; round++ {
+	return r.Run(cfg.Seed)
+}
+
+// Runner executes many independent trials of one configuration on the
+// sequential engine, reusing the execution state (transmission, delivery,
+// and fault buffers) across trials instead of allocating it per run. A
+// trial with a given seed is bit-identical to Run with that seed.
+//
+// A Runner is NOT safe for concurrent use: give each worker goroutine its
+// own Runner (they may share the *Config, which the Runner never mutates).
+type Runner struct {
+	cfg *Config
+	st  *runState
+}
+
+// NewRunner validates the configuration once and returns a reusable runner.
+// Config.Seed is ignored; each trial's seed is passed to Run.
+func NewRunner(cfg *Config) (*Runner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Runner{cfg: cfg, st: allocRunState(cfg)}, nil
+}
+
+// Run executes one trial with the given seed. The returned Result does not
+// alias mutable runner state and stays valid across subsequent trials.
+func (r *Runner) Run(seed uint64) (*Result, error) {
+	st := r.st
+	if err := st.Reset(seed); err != nil {
+		return nil, err
+	}
+	for round := 0; round < r.cfg.Rounds; round++ {
 		if err := st.transmitPhase(round); err != nil {
 			return nil, err
 		}
@@ -32,7 +62,9 @@ func Run(cfg *Config) (*Result, error) {
 	return st.result(), nil
 }
 
-// runState holds all mutable execution state shared by the two engines.
+// runState holds all mutable execution state shared by the two engines. It
+// is allocated once (allocRunState) and rewound to a fresh execution by
+// Reset, so a Runner can stream trials without reallocating its buffers.
 type runState struct {
 	cfg      *Config
 	n        int
@@ -54,38 +86,59 @@ type runState struct {
 	doneAt         bool // completion already observed
 }
 
-func newRunState(cfg *Config) (*runState, error) {
+// allocRunState allocates the per-execution buffers without initializing an
+// execution; Reset must be called before the first round.
+func allocRunState(cfg *Config) *runState {
 	n := cfg.Graph.N()
-	master := rng.New(cfg.Seed)
 	st := &runState{
-		cfg:            cfg,
-		n:              n,
-		nodes:          make([]Node, n),
-		faultRnd:       master.Split(),
-		advRnd:         master.Split(),
-		intents:        make([][]Transmission, n),
-		actual:         make([][]Transmission, n),
-		delivered:      make([][]Received, n),
-		completedRound: -1,
-		trackDone:      cfg.TrackCompletion,
-	}
-	if cfg.RecordHistory {
-		st.history = &History{}
+		cfg:       cfg,
+		n:         n,
+		nodes:     make([]Node, n),
+		intents:   make([][]Transmission, n),
+		actual:    make([][]Transmission, n),
+		delivered: make([][]Received, n),
+		trackDone: cfg.TrackCompletion,
 	}
 	if cfg.TrackCompletion {
 		st.informedRound = make([]int, n)
-		for i := range st.informedRound {
-			st.informedRound[i] = -1
-		}
+	}
+	return st
+}
+
+// Reset rewinds the state to the start of a fresh execution with the given
+// seed. The RNG stream derivation (fault stream, adversary stream, one
+// stream per node, in that order) matches a from-scratch run exactly, so a
+// reused state is bit-identical to a freshly allocated one.
+func (st *runState) Reset(seed uint64) error {
+	cfg := st.cfg
+	master := rng.New(seed)
+	st.faultRnd = master.Split()
+	st.advRnd = master.Split()
+	st.history = nil
+	if cfg.RecordHistory {
+		st.history = &History{}
+	}
+	st.stats = Stats{}
+	st.lastCollisions = 0
+	st.completedRound = -1
+	st.doneAt = false
+	st.faulty = st.faulty[:0]
+	for i := 0; i < st.n; i++ {
+		st.intents[i] = nil
+		st.actual[i] = nil
+		st.delivered[i] = st.delivered[i][:0]
+	}
+	for i := range st.informedRound {
+		st.informedRound[i] = -1
 	}
 	nodeSeeds := master.Split()
-	for id := 0; id < n; id++ {
+	for id := 0; id < st.n; id++ {
 		node := cfg.NewNode(id)
 		if node == nil {
-			return nil, fmt.Errorf("sim: NewNode(%d) returned nil", id)
+			return fmt.Errorf("sim: NewNode(%d) returned nil", id)
 		}
 		env := &Env{
-			ID: id, N: n, G: cfg.Graph, Source: cfg.Source, P: cfg.P,
+			ID: id, N: st.n, G: cfg.Graph, Source: cfg.Source, P: cfg.P,
 			Rand: nodeSeeds.Split(),
 		}
 		if id == cfg.Source {
@@ -93,6 +146,14 @@ func newRunState(cfg *Config) (*runState, error) {
 		}
 		node.Init(env)
 		st.nodes[id] = node
+	}
+	return nil
+}
+
+func newRunState(cfg *Config) (*runState, error) {
+	st := allocRunState(cfg)
+	if err := st.Reset(cfg.Seed); err != nil {
+		return nil, err
 	}
 	return st, nil
 }
@@ -173,9 +234,12 @@ func (st *runState) faultAndDeliver(round int) error {
 		}
 	}
 
-	// Phase 4: delivery rule.
+	// Phase 4: delivery rule. Truncate (not nil) so a reused state keeps
+	// its per-receiver backing arrays across rounds and trials; receivers
+	// must not retain the slices (the Node contract), and history records
+	// are deep-cloned.
 	for i := range st.delivered {
-		st.delivered[i] = nil
+		st.delivered[i] = st.delivered[i][:0]
 	}
 	if st.cfg.Model == MessagePassing {
 		st.deliverMessagePassing()
@@ -338,10 +402,14 @@ func (st *runState) result() *Result {
 		Success:        true,
 		FirstFailed:    -1,
 		CompletedRound: st.completedRound,
-		InformedRound:  st.informedRound,
 		Outputs:        make([][]byte, st.n),
 		Stats:          st.stats,
 		History:        st.history,
+	}
+	if st.informedRound != nil {
+		// Copy: the state (and this slice) is rewound on the next Reset,
+		// and the Result must stay valid across a Runner's trial stream.
+		res.InformedRound = append([]int(nil), st.informedRound...)
 	}
 	for id, node := range st.nodes {
 		out := node.Output()

@@ -10,6 +10,11 @@
 // synchronization that mirrors the paper's "one process per node" model.
 // Given the same Config (including seed), both produce bit-identical
 // executions; a property test enforces this.
+//
+// Trial streams (many seeds, one configuration) should use a Runner,
+// which validates the configuration once and rewinds a single execution
+// state per trial instead of reallocating it; a Runner trial is
+// bit-identical to a fresh Run with the same seed.
 package sim
 
 import (

@@ -12,6 +12,12 @@ import (
 // concurrently (each trial derives all randomness from its seed).
 type Trial func(seed uint64) bool
 
+// TrialMaker builds the Trial for one worker goroutine. Per-worker mutable
+// state — typically a reusable simulation runner whose buffers persist
+// across the worker's whole trial stream — lives in the returned closure,
+// which is only ever called from that single worker.
+type TrialMaker func() Trial
+
 // Estimate runs `trials` independent trials with seeds baseSeed+0,
 // baseSeed+1, ... spread across GOMAXPROCS workers, and returns the
 // estimated success proportion. Seed assignment is deterministic, so the
@@ -21,16 +27,29 @@ func Estimate(trials int, baseSeed uint64, trial Trial) Proportion {
 }
 
 // EstimateParallel is Estimate with an explicit worker count (used by
-// tests and by benchmarks that manage parallelism themselves).
+// tests and by benchmarks that manage parallelism themselves). The trial
+// function is shared by all workers and must be concurrency-safe; use
+// EstimateWith when workers need private state.
 func EstimateParallel(trials int, baseSeed uint64, workers int, trial Trial) Proportion {
+	return EstimateWith(trials, baseSeed, workers, func() Trial { return trial })
+}
+
+// EstimateWith is EstimateParallel with per-worker trial state: newTrial is
+// called once per worker, and the resulting Trial is used by that worker
+// alone. workers <= 0 selects GOMAXPROCS. The estimate depends only on
+// (trials, baseSeed), not on the worker count.
+func EstimateWith(trials int, baseSeed uint64, workers int, newTrial TrialMaker) Proportion {
 	if trials <= 0 {
 		return Proportion{}
 	}
-	if workers < 1 {
-		workers = 1
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > trials {
 		workers = trials
+	}
+	if workers < 1 {
+		workers = 1
 	}
 	var next atomic.Int64
 	var successes atomic.Int64
@@ -39,6 +58,7 @@ func EstimateParallel(trials int, baseSeed uint64, workers int, trial Trial) Pro
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			trial := newTrial()
 			for {
 				i := next.Add(1) - 1
 				if i >= int64(trials) {
@@ -54,11 +74,24 @@ func EstimateParallel(trials int, baseSeed uint64, workers int, trial Trial) Pro
 	return Proportion{Successes: int(successes.Load()), Trials: trials}
 }
 
+// Measure is one numeric Monte-Carlo trial (e.g. broadcast completion
+// time); ok=false excludes the trial from the aggregate.
+type Measure func(seed uint64) (value float64, ok bool)
+
 // MeanStd runs trials that produce a numeric measurement (e.g. broadcast
 // completion time) and returns the sample mean and standard deviation.
 // Trials returning ok=false (e.g. failed broadcasts with no completion
-// time) are excluded from the aggregate but counted in failed.
-func MeanStd(trials int, baseSeed uint64, measure func(seed uint64) (value float64, ok bool)) (mean, std float64, failed int) {
+// time) are excluded from the aggregate but counted in failed. The measure
+// function is shared by all workers and must be concurrency-safe; use
+// MeanStdWith when workers need private state.
+func MeanStd(trials int, baseSeed uint64, measure Measure) (mean, std float64, failed int) {
+	return MeanStdWith(trials, baseSeed, func() Measure { return measure })
+}
+
+// MeanStdWith is MeanStd with per-worker measurement state: newMeasure is
+// called once per worker, and the resulting Measure is used by that worker
+// alone (so it may hold a reusable simulation runner).
+func MeanStdWith(trials int, baseSeed uint64, newMeasure func() Measure) (mean, std float64, failed int) {
 	var mu sync.Mutex
 	var values []float64
 	workers := runtime.GOMAXPROCS(0)
@@ -74,6 +107,7 @@ func MeanStd(trials int, baseSeed uint64, measure func(seed uint64) (value float
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			measure := newMeasure()
 			for {
 				i := next.Add(1) - 1
 				if i >= int64(trials) {

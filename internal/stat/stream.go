@@ -1,0 +1,134 @@
+package stat
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// StopRule configures optional early stopping for a streaming estimate.
+// The zero value never stops early (all requested trials run).
+//
+// Stopping decisions are made on the Wilson interval at Z after every
+// batch, so the executed trial count is always a deterministic function of
+// (rule, baseSeed, maxTrials) — never of scheduling or worker count.
+type StopRule struct {
+	// Target, active when UseTarget is set, stops the stream once the
+	// interval is decided against it: entirely above (the scenario is
+	// almost-safe with confidence) or entirely below (it is not). Threshold
+	// sweeps use the paper's almost-safety bound 1 − 1/n here, so points
+	// far from the p* frontier stop after a handful of batches.
+	Target    float64
+	UseTarget bool
+	// HalfWidth, when positive, stops the stream once the 95% (z = 1.96)
+	// interval half-width shrinks to it — "estimate until this precise".
+	// It always reads the 95% band, independent of Z, since it bounds the
+	// precision of the reported interval rather than deciding a test.
+	HalfWidth float64
+	// Z is the interval width used by the target check (default 1.96,
+	// i.e. 95%). Stopping is a sequential test: the band is consulted
+	// after every batch, so the chance that SOME look is momentarily
+	// decided exceeds the band's nominal level. Callers whose downstream
+	// verdict reads a z-band should stop on a strictly wider one.
+	Z float64
+	// Batch is the number of trials between stopping checks (default 32 —
+	// a fixed constant, so the executed trial count does not depend on
+	// the machine's core count).
+	Batch int
+}
+
+// Enabled reports whether the rule can ever stop a stream early.
+func (r StopRule) Enabled() bool { return r.UseTarget || r.HalfWidth > 0 }
+
+// Done reports whether the estimate so far satisfies the rule.
+func (r StopRule) Done(p Proportion) bool {
+	if p.Trials == 0 {
+		return false
+	}
+	if r.UseTarget {
+		z := r.Z
+		if z == 0 {
+			z = 1.96
+		}
+		lo, hi := p.Wilson(z)
+		if lo > r.Target || hi < r.Target {
+			return true
+		}
+	}
+	if r.HalfWidth > 0 {
+		lo, hi := p.Wilson(1.96)
+		if (hi-lo)/2 <= r.HalfWidth {
+			return true
+		}
+	}
+	return false
+}
+
+// EstimateStream runs up to maxTrials independent trials with seeds
+// baseSeed+0, baseSeed+1, ... and stops early once rule is satisfied. The
+// trials that execute are always the prefix of the seed sequence whose
+// length is a multiple of the batch size (or maxTrials), so the returned
+// Proportion is reproducible regardless of parallelism.
+//
+// newTrial is called once per worker; per-worker state persists across all
+// batches of the stream. workers <= 0 selects GOMAXPROCS.
+func EstimateStream(maxTrials int, baseSeed uint64, workers int, rule StopRule, newTrial TrialMaker) Proportion {
+	if maxTrials <= 0 {
+		return Proportion{}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > maxTrials {
+		workers = maxTrials
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if !rule.Enabled() {
+		return EstimateWith(maxTrials, baseSeed, workers, newTrial)
+	}
+	batch := rule.Batch
+	if batch <= 0 {
+		batch = 32
+	}
+	if workers > batch {
+		workers = batch // a batch can't occupy more workers than trials
+	}
+	trials := make([]Trial, workers)
+	for w := range trials {
+		trials[w] = newTrial()
+	}
+	var p Proportion
+	for {
+		b := batch
+		if rest := maxTrials - p.Trials; b > rest {
+			b = rest
+		}
+		end := int64(p.Trials + b)
+		var next, succ atomic.Int64
+		next.Store(int64(p.Trials))
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(trial Trial) {
+				defer wg.Done()
+				for {
+					i := next.Add(1) - 1
+					if i >= end {
+						return
+					}
+					if trial(baseSeed + uint64(i)) {
+						succ.Add(1)
+					}
+				}
+			}(trials[w])
+		}
+		wg.Wait()
+		p.Trials += b
+		p.Successes += int(succ.Load())
+		if p.Trials >= maxTrials || rule.Done(p) {
+			return p
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package faultcast
+
+import (
+	"fmt"
+
+	"faultcast/internal/sim"
+	"faultcast/internal/stat"
+	"faultcast/internal/trace"
+)
+
+// Plan is a compiled scenario: all graph- and protocol-dependent work of a
+// Config — protocol construction (including the Kučera composition plan,
+// the BFS spanning tree, and the greedy radio schedule), the adversary,
+// and the round horizon — performed once, so that many Monte-Carlo trials
+// can run without repeating any of it.
+//
+// Compile once per scenario, then call Run per trial or Estimate per
+// sweep point. A Plan is immutable after Compile and safe for concurrent
+// use by multiple goroutines — except that when Config.Trace is set,
+// concurrent Run calls would interleave unsynchronized writes to the one
+// trace writer, so traced plans must run one trial at a time (Estimate
+// ignores Trace).
+type Plan struct {
+	cfg Config      // the scenario, as passed to Compile (Trace/Seed included)
+	sim *sim.Config // compiled engine configuration template
+}
+
+// Compile lowers the configuration to a reusable execution plan. It
+// performs every per-scenario computation exactly once; the returned
+// Plan's Run and Estimate only pay per-trial simulation cost.
+//
+// Config.Seed is kept as the default base seed for Estimate; Config.Trace
+// is honored by Plan.Run (each run appends to the writer), and ignored by
+// Estimate.
+func Compile(cfg Config) (*Plan, error) {
+	simCfg, err := build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{cfg: cfg, sim: simCfg}, nil
+}
+
+// Config returns the scenario this plan was compiled from.
+func (p *Plan) Config() Config { return p.cfg }
+
+// Rounds returns the compiled round horizon (the algorithm's own horizon
+// unless Config.Rounds overrode it).
+func (p *Plan) Rounds() int { return p.sim.Rounds }
+
+// AlmostSafeTarget returns the paper's almost-safety bound 1 − 1/n for the
+// plan's graph — the natural early-stopping target for Estimate.
+func (p *Plan) AlmostSafeTarget() float64 {
+	return 1 - 1/float64(p.sim.Graph.N())
+}
+
+// Run executes one trial of the compiled scenario with the given seed. It
+// is bit-identical to the one-shot Run with the same Config and seed, and
+// repeated calls with the same seed return identical results (no state
+// leaks between trials). Config.Concurrent selects the goroutine-per-node
+// engine; Config.Trace, if set, receives this run's per-round log.
+func (p *Plan) Run(seed uint64) (Result, error) {
+	simCfg := *p.sim
+	simCfg.Seed = seed
+	if p.cfg.Trace != nil {
+		logger := &trace.Logger{W: p.cfg.Trace}
+		simCfg.Observer = logger.Observe
+	}
+	engine := sim.Run
+	if p.cfg.Concurrent {
+		engine = sim.RunConcurrent
+	}
+	res, err := engine(&simCfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return publicResult(res), nil
+}
+
+// estimateOptions collects Estimate tuning; see the EstimateOption
+// constructors for semantics.
+type estimateOptions struct {
+	baseSeed   *uint64
+	workers    int
+	rule       stat.StopRule
+	almostSafe bool
+}
+
+// EstimateOption tunes Plan.Estimate.
+type EstimateOption func(*estimateOptions)
+
+// WithBaseSeed overrides the base seed (default Config.Seed). Trial i uses
+// seed base+i.
+func WithBaseSeed(seed uint64) EstimateOption {
+	return func(o *estimateOptions) { o.baseSeed = &seed }
+}
+
+// WithWorkers sets the number of worker goroutines (default GOMAXPROCS).
+// The estimate does not depend on the worker count.
+func WithWorkers(n int) EstimateOption {
+	return func(o *estimateOptions) { o.workers = n }
+}
+
+// WithTarget enables early stopping: the estimate stops as soon as a 99%
+// Wilson interval is decided against target (entirely above or entirely
+// below), or when the requested trial count is exhausted. The stopping
+// band is strictly wider than the reported 95% interval, so whenever the
+// stream stops early the reported interval is decided the same way. The
+// executed trial count is deterministic in (plan, trials, base seed) —
+// the interval is checked at fixed batch boundaries, independent of
+// machine or worker count. Note the stop is a sequential test: the band
+// is consulted after every batch, so near the target the chance of
+// stopping on a momentarily-decided interval exceeds the band's nominal
+// 1%.
+func WithTarget(target float64) EstimateOption {
+	return func(o *estimateOptions) {
+		o.rule.Target = target
+		o.rule.UseTarget = true
+		o.almostSafe = false
+	}
+}
+
+// WithAlmostSafeTarget is WithTarget at the paper's almost-safety bound
+// 1 − 1/n for the plan's graph — the stopping rule for feasibility sweeps.
+func WithAlmostSafeTarget() EstimateOption {
+	return func(o *estimateOptions) {
+		o.rule.UseTarget = true
+		o.almostSafe = true
+	}
+}
+
+// WithHalfWidth enables early stopping once the 95% Wilson interval
+// half-width shrinks to w ("estimate until this precise").
+func WithHalfWidth(w float64) EstimateOption {
+	return func(o *estimateOptions) { o.rule.HalfWidth = w }
+}
+
+// Estimate runs up to `trials` independent simulations (seeds Seed+i)
+// across worker goroutines and estimates the success probability with a
+// 95% Wilson interval. Each sequential worker reuses one engine state for
+// its whole trial stream, so per-trial cost is simulation only — no plan
+// rebuilding, no state reallocation.
+//
+// Config.Concurrent is honored: when set, every trial runs on the
+// goroutine-per-node reference engine. Results are bit-identical to the
+// sequential engine's, but slower — use it to cross-check, not to sweep.
+//
+// With a stopping option (WithTarget, WithAlmostSafeTarget,
+// WithHalfWidth), the estimate stops early once decided; Estimate.Trials
+// reports the trials actually executed.
+func (p *Plan) Estimate(trials int, opts ...EstimateOption) (Estimate, error) {
+	var o estimateOptions
+	for _, f := range opts {
+		f(&o)
+	}
+	if o.almostSafe {
+		o.rule.Target = p.AlmostSafeTarget()
+	}
+	if o.rule.UseTarget && o.rule.Z == 0 {
+		// Stop on a 99% band so the reported 95% interval is always
+		// decided the same way whenever the stream stops early.
+		o.rule.Z = 2.576
+	}
+	baseSeed := p.cfg.Seed
+	if o.baseSeed != nil {
+		baseSeed = *o.baseSeed
+	}
+	var newTrial stat.TrialMaker
+	if p.cfg.Concurrent {
+		newTrial = func() stat.Trial {
+			return func(seed uint64) bool {
+				simCfg := *p.sim
+				simCfg.Seed = seed
+				res, err := sim.RunConcurrent(&simCfg)
+				if err != nil {
+					panic(fmt.Sprintf("faultcast: estimate trial: %v", err))
+				}
+				return res.Success
+			}
+		}
+	} else {
+		newTrial = func() stat.Trial {
+			runner, err := sim.NewRunner(p.sim)
+			if err != nil {
+				panic(fmt.Sprintf("faultcast: estimate trial: %v", err)) // unreachable: compiled
+			}
+			return func(seed uint64) bool {
+				res, err := runner.Run(seed)
+				if err != nil {
+					panic(fmt.Sprintf("faultcast: estimate trial: %v", err))
+				}
+				return res.Success
+			}
+		}
+	}
+	prop := stat.EstimateStream(trials, baseSeed, o.workers, o.rule, newTrial)
+	lo, hi := prop.Wilson(1.96)
+	return Estimate{
+		Rate: prop.Rate(), Low: lo, Hi: hi,
+		Trials: prop.Trials, Succeeds: prop.Successes,
+	}, nil
+}
+
+// publicResult converts an engine result to the public Result.
+func publicResult(res *sim.Result) Result {
+	return Result{
+		Success:     res.Success,
+		Rounds:      res.Stats.Rounds,
+		FirstFailed: res.FirstFailed,
+		Faults:      res.Stats.Faults,
+		Deliveries:  res.Stats.Deliveries,
+		Collisions:  res.Stats.Collisions,
+	}
+}

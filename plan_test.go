@@ -1,0 +1,258 @@
+package faultcast
+
+import (
+	"testing"
+)
+
+// planScenarios enumerates one configuration per (model × fault ×
+// algorithm) combination the builder accepts; the compile/run split must
+// be invisible for every one of them.
+func planScenarios() map[string]Config {
+	return map[string]Config{
+		"mp/omission/simple-omission": {
+			Graph: Line(12), Source: 0, Message: []byte("1"),
+			Model: MessagePassing, Fault: Omission, P: 0.4,
+			Algorithm: SimpleOmission,
+		},
+		"mp/omission/flooding": {
+			Graph: Grid(4, 4), Source: 0, Message: []byte("1"),
+			Model: MessagePassing, Fault: Omission, P: 0.5,
+			Algorithm: Flooding,
+		},
+		"mp/malicious/simple-malicious": {
+			Graph: KaryTree(15, 2), Source: 0, Message: []byte("1"),
+			Model: MessagePassing, Fault: Malicious, P: 0.3,
+			Algorithm: SimpleMalicious, Adversary: FlipAdv,
+		},
+		"mp/malicious/worst-case-equivocator": {
+			Graph: TwoNode(), Source: 0, Message: []byte("1"),
+			Model: MessagePassing, Fault: Malicious, P: 0.5,
+			Algorithm: SimpleMalicious, Adversary: WorstCase, WindowC: 9,
+		},
+		"mp/limited/composed": {
+			Graph: Line(9), Source: 0, Message: []byte("1"),
+			Model: MessagePassing, Fault: LimitedMalicious, P: 0.2,
+			Algorithm: Composed, Adversary: FlipAdv,
+		},
+		"mp/limited/timing-bit": {
+			Graph: TwoNode(), Source: 0, Message: []byte("0"),
+			Model: MessagePassing, Fault: LimitedMalicious, P: 0.6,
+			Algorithm: TimingBit, Adversary: CrashAdv,
+		},
+		"radio/omission/simple-omission": {
+			Graph: Star(6), Source: 1, Message: []byte("1"),
+			Model: Radio, Fault: Omission, P: 0.3,
+			Algorithm: SimpleOmission,
+		},
+		"radio/omission/radio-repeat": {
+			Graph: Layered(3), Source: 0, Message: []byte("1"),
+			Model: Radio, Fault: Omission, P: 0.4,
+			Algorithm: RadioRepeat,
+		},
+		"radio/malicious/radio-repeat": {
+			Graph: Line(10), Source: 0, Message: []byte("1"),
+			Model: Radio, Fault: Malicious, P: 0.05,
+			Algorithm: RadioRepeat, Adversary: FlipAdv,
+		},
+		"radio/malicious/worst-case-star": {
+			Graph: Star(5), Source: 1, Message: []byte("1"),
+			Model: Radio, Fault: Malicious, P: 0.2,
+			Algorithm: SimpleMalicious, Adversary: WorstCase, WindowC: 6,
+		},
+	}
+}
+
+// TestPlanRunMatchesOneShot: Plan.Run(seed) must be bit-identical to the
+// one-shot Run(cfg) with that seed, for every scenario and several seeds.
+func TestPlanRunMatchesOneShot(t *testing.T) {
+	for name, cfg := range planScenarios() {
+		t.Run(name, func(t *testing.T) {
+			plan, err := Compile(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for seed := uint64(1); seed <= 5; seed++ {
+				c := cfg
+				c.Seed = seed
+				want, err := Run(c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := plan.Run(seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("seed %d: plan %+v != one-shot %+v", seed, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestPlanRunReuse: two consecutive Plan.Run calls with the same seed must
+// agree exactly — no state may leak between trials of a compiled plan.
+func TestPlanRunReuse(t *testing.T) {
+	for name, cfg := range planScenarios() {
+		t.Run(name, func(t *testing.T) {
+			plan, err := Compile(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Interleave a different seed to perturb any shared state.
+			first, err := plan.Run(7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := plan.Run(1234); err != nil {
+				t.Fatal(err)
+			}
+			again, err := plan.Run(7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if first != again {
+				t.Fatalf("reuse diverged: %+v vs %+v", first, again)
+			}
+		})
+	}
+}
+
+// TestPlanEstimateMatchesPerTrialRuns: Estimate must count exactly the
+// successes of Plan.Run over seeds base, base+1, ..., regardless of the
+// worker count.
+func TestPlanEstimateMatchesPerTrialRuns(t *testing.T) {
+	cfg := planScenarios()["mp/omission/simple-omission"]
+	cfg.Seed = 42
+	plan, err := Compile(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 50
+	wantSucc := 0
+	for i := uint64(0); i < trials; i++ {
+		res, err := plan.Run(42 + i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Success {
+			wantSucc++
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		est, err := plan.Estimate(trials, WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.Succeeds != wantSucc || est.Trials != trials {
+			t.Fatalf("workers=%d: estimate %d/%d, per-trial runs %d/%d",
+				workers, est.Succeeds, est.Trials, wantSucc, trials)
+		}
+	}
+}
+
+// TestPlanEstimateHonorsConcurrent: with Config.Concurrent set the
+// estimate must use the goroutine-per-node engine — whose results are
+// bit-identical — so the two estimates must agree exactly.
+func TestPlanEstimateHonorsConcurrent(t *testing.T) {
+	cfg := planScenarios()["mp/omission/flooding"]
+	cfg.Seed = 9
+	seqPlan, err := Compile(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Concurrent = true
+	concPlan, err := Compile(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := seqPlan.Estimate(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc, err := concPlan.Estimate(30, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != conc {
+		t.Fatalf("engines disagree through Estimate: %+v vs %+v", seq, conc)
+	}
+}
+
+// TestPlanEstimateEarlyStop: a scenario that always succeeds (p = 0) must
+// stop long before the requested trial budget once the interval clears the
+// almost-safe bound, and stopping must be deterministic.
+func TestPlanEstimateEarlyStop(t *testing.T) {
+	cfg := Config{
+		Graph: Line(8), Source: 0, Message: []byte("1"),
+		Model: MessagePassing, Fault: Omission, P: 0,
+		Algorithm: Flooding, Seed: 3,
+	}
+	plan, err := Compile(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 100000
+	est, err := plan.Estimate(budget, WithAlmostSafeTarget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Trials >= budget {
+		t.Fatalf("no early stop: ran all %d trials", est.Trials)
+	}
+	if est.Rate != 1 {
+		t.Fatalf("p=0 flooding failed: %+v", est)
+	}
+	again, err := plan.Estimate(budget, WithAlmostSafeTarget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != again {
+		t.Fatalf("early stopping nondeterministic: %+v vs %+v", est, again)
+	}
+	// Half-width stopping must also trigger and be deterministic.
+	hw, err := plan.Estimate(budget, WithHalfWidth(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hw.Trials >= budget {
+		t.Fatalf("half-width rule never stopped: %+v", hw)
+	}
+	if half := (hw.Hi - hw.Low) / 2; half > 0.05 {
+		t.Fatalf("stopped with half-width %v > 0.05", half)
+	}
+}
+
+// TestEstimateSuccessStillFullSample: the wrapper keeps the original
+// exhaustive semantics — no early stopping without explicit options.
+func TestEstimateSuccessStillFullSample(t *testing.T) {
+	cfg := Config{
+		Graph: Line(6), Source: 0, Message: []byte("1"),
+		Model: MessagePassing, Fault: Omission, P: 0,
+		Algorithm: Flooding, Seed: 1,
+	}
+	est, err := EstimateSuccess(cfg, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Trials != 500 {
+		t.Fatalf("EstimateSuccess ran %d/500 trials", est.Trials)
+	}
+}
+
+// TestCompileRejectsBadConfigs: Compile must fail exactly where Run fails.
+func TestCompileRejectsBadConfigs(t *testing.T) {
+	bad := []Config{
+		{Source: 0, Message: []byte("1")},                       // nil graph
+		{Graph: Line(4), Source: 0},                             // empty message
+		{Graph: Line(4), Source: 9, Message: []byte("1")},       // source range
+		{Graph: Line(4), Source: 0, Message: []byte("1"), P: 1}, // p range
+		{Graph: Line(4), Source: 0, Message: []byte("1"), Model: Radio, // model mismatch
+			Algorithm: Flooding},
+	}
+	for i, cfg := range bad {
+		if _, err := Compile(cfg); err == nil {
+			t.Fatalf("case %d: Compile accepted invalid config", i)
+		}
+	}
+}

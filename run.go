@@ -16,8 +16,6 @@ import (
 	"faultcast/internal/protocols/twonode"
 	"faultcast/internal/radio"
 	"faultcast/internal/sim"
-	"faultcast/internal/stat"
-	"faultcast/internal/trace"
 )
 
 // Algorithm selects one of the paper's broadcasting algorithms.
@@ -143,32 +141,15 @@ type Result struct {
 	Collisions int
 }
 
-// Run executes one simulation.
+// Run executes one simulation. It is a thin wrapper over Compile +
+// Plan.Run; callers running many trials of the same scenario should
+// Compile once and reuse the Plan.
 func Run(cfg Config) (Result, error) {
-	simCfg, err := build(cfg)
+	plan, err := Compile(cfg)
 	if err != nil {
 		return Result{}, err
 	}
-	if cfg.Trace != nil {
-		logger := &trace.Logger{W: cfg.Trace}
-		simCfg.Observer = logger.Observe
-	}
-	engine := sim.Run
-	if cfg.Concurrent {
-		engine = sim.RunConcurrent
-	}
-	res, err := engine(simCfg)
-	if err != nil {
-		return Result{}, err
-	}
-	return Result{
-		Success:     res.Success,
-		Rounds:      res.Stats.Rounds,
-		FirstFailed: res.FirstFailed,
-		Faults:      res.Stats.Faults,
-		Deliveries:  res.Stats.Deliveries,
-		Collisions:  res.Stats.Collisions,
-	}, nil
+	return plan.Run(cfg.Seed)
 }
 
 // Estimate is a Monte-Carlo success estimate with a 95% Wilson interval.
@@ -190,31 +171,17 @@ func (e Estimate) String() string {
 }
 
 // EstimateSuccess runs `trials` independent simulations (seeds Seed+i) in
-// parallel and estimates the success probability.
+// parallel and estimates the success probability. It is a thin wrapper
+// over Compile + Plan.Estimate, so the scenario is compiled once for the
+// whole trial stream. Config.Concurrent is honored (it used to be
+// silently ignored here): when set, every trial runs on the slower
+// goroutine-per-node reference engine with bit-identical results.
 func EstimateSuccess(cfg Config, trials int) (Estimate, error) {
-	// Validate once up front so worker panics can't be configuration
-	// errors.
-	if _, err := build(cfg); err != nil {
+	plan, err := Compile(cfg)
+	if err != nil {
 		return Estimate{}, err
 	}
-	prop := stat.Estimate(trials, cfg.Seed, func(seed uint64) bool {
-		c := cfg
-		c.Seed = seed
-		simCfg, err := build(c)
-		if err != nil {
-			panic(err) // unreachable: validated above
-		}
-		res, err := sim.Run(simCfg)
-		if err != nil {
-			panic(err)
-		}
-		return res.Success
-	})
-	lo, hi := prop.Wilson(1.96)
-	return Estimate{
-		Rate: prop.Rate(), Low: lo, Hi: hi,
-		Trials: prop.Trials, Succeeds: prop.Successes,
-	}, nil
+	return plan.Estimate(trials)
 }
 
 // build lowers the public Config to an engine configuration.
