@@ -463,3 +463,65 @@ func BenchmarkEstimatePlanComposed(b *testing.B) { benchEstimatePlan(b, composed
 
 func BenchmarkEstimateSeedRadioRepeat(b *testing.B) { benchEstimateSeedPath(b, radioRepeatCfg()) }
 func BenchmarkEstimatePlanRadioRepeat(b *testing.B) { benchEstimatePlan(b, radioRepeatCfg()) }
+
+// --- word-parallel bitset core vs the scalar reference core --------------
+//
+// The *ScalarCore twins run the identical workload on the engine's
+// retained scalar round core (per-node Bernoulli fault draws, callback
+// delivery, per-round corruption bookkeeping), so the bitset tentpole's
+// win is measurable inside one binary: the headline numbers land in
+// BENCH_engine.json via cmd/benchjson. The larger Engine* pairs isolate
+// the round core itself (one full simulation per iteration, no estimator
+// around it) on workloads big enough for the word-parallel delivery rules
+// to dominate.
+
+func scalarCore(cfg faultcast.Config) faultcast.Config {
+	cfg.ScalarCore = true
+	return cfg
+}
+
+func BenchmarkEstimatePlanComposedScalarCore(b *testing.B) {
+	benchEstimatePlan(b, scalarCore(composedCfg()))
+}
+
+func BenchmarkEstimatePlanRadioRepeatScalarCore(b *testing.B) {
+	benchEstimatePlan(b, scalarCore(radioRepeatCfg()))
+}
+
+func benchEngineRun(b *testing.B, cfg faultcast.Config) {
+	plan, err := faultcast.Compile(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.Run(uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func engineMPCfg() faultcast.Config {
+	return faultcast.Config{
+		Graph: faultcast.Grid(16, 16), Source: 0, Message: []byte("1"),
+		Model: faultcast.MessagePassing, Fault: faultcast.Omission,
+		P: 0.4, Algorithm: faultcast.Flooding,
+	}
+}
+
+func engineRadioCfg() faultcast.Config {
+	return faultcast.Config{
+		Graph: faultcast.Layered(6), Source: 0, Message: []byte("1"),
+		Model: faultcast.Radio, Fault: faultcast.Omission,
+		P: 0.4, Algorithm: faultcast.RadioRepeat,
+	}
+}
+
+func BenchmarkEngineMPFlood(b *testing.B)           { benchEngineRun(b, engineMPCfg()) }
+func BenchmarkEngineMPFloodScalarCore(b *testing.B) { benchEngineRun(b, scalarCore(engineMPCfg())) }
+
+func BenchmarkEngineRadioRepeat(b *testing.B) { benchEngineRun(b, engineRadioCfg()) }
+func BenchmarkEngineRadioRepeatScalarCore(b *testing.B) {
+	benchEngineRun(b, scalarCore(engineRadioCfg()))
+}

@@ -20,6 +20,13 @@ import (
 // Random families (gnp, randtree) are deterministic in seed. file:PATH
 // loads an edge list ("n <count>" header, then one "u v" pair per line,
 // '#' comments allowed).
+//
+// Specs are validated, never trusted: families with structural minimums
+// reject undersized parameters (ring needs n >= 3, torus 3x3), and every
+// family is capped so a hostile or fuzzed spec cannot exhaust memory —
+// at most 65536 vertices (hypercube <= 16 dimensions, layered m <= 16),
+// and at most 1024 for the dense families (complete, gnp). The fuzz
+// target FuzzParseGraphSpec enforces the parse-don't-panic contract.
 func ParseGraph(spec string, seed uint64) (*Graph, error) {
 	trimmed := strings.TrimSpace(spec)
 	if path, ok := strings.CutPrefix(trimmed, "file:"); ok {
@@ -67,10 +74,35 @@ func ParseGraph(spec string, seed uint64) (*Graph, error) {
 		return r, c, nil
 	}
 
+	// Size caps: a spec is user input, so construction cost must stay
+	// bounded no matter what it says. maxSpecNodes bounds the vertex
+	// count of every family; maxSpecDense bounds families with Θ(n²)
+	// edges or construction work (complete, gnp). The division-based
+	// product check also rules out r*c overflow.
+	const (
+		maxSpecNodes = 1 << 16
+		maxSpecDense = 1024
+	)
+	capNodes := func(n int) error {
+		if n > maxSpecNodes {
+			return fmt.Errorf("faultcast: graph spec %q: %d vertices exceeds the cap of %d", spec, n, maxSpecNodes)
+		}
+		return nil
+	}
+	capProduct := func(r, c int) error {
+		if r > maxSpecNodes/c {
+			return fmt.Errorf("faultcast: graph spec %q: %dx%d exceeds the cap of %d vertices", spec, r, c, maxSpecNodes)
+		}
+		return nil
+	}
+
 	switch kind {
 	case "line", "path":
 		n, err := argN(0)
 		if err != nil {
+			return nil, err
+		}
+		if err := capNodes(n); err != nil {
 			return nil, err
 		}
 		return Line(n), nil
@@ -79,10 +111,19 @@ func ParseGraph(spec string, seed uint64) (*Graph, error) {
 		if err != nil {
 			return nil, err
 		}
+		if n < 3 {
+			return nil, fmt.Errorf("faultcast: graph spec %q: a ring needs at least 3 vertices", spec)
+		}
+		if err := capNodes(n); err != nil {
+			return nil, err
+		}
 		return Ring(n), nil
 	case "star":
 		n, err := argN(0)
 		if err != nil {
+			return nil, err
+		}
+		if err := capNodes(n); err != nil {
 			return nil, err
 		}
 		return Star(n), nil
@@ -90,6 +131,9 @@ func ParseGraph(spec string, seed uint64) (*Graph, error) {
 		n, err := argN(0)
 		if err != nil {
 			return nil, err
+		}
+		if n > maxSpecDense {
+			return nil, fmt.Errorf("faultcast: graph spec %q: complete graphs are capped at %d vertices", spec, maxSpecDense)
 		}
 		return Complete(n), nil
 	case "k2", "twonode":
@@ -105,10 +149,16 @@ func ParseGraph(spec string, seed uint64) (*Graph, error) {
 				return nil, err
 			}
 		}
+		if err := capNodes(n); err != nil {
+			return nil, err
+		}
 		return KaryTree(n, k), nil
 	case "grid":
 		r, c, err := argDims(0)
 		if err != nil {
+			return nil, err
+		}
+		if err := capProduct(r, c); err != nil {
 			return nil, err
 		}
 		return Grid(r, c), nil
@@ -117,17 +167,29 @@ func ParseGraph(spec string, seed uint64) (*Graph, error) {
 		if err != nil {
 			return nil, err
 		}
+		if r < 3 || c < 3 {
+			return nil, fmt.Errorf("faultcast: graph spec %q: a torus needs both dimensions >= 3", spec)
+		}
+		if err := capProduct(r, c); err != nil {
+			return nil, err
+		}
 		return Torus(r, c), nil
 	case "hypercube", "cube":
 		d, err := argN(0)
 		if err != nil {
 			return nil, err
 		}
+		if d > 16 {
+			return nil, fmt.Errorf("faultcast: graph spec %q: hypercube dimension is capped at 16", spec)
+		}
 		return Hypercube(d), nil
 	case "layered":
 		m, err := argN(0)
 		if err != nil {
 			return nil, err
+		}
+		if m > 16 {
+			return nil, fmt.Errorf("faultcast: graph spec %q: layered graphs are capped at m=16", spec)
 		}
 		return Layered(m), nil
 	case "caterpillar":
@@ -137,6 +199,12 @@ func ParseGraph(spec string, seed uint64) (*Graph, error) {
 		}
 		legs, err := argN(1)
 		if err != nil {
+			return nil, err
+		}
+		if legs >= maxSpecNodes {
+			return nil, fmt.Errorf("faultcast: graph spec %q: %d legs exceeds the cap of %d vertices", spec, legs, maxSpecNodes)
+		}
+		if err := capProduct(spine, legs+1); err != nil {
 			return nil, err
 		}
 		return Caterpillar(spine, legs), nil
@@ -149,13 +217,20 @@ func ParseGraph(spec string, seed uint64) (*Graph, error) {
 			return nil, fmt.Errorf("faultcast: graph spec %q: gnp needs a probability", spec)
 		}
 		p, err := strconv.ParseFloat(args[1], 64)
-		if err != nil || p < 0 || p > 1 {
+		// The negated comparison rejects NaN, which Atoi-style checks miss.
+		if err != nil || !(p >= 0 && p <= 1) {
 			return nil, fmt.Errorf("faultcast: graph spec %q: bad probability %q", spec, args[1])
+		}
+		if n > maxSpecDense {
+			return nil, fmt.Errorf("faultcast: graph spec %q: gnp graphs are capped at %d vertices", spec, maxSpecDense)
 		}
 		return GNP(n, p, seed), nil
 	case "randtree":
 		n, err := argN(0)
 		if err != nil {
+			return nil, err
+		}
+		if err := capNodes(n); err != nil {
 			return nil, err
 		}
 		return RandomTree(n, seed), nil

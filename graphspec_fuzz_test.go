@@ -1,0 +1,66 @@
+package faultcast
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseGraphSpec enforces the parse-don't-panic contract of the graph
+// spec grammar: for any input, ParseGraph either returns a descriptive
+// error or a structurally valid graph — never a panic, never an
+// unbounded allocation (the size caps), and always the same answer for
+// the same (spec, seed). The seed corpus covers every documented spec
+// form plus the historic panic inputs this fuzz target found (undersized
+// rings and tori, oversized dense families, dimension products that
+// overflow int, NaN probabilities).
+func FuzzParseGraphSpec(f *testing.F) {
+	for _, spec := range []string{
+		// Every documented form, including aliases.
+		"line:10", "path:5", "ring:6", "cycle:4", "star:7",
+		"complete:5", "clique:4", "k2", "twonode",
+		"tree:15", "tree:13:3", "grid:3x4", "torus:3x3",
+		"hypercube:4", "cube:3", "layered:3", "caterpillar:4:2",
+		"gnp:20:0.1", "randtree:9", "file:/nonexistent",
+		" LINE:10 ", // trimming + case folding
+		// Rejections and historic panic/overflow inputs.
+		"", "wat:3", "line", "line:0", "grid:3x", "gnp:10:2",
+		"ring:1", "ring:2", "torus:1x5", "torus:2x2",
+		"grid:4000000000x4000000000", "caterpillar:99999:99999",
+		"hypercube:30", "layered:24", "complete:100000",
+		"gnp:5:nan", "gnp:5:+Inf", "tree:5:0", "grid:0x0",
+	} {
+		f.Add(spec, uint64(7))
+	}
+	f.Fuzz(func(t *testing.T, spec string, seed uint64) {
+		if strings.HasPrefix(strings.TrimSpace(spec), "file:") {
+			// The file form reads the filesystem; fuzzing it would make
+			// accept/reject depend on the host, not the spec.
+			t.Skip()
+		}
+		g, err := ParseGraph(spec, seed)
+		if err != nil {
+			if g != nil {
+				t.Fatalf("ParseGraph(%q) returned both a graph and an error: %v", spec, err)
+			}
+			return
+		}
+		if g == nil {
+			t.Fatalf("ParseGraph(%q) returned neither graph nor error", spec)
+		}
+		if g.N() < 1 || g.N() > 1<<16 {
+			t.Fatalf("ParseGraph(%q): %d vertices escapes the documented cap", spec, g.N())
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("ParseGraph(%q) accepted an invalid graph: %v", spec, err)
+		}
+		// Accepting must be deterministic in (spec, seed): same vertex and
+		// edge counts, same name, on a repeat parse.
+		h, err := ParseGraph(spec, seed)
+		if err != nil {
+			t.Fatalf("ParseGraph(%q) accepted once, rejected twice: %v", spec, err)
+		}
+		if g.N() != h.N() || g.M() != h.M() || g.Name() != h.Name() {
+			t.Fatalf("ParseGraph(%q) not deterministic: %v vs %v", spec, g, h)
+		}
+	})
+}

@@ -1,0 +1,156 @@
+// Package bitset provides fixed-capacity sets of small non-negative
+// integers backed by []uint64 words. It is the word-parallel substrate of
+// the simulator's hot path: fault masks, transmitter sets, and the radio
+// collision rule's seen-once/seen-twice accumulators are all Sets, so the
+// per-round set algebra runs 64 elements per instruction instead of one
+// element per callback.
+//
+// Sets are plain slices: allocate once with New and reuse via Clear. All
+// binary operations require equal lengths (same universe) and run in place
+// on the receiver; none allocate.
+package bitset
+
+import "math/bits"
+
+// Set is a fixed-capacity bitset over the universe [0, 64*len(s)). The
+// zero value is an empty universe; use New.
+type Set []uint64
+
+// Words returns the number of 64-bit words needed for a universe of n
+// elements.
+func Words(n int) int { return (n + 63) >> 6 }
+
+// New returns an empty Set over the universe [0, n).
+func New(n int) Set { return make(Set, Words(n)) }
+
+// Contains reports whether i is in the set. i must be within the universe.
+func (s Set) Contains(i int) bool { return s[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Add inserts i. i must be within the universe.
+func (s Set) Add(i int) { s[i>>6] |= 1 << (uint(i) & 63) }
+
+// Remove deletes i. i must be within the universe.
+func (s Set) Remove(i int) { s[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Clear empties the set.
+func (s Set) Clear() {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// Copy overwrites s with x. The sets must have equal length.
+func (s Set) Copy(x Set) { copy(s, x) }
+
+// Or sets s = s ∪ x. The sets must have equal length.
+func (s Set) Or(x Set) {
+	for i, w := range x {
+		s[i] |= w
+	}
+}
+
+// And sets s = s ∩ x. The sets must have equal length.
+func (s Set) And(x Set) {
+	for i, w := range x {
+		s[i] &= w
+	}
+}
+
+// AndNot sets s = s \ x. The sets must have equal length.
+func (s Set) AndNot(x Set) {
+	for i, w := range x {
+		s[i] &^= w
+	}
+}
+
+// Xor sets s = s △ x (symmetric difference). The sets must have equal
+// length.
+func (s Set) Xor(x Set) {
+	for i, w := range x {
+		s[i] ^= w
+	}
+}
+
+// OrAnd sets s = s ∪ (a ∩ b) — the "seen twice" accumulator update of the
+// radio collision rule. All three sets must have equal length.
+func (s Set) OrAnd(a, b Set) {
+	for i := range s {
+		s[i] |= a[i] & b[i]
+	}
+}
+
+// Count returns the number of elements (population count).
+func (s Set) Count() int {
+	c := 0
+	for _, w := range s {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// CountAndNot returns |s \ x| without materializing the difference. The
+// sets must have equal length.
+func (s Set) CountAndNot(x Set) int {
+	c := 0
+	for i, w := range s {
+		c += bits.OnesCount64(w &^ x[i])
+	}
+	return c
+}
+
+// Empty reports whether the set has no elements.
+func (s Set) Empty() bool {
+	for _, w := range s {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and x contain the same elements. The sets must
+// have equal length.
+func (s Set) Equal(x Set) bool {
+	for i, w := range s {
+		if w != x[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls fn for each element in increasing order.
+func (s Set) ForEach(fn func(i int)) {
+	for wi, w := range s {
+		base := wi << 6
+		for w != 0 {
+			fn(base + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// AppendIDs appends the elements in increasing order to dst and returns
+// the extended slice. Passing a reused dst[:0] makes it allocation-free at
+// steady state.
+func (s Set) AppendIDs(dst []int) []int {
+	for wi, w := range s {
+		base := wi << 6
+		for w != 0 {
+			dst = append(dst, base+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// FirstCommon returns the smallest element of a ∩ b, or -1 if the
+// intersection is empty. The sets must have equal length.
+func FirstCommon(a, b Set) int {
+	for i, w := range a {
+		if m := w & b[i]; m != 0 {
+			return i<<6 + bits.TrailingZeros64(m)
+		}
+	}
+	return -1
+}

@@ -1,0 +1,203 @@
+package bitset
+
+import (
+	"testing"
+
+	"faultcast/internal/rng"
+)
+
+// refSet is a map-based reference implementation the bit tricks are
+// checked against.
+type refSet map[int]bool
+
+func randomPair(t *testing.T, seed uint64, n int) (Set, refSet) {
+	t.Helper()
+	r := rng.New(seed)
+	s := New(n)
+	ref := refSet{}
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.4) {
+			s.Add(i)
+			ref[i] = true
+		}
+	}
+	return s, ref
+}
+
+func assertMatches(t *testing.T, s Set, ref refSet, n int, what string) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if s.Contains(i) != ref[i] {
+			t.Fatalf("%s: element %d: set=%v ref=%v", what, i, s.Contains(i), ref[i])
+		}
+	}
+	if s.Count() != len(ref) {
+		t.Fatalf("%s: Count=%d ref=%d", what, s.Count(), len(ref))
+	}
+}
+
+func TestAddRemoveContains(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 200} {
+		s := New(n)
+		if len(s) != Words(n) {
+			t.Fatalf("New(%d) has %d words, want %d", n, len(s), Words(n))
+		}
+		for i := 0; i < n; i++ {
+			if s.Contains(i) {
+				t.Fatalf("fresh set contains %d", i)
+			}
+			s.Add(i)
+			if !s.Contains(i) {
+				t.Fatalf("Add(%d) lost", i)
+			}
+		}
+		if s.Count() != n {
+			t.Fatalf("full set Count=%d, want %d", s.Count(), n)
+		}
+		for i := 0; i < n; i += 2 {
+			s.Remove(i)
+		}
+		for i := 0; i < n; i++ {
+			if s.Contains(i) != (i%2 == 1) {
+				t.Fatalf("after Remove evens: Contains(%d)=%v", i, s.Contains(i))
+			}
+		}
+		s.Clear()
+		if !s.Empty() || s.Count() != 0 {
+			t.Fatal("Clear left elements behind")
+		}
+	}
+}
+
+func TestSetAlgebraMatchesReference(t *testing.T) {
+	const n = 150
+	for seed := uint64(0); seed < 20; seed++ {
+		a, ra := randomPair(t, seed*2+1, n)
+		b, rb := randomPair(t, seed*2+2, n)
+
+		union := New(n)
+		union.Copy(a)
+		union.Or(b)
+		refU := refSet{}
+		for i := range ra {
+			refU[i] = true
+		}
+		for i := range rb {
+			refU[i] = true
+		}
+		assertMatches(t, union, refU, n, "Or")
+
+		inter := New(n)
+		inter.Copy(a)
+		inter.And(b)
+		refI := refSet{}
+		for i := range ra {
+			if rb[i] {
+				refI[i] = true
+			}
+		}
+		assertMatches(t, inter, refI, n, "And")
+
+		diff := New(n)
+		diff.Copy(a)
+		diff.AndNot(b)
+		refD := refSet{}
+		for i := range ra {
+			if !rb[i] {
+				refD[i] = true
+			}
+		}
+		assertMatches(t, diff, refD, n, "AndNot")
+		if got := a.CountAndNot(b); got != len(refD) {
+			t.Fatalf("CountAndNot=%d, want %d", got, len(refD))
+		}
+
+		sym := New(n)
+		sym.Copy(a)
+		sym.Xor(b)
+		refX := refSet{}
+		for i := 0; i < n; i++ {
+			if ra[i] != rb[i] {
+				refX[i] = true
+			}
+		}
+		assertMatches(t, sym, refX, n, "Xor")
+
+		acc, rc := randomPair(t, seed*2+3, n)
+		refAcc := refSet{}
+		for i := range rc {
+			refAcc[i] = true
+		}
+		for i := range refI {
+			refAcc[i] = true
+		}
+		acc.OrAnd(a, b)
+		assertMatches(t, acc, refAcc, n, "OrAnd")
+	}
+}
+
+func TestIterationOrderAndFirstCommon(t *testing.T) {
+	const n = 130
+	a, ra := randomPair(t, 7, n)
+	var got []int
+	a.ForEach(func(i int) { got = append(got, i) })
+	got2 := a.AppendIDs(nil)
+	if len(got) != len(ra) || len(got2) != len(ra) {
+		t.Fatalf("iteration lengths %d/%d, want %d", len(got), len(got2), len(ra))
+	}
+	for i := range got {
+		if got[i] != got2[i] {
+			t.Fatalf("ForEach and AppendIDs disagree at %d", i)
+		}
+		if i > 0 && got[i-1] >= got[i] {
+			t.Fatalf("iteration not strictly increasing: %v", got)
+		}
+		if !ra[got[i]] {
+			t.Fatalf("iterated non-member %d", got[i])
+		}
+	}
+
+	b, rb := randomPair(t, 8, n)
+	want := -1
+	for i := 0; i < n; i++ {
+		if ra[i] && rb[i] {
+			want = i
+			break
+		}
+	}
+	if got := FirstCommon(a, b); got != want {
+		t.Fatalf("FirstCommon=%d, want %d", got, want)
+	}
+	empty := New(n)
+	if got := FirstCommon(a, empty); got != -1 {
+		t.Fatalf("FirstCommon with empty set = %d, want -1", got)
+	}
+
+	// Equal / Copy round-trip.
+	c := New(n)
+	c.Copy(a)
+	if !c.Equal(a) {
+		t.Fatal("Copy is not Equal")
+	}
+	c.Xor(b)
+	if c.Equal(a) && !b.Empty() {
+		t.Fatal("Xor changed nothing")
+	}
+}
+
+func TestWordBoundaries(t *testing.T) {
+	s := New(128)
+	for _, i := range []int{0, 63, 64, 127} {
+		s.Add(i)
+	}
+	ids := s.AppendIDs(nil)
+	want := []int{0, 63, 64, 127}
+	if len(ids) != len(want) {
+		t.Fatalf("ids=%v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids=%v, want %v", ids, want)
+		}
+	}
+}

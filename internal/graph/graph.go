@@ -8,6 +8,9 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
+
+	"faultcast/internal/bitset"
 )
 
 // Graph is a simple undirected graph on vertices 0..N-1. The zero value is
@@ -16,10 +19,18 @@ import (
 // Internally adjacency is stored CSR-style (one shared edge array indexed
 // by per-vertex offsets) so that Neighbors returns a shared sub-slice with
 // no per-call allocation. Callers must not mutate returned slices.
+//
+// For the simulator's word-parallel core the graph additionally caches one
+// adjacency bitset row per vertex (AdjacencyRow), built lazily on first
+// use and safe for concurrent access.
 type Graph struct {
 	name    string
 	offsets []int32 // len N+1
 	adj     []int32 // concatenated sorted neighbor lists
+
+	rowsOnce sync.Once
+	rowBits  []uint64 // N rows of rowWords words each, lazily built
+	rowWords int
 }
 
 // Builder accumulates edges and produces an immutable Graph.
@@ -134,6 +145,34 @@ func (g *Graph) Neighbors(v int, dst []int) []int {
 func (g *Graph) ForNeighbors(v int, fn func(w int)) {
 	for _, w := range g.neighbors32(v) {
 		fn(int(w))
+	}
+}
+
+// AdjacencyRow returns the neighbors of v as a bitset over vertex ids —
+// the word-parallel counterpart of Neighbors. Rows for all vertices are
+// built once on first call and shared; callers must not mutate the
+// returned set. Safe for concurrent use.
+func (g *Graph) AdjacencyRow(v int) bitset.Set {
+	g.rowsOnce.Do(g.buildRows)
+	return bitset.Set(g.rowBits[v*g.rowWords : (v+1)*g.rowWords])
+}
+
+// RowWords returns the number of 64-bit words per adjacency row (the word
+// length every per-run bitset over this graph's vertices must have).
+func (g *Graph) RowWords() int {
+	g.rowsOnce.Do(g.buildRows)
+	return g.rowWords
+}
+
+func (g *Graph) buildRows() {
+	n := g.N()
+	g.rowWords = bitset.Words(n)
+	g.rowBits = make([]uint64, n*g.rowWords)
+	for v := 0; v < n; v++ {
+		row := g.rowBits[v*g.rowWords : (v+1)*g.rowWords]
+		for _, w := range g.neighbors32(v) {
+			row[w>>6] |= 1 << (uint(w) & 63)
+		}
 	}
 }
 

@@ -346,3 +346,56 @@ func TestWriteDOT(t *testing.T) {
 		}
 	}
 }
+
+// TestAdjacencyRowMatchesNeighbors: the cached bitset rows must agree with
+// the CSR neighbor lists on every vertex, for families spanning word
+// boundaries, and repeated calls must return the same shared row.
+func TestAdjacencyRowMatchesNeighbors(t *testing.T) {
+	r := rng.New(21)
+	for _, g := range []*Graph{
+		Line(1), Line(63), Line(64), Line(65), Star(70),
+		Grid(9, 9), Hypercube(5), Complete(40), GNP(130, 0.1, r), Layered(4),
+	} {
+		if g.RowWords() != (g.N()+63)/64 {
+			t.Fatalf("%v: RowWords=%d", g, g.RowWords())
+		}
+		for v := 0; v < g.N(); v++ {
+			row := g.AdjacencyRow(v)
+			got := row.AppendIDs(nil)
+			want := g.Neighbors(v, nil)
+			if len(got) != len(want) {
+				t.Fatalf("%v: vertex %d: row %v != neighbors %v", g, v, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%v: vertex %d: row %v != neighbors %v", g, v, got, want)
+				}
+			}
+			if row.Contains(v) {
+				t.Fatalf("%v: vertex %d is in its own row", g, v)
+			}
+		}
+	}
+}
+
+// TestAdjacencyRowConcurrent: lazy row construction must be safe under
+// concurrent first use (the race detector is the assertion here).
+func TestAdjacencyRowConcurrent(t *testing.T) {
+	g := Grid(8, 8)
+	done := make(chan int, 8)
+	for w := 0; w < 8; w++ {
+		go func() {
+			total := 0
+			for v := 0; v < g.N(); v++ {
+				total += g.AdjacencyRow(v).Count()
+			}
+			done <- total
+		}()
+	}
+	want := 2 * g.M()
+	for w := 0; w < 8; w++ {
+		if got := <-done; got != want {
+			t.Fatalf("concurrent row degree sum %d, want %d", got, want)
+		}
+	}
+}

@@ -88,6 +88,37 @@ func (r *Source) Bernoulli(p float64) bool {
 	return r.Float64() < p
 }
 
+// BernoulliMask fills mask — a bitset over ids 0..n-1, 64 ids per word —
+// with n independent Bernoulli(p) draws: bit i is set iff draw i
+// succeeded. The draws are identical, in number and order, to n successive
+// Bernoulli(p) calls on the same Source, so the simulator's word-parallel
+// fault sampler produces bit-identical fault patterns to the scalar
+// per-node loop it replaces (the differential tests rely on this).
+//
+// mask must have at least (n+63)/64 words; it is zeroed first.
+func (r *Source) BernoulliMask(p float64, n int, mask []uint64) {
+	words := (n + 63) >> 6
+	for i := 0; i < words; i++ {
+		mask[i] = 0
+	}
+	if n <= 0 || p <= 0 {
+		return // Bernoulli(p<=0) consumes no randomness and is always false
+	}
+	if p >= 1 {
+		// Bernoulli(p>=1) consumes no randomness and is always true.
+		for i := 0; i < n; i++ {
+			mask[i>>6] |= 1 << (uint(i) & 63)
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		// Inlined Float64() < p with the p-range branches hoisted.
+		if float64(r.Uint64()>>11)/(1<<53) < p {
+			mask[i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+}
+
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.
 func (r *Source) Intn(n int) int {
 	if n <= 0 {

@@ -120,6 +120,47 @@ func TestBernoulliRate(t *testing.T) {
 	}
 }
 
+// TestBernoulliMaskMatchesScalar is the batch sampler's core contract: the
+// mask must encode exactly the draws that n successive Bernoulli calls
+// would make, leaving the stream in the identical state afterwards.
+func TestBernoulliMaskMatchesScalar(t *testing.T) {
+	for _, p := range []float64{-0.5, 0, 1e-9, 0.25, 0.5, 0.999, 1, 1.5} {
+		for _, n := range []int{0, 1, 63, 64, 65, 200} {
+			a, b := New(uint64(n)*31+1), New(uint64(n)*31+1)
+			mask := make([]uint64, (n+63)/64)
+			a.BernoulliMask(p, n, mask)
+			for i := 0; i < n; i++ {
+				want := b.Bernoulli(p)
+				got := mask[i/64]&(1<<(uint(i)%64)) != 0
+				if got != want {
+					t.Fatalf("p=%v n=%d: draw %d: mask=%v scalar=%v", p, n, i, got, want)
+				}
+			}
+			if a.Uint64() != b.Uint64() {
+				t.Fatalf("p=%v n=%d: streams diverged after sampling", p, n)
+			}
+		}
+	}
+}
+
+// TestBernoulliMaskReusesWords: a dirty mask must be fully zeroed before
+// sampling, including high words beyond the last id.
+func TestBernoulliMaskReusesWords(t *testing.T) {
+	r := New(3)
+	mask := []uint64{^uint64(0), ^uint64(0)}
+	r.BernoulliMask(0, 100, mask)
+	if mask[0] != 0 || mask[1] != 0 {
+		t.Fatalf("p=0 mask not zeroed: %x %x", mask[0], mask[1])
+	}
+	for i := range mask {
+		mask[i] = ^uint64(0)
+	}
+	r.BernoulliMask(1, 70, mask)
+	if mask[0] != ^uint64(0) || mask[1] != (1<<6)-1 {
+		t.Fatalf("p=1 mask wrong: %x %x", mask[0], mask[1])
+	}
+}
+
 func TestIntnRange(t *testing.T) {
 	r := New(8)
 	err := quick.Check(func(nRaw uint16) bool {

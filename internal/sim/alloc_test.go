@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"testing"
+
+	"faultcast/internal/graph"
+)
+
+// steadyNode transmits a preallocated broadcast every round and ignores
+// deliveries — the allocation-free protocol used to isolate the engine's
+// own per-round cost.
+type steadyNode struct {
+	ts  []Transmission
+	out []byte
+}
+
+func (s *steadyNode) Init(env *Env) {
+	s.out = env.SourceMsg
+	if s.out == nil {
+		s.out = []byte("x")
+	}
+	s.ts = []Transmission{{To: Broadcast, Payload: s.out}}
+}
+func (s *steadyNode) Transmit(round int) []Transmission { return s.ts }
+func (s *steadyNode) Deliver(round, from int, p []byte) {}
+func (s *steadyNode) Output() []byte                    { return s.out }
+
+// TestOmissionFastPathZeroAlloc: after warm-up, a full engine round on the
+// omission fast path (fault mask sampling, mask-intersection silencing,
+// bitset delivery, node callbacks) must perform zero allocations, in both
+// models. This pins the tentpole's allocation win: per-round cost is pure
+// computation once the reused buffers reach steady state.
+func TestOmissionFastPathZeroAlloc(t *testing.T) {
+	for _, model := range []Model{MessagePassing, Radio} {
+		cfg := &Config{
+			Graph: graph.Grid(8, 8), Model: model, Fault: Omission, P: 0.4,
+			Source: 0, SourceMsg: []byte("m"),
+			NewNode: func(int) Node { return &steadyNode{} },
+			Rounds:  1, Seed: 1,
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		st := allocRunState(cfg)
+		if err := st.Reset(7); err != nil {
+			t.Fatal(err)
+		}
+		round := 0
+		var roundErr error
+		oneRound := func() {
+			if err := st.transmitPhase(round); err != nil {
+				roundErr = err
+				return
+			}
+			if err := st.faultAndDeliver(round); err != nil {
+				roundErr = err
+				return
+			}
+			st.deliverPhase(round)
+			st.finishRound(round)
+			round++
+		}
+		// Warm up: grow the delivery and talker buffers (and the graph's
+		// lazily built adjacency rows) to steady state.
+		for i := 0; i < 50; i++ {
+			oneRound()
+		}
+		if roundErr != nil {
+			t.Fatal(roundErr)
+		}
+		if allocs := testing.AllocsPerRun(200, oneRound); allocs != 0 {
+			t.Fatalf("%v: omission fast path allocates %.1f/round at steady state, want 0", model, allocs)
+		}
+		if roundErr != nil {
+			t.Fatal(roundErr)
+		}
+	}
+}

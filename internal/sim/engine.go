@@ -3,8 +3,9 @@ package sim
 import (
 	"bytes"
 	"fmt"
-	"sort"
+	"math/bits"
 
+	"faultcast/internal/bitset"
 	"faultcast/internal/rng"
 )
 
@@ -78,6 +79,18 @@ type runState struct {
 	delivered [][]Received
 	faulty    []int
 
+	// Word-parallel round core scratch (see faultAndDeliver). All sets
+	// live over the vertex universe [0, n) and are reused across rounds
+	// and trials; none are observable outside a round.
+	faultMask    bitset.Set // this round's faulty transmitters
+	intentMask   bitset.Set // nodes with >= 1 intended transmission
+	transmitMask bitset.Set // nodes with >= 1 actual transmission
+	seenOnce     bitset.Set // radio: covered by >= 1 transmitter
+	seenTwice    bitset.Set // radio: covered by >= 2 transmitters
+	talkers      []int      // transmitMask as ids, reused
+	limSlots     []int      // checkLimited scratch, len n+1, all zero between calls
+	exec         Exec       // adversary view, static fields set per trial
+
 	stats          Stats
 	lastCollisions int
 	completedRound int
@@ -91,13 +104,19 @@ type runState struct {
 func allocRunState(cfg *Config) *runState {
 	n := cfg.Graph.N()
 	st := &runState{
-		cfg:       cfg,
-		n:         n,
-		nodes:     make([]Node, n),
-		intents:   make([][]Transmission, n),
-		actual:    make([][]Transmission, n),
-		delivered: make([][]Received, n),
-		trackDone: cfg.TrackCompletion,
+		cfg:          cfg,
+		n:            n,
+		nodes:        make([]Node, n),
+		intents:      make([][]Transmission, n),
+		actual:       make([][]Transmission, n),
+		delivered:    make([][]Received, n),
+		faultMask:    bitset.New(n),
+		intentMask:   bitset.New(n),
+		transmitMask: bitset.New(n),
+		seenOnce:     bitset.New(n),
+		seenTwice:    bitset.New(n),
+		limSlots:     make([]int, n+1),
+		trackDone:    cfg.TrackCompletion,
 	}
 	if cfg.TrackCompletion {
 		st.informedRound = make([]int, n)
@@ -123,6 +142,17 @@ func (st *runState) Reset(seed uint64) error {
 	st.completedRound = -1
 	st.doneAt = false
 	st.faulty = st.faulty[:0]
+	st.exec = Exec{
+		G:         cfg.Graph,
+		Model:     cfg.Model,
+		Fault:     cfg.Fault,
+		Source:    cfg.Source,
+		SourceMsg: cfg.SourceMsg,
+		P:         cfg.P,
+		Intents:   st.intents,
+		History:   st.history,
+		Rand:      st.advRnd,
+	}
 	for i := 0; i < st.n; i++ {
 		st.intents[i] = nil
 		st.actual[i] = nil
@@ -191,43 +221,60 @@ func (st *runState) validateTransmissions(id int, ts []Transmission) error {
 }
 
 // faultAndDeliver samples faults, applies fault semantics, and computes
-// this round's deliveries into st.delivered.
+// this round's deliveries into st.delivered. It is the per-round core
+// shared by both engines: the word-parallel bitset implementation by
+// default, the scalar reference when Config.ScalarCore is set, with
+// bit-identical executions either way.
 func (st *runState) faultAndDeliver(round int) error {
-	// Phase 2: sample faults. Draw per node in id order so the pattern is
-	// identical across engines.
+	// Phase 2: sample faults. The scalar core draws per node in id order;
+	// the bitset core fills the fault mask with the same draws in the same
+	// RNG order (rng.BernoulliMask), so the fault pattern is identical
+	// across cores and engines. Both maintain the id list (adversary,
+	// stats, and history want ids) and the mask (silencing and the
+	// corruption guard want set algebra).
 	st.faulty = st.faulty[:0]
 	if st.cfg.Fault != NoFaults {
-		for id := 0; id < st.n; id++ {
-			if st.faultRnd.Bernoulli(st.cfg.P) {
-				st.faulty = append(st.faulty, id)
+		if st.cfg.ScalarCore {
+			st.faultMask.Clear()
+			for id := 0; id < st.n; id++ {
+				if st.faultRnd.Bernoulli(st.cfg.P) {
+					st.faulty = append(st.faulty, id)
+					st.faultMask.Add(id)
+				}
 			}
+		} else {
+			st.faultRnd.BernoulliMask(st.cfg.P, st.n, st.faultMask)
+			st.faulty = st.faultMask.AppendIDs(st.faulty)
 		}
 	}
 	st.stats.Faults += len(st.faulty)
 
-	// Phase 3: map intents to actual transmissions.
+	// Phase 3: map intents to actual transmissions, maintaining
+	// transmitMask = { id : len(actual[id]) > 0 }. The intent mask is
+	// rebuilt centrally (not in transmitPhase) because the concurrent
+	// engine's workers write st.intents in parallel and must not share
+	// mask words.
+	st.intentMask.Clear()
+	for id := 0; id < st.n; id++ {
+		if len(st.intents[id]) > 0 {
+			st.intentMask.Add(id)
+		}
+	}
 	copy(st.actual, st.intents)
+	st.transmitMask.Copy(st.intentMask)
 	switch st.cfg.Fault {
 	case NoFaults:
 	case Omission:
+		// Omission silencing is a mask intersection: transmitters are the
+		// intenders minus this round's faulty set.
+		st.transmitMask.AndNot(st.faultMask)
 		for _, id := range st.faulty {
 			st.actual[id] = nil
 		}
 	case Malicious, LimitedMalicious:
 		if len(st.faulty) > 0 {
-			exec := &Exec{
-				G:         st.cfg.Graph,
-				Model:     st.cfg.Model,
-				Fault:     st.cfg.Fault,
-				Source:    st.cfg.Source,
-				SourceMsg: st.cfg.SourceMsg,
-				P:         st.cfg.P,
-				Round:     round,
-				Intents:   st.intents,
-				History:   st.history,
-				Rand:      st.advRnd,
-			}
-			repl := st.cfg.Adversary.Corrupt(exec, append([]int(nil), st.faulty...))
+			st.exec.Round = round
+			repl := st.cfg.Adversary.Corrupt(&st.exec, append([]int(nil), st.faulty...))
 			if err := st.applyCorruption(repl); err != nil {
 				return fmt.Errorf("sim: round %d: %w", round, err)
 			}
@@ -242,41 +289,64 @@ func (st *runState) faultAndDeliver(round int) error {
 		st.delivered[i] = st.delivered[i][:0]
 	}
 	if st.cfg.Model == MessagePassing {
-		st.deliverMessagePassing()
+		if st.cfg.ScalarCore {
+			st.deliverMessagePassing()
+		} else {
+			st.deliverMessagePassingBitset()
+		}
 	} else {
-		st.deliverRadio(round)
+		if st.cfg.ScalarCore {
+			st.deliverRadio(round)
+		} else {
+			st.deliverRadioBitset(round)
+		}
 	}
 	return nil
 }
 
+// applyCorruption installs the adversary's replacement transmissions,
+// walking st.faulty (already in increasing id order) instead of sorting the
+// replacement map's keys, and checking membership against the fault mask
+// instead of building a per-round map — the corruption path allocates
+// nothing beyond what the adversary itself returned.
 func (st *runState) applyCorruption(repl map[int][]Transmission) error {
 	if len(repl) == 0 {
 		return nil
 	}
-	isFaulty := make(map[int]bool, len(st.faulty))
-	for _, id := range st.faulty {
-		isFaulty[id] = true
-	}
-	// Apply in increasing id order for determinism of error reporting.
-	ids := make([]int, 0, len(repl))
+	// Errors are reported for the smallest problematic id, exactly as the
+	// old sorted walk did: find the smallest healthy target up front, then
+	// merge it into the increasing walk over the faulty ids.
+	offender := -1
 	for id := range repl {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	for _, id := range ids {
-		if !isFaulty[id] {
-			return fmt.Errorf("adversary corrupted non-faulty node %d", id)
+		if (id < 0 || id >= st.n || !st.faultMask.Contains(id)) && (offender == -1 || id < offender) {
+			offender = id
 		}
-		ts := repl[id]
+	}
+	for _, id := range st.faulty {
+		if offender != -1 && offender < id {
+			return fmt.Errorf("adversary corrupted non-faulty node %d", offender)
+		}
+		ts, ok := repl[id]
+		if !ok {
+			continue
+		}
 		if err := st.validateTransmissions(id, ts); err != nil {
 			return fmt.Errorf("adversary: %w", err)
 		}
 		if st.cfg.Fault == LimitedMalicious {
-			if err := checkLimited(st.intents[id], ts); err != nil {
+			if err := checkLimitedInto(st.limSlots, st.intents[id], ts); err != nil {
 				return fmt.Errorf("adversary violated limited-malicious constraint at node %d: %w", id, err)
 			}
 		}
 		st.actual[id] = ts
+		if len(ts) > 0 {
+			st.transmitMask.Add(id)
+		} else {
+			st.transmitMask.Remove(id)
+		}
+	}
+	if offender != -1 {
+		return fmt.Errorf("adversary corrupted non-faulty node %d", offender)
 	}
 	return nil
 }
@@ -285,17 +355,114 @@ func (st *runState) applyCorruption(repl map[int][]Transmission) error {
 // payloads and dropping transmissions: for every destination, the adversary
 // may emit at most as many transmissions as were intended to it.
 func checkLimited(intent, actual []Transmission) error {
-	slots := make(map[int]int, len(intent))
+	maxTo := 0
 	for _, t := range intent {
-		slots[t.To]++
+		if t.To > maxTo {
+			maxTo = t.To
+		}
 	}
 	for _, t := range actual {
-		if slots[t.To] == 0 {
-			return fmt.Errorf("transmission to %d was not intended (limited-malicious cannot speak out of turn)", t.To)
+		if t.To > maxTo {
+			maxTo = t.To
 		}
-		slots[t.To]--
 	}
-	return nil
+	return checkLimitedInto(make([]int, maxTo+2), intent, actual)
+}
+
+// checkLimitedInto is checkLimited over caller-provided scratch: slots must
+// hold maxTo+2 counters (index To+1; Broadcast is -1) and be all-zero; it
+// is restored to all-zero before returning, so a runState can reuse one
+// buffer for every corrupted node without clearing it in between.
+func checkLimitedInto(slots []int, intent, actual []Transmission) error {
+	for _, t := range intent {
+		slots[t.To+1]++
+	}
+	var err error
+	for _, t := range actual {
+		if slots[t.To+1] == 0 {
+			err = fmt.Errorf("transmission to %d was not intended (limited-malicious cannot speak out of turn)", t.To)
+			break
+		}
+		slots[t.To+1]--
+	}
+	// Every touched counter is indexed by an intent destination (actual
+	// destinations either hit one of those or were left at zero), so
+	// re-walking the intent restores the all-zero invariant.
+	for _, t := range intent {
+		slots[t.To+1] = 0
+	}
+	return err
+}
+
+// deliverMessagePassingBitset is the word-parallel message-passing rule:
+// senders are iterated straight off the transmit mask (skipping silent
+// nodes 64 at a time), and each broadcast walks the sender's cached
+// adjacency bitset row instead of invoking a per-neighbor callback.
+// Receiver lists are identical to the scalar rule's: senders come off the
+// mask in increasing id order, rows iterate in increasing receiver order.
+func (st *runState) deliverMessagePassingBitset() {
+	g := st.cfg.Graph
+	st.talkers = st.transmitMask.AppendIDs(st.talkers[:0])
+	for _, from := range st.talkers {
+		for i := range st.actual[from] {
+			t := &st.actual[from][i]
+			st.stats.Transmissions++
+			if t.To == Broadcast {
+				for wi, word := range g.AdjacencyRow(from) {
+					base := wi << 6
+					for word != 0 {
+						w := base + bits.TrailingZeros64(word)
+						word &= word - 1
+						st.delivered[w] = append(st.delivered[w], Received{From: from, Payload: t.Payload})
+						st.stats.Deliveries++
+					}
+				}
+			} else {
+				st.delivered[t.To] = append(st.delivered[t.To], Received{From: from, Payload: t.Payload})
+				st.stats.Deliveries++
+			}
+		}
+	}
+}
+
+// deliverRadioBitset is the word-parallel radio collision rule. Folding
+// each transmitter's adjacency row into seen-once/seen-twice accumulators
+// gives, in O(|transmitters| * n/64) word operations,
+//
+//	heard     = (seenOnce \ seenTwice) \ transmitters
+//	collision = seenTwice \ transmitters
+//
+// exactly the scalar rule's "a node hears iff it is silent and exactly one
+// neighbor transmits", with collisions counted per silent receiver.
+func (st *runState) deliverRadioBitset(round int) {
+	g := st.cfg.Graph
+	st.talkers = st.transmitMask.AppendIDs(st.talkers[:0])
+	st.seenOnce.Clear()
+	st.seenTwice.Clear()
+	for _, w := range st.talkers {
+		row := g.AdjacencyRow(w)
+		st.seenTwice.OrAnd(st.seenOnce, row)
+		st.seenOnce.Or(row)
+	}
+	collisions := st.seenTwice.CountAndNot(st.transmitMask)
+	// Reduce seenOnce to the heard set in place (it is rebuilt next round).
+	st.seenOnce.AndNot(st.seenTwice)
+	st.seenOnce.AndNot(st.transmitMask)
+	for wi, word := range st.seenOnce {
+		base := wi << 6
+		for word != 0 {
+			v := base + bits.TrailingZeros64(word)
+			word &= word - 1
+			// v's unique transmitting neighbor is the sole element of
+			// adj(v) ∩ transmitters.
+			talker := bitset.FirstCommon(g.AdjacencyRow(v), st.transmitMask)
+			st.delivered[v] = append(st.delivered[v], Received{From: talker, Payload: st.actual[talker][0].Payload})
+			st.stats.Deliveries++
+		}
+	}
+	st.stats.Transmissions += len(st.talkers)
+	st.stats.Collisions += collisions
+	st.lastCollisions = collisions
 }
 
 func (st *runState) deliverMessagePassing() {

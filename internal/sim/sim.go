@@ -11,6 +11,16 @@
 // Given the same Config (including seed), both produce bit-identical
 // executions; a property test enforces this.
 //
+// Both engines share one word-parallel round core (internal/bitset): fault
+// sampling fills a per-round fault mask with batched Bernoulli draws,
+// omission silencing is a mask intersection, broadcast delivery walks
+// cached adjacency bitset rows, and the radio collision rule ("heard iff
+// silent and exactly one neighbor transmits") is computed with
+// seen-once/seen-twice accumulator sets. The pre-bitset scalar
+// implementation is retained behind Config.ScalarCore; a differential test
+// matrix (differential_test.go) proves the two cores and the two engines
+// bit-identical across randomized configurations.
+//
 // Trial streams (many seeds, one configuration) should use a Runner,
 // which validates the configuration once and rewinds a single execution
 // state per trial instead of reallocating it; a Runner trial is
@@ -142,6 +152,10 @@ type Node interface {
 // Adversary each round. The paper's adversary is adaptive: it sees the
 // whole history, the algorithm's intended behaviour, and the source
 // message.
+//
+// An Exec is valid only for the duration of the Corrupt call: the engine
+// reuses one value across rounds and trials, so adversaries must not
+// retain the pointer (copy any fields they need beyond the call).
 type Exec struct {
 	G         *graph.Graph
 	Model     Model
@@ -216,6 +230,12 @@ type Config struct {
 	// Observer, if non-nil, is invoked after each round with that round's
 	// record (regardless of RecordHistory). (optional)
 	Observer func(r *RoundRecord)
+	// ScalarCore selects the scalar reference implementation of fault
+	// sampling and the delivery rules instead of the word-parallel bitset
+	// core. Executions are bit-identical either way — the differential test
+	// harness enforces it — so the switch exists only to keep the reference
+	// semantics runnable and testable, not as a tuning knob. (optional)
+	ScalarCore bool
 }
 
 // Validate reports configuration errors before a run starts.

@@ -12,7 +12,10 @@ import (
 // Config — protocol construction (including the Kučera composition plan,
 // the BFS spanning tree, and the greedy radio schedule), the adversary,
 // and the round horizon — performed once, so that many Monte-Carlo trials
-// can run without repeating any of it.
+// can run without repeating any of it. Trials execute on the engine's
+// word-parallel bitset core (Config.ScalarCore selects the scalar
+// reference core, Config.Concurrent the goroutine-per-node engine; both
+// are bit-identical to the default, and the differential tests prove it).
 //
 // Compile once per scenario, then call Run per trial or Estimate per
 // sweep point. A Plan is immutable after Compile and safe for concurrent

@@ -90,6 +90,53 @@ func TestPlanRunMatchesOneShot(t *testing.T) {
 	}
 }
 
+// TestPlanCoresAndEnginesEquivalent: for every compiled scenario — the
+// paper's real protocols, not test fixtures — the word-parallel bitset
+// core, the scalar reference core, and the goroutine-per-node engine must
+// produce identical public Results on identical seeds. This is the
+// public-API face of the engine's differential-equivalence matrix.
+func TestPlanCoresAndEnginesEquivalent(t *testing.T) {
+	for name, cfg := range planScenarios() {
+		t.Run(name, func(t *testing.T) {
+			variants := map[string]Config{}
+			scalar := cfg
+			scalar.ScalarCore = true
+			variants["scalar-core"] = scalar
+			conc := cfg
+			conc.Concurrent = true
+			variants["concurrent-engine"] = conc
+			concScalar := cfg
+			concScalar.Concurrent = true
+			concScalar.ScalarCore = true
+			variants["concurrent-scalar"] = concScalar
+
+			plan, err := Compile(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for vname, vcfg := range variants {
+				vplan, err := Compile(vcfg)
+				if err != nil {
+					t.Fatalf("%s: %v", vname, err)
+				}
+				for seed := uint64(1); seed <= 3; seed++ {
+					want, err := plan.Run(seed)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := vplan.Run(seed)
+					if err != nil {
+						t.Fatalf("%s seed %d: %v", vname, seed, err)
+					}
+					if got != want {
+						t.Fatalf("%s seed %d: %+v != default %+v", vname, seed, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestPlanRunReuse: two consecutive Plan.Run calls with the same seed must
 // agree exactly — no state may leak between trials of a compiled plan.
 func TestPlanRunReuse(t *testing.T) {

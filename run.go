@@ -121,6 +121,10 @@ type Config struct {
 	// sequential one (identical results, slower; the model-faithful
 	// reference implementation).
 	Concurrent bool
+	// ScalarCore runs the engine's scalar reference round core instead of
+	// the word-parallel bitset core (identical results, slower; kept so
+	// the bitset core stays differentially testable end to end).
+	ScalarCore bool
 }
 
 // Result summarizes a run.
@@ -226,15 +230,16 @@ func build(cfg Config) (*sim.Config, error) {
 		rounds = cfg.Rounds
 	}
 	simCfg := &sim.Config{
-		Graph:     cfg.Graph,
-		Model:     model,
-		Fault:     fault,
-		P:         cfg.P,
-		Source:    cfg.Source,
-		SourceMsg: cfg.Message,
-		NewNode:   newNode,
-		Rounds:    rounds,
-		Seed:      cfg.Seed,
+		Graph:      cfg.Graph,
+		Model:      model,
+		Fault:      fault,
+		P:          cfg.P,
+		Source:     cfg.Source,
+		SourceMsg:  cfg.Message,
+		NewNode:    newNode,
+		Rounds:     rounds,
+		Seed:       cfg.Seed,
+		ScalarCore: cfg.ScalarCore,
 	}
 	if fault == sim.Malicious || fault == sim.LimitedMalicious {
 		simCfg.Adversary = buildAdversary(cfg)
