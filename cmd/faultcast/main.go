@@ -58,53 +58,17 @@ func main() {
 		WindowC: *windowC,
 		Seed:    *seed,
 	}
-	switch *model {
-	case "mp", "message-passing":
-		cfg.Model = faultcast.MessagePassing
-	case "radio":
-		cfg.Model = faultcast.Radio
-	default:
-		fatal(fmt.Errorf("unknown model %q", *model))
+	if cfg.Model, err = faultcast.ParseModel(*model); err != nil {
+		fatal(err)
 	}
-	switch *fault {
-	case "omission":
-		cfg.Fault = faultcast.Omission
-	case "malicious":
-		cfg.Fault = faultcast.Malicious
-	case "limited", "limited-malicious":
-		cfg.Fault = faultcast.LimitedMalicious
-	default:
-		fatal(fmt.Errorf("unknown fault type %q", *fault))
+	if cfg.Fault, err = faultcast.ParseFault(*fault); err != nil {
+		fatal(err)
 	}
-	switch *algo {
-	case "auto":
-		cfg.Algorithm = faultcast.Auto
-	case "simple-omission":
-		cfg.Algorithm = faultcast.SimpleOmission
-	case "simple-malicious":
-		cfg.Algorithm = faultcast.SimpleMalicious
-	case "flooding":
-		cfg.Algorithm = faultcast.Flooding
-	case "composed":
-		cfg.Algorithm = faultcast.Composed
-	case "radio-repeat":
-		cfg.Algorithm = faultcast.RadioRepeat
-	case "timing-bit":
-		cfg.Algorithm = faultcast.TimingBit
-	default:
-		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+	if cfg.Algorithm, err = faultcast.ParseAlgorithm(*algo); err != nil {
+		fatal(err)
 	}
-	switch *adv {
-	case "worst":
-		cfg.Adversary = faultcast.WorstCase
-	case "crash":
-		cfg.Adversary = faultcast.CrashAdv
-	case "flip":
-		cfg.Adversary = faultcast.FlipAdv
-	case "noise":
-		cfg.Adversary = faultcast.NoiseAdv
-	default:
-		fatal(fmt.Errorf("unknown adversary %q", *adv))
+	if cfg.Adversary, err = faultcast.ParseAdversary(*adv); err != nil {
+		fatal(err)
 	}
 
 	delta := g.MaxDegree()

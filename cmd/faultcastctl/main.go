@@ -1,0 +1,272 @@
+// Command faultcastctl is the client of faultcastd.
+//
+//	faultcastctl [-addr URL] health                 liveness check
+//	faultcastctl [-addr URL] scenarios              request vocabulary + limits
+//	faultcastctl [-addr URL] stats [-out FILE]      request/cache counters
+//	faultcastctl [-addr URL] estimate -graph SPEC -p P [flags]
+//	faultcastctl [-addr URL] smoke [flags]          concurrent load smoke test
+//
+// smoke fires a burst of concurrent identical estimation requests plus a
+// spread of distinct ones, verifies every answer, and checks that the
+// server amortized the identical burst (cache hits + coalescing, not one
+// execution per request). CI runs it against a race-built faultcastd and
+// archives the resulting /v1/stats snapshot next to BENCH_engine.json.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"faultcast/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8347", "faultcastd base URL")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: faultcastctl [-addr URL] {health|scenarios|stats|estimate|smoke} [flags]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	c := &client{base: *addr, http: &http.Client{Timeout: 5 * time.Minute}}
+	var err error
+	switch args[0] {
+	case "health":
+		err = c.getJSONPrint("/healthz")
+	case "scenarios":
+		err = c.getJSONPrint("/v1/scenarios")
+	case "stats":
+		err = cmdStats(c, args[1:])
+	case "estimate":
+		err = cmdEstimate(c, args[1:])
+	case "smoke":
+		err = cmdSmoke(c, args[1:])
+	default:
+		err = fmt.Errorf("unknown command %q", args[0])
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faultcastctl:", err)
+		os.Exit(1)
+	}
+}
+
+type client struct {
+	base string
+	http *http.Client
+}
+
+func (c *client) get(path string) ([]byte, error) {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s: %s", path, resp.Status, body)
+	}
+	return body, nil
+}
+
+func (c *client) getJSONPrint(path string) error {
+	body, err := c.get(path)
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(body)
+	return err
+}
+
+// estimate posts one request and decodes the answer; on a non-2xx status
+// the structured error is returned along with the HTTP status code.
+func (c *client) estimate(req service.EstimateRequest) (service.EstimateResponse, int, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return service.EstimateResponse{}, 0, err
+	}
+	resp, err := c.http.Post(c.base+"/v1/estimate", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return service.EstimateResponse{}, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return service.EstimateResponse{}, resp.StatusCode, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var er service.ErrorResponse
+		if json.Unmarshal(body, &er) == nil && er.Error != "" {
+			return service.EstimateResponse{}, resp.StatusCode, fmt.Errorf("%s (code=%s)", er.Error, er.Code)
+		}
+		return service.EstimateResponse{}, resp.StatusCode, fmt.Errorf("%s: %s", resp.Status, body)
+	}
+	var er service.EstimateResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		return service.EstimateResponse{}, resp.StatusCode, err
+	}
+	return er, resp.StatusCode, nil
+}
+
+func cmdStats(c *client, args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	out := fs.String("out", "", "also write the stats JSON to this file")
+	fs.Parse(args)
+	body, err := c.get("/v1/stats")
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, body, 0o644); err != nil {
+			return err
+		}
+	}
+	_, err = os.Stdout.Write(body)
+	return err
+}
+
+func cmdEstimate(c *client, args []string) error {
+	fs := flag.NewFlagSet("estimate", flag.ExitOnError)
+	var req service.EstimateRequest
+	fs.StringVar(&req.Graph, "graph", "", "graph spec (required), e.g. grid:8x8")
+	fs.IntVar(&req.Source, "source", 0, "broadcast source node")
+	fs.StringVar(&req.Message, "message", "", "source message (default \"1\")")
+	fs.StringVar(&req.Model, "model", "", "mp | radio")
+	fs.StringVar(&req.Fault, "fault", "", "omission | malicious | limited")
+	fs.Float64Var(&req.P, "p", 0.3, "per-step transmitter failure probability")
+	fs.StringVar(&req.Algorithm, "algo", "", "algorithm (default auto)")
+	fs.StringVar(&req.Adversary, "adversary", "", "worst | crash | flip | noise")
+	fs.Float64Var(&req.WindowC, "c", 0, "window constant override")
+	fs.Float64Var(&req.Alpha, "alpha", 0, "Theorem 3.2 exponent for composed")
+	fs.Uint64Var(&req.Seed, "seed", 0, "base seed (default 1)")
+	fs.IntVar(&req.Rounds, "rounds", 0, "round-horizon override")
+	fs.IntVar(&req.Trials, "trials", 0, "trial budget (default server's)")
+	fs.Float64Var(&req.HalfWidth, "half-width", 0, "stop once the 95% half-width reaches this")
+	fs.Parse(args)
+	if req.Graph == "" {
+		return fmt.Errorf("estimate: -graph is required")
+	}
+	er, _, err := c.estimate(req)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rate %.4f [%.4f, %.4f] (%d/%d trials, half-width %.4f)\n",
+		er.Rate, er.Low, er.High, er.Successes, er.Trials, er.HalfWidth)
+	fmt.Printf("almost-safe (>= %.4f): %v\n", er.AlmostSafeTarget, er.Almostsafe)
+	fmt.Printf("served: %s (%d trials simulated for this request), plan horizon %d rounds, n=%d\n",
+		er.Served, er.TrialsSimulated, er.Rounds, er.N)
+	return nil
+}
+
+func cmdSmoke(c *client, args []string) error {
+	fs := flag.NewFlagSet("smoke", flag.ExitOnError)
+	requests := fs.Int("requests", 64, "concurrent identical requests in the coalescing burst")
+	distinct := fs.Int("distinct", 8, "additional distinct scenarios")
+	graph := fs.String("graph", "grid:6x6", "graph spec of the identical burst")
+	p := fs.Float64("p", 0.5, "failure probability of the identical burst")
+	trials := fs.Int("trials", 2000, "trial budget per request")
+	out := fs.String("out", "", "write the post-run /v1/stats JSON to this file")
+	fs.Parse(args)
+
+	if _, err := c.get("/healthz"); err != nil {
+		return fmt.Errorf("smoke: server not healthy: %w", err)
+	}
+	// Snapshot the counters so the verdict below reads this run's deltas —
+	// the server need not be fresh.
+	var before service.Stats
+	if body, err := c.get("/v1/stats"); err != nil {
+		return err
+	} else if err := json.Unmarshal(body, &before); err != nil {
+		return err
+	}
+
+	// Phase 1: a concurrent burst of identical requests. The server must
+	// answer every one, executing the underlying plan far fewer times
+	// than it was asked (singleflight + result cache).
+	burst := service.EstimateRequest{Graph: *graph, P: *p, Trials: *trials}
+	var wg sync.WaitGroup
+	errs := make([]error, *requests)
+	served := make([]string, *requests)
+	startBurst := time.Now()
+	for i := 0; i < *requests; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			er, _, err := c.estimate(burst)
+			errs[i] = err
+			served[i] = er.Served
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("smoke: burst request %d: %w", i, err)
+		}
+	}
+	counts := map[string]int{}
+	for _, s := range served {
+		counts[s]++
+	}
+	fmt.Printf("burst: %d identical requests in %v, served: %v\n",
+		*requests, time.Since(startBurst).Round(time.Millisecond), counts)
+
+	// Phase 2: distinct scenarios exercise compile + plan cache churn,
+	// including a repeat pass that must hit the caches.
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < *distinct; i++ {
+			req := service.EstimateRequest{
+				Graph:  fmt.Sprintf("line:%d", 16+4*i),
+				P:      0.2 + 0.05*float64(i%4),
+				Trials: *trials / 4,
+			}
+			if _, _, err := c.estimate(req); err != nil {
+				return fmt.Errorf("smoke: distinct request %d (pass %d): %w", i, pass, err)
+			}
+		}
+	}
+
+	body, err := c.get("/v1/stats")
+	if err != nil {
+		return err
+	}
+	var st service.Stats
+	if err := json.Unmarshal(body, &st); err != nil {
+		return err
+	}
+	fmt.Printf("stats: executions=%d coalesced=%d cache_hits=%d plan_compiles=%d trials_simulated=%d rejected=%d\n",
+		st.Executions, st.Coalesced, st.CacheHits, st.PlanCompiles, st.TrialsSimulated, st.Rejected)
+	if *out != "" {
+		if err := os.WriteFile(*out, body, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("stats written to %s\n", *out)
+	}
+
+	// The smoke's verdict: the burst must have been amortized. Identical
+	// requests may coalesce or hit the cache, but executing the plan once
+	// per caller means the serving layer did nothing.
+	executions := st.Executions - before.Executions
+	if executions >= uint64(*requests) {
+		return fmt.Errorf("smoke: %d executions for %d identical requests — no amortization", executions, *requests)
+	}
+	// This run compiled at most the burst scenario plus the distinct
+	// ones; in particular the repeat pass must not have recompiled.
+	if compiles := st.PlanCompiles - before.PlanCompiles; compiles > uint64(1+*distinct) {
+		return fmt.Errorf("smoke: %d plan compiles for %d distinct scenarios", compiles, 1+*distinct)
+	}
+	fmt.Println("smoke: OK")
+	return nil
+}

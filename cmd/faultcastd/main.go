@@ -1,0 +1,81 @@
+// Command faultcastd is the faultcast estimation service: a long-running
+// HTTP daemon that answers success-probability queries over compiled
+// plans, amortizing compilation and simulation across callers with plan
+// and result caches, request coalescing, confidence-aware estimate reuse,
+// and bounded admission (429 + Retry-After under overload).
+//
+// Endpoints: POST /v1/estimate, GET /v1/scenarios, GET /v1/stats,
+// GET /healthz. See internal/service for semantics and cmd/faultcastctl
+// for a client.
+//
+// Example:
+//
+//	faultcastd -addr 127.0.0.1:8347 &
+//	faultcastctl -addr http://127.0.0.1:8347 estimate -graph grid:8x8 -p 0.5 -trials 5000
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"faultcast/internal/service"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", "127.0.0.1:8347", "listen address")
+		maxInflight   = flag.Int("max-inflight", 0, "concurrently executing estimations (0 = GOMAXPROCS)")
+		maxQueue      = flag.Int("max-queue", 0, "requests waiting for a slot before 429 (0 = 64, negative = no queue)")
+		workers       = flag.Int("workers", 0, "worker goroutines per estimation (0 = GOMAXPROCS)")
+		planCache     = flag.Int("plan-cache", 0, "compiled plans kept in the LRU (0 = 256)")
+		resultCache   = flag.Int("result-cache", 0, "estimates kept in the result cache (0 = 4096)")
+		resultTTL     = flag.Duration("result-ttl", 0, "lifetime of a cached estimate (0 = 5m)")
+		maxNodes      = flag.Int("max-nodes", 0, "largest served graph (0 = 4096 vertices)")
+		maxTrials     = flag.Int("max-trials", 0, "per-request trial cap (0 = 200000)")
+		defaultTrials = flag.Int("default-trials", 0, "trial budget when a request names none (0 = 1000)")
+	)
+	flag.Parse()
+
+	srv := service.New(service.Options{
+		MaxNodes:        *maxNodes,
+		MaxTrials:       *maxTrials,
+		DefaultTrials:   *defaultTrials,
+		PlanCacheSize:   *planCache,
+		ResultCacheSize: *resultCache,
+		ResultTTL:       *resultTTL,
+		MaxInflight:     *maxInflight,
+		MaxQueue:        *maxQueue,
+		Workers:         *workers,
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("faultcastd: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("faultcastd: shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("faultcastd: listening on %s", *addr)
+	if err := hs.ListenAndServe(); err != http.ErrServerClosed {
+		log.Fatalf("faultcastd: %v", err)
+	}
+	<-done
+}

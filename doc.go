@@ -1,0 +1,59 @@
+// Package faultcast is a simulation library for fault-tolerant
+// broadcasting with random transmission failures, reproducing the system
+// of Pelc & Peleg, "Feasibility and complexity of broadcasting with random
+// transmission failures" (PODC 2005 / TCS 370 (2007) 279–292).
+//
+// The model: a synchronous n-node network (message passing or radio) in
+// which, at every step, each node's transmitter fails independently with
+// constant probability p. Failures are node-omission (a faulty transmitter
+// is silent) or malicious (an adaptive adversary drives the faulty
+// transmitter). A broadcasting algorithm is almost-safe when it delivers
+// the source message to every node with probability at least 1 − 1/n.
+//
+// The package exposes:
+//
+//   - feasibility predicates for the paper's four scenarios (Feasible,
+//     Threshold, RadioThreshold);
+//   - the paper's algorithms, runnable on arbitrary graphs (Simple-Omission,
+//     Simple-Malicious, tree flooding, the composed Kučera-style algorithm,
+//     the Theorem 3.4 radio algorithms, and the two-node timing protocol);
+//   - a compile-once/run-many execution model: Compile lowers a Config to a
+//     Plan exactly once (protocol construction, composition plans, radio
+//     schedules, spanning trees), and Plan.Run / Plan.Estimate stream any
+//     number of trials against it, with optional early-stopped estimation;
+//     Run and EstimateSuccess are one-shot wrappers over the same path;
+//   - resumable estimation: Plan.EstimateFrom tops an existing Estimate up
+//     to a larger budget or tighter band by continuing its seed sequence —
+//     the refinement primitive of the faultcastd serving layer;
+//   - canonical keying: Config.Fingerprint hashes the simulation semantics
+//     (graph structure, scenario, seed — not graph names, engine selectors,
+//     or tracing), so semantically identical configurations key equal in
+//     caches; Plan.Key exposes the same key on a compiled plan;
+//   - graph constructors for the families used in the paper's
+//     constructions, including the layered radio lower-bound graph, and
+//     ParseGraph for the compact textual specs used by the CLI and service.
+//
+// # Invariants
+//
+// Everything below is enforced by tests, not convention:
+//
+//   - A run is identified by (configuration, seed): all randomness derives
+//     from the seed via split streams, and repeated runs are bit-identical
+//     (TestPlanRunMatchesOneShot, the golden digest traces in
+//     internal/sim/testdata/golden).
+//   - The word-parallel bitset engine core, the scalar reference core, and
+//     the goroutine-per-node engine produce bit-identical executions
+//     (internal/sim's differential test matrix and the public-API face
+//     TestPlanCoresAndEnginesEquivalent) — which is why Config.Concurrent
+//     and Config.ScalarCore are excluded from Config.Fingerprint.
+//   - Estimates are independent of the worker count, early stopping cuts
+//     the seed sequence only at deterministic batch boundaries, and
+//     EstimateFrom visits exactly the seed suffix a one-shot run of the
+//     combined budget would (TestEstimateStreamStopsPrefix,
+//     TestEstimateFromMatchesEstimate).
+//
+// Lower-level control (custom protocols, custom adversaries, round
+// observers, the goroutine-per-node engine) is available in the internal
+// packages; see DESIGN.md for the map and internal/service for the
+// faultcastd HTTP serving layer built on top.
+package faultcast

@@ -24,7 +24,8 @@ func main() {
 	fmt.Printf("%-8s %-8s %s\n", "p", "window", "success rate")
 	for _, p := range []float64{0.2, 0.35, 0.45, 0.5, 0.6, 0.75} {
 		for _, c := range []float64{16, 64} {
-			est, err := faultcast.EstimateSuccess(faultcast.Config{
+			// One compiled plan per sweep cell; the 400 trials share it.
+			plan, err := faultcast.Compile(faultcast.Config{
 				Graph:     g,
 				Source:    0,
 				Message:   []byte("1"),
@@ -35,7 +36,11 @@ func main() {
 				Adversary: faultcast.WorstCase,
 				WindowC:   c,
 				Seed:      uint64(p*1000) + uint64(c),
-			}, 400)
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			est, err := plan.Estimate(400)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -50,7 +55,7 @@ func main() {
 	// that content cannot. The "hello" protocol survives p = 0.8.
 	fmt.Println("\nTiming protocol under limited malicious failures (any p < 1 works):")
 	for _, bit := range []string{"0", "1"} {
-		est, err := faultcast.EstimateSuccess(faultcast.Config{
+		plan, err := faultcast.Compile(faultcast.Config{
 			Graph:     g,
 			Source:    0,
 			Message:   []byte(bit),
@@ -61,7 +66,11 @@ func main() {
 			Adversary: faultcast.CrashAdv,
 			WindowC:   128, // m — the protocol runs 2m rounds
 			Seed:      3,
-		}, 400)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		est, err := plan.Estimate(400)
 		if err != nil {
 			log.Fatal(err)
 		}

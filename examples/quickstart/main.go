@@ -20,26 +20,10 @@ func main() {
 	fmt.Printf("omission, message passing, p=%.1f feasible: %v\n",
 		p, faultcast.Feasible(faultcast.MessagePassing, faultcast.Omission, p, g.MaxDegree()))
 
-	// One run. Algorithm Auto selects the paper's optimal choice for the
-	// scenario — BFS-tree flooding, Θ(D + log n) rounds (Theorem 3.1).
-	res, err := faultcast.Run(faultcast.Config{
-		Graph:   g,
-		Source:  0,
-		Message: []byte("meet at dawn"),
-		Model:   faultcast.MessagePassing,
-		Fault:   faultcast.Omission,
-		P:       p,
-		Seed:    42,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("single run: success=%v in %d rounds (%d transmitter faults along the way)\n",
-		res.Success, res.Rounds, res.Faults)
-
-	// Monte-Carlo: is it ALMOST-SAFE, i.e. does it succeed with
-	// probability at least 1 - 1/n?
-	est, err := faultcast.EstimateSuccess(faultcast.Config{
+	// Compile once: algorithm selection (Auto picks the paper's optimal
+	// choice — BFS-tree flooding, Θ(D + log n) rounds, Theorem 3.1),
+	// spanning tree, and round horizon are paid here, never per trial.
+	plan, err := faultcast.Compile(faultcast.Config{
 		Graph:   g,
 		Source:  0,
 		Message: []byte("meet at dawn"),
@@ -47,10 +31,34 @@ func main() {
 		Fault:   faultcast.Omission,
 		P:       p,
 		Seed:    1,
-	}, 500)
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("success rate over 500 runs: %v\n", est)
-	fmt.Printf("almost-safe (target %.4f): %v\n", 1-1/float64(g.N()), est.AlmostSafe(g.N()))
+
+	// One trial per seed; same seed, same run, always.
+	res, err := plan.Run(42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("single run: success=%v in %d rounds (%d transmitter faults along the way)\n",
+		res.Success, res.Rounds, res.Faults)
+
+	// Monte-Carlo on the same plan: is it ALMOST-SAFE, i.e. does it
+	// succeed with probability at least 1 - 1/n?
+	est, err := plan.Estimate(500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("success rate over %d runs: %v\n", est.Trials, est)
+	fmt.Printf("almost-safe (target %.4f): %v\n", plan.AlmostSafeTarget(), est.AlmostSafe(g.N()))
+
+	// Need a tighter interval later? Resume instead of restarting: the
+	// top-up continues the same seed sequence, so this equals one big
+	// 4000-trial estimate — for 3500 trials of marginal cost.
+	tighter, err := plan.EstimateFrom(est, 4000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("refined to %d trials: %v\n", tighter.Trials, tighter)
 }

@@ -32,7 +32,8 @@ func main() {
 		// WorstCase selects the paper's Theorem 2.4 star adversary: when
 		// the source's transmitter fails it equivocates, and when other
 		// transmitters fail while the source speaks, they jam (collide).
-		est, err := faultcast.EstimateSuccess(faultcast.Config{
+		// Compile per sweep point; all trials reuse the plan's schedule.
+		plan, err := faultcast.Compile(faultcast.Config{
 			Graph:     g,
 			Source:    1, // a leaf
 			Message:   []byte("1"),
@@ -43,7 +44,11 @@ func main() {
 			Adversary: faultcast.WorstCase,
 			WindowC:   24,
 			Seed:      7,
-		}, 300)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		est, err := plan.Estimate(300)
 		if err != nil {
 			log.Fatal(err)
 		}

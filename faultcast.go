@@ -1,33 +1,3 @@
-// Package faultcast is a simulation library for fault-tolerant
-// broadcasting with random transmission failures, reproducing the system
-// of Pelc & Peleg, "Feasibility and complexity of broadcasting with random
-// transmission failures" (PODC 2005 / TCS 370 (2007) 279–292).
-//
-// The model: a synchronous n-node network (message passing or radio) in
-// which, at every step, each node's transmitter fails independently with
-// constant probability p. Failures are node-omission (a faulty transmitter
-// is silent) or malicious (an adaptive adversary drives the faulty
-// transmitter). A broadcasting algorithm is almost-safe when it delivers
-// the source message to every node with probability at least 1 − 1/n.
-//
-// The package exposes:
-//
-//   - feasibility predicates for the paper's four scenarios (Feasible,
-//     Threshold, RadioThreshold);
-//   - the paper's algorithms, runnable on arbitrary graphs (Simple-Omission,
-//     Simple-Malicious, tree flooding, the composed Kučera-style algorithm,
-//     the Theorem 3.4 radio algorithms, and the two-node timing protocol);
-//   - a compile-once/run-many execution model: Compile lowers a Config to a
-//     Plan exactly once (protocol construction, composition plans, radio
-//     schedules, spanning trees), and Plan.Run / Plan.Estimate stream any
-//     number of trials against it, with optional early-stopped estimation;
-//     Run and EstimateSuccess are one-shot wrappers over the same path;
-//   - graph constructors for the families used in the paper's
-//     constructions, including the layered radio lower-bound graph.
-//
-// Lower-level control (custom protocols, custom adversaries, round
-// observers, the goroutine-per-node engine) is available in the internal
-// packages; see DESIGN.md for the map.
 package faultcast
 
 import (

@@ -1,13 +1,3 @@
-// Package bitset provides fixed-capacity sets of small non-negative
-// integers backed by []uint64 words. It is the word-parallel substrate of
-// the simulator's hot path: fault masks, transmitter sets, and the radio
-// collision rule's seen-once/seen-twice accumulators are all Sets, so the
-// per-round set algebra runs 64 elements per instruction instead of one
-// element per callback.
-//
-// Sets are plain slices: allocate once with New and reuse via Clear. All
-// binary operations require equal lengths (same universe) and run in place
-// on the receiver; none allocate.
 package bitset
 
 import "math/bits"

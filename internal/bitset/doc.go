@@ -1,0 +1,21 @@
+// Package bitset provides fixed-capacity sets of small non-negative
+// integers backed by []uint64 words. It is the word-parallel substrate of
+// the simulator's hot path: fault masks, transmitter sets, and the radio
+// collision rule's seen-once/seen-twice accumulators are all Sets, so the
+// per-round set algebra runs 64 elements per instruction instead of one
+// element per callback.
+//
+// Sets are plain slices: allocate once with New and reuse via Clear. All
+// binary operations require equal lengths (same universe) and run in place
+// on the receiver; none allocate.
+//
+// # Invariants
+//
+//   - Every operation agrees with the obvious map[int]bool model
+//     (bitset_test.go's randomized model test), including the word-skipping
+//     iteration order (ascending).
+//   - The engine round core built on these sets is bit-identical to the
+//     scalar reference core end to end — enforced one level up by
+//     internal/sim's differential matrix (TestDifferentialBitsetVsScalar),
+//     which is the reason the scalar core is kept alive.
+package bitset

@@ -2,6 +2,8 @@ package graph
 
 import (
 	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"strings"
@@ -78,3 +80,30 @@ func ReadEdgeList(r io.Reader, name string) (*Graph, error) {
 }
 
 func bN(b *Builder) int { return b.n }
+
+// Fingerprint returns a SHA-256 digest of the graph's structure: the
+// vertex count followed by every edge {u, v} with u < v, in the canonical
+// order induced by the sorted adjacency lists. Two graphs carry the same
+// fingerprint iff they have identical vertex counts and edge sets,
+// regardless of name or construction order, so semantically identical
+// topologies hash equal. The digest is computed once on first call,
+// cached, and safe for concurrent use (graphs are immutable after Build).
+func (g *Graph) Fingerprint() [32]byte {
+	g.fpOnce.Do(func() {
+		h := sha256.New()
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(g.N()))
+		h.Write(buf[:])
+		for v := 0; v < g.N(); v++ {
+			for _, w := range g.neighbors32(v) {
+				if int(w) > v {
+					binary.LittleEndian.PutUint32(buf[:4], uint32(v))
+					binary.LittleEndian.PutUint32(buf[4:], uint32(w))
+					h.Write(buf[:])
+				}
+			}
+		}
+		h.Sum(g.fp[:0])
+	})
+	return g.fp
+}

@@ -31,6 +31,9 @@ type Graph struct {
 	rowsOnce sync.Once
 	rowBits  []uint64 // N rows of rowWords words each, lazily built
 	rowWords int
+
+	fpOnce sync.Once
+	fp     [32]byte // lazily computed structural digest (Fingerprint)
 }
 
 // Builder accumulates edges and produces an immutable Graph.

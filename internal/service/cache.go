@@ -1,0 +1,86 @@
+package service
+
+import (
+	"container/list"
+	"time"
+
+	"faultcast"
+)
+
+// lru is a plain least-recently-used map with a fixed capacity. It is not
+// safe for concurrent use; the Server guards both of its instances with
+// one mutex (operations are O(1) pointer shuffles, never simulations).
+type lru[V any] struct {
+	capacity int
+	order    *list.List // front = most recently used
+	entries  map[string]*list.Element
+}
+
+type lruItem[V any] struct {
+	key string
+	val V
+}
+
+func newLRU[V any](capacity int) *lru[V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lru[V]{capacity: capacity, order: list.New(), entries: make(map[string]*list.Element)}
+}
+
+// get returns the value for key and marks it most recently used.
+func (c *lru[V]) get(key string) (V, bool) {
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*lruItem[V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// put inserts or replaces key, evicting the least recently used entry
+// beyond capacity.
+func (c *lru[V]) put(key string, val V) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*lruItem[V]).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&lruItem[V]{key: key, val: val})
+	if c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*lruItem[V]).key)
+	}
+}
+
+// remove deletes key if present.
+func (c *lru[V]) remove(key string) {
+	if el, ok := c.entries[key]; ok {
+		c.order.Remove(el)
+		delete(c.entries, key)
+	}
+}
+
+func (c *lru[V]) len() int { return c.order.Len() }
+
+// resultEntry is one cached estimate with the plan's round horizon (so a
+// cache hit can answer without touching the plan) and its expiry instant.
+type resultEntry struct {
+	est     faultcast.Estimate
+	rounds  int
+	expires time.Time
+}
+
+// satisfies reports whether the cached estimate already answers a request
+// with the given requirement: either the cached 95% interval is at least
+// as tight as a requested positive halfWidth, or the cached trial count
+// reaches the request's budget — a refinement capped at `trials` could
+// not add a single trial, so re-executing would be a no-op that burns an
+// admission slot (the cached answer is the request's best effort).
+func (e resultEntry) satisfies(trials int, halfWidth float64) bool {
+	if e.est.Trials >= trials {
+		return true
+	}
+	return halfWidth > 0 && (e.est.Hi-e.est.Low)/2 <= halfWidth
+}

@@ -1,0 +1,64 @@
+package service
+
+import "sync"
+
+// outcome is the shared result of one coalesced estimate execution: either
+// a success response or a structured error with its HTTP status.
+type outcome struct {
+	resp    EstimateResponse
+	status  int
+	errResp ErrorResponse
+}
+
+// flightGroup is a minimal singleflight: concurrent do calls with the same
+// key share one execution of fn. The key is the canonical config
+// fingerprint plus the confidence requirement, so "identical request"
+// means identical computation, not just identical scenario.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	out  outcome
+}
+
+// do runs fn under key, or waits for the in-flight run of fn under the
+// same key and returns its outcome. shared reports whether this caller
+// rode another's execution. Followers wait for the leader unconditionally:
+// the leader's execution is already admission-bounded, so there is nothing
+// to cancel that would save work.
+func (g *flightGroup) do(key string, fn func() outcome) (out outcome, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.out, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	// Cleanup must run even if fn panics (net/http recovers handler
+	// panics and keeps serving): otherwise the key would be wedged and
+	// every future caller would block on done forever. A panicking
+	// leader leaves a zero outcome; turn it into a structured 500 for
+	// the followers before releasing them, then let the panic propagate.
+	defer func() {
+		if c.out.status == 0 {
+			c.out = outcome{status: 500, errResp: ErrorResponse{
+				Error: "internal error during estimation", Code: "internal",
+			}}
+		}
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+	c.out = fn()
+	return c.out, false
+}

@@ -1,0 +1,53 @@
+// Package service implements faultcastd's HTTP serving layer: a
+// long-running JSON API that answers success-probability estimation
+// queries over the compile-once plan pipeline (faultcast.Compile →
+// Plan.Estimate) while amortizing its cost across many callers.
+//
+// Endpoints:
+//
+//	POST /v1/estimate   estimate the success probability of a scenario
+//	GET  /v1/scenarios  the request vocabulary (graph grammar, models,
+//	                    faults, algorithms, adversaries) and server limits
+//	GET  /v1/stats      request/cache/admission counters
+//	GET  /healthz       liveness
+//
+// Four mechanisms stand between a request and the engine, in order:
+//
+//  1. Canonical keying. Every request is lowered to a faultcast.Config and
+//     keyed by Config.Fingerprint — a SHA-256 over the deterministic
+//     serialization of its simulation semantics (graph structure, not
+//     graph name; IEEE-754 bits, not decimal renderings; engine selectors
+//     excluded because they are proven bit-identical). Semantically
+//     identical requests therefore hash equal and share everything below.
+//
+//  2. Result cache with confidence-aware reuse. Estimates are cached per
+//     key with a TTL. A cached estimate SATISFIES a request if its 95%
+//     half-width is at most the requested one (or, with no half-width
+//     requested, if it ran at least the requested trials); satisfied
+//     requests are answered with zero simulation trials. A fresh-but-loose
+//     entry is REFINED via Plan.EstimateFrom — topped up to the tighter
+//     band for the marginal trials only — never recomputed from scratch.
+//
+//  3. Plan LRU + singleflight coalescing. Compiled plans are kept in an
+//     LRU keyed by the same fingerprint, and concurrent identical requests
+//     collapse onto one in-flight execution: N callers, one plan run, all
+//     N get the answer. TestCoalescing drives 64 concurrent identical
+//     requests through the race detector and asserts exactly one
+//     execution.
+//
+//  4. Bounded admission. At most MaxInflight estimations run at once and
+//     at most MaxQueue callers wait for a slot; beyond that the server
+//     answers 429 with a Retry-After header instead of letting load grow
+//     the engine's footprint without bound.
+//
+// Invariants (enforced by the package tests): a cache hit or coalesced
+// follower never runs a trial; an answer produced by refinement keeps the
+// cached trials and executes only a continuation of the same seed
+// sequence — for budget-only requests it is bit-identical to a
+// from-scratch run of the combined budget; compiled plans are shared
+// across seeds of a scenario (the seed keys results, not plans);
+// requests are validated before any work is admitted
+// (malformed specs and oversized graphs are rejected with structured
+// errors, never compiled); and the handlers are safe under `go test
+// -race` with arbitrary interleavings.
+package service

@@ -1,0 +1,510 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"faultcast"
+)
+
+// Options tunes a Server. The zero value gets sensible defaults (see
+// withDefaults); fields are only ever lowered by validation, never raised.
+type Options struct {
+	// MaxNodes rejects requests whose graph has more vertices (default
+	// 4096). The graph-spec parser's own 65536 cap bounds parsing; this
+	// bounds simulation work per admitted request.
+	MaxNodes int
+	// MaxTrials caps the per-request trial budget (default 200000);
+	// DefaultTrials is used when a request names none (default 1000).
+	MaxTrials     int
+	DefaultTrials int
+	// PlanCacheSize bounds the compiled-plan LRU (default 256 plans);
+	// ResultCacheSize bounds the estimate LRU (default 4096 entries);
+	// ResultTTL is the lifetime of a cached estimate (default 5m).
+	PlanCacheSize   int
+	ResultCacheSize int
+	ResultTTL       time.Duration
+	// MaxInflight bounds concurrently executing estimations (default
+	// GOMAXPROCS); MaxQueue bounds callers waiting for a slot (default
+	// 64; negative = no waiting). Beyond both, requests get 429.
+	MaxInflight int
+	MaxQueue    int
+	// Workers is the worker count per estimation (default 0 =
+	// GOMAXPROCS). With MaxInflight > 1, lowering it keeps one request
+	// from monopolizing the cores.
+	Workers int
+	// Now is the clock, overridable by TTL tests (default time.Now).
+	Now func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxNodes <= 0 {
+		o.MaxNodes = 4096
+	}
+	if o.MaxTrials <= 0 {
+		o.MaxTrials = 200000
+	}
+	if o.DefaultTrials <= 0 {
+		o.DefaultTrials = 1000
+	}
+	if o.DefaultTrials > o.MaxTrials {
+		o.DefaultTrials = o.MaxTrials
+	}
+	if o.PlanCacheSize <= 0 {
+		o.PlanCacheSize = 256
+	}
+	if o.ResultCacheSize <= 0 {
+		o.ResultCacheSize = 4096
+	}
+	if o.ResultTTL <= 0 {
+		o.ResultTTL = 5 * time.Minute
+	}
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case o.MaxQueue == 0:
+		o.MaxQueue = 64
+	case o.MaxQueue < 0:
+		o.MaxQueue = 0
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// Server is the faultcastd request handler: plan/result caches,
+// singleflight coalescing, bounded admission, and the HTTP surface over
+// them. Create with New; all methods are safe for concurrent use.
+type Server struct {
+	opts  Options
+	start time.Time
+
+	mu      sync.Mutex
+	plans   *lru[*faultcast.Plan]
+	results *lru[resultEntry]
+
+	flight  flightGroup
+	slots   chan struct{}
+	waiting atomic.Int64
+
+	c counters
+}
+
+type counters struct {
+	requests        atomic.Uint64
+	estimateCalls   atomic.Uint64
+	badRequests     atomic.Uint64
+	cacheHits       atomic.Uint64
+	coalesced       atomic.Uint64
+	executions      atomic.Uint64
+	refines         atomic.Uint64
+	rejected        atomic.Uint64
+	trialsSimulated atomic.Uint64
+	planCompiles    atomic.Uint64
+	planCacheHits   atomic.Uint64
+}
+
+// New returns a Server with the given options (zero fields defaulted).
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	return &Server{
+		opts:    opts,
+		start:   opts.Now(),
+		plans:   newLRU[*faultcast.Plan](opts.PlanCacheSize),
+		results: newLRU[resultEntry](opts.ResultCacheSize),
+		slots:   make(chan struct{}, opts.MaxInflight),
+	}
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
+	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	// The catch-all matches before the mux's automatic 405, so method
+	// mismatches on known paths are distinguished from unknown paths here.
+	methods := map[string]string{"/v1/estimate": http.MethodPost, "/v1/scenarios": http.MethodGet, "/v1/stats": http.MethodGet, "/healthz": http.MethodGet}
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if want, ok := methods[r.URL.Path]; ok {
+			w.Header().Set("Allow", want)
+			writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{
+				Error: fmt.Sprintf("%s requires %s, got %s", r.URL.Path, want, r.Method),
+				Code:  "method-not-allowed",
+			})
+			return
+		}
+		writeJSON(w, http.StatusNotFound, ErrorResponse{
+			Error: fmt.Sprintf("no such endpoint %s %s", r.Method, r.URL.Path),
+			Code:  "not-found",
+		})
+	})
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.c.requests.Add(1)
+		mux.ServeHTTP(w, r)
+	})
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	s.c.estimateCalls.Add(1)
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req EstimateRequest
+	if err := dec.Decode(&req); err != nil {
+		s.c.badRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), Code: "bad-json"})
+		return
+	}
+	cfg, trials, err := req.config(s.opts)
+	if err != nil {
+		s.c.badRequests.Add(1)
+		re := err.(*requestError)
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: re.msg, Code: re.code, Field: re.field})
+		return
+	}
+	key := cfg.Fingerprint()
+
+	// Fast path: a fresh cached estimate that already satisfies the
+	// confidence requirement answers with zero simulation and no slot.
+	if e, ok := s.cachedSatisfying(key, trials, req.HalfWidth); ok {
+		s.c.cacheHits.Add(1)
+		writeJSON(w, http.StatusOK, s.response(cfg, key, e.est, e.rounds, "cache", 0))
+		return
+	}
+
+	// Coalesce on (semantics, requirement): N concurrent identical
+	// requests trigger one execution and all ride its outcome.
+	flightKey := fmt.Sprintf("%s|t:%d|hw:%016x", key, trials, math.Float64bits(req.HalfWidth))
+	out, shared := s.flight.do(flightKey, func() outcome {
+		// The execution belongs to the coalesced group, not to whoever
+		// happened to arrive first: detach the leader's cancellation so
+		// one disconnecting client can't turn everyone's answer into a
+		// 429 while it waits for a slot. The wait stays bounded —
+		// estimates always terminate and MaxQueue caps the queue.
+		return s.execute(context.WithoutCancel(r.Context()), cfg, key, trials, req.HalfWidth)
+	})
+	if shared {
+		s.c.coalesced.Add(1)
+		if out.status == http.StatusOK {
+			out.resp.Served = "coalesced"
+			out.resp.TrialsSimulated = 0
+		}
+	}
+	if out.status != http.StatusOK {
+		if out.status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", strconv.Itoa(out.errResp.RetryAfterSeconds))
+		}
+		writeJSON(w, out.status, out.errResp)
+		return
+	}
+	writeJSON(w, http.StatusOK, out.resp)
+}
+
+// execute is the singleflight leader's path: admission, plan lookup or
+// compile, and a fresh or topped-up estimate.
+func (s *Server) execute(ctx context.Context, cfg faultcast.Config, key string, trials int, halfWidth float64) outcome {
+	// The result cache may have been filled while this call waited for
+	// an earlier leader on the same key to finish.
+	if e, ok := s.cachedSatisfying(key, trials, halfWidth); ok {
+		s.c.cacheHits.Add(1)
+		return outcome{status: http.StatusOK, resp: s.response(cfg, key, e.est, e.rounds, "cache", 0)}
+	}
+	if !s.acquire(ctx) {
+		s.c.rejected.Add(1)
+		return outcome{status: http.StatusTooManyRequests, errResp: ErrorResponse{
+			Error:             "estimation capacity exhausted; retry shortly",
+			Code:              "overloaded",
+			RetryAfterSeconds: 1,
+		}}
+	}
+	defer s.release()
+
+	// The plan cache is keyed seed-less: the compiled plan is identical
+	// for every seed of a scenario (the seed only defaults the base of
+	// the trial stream, which WithBaseSeed pins below), so a seed sweep
+	// over one scenario compiles once and occupies one slot. The result
+	// cache stays on the seed-inclusive key — results DO depend on it.
+	seedless := cfg
+	seedless.Seed = 0
+	plan, err := s.plan(seedless.Fingerprint(), seedless)
+	if err != nil {
+		// Compile rejects scenario mismatches request validation cannot
+		// see (e.g. flooding requested under the radio model).
+		s.c.badRequests.Add(1)
+		return outcome{status: http.StatusBadRequest, errResp: ErrorResponse{Error: err.Error(), Code: "bad-request"}}
+	}
+	prev, refining := s.cachedAny(key)
+	opts := []faultcast.EstimateOption{faultcast.WithBaseSeed(cfg.Seed)}
+	if s.opts.Workers > 0 {
+		opts = append(opts, faultcast.WithWorkers(s.opts.Workers))
+	}
+	if halfWidth > 0 {
+		opts = append(opts, faultcast.WithHalfWidth(halfWidth))
+	}
+	est, err := plan.EstimateFrom(prev, trials, opts...)
+	if err != nil {
+		return outcome{status: http.StatusInternalServerError, errResp: ErrorResponse{Error: err.Error(), Code: "internal"}}
+	}
+	s.c.executions.Add(1)
+	simulated := est.Trials - prev.Trials
+	s.c.trialsSimulated.Add(uint64(simulated))
+	served := "simulated"
+	if refining {
+		served = "refined"
+		s.c.refines.Add(1)
+	}
+	s.storeResult(key, est, plan.Rounds())
+	return outcome{status: http.StatusOK, resp: s.response(cfg, key, est, plan.Rounds(), served, simulated)}
+}
+
+// acquire takes an execution slot, waiting while the queue has room.
+// It returns false — reject with backpressure — once MaxInflight
+// executions are running AND MaxQueue callers are already waiting, or if
+// the caller's request is cancelled while queued.
+func (s *Server) acquire(ctx context.Context) bool {
+	select {
+	case s.slots <- struct{}{}:
+		return true
+	default:
+	}
+	if s.waiting.Add(1) > int64(s.opts.MaxQueue) {
+		s.waiting.Add(-1)
+		return false
+	}
+	defer s.waiting.Add(-1)
+	select {
+	case s.slots <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+func (s *Server) release() { <-s.slots }
+
+// plan returns the cached compiled plan for key, compiling (outside the
+// cache lock — compiles can be slow) on a miss.
+func (s *Server) plan(key string, cfg faultcast.Config) (*faultcast.Plan, error) {
+	s.mu.Lock()
+	if p, ok := s.plans.get(key); ok {
+		s.mu.Unlock()
+		s.c.planCacheHits.Add(1)
+		return p, nil
+	}
+	s.mu.Unlock()
+	plan, err := faultcast.Compile(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.c.planCompiles.Add(1)
+	s.mu.Lock()
+	s.plans.put(key, plan)
+	s.mu.Unlock()
+	return plan, nil
+}
+
+// cachedSatisfying returns the cached entry for key iff it is fresh and
+// already answers a (trials, halfWidth) requirement; expired entries are
+// dropped on the way.
+func (s *Server) cachedSatisfying(key string, trials int, halfWidth float64) (resultEntry, bool) {
+	now := s.opts.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.results.get(key)
+	if !ok {
+		return resultEntry{}, false
+	}
+	if now.After(e.expires) {
+		s.results.remove(key)
+		return resultEntry{}, false
+	}
+	if !e.satisfies(trials, halfWidth) {
+		return resultEntry{}, false
+	}
+	return e, true
+}
+
+// cachedAny returns any fresh cached estimate for key — the refinement
+// base: EstimateFrom continues its seed sequence instead of restarting.
+func (s *Server) cachedAny(key string) (faultcast.Estimate, bool) {
+	now := s.opts.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.results.get(key)
+	if !ok || now.After(e.expires) {
+		return faultcast.Estimate{}, false
+	}
+	return e.est, true
+}
+
+func (s *Server) storeResult(key string, est faultcast.Estimate, rounds int) {
+	expires := s.opts.Now().Add(s.opts.ResultTTL)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Concurrent leaders with different budgets share this key. Results
+	// are deterministic prefixes of one seed sequence, so the entry with
+	// more trials subsumes any smaller one — never let a small estimate
+	// overwrite a larger already-paid-for one; just refresh its TTL.
+	if old, ok := s.results.get(key); ok && old.est.Trials > est.Trials {
+		old.expires = expires
+		s.results.put(key, old)
+		return
+	}
+	s.results.put(key, resultEntry{est: est, rounds: rounds, expires: expires})
+}
+
+func (s *Server) response(cfg faultcast.Config, key string, est faultcast.Estimate, rounds int, served string, simulated int) EstimateResponse {
+	n := cfg.Graph.N()
+	target := 1 - 1/float64(n)
+	return EstimateResponse{
+		Key:              key,
+		Rate:             est.Rate,
+		Low:              est.Low,
+		High:             est.Hi,
+		HalfWidth:        (est.Hi - est.Low) / 2,
+		Trials:           est.Trials,
+		Successes:        est.Succeeds,
+		AlmostSafeTarget: target,
+		Almostsafe:       est.AlmostSafe(n),
+		Rounds:           rounds,
+		N:                n,
+		Served:           served,
+		TrialsSimulated:  simulated,
+	}
+}
+
+// Stats is the body of GET /v1/stats.
+type Stats struct {
+	UptimeSeconds      float64 `json:"uptime_seconds"`
+	Requests           uint64  `json:"requests"`
+	EstimateRequests   uint64  `json:"estimate_requests"`
+	BadRequests        uint64  `json:"bad_requests"`
+	CacheHits          uint64  `json:"cache_hits"`
+	Coalesced          uint64  `json:"coalesced"`
+	Executions         uint64  `json:"executions"`
+	Refines            uint64  `json:"refines"`
+	Rejected           uint64  `json:"rejected"`
+	TrialsSimulated    uint64  `json:"trials_simulated"`
+	PlanCompiles       uint64  `json:"plan_compiles"`
+	PlanCacheHits      uint64  `json:"plan_cache_hits"`
+	InFlight           int     `json:"in_flight"`
+	Waiting            int64   `json:"waiting"`
+	PlanCacheEntries   int     `json:"plan_cache_entries"`
+	ResultCacheEntries int     `json:"result_cache_entries"`
+}
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	planLen, resultLen := s.plans.len(), s.results.len()
+	s.mu.Unlock()
+	return Stats{
+		UptimeSeconds:      s.opts.Now().Sub(s.start).Seconds(),
+		Requests:           s.c.requests.Load(),
+		EstimateRequests:   s.c.estimateCalls.Load(),
+		BadRequests:        s.c.badRequests.Load(),
+		CacheHits:          s.c.cacheHits.Load(),
+		Coalesced:          s.c.coalesced.Load(),
+		Executions:         s.c.executions.Load(),
+		Refines:            s.c.refines.Load(),
+		Rejected:           s.c.rejected.Load(),
+		TrialsSimulated:    s.c.trialsSimulated.Load(),
+		PlanCompiles:       s.c.planCompiles.Load(),
+		PlanCacheHits:      s.c.planCacheHits.Load(),
+		InFlight:           len(s.slots),
+		Waiting:            s.waiting.Load(),
+		PlanCacheEntries:   planLen,
+		ResultCacheEntries: resultLen,
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": s.opts.Now().Sub(s.start).Seconds(),
+	})
+}
+
+// ScenarioInfo is the body of GET /v1/scenarios: the request vocabulary
+// and this server's limits.
+type ScenarioInfo struct {
+	GraphFamilies []GraphFamily  `json:"graph_families"`
+	Models        []string       `json:"models"`
+	Faults        []string       `json:"faults"`
+	Algorithms    []string       `json:"algorithms"`
+	Adversaries   []string       `json:"adversaries"`
+	Limits        ScenarioLimits `json:"limits"`
+}
+
+// GraphFamily documents one graph-spec form.
+type GraphFamily struct {
+	Spec        string `json:"spec"`
+	Example     string `json:"example"`
+	Description string `json:"description"`
+}
+
+// ScenarioLimits echoes the admission/validation limits of this server.
+type ScenarioLimits struct {
+	MaxNodes      int     `json:"max_nodes"`
+	MaxTrials     int     `json:"max_trials"`
+	DefaultTrials int     `json:"default_trials"`
+	MaxInflight   int     `json:"max_inflight"`
+	MaxQueue      int     `json:"max_queue"`
+	ResultTTLSecs float64 `json:"result_ttl_seconds"`
+}
+
+func (s *Server) handleScenarios(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, ScenarioInfo{
+		GraphFamilies: []GraphFamily{
+			{"line:N", "line:64", "path graph"},
+			{"ring:N", "ring:32", "cycle graph (N >= 3)"},
+			{"star:N", "star:10", "star with center 0"},
+			{"complete:N", "complete:16", "K_N (N <= 1024)"},
+			{"k2", "k2", "the two-node graph K2"},
+			{"tree:N:K", "tree:31:2", "complete K-ary tree in heap layout"},
+			{"grid:RxC", "grid:8x8", "R-by-C grid"},
+			{"torus:RxC", "torus:6x6", "R-by-C torus (both >= 3)"},
+			{"hypercube:D", "hypercube:6", "D-dimensional hypercube (D <= 16)"},
+			{"layered:M", "layered:6", "the Section 3 radio lower-bound graph G_M"},
+			{"caterpillar:S:L", "caterpillar:16:3", "spine path with L legs per vertex"},
+			{"gnp:N:P", "gnp:128:0.05", "connected Erdős–Rényi graph (N <= 1024; deterministic in seed)"},
+			{"randtree:N", "randtree:100", "random labeled tree (deterministic in seed)"},
+		},
+		Models:      []string{"mp", "radio"},
+		Faults:      []string{"omission", "malicious", "limited"},
+		Algorithms:  []string{"auto", "simple-omission", "simple-malicious", "flooding", "composed", "radio-repeat", "timing-bit"},
+		Adversaries: []string{"worst", "crash", "flip", "noise"},
+		Limits: ScenarioLimits{
+			MaxNodes:      s.opts.MaxNodes,
+			MaxTrials:     s.opts.MaxTrials,
+			DefaultTrials: s.opts.DefaultTrials,
+			MaxInflight:   s.opts.MaxInflight,
+			MaxQueue:      s.opts.MaxQueue,
+			ResultTTLSecs: s.opts.ResultTTL.Seconds(),
+		},
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(body)
+}

@@ -1,30 +1,3 @@
-// Package sim is the synchronous network simulator underlying every
-// experiment: a round-based engine over an undirected graph supporting the
-// paper's two communication models (message passing and radio, including
-// the radio collision rule) and its fault scenarios (node-omission,
-// malicious, and limited-malicious transmission failures, each hitting a
-// node's transmitter independently with probability p per step).
-//
-// Two engines share identical semantics: a fast sequential engine used by
-// the Monte-Carlo harness, and a goroutine-per-node engine with barrier
-// synchronization that mirrors the paper's "one process per node" model.
-// Given the same Config (including seed), both produce bit-identical
-// executions; a property test enforces this.
-//
-// Both engines share one word-parallel round core (internal/bitset): fault
-// sampling fills a per-round fault mask with batched Bernoulli draws,
-// omission silencing is a mask intersection, broadcast delivery walks
-// cached adjacency bitset rows, and the radio collision rule ("heard iff
-// silent and exactly one neighbor transmits") is computed with
-// seen-once/seen-twice accumulator sets. The pre-bitset scalar
-// implementation is retained behind Config.ScalarCore; a differential test
-// matrix (differential_test.go) proves the two cores and the two engines
-// bit-identical across randomized configurations.
-//
-// Trial streams (many seeds, one configuration) should use a Runner,
-// which validates the configuration once and rewinds a single execution
-// state per trial instead of reallocating it; a Runner trial is
-// bit-identical to a fresh Run with the same seed.
 package sim
 
 import (

@@ -1,8 +1,3 @@
-// Package stat provides the statistical machinery of the experiment
-// harness: Monte-Carlo success-rate estimation with confidence intervals,
-// binomial/Chernoff tail helpers (also used by the Kučera composition
-// calculus), the radio feasibility threshold solver, and least-squares
-// fits for scaling experiments.
 package stat
 
 import (

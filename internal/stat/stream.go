@@ -73,20 +73,44 @@ func (r StopRule) Done(p Proportion) bool {
 // newTrial is called once per worker; per-worker state persists across all
 // batches of the stream. workers <= 0 selects GOMAXPROCS.
 func EstimateStream(maxTrials int, baseSeed uint64, workers int, rule StopRule, newTrial TrialMaker) Proportion {
-	if maxTrials <= 0 {
-		return Proportion{}
+	return EstimateStreamFrom(Proportion{}, maxTrials, baseSeed, workers, rule, newTrial)
+}
+
+// EstimateStreamFrom resumes a stream from an earlier estimate: start is
+// taken to be the outcome of trials with seeds baseSeed+0 ..
+// baseSeed+start.Trials-1, new trials continue the seed sequence at
+// baseSeed+start.Trials, and the combined Proportion is returned once it
+// satisfies rule or reaches maxTrials total trials. If start already
+// satisfies the rule (or start.Trials >= maxTrials), it is returned
+// unchanged and no trials run — the "cached estimate already good enough"
+// fast path of the serving layer. Resuming is how a cached estimate is
+// topped up to a tighter band for only the marginal trial cost.
+//
+// Resumption preserves the determinism contract: the executed trials are
+// always a prefix of the seed sequence, and topping up in several steps
+// visits the same seeds as one large run (stopping decisions are made at
+// the resumption points in addition to batch boundaries, so a resumed
+// stream may stop at start.Trials + k·batch rather than a global batch
+// multiple).
+func EstimateStreamFrom(start Proportion, maxTrials int, baseSeed uint64, workers int, rule StopRule, newTrial TrialMaker) Proportion {
+	p := start
+	if p.Trials >= maxTrials || (rule.Enabled() && rule.Done(p)) {
+		return p
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > maxTrials {
-		workers = maxTrials
+	if workers > maxTrials-p.Trials {
+		workers = maxTrials - p.Trials
 	}
 	if workers < 1 {
 		workers = 1
 	}
 	if !rule.Enabled() {
-		return EstimateWith(maxTrials, baseSeed, workers, newTrial)
+		rest := EstimateWith(maxTrials-p.Trials, baseSeed+uint64(p.Trials), workers, newTrial)
+		p.Trials += rest.Trials
+		p.Successes += rest.Successes
+		return p
 	}
 	batch := rule.Batch
 	if batch <= 0 {
@@ -99,7 +123,6 @@ func EstimateStream(maxTrials int, baseSeed uint64, workers int, rule StopRule, 
 	for w := range trials {
 		trials[w] = newTrial()
 	}
-	var p Proportion
 	for {
 		b := batch
 		if rest := maxTrials - p.Trials; b > rest {

@@ -104,6 +104,42 @@ func TestEstimateWithPerWorkerState(t *testing.T) {
 	}
 }
 
+// TestEstimateStreamFromResume: resuming a stream must visit exactly the
+// seed suffix a one-shot run of the full budget would, with or without a
+// stopping rule, and a start that already satisfies the rule (or the
+// budget) must return unchanged without constructing a single trial.
+func TestEstimateStreamFromResume(t *testing.T) {
+	trial := coinTrial(0.7)
+	mk := func() Trial { return trial }
+
+	full := EstimateStream(1000, 42, 4, StopRule{}, mk)
+	part := EstimateStream(300, 42, 4, StopRule{}, mk)
+	resumed := EstimateStreamFrom(part, 1000, 42, 4, StopRule{}, mk)
+	if resumed != full {
+		t.Fatalf("resumed %+v != one-shot %+v", resumed, full)
+	}
+
+	rule := StopRule{HalfWidth: 0.08, Batch: 32}
+	ruleFull := EstimateStream(100000, 42, 4, rule, mk)
+	rulePart := EstimateStream(96, 42, 4, StopRule{}, mk) // 96 = 3 batches
+	ruleResumed := EstimateStreamFrom(rulePart, 100000, 42, 4, rule, mk)
+	if ruleResumed != ruleFull {
+		t.Fatalf("rule-resumed %+v != rule one-shot %+v", ruleResumed, ruleFull)
+	}
+
+	var makers atomic.Int64
+	counting := func() Trial { makers.Add(1); return trial }
+	if got := EstimateStreamFrom(ruleFull, 100000, 42, 4, rule, counting); got != ruleFull {
+		t.Fatalf("satisfied start changed: %+v != %+v", got, ruleFull)
+	}
+	if got := EstimateStreamFrom(full, 1000, 42, 4, StopRule{}, counting); got != full {
+		t.Fatalf("exhausted budget changed: %+v != %+v", got, full)
+	}
+	if makers.Load() != 0 {
+		t.Fatalf("satisfied resumes constructed %d trials, want 0", makers.Load())
+	}
+}
+
 func TestStopRuleDone(t *testing.T) {
 	rule := StopRule{Target: 0.9, UseTarget: true}
 	if rule.Done(Proportion{}) {

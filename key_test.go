@@ -1,0 +1,126 @@
+package faultcast
+
+import (
+	"os"
+	"testing"
+
+	"faultcast/internal/graph"
+)
+
+func TestConfigFingerprintSemantics(t *testing.T) {
+	base := Config{
+		Graph: Grid(4, 4), Source: 0, Message: []byte("1"),
+		Model: MessagePassing, Fault: Omission, P: 0.5, Seed: 7,
+	}
+	if base.Fingerprint() != base.Fingerprint() {
+		t.Fatal("fingerprint not deterministic")
+	}
+
+	// Engine selection and tracing are observation, not semantics: the
+	// engines are proven bit-identical, so the key must not split on them.
+	same := base
+	same.Concurrent = true
+	same.ScalarCore = true
+	same.Trace = os.Stderr
+	if same.Fingerprint() != base.Fingerprint() {
+		t.Error("Concurrent/ScalarCore/Trace changed the fingerprint")
+	}
+
+	// A structurally identical graph under a different name hashes equal.
+	b := graph.NewBuilder(16)
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			v := r*4 + c
+			if c+1 < 4 {
+				b.AddEdge(v, v+1)
+			}
+			if r+1 < 4 {
+				b.AddEdge(v, v+4)
+			}
+		}
+	}
+	renamed := base
+	renamed.Graph = b.Build("definitely-not-a-grid")
+	if renamed.Fingerprint() != base.Fingerprint() {
+		t.Error("graph name changed the fingerprint; keying must be structural")
+	}
+
+	// Every semantic field must split the key.
+	for name, mutate := range map[string]func(*Config){
+		"graph":     func(c *Config) { c.Graph = Grid(4, 5) },
+		"source":    func(c *Config) { c.Source = 1 },
+		"message":   func(c *Config) { c.Message = []byte("2") },
+		"model":     func(c *Config) { c.Model = Radio },
+		"fault":     func(c *Config) { c.Fault = Malicious },
+		"p":         func(c *Config) { c.P = 0.25 },
+		"algorithm": func(c *Config) { c.Algorithm = SimpleOmission },
+		"windowc":   func(c *Config) { c.WindowC = 8 },
+		"alpha":     func(c *Config) { c.Alpha = 2 },
+		"adversary": func(c *Config) { c.Adversary = CrashAdv },
+		"seed":      func(c *Config) { c.Seed = 8 },
+		"rounds":    func(c *Config) { c.Rounds = 99 },
+	} {
+		mutated := base
+		mutate(&mutated)
+		if mutated.Fingerprint() == base.Fingerprint() {
+			t.Errorf("mutating %s did not change the fingerprint", name)
+		}
+	}
+}
+
+func TestPlanKeyMatchesConfigFingerprint(t *testing.T) {
+	cfg := Config{
+		Graph: Line(12), Source: 0, Message: []byte("1"),
+		Model: MessagePassing, Fault: Omission, P: 0.4, Seed: 3,
+	}
+	plan, err := Compile(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Key() != cfg.Fingerprint() {
+		t.Fatalf("Plan.Key %s != Config.Fingerprint %s", plan.Key(), cfg.Fingerprint())
+	}
+}
+
+// TestEstimateFromMatchesEstimate pins the serving layer's refinement
+// contract: topping an estimate up to a larger budget visits exactly the
+// seed sequence a from-scratch estimate of the full budget would.
+func TestEstimateFromMatchesEstimate(t *testing.T) {
+	cfg := Config{
+		Graph: Line(16), Source: 0, Message: []byte("1"),
+		Model: MessagePassing, Fault: Omission, P: 0.3, Seed: 1,
+	}
+	plan, err := Compile(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial, err := plan.Estimate(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if partial.Trials != 256 {
+		t.Fatalf("partial ran %d trials, want 256", partial.Trials)
+	}
+	refined, err := plan.EstimateFrom(partial, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := plan.Estimate(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refined.Trials != full.Trials || refined.Succeeds != full.Succeeds {
+		t.Fatalf("refined %d/%d != full %d/%d",
+			refined.Succeeds, refined.Trials, full.Succeeds, full.Trials)
+	}
+
+	// An estimate that already covers the budget is returned unchanged —
+	// zero simulation.
+	again, err := plan.EstimateFrom(full, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != full {
+		t.Fatalf("EstimateFrom with a satisfied budget reran trials: %+v != %+v", again, full)
+	}
+}

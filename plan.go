@@ -46,6 +46,11 @@ func Compile(cfg Config) (*Plan, error) {
 // Config returns the scenario this plan was compiled from.
 func (p *Plan) Config() Config { return p.cfg }
 
+// Key returns the plan's canonical cache key, Config.Fingerprint of the
+// compiled configuration: two plans with equal keys run bit-identical
+// trial streams, so a serving layer may share one of them.
+func (p *Plan) Key() string { return p.cfg.Fingerprint() }
+
 // Rounds returns the compiled round horizon (the algorithm's own horizon
 // unless Config.Rounds overrode it).
 func (p *Plan) Rounds() int { return p.sim.Rounds }
@@ -151,6 +156,22 @@ func WithHalfWidth(w float64) EstimateOption {
 // WithHalfWidth), the estimate stops early once decided; Estimate.Trials
 // reports the trials actually executed.
 func (p *Plan) Estimate(trials int, opts ...EstimateOption) (Estimate, error) {
+	return p.EstimateFrom(Estimate{}, trials, opts...)
+}
+
+// EstimateFrom resumes a previous estimate of this plan instead of
+// restarting it: prev's trials and successes are kept, new trials continue
+// the seed sequence at base+prev.Trials, and the stream stops once the
+// combined estimate satisfies the stopping options or the total trial
+// count reaches `trials` (if prev already satisfies them, no trials run).
+// This is the serving layer's refinement path: a cached estimate that is
+// close to a requested precision is topped up to it for the marginal
+// trials only, never recomputed from scratch.
+//
+// prev must come from this plan (or one with an equal Key) with the same
+// base seed, so that the combined stream is a prefix of the same seed
+// sequence; Estimate(trials) is exactly EstimateFrom(Estimate{}, trials).
+func (p *Plan) EstimateFrom(prev Estimate, trials int, opts ...EstimateOption) (Estimate, error) {
 	var o estimateOptions
 	for _, f := range opts {
 		f(&o)
@@ -167,9 +188,21 @@ func (p *Plan) Estimate(trials int, opts ...EstimateOption) (Estimate, error) {
 	if o.baseSeed != nil {
 		baseSeed = *o.baseSeed
 	}
-	var newTrial stat.TrialMaker
+	start := stat.Proportion{Successes: prev.Succeeds, Trials: prev.Trials}
+	prop := stat.EstimateStreamFrom(start, trials, baseSeed, o.workers, o.rule, p.newTrialMaker())
+	lo, hi := prop.Wilson(1.96)
+	return Estimate{
+		Rate: prop.Rate(), Low: lo, Hi: hi,
+		Trials: prop.Trials, Succeeds: prop.Successes,
+	}, nil
+}
+
+// newTrialMaker returns the per-worker trial constructor for this plan:
+// a reusable engine Runner per worker (the fast path), or the
+// goroutine-per-node reference engine when Config.Concurrent is set.
+func (p *Plan) newTrialMaker() stat.TrialMaker {
 	if p.cfg.Concurrent {
-		newTrial = func() stat.Trial {
+		return func() stat.Trial {
 			return func(seed uint64) bool {
 				simCfg := *p.sim
 				simCfg.Seed = seed
@@ -180,27 +213,20 @@ func (p *Plan) Estimate(trials int, opts ...EstimateOption) (Estimate, error) {
 				return res.Success
 			}
 		}
-	} else {
-		newTrial = func() stat.Trial {
-			runner, err := sim.NewRunner(p.sim)
+	}
+	return func() stat.Trial {
+		runner, err := sim.NewRunner(p.sim)
+		if err != nil {
+			panic(fmt.Sprintf("faultcast: estimate trial: %v", err)) // unreachable: compiled
+		}
+		return func(seed uint64) bool {
+			res, err := runner.Run(seed)
 			if err != nil {
-				panic(fmt.Sprintf("faultcast: estimate trial: %v", err)) // unreachable: compiled
+				panic(fmt.Sprintf("faultcast: estimate trial: %v", err))
 			}
-			return func(seed uint64) bool {
-				res, err := runner.Run(seed)
-				if err != nil {
-					panic(fmt.Sprintf("faultcast: estimate trial: %v", err))
-				}
-				return res.Success
-			}
+			return res.Success
 		}
 	}
-	prop := stat.EstimateStream(trials, baseSeed, o.workers, o.rule, newTrial)
-	lo, hi := prop.Wilson(1.96)
-	return Estimate{
-		Rate: prop.Rate(), Low: lo, Hi: hi,
-		Trials: prop.Trials, Succeeds: prop.Successes,
-	}, nil
 }
 
 // publicResult converts an engine result to the public Result.

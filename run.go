@@ -1,9 +1,13 @@
 package faultcast
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
+	"math"
+	"strings"
 
 	"faultcast/internal/adversary"
 	"faultcast/internal/graph"
@@ -71,6 +75,74 @@ func (a Algorithm) String() string {
 	}
 }
 
+// ParseAlgorithm parses the string forms printed by Algorithm.String
+// ("auto", "simple-omission", "simple-malicious", "flooding", "composed",
+// "radio-repeat", "timing-bit") — the vocabulary of the CLI -algo flag and
+// the service's "algorithm" request field.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "auto":
+		return Auto, nil
+	case "simple-omission":
+		return SimpleOmission, nil
+	case "simple-malicious":
+		return SimpleMalicious, nil
+	case "flooding":
+		return Flooding, nil
+	case "composed":
+		return Composed, nil
+	case "radio-repeat":
+		return RadioRepeat, nil
+	case "timing-bit":
+		return TimingBit, nil
+	default:
+		return Auto, fmt.Errorf("faultcast: unknown algorithm %q", s)
+	}
+}
+
+// ParseModel parses "mp" / "message-passing" or "radio".
+func ParseModel(s string) (Model, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "mp", "message-passing":
+		return MessagePassing, nil
+	case "radio":
+		return Radio, nil
+	default:
+		return MessagePassing, fmt.Errorf("faultcast: unknown model %q", s)
+	}
+}
+
+// ParseFault parses "omission", "malicious", or "limited" /
+// "limited-malicious".
+func ParseFault(s string) (Fault, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "omission":
+		return Omission, nil
+	case "malicious":
+		return Malicious, nil
+	case "limited", "limited-malicious":
+		return LimitedMalicious, nil
+	default:
+		return Omission, fmt.Errorf("faultcast: unknown fault type %q", s)
+	}
+}
+
+// ParseAdversary parses "worst", "crash", "flip", or "noise".
+func ParseAdversary(s string) (AdversaryKind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "worst", "worst-case":
+		return WorstCase, nil
+	case "crash":
+		return CrashAdv, nil
+	case "flip":
+		return FlipAdv, nil
+	case "noise":
+		return NoiseAdv, nil
+	default:
+		return WorstCase, fmt.Errorf("faultcast: unknown adversary %q", s)
+	}
+}
+
 // AdversaryKind selects the malicious strategy for Run.
 type AdversaryKind int
 
@@ -125,6 +197,46 @@ type Config struct {
 	// the word-parallel bitset core (identical results, slower; kept so
 	// the bitset core stays differentially testable end to end).
 	ScalarCore bool
+}
+
+// CanonicalString returns a deterministic serialization of the
+// configuration's simulation semantics: every field that can change what a
+// trial computes, in a fixed order, with floats rendered by their exact
+// IEEE-754 bits and the graph reduced to its structural fingerprint
+// (graph.Fingerprint — vertex count plus canonical edge list). Two configs
+// produce the same string iff every trial stream they describe is
+// bit-identical.
+//
+// Excluded on purpose: Trace (observation, not semantics) and the engine
+// selectors Concurrent and ScalarCore — the goroutine-per-node engine and
+// the scalar round core are proven bit-identical to the default by the
+// differential test matrix, so they cannot change a result, only how fast
+// it arrives. Seed IS included: results are deterministic in (config,
+// seed), so different seeds are different computations.
+func (cfg Config) CanonicalString() string {
+	var b strings.Builder
+	b.WriteString("faultcast/v1|graph:")
+	if cfg.Graph == nil {
+		b.WriteString("nil")
+	} else {
+		fp := cfg.Graph.Fingerprint()
+		b.WriteString(hex.EncodeToString(fp[:]))
+	}
+	fmt.Fprintf(&b, "|src:%d|msg:%s|model:%d|fault:%d|p:%016x|algo:%d|wc:%016x|alpha:%016x|adv:%d|seed:%d|rounds:%d",
+		cfg.Source, hex.EncodeToString(cfg.Message), int(cfg.Model), int(cfg.Fault),
+		math.Float64bits(cfg.P), int(cfg.Algorithm), math.Float64bits(cfg.WindowC),
+		math.Float64bits(cfg.Alpha), int(cfg.Adversary), cfg.Seed, cfg.Rounds)
+	return b.String()
+}
+
+// Fingerprint returns a 64-hex-digit SHA-256 key over CanonicalString —
+// the cache key of the serving layer: semantically identical requests
+// (same topology, scenario, and seed, regardless of graph name, engine
+// selection, or tracing) hash equal, so their plans and estimates are
+// shareable.
+func (cfg Config) Fingerprint() string {
+	sum := sha256.Sum256([]byte(cfg.CanonicalString()))
+	return hex.EncodeToString(sum[:])
 }
 
 // Result summarizes a run.
