@@ -7,6 +7,7 @@
 package faultcast_test
 
 import (
+	"context"
 	"testing"
 
 	"faultcast"
@@ -515,6 +516,91 @@ func engineRadioCfg() faultcast.Config {
 		Graph: faultcast.Layered(6), Source: 0, Message: []byte("1"),
 		Model: faultcast.Radio, Fault: faultcast.Omission,
 		P: 0.4, Algorithm: faultcast.RadioRepeat,
+	}
+}
+
+// --- sweep scheduler: shared worker pool vs the per-cell loop -----------
+//
+// The pair below measures the sweep tentpole on a feasibility grid
+// (2 graphs × 4 failure probabilities, almost-safe early stopping — the
+// harness's E1 shape), end to end. PerCell reproduces the pre-sweep
+// workflow verbatim: compile each cell, then estimate it on its own
+// worker pool, cells strictly sequential — every early-stopped cell's
+// batch tails and wind-down leave the pool idle while later cells wait.
+// Shared compiles the grid once and schedules every cell's batches on
+// one pool, so an early-stopped cell's workers immediately flow to
+// undecided cells. Both paths execute bit-identical trials (the
+// equivalence tests pin that), so the delta is scheduling plus
+// compile sharing; it scales with core count — on a single-vCPU
+// machine both serialize to the same trial stream and the pair ties,
+// so read BENCH_sweep.json next to its recorded GOMAXPROCS.
+// cmd/benchjson records the pair in BENCH_sweep.json.
+
+func sweepGridSpec() faultcast.SweepSpec {
+	return faultcast.SweepSpec{
+		Graphs: []faultcast.SweepGraph{
+			{Graph: faultcast.Line(32)},
+			{Graph: faultcast.Grid(6, 6)},
+		},
+		Models:     []faultcast.Model{faultcast.MessagePassing},
+		Faults:     []faultcast.Fault{faultcast.Omission},
+		Algorithms: []faultcast.Algorithm{faultcast.SimpleOmission},
+		Ps:         []float64{0.2, 0.4, 0.6, 0.8},
+		Seed:       0x5eed,
+		Budget:     faultcast.CellBudget{Trials: 600, AlmostSafe: true},
+	}
+}
+
+func BenchmarkSweepFeasibilityGridPerCell(b *testing.B) {
+	// Expand the grid once (untimed) so the old loop below sees the same
+	// cell list; compilation itself is timed per cell, as the old
+	// harness loops paid it.
+	ref, err := faultcast.CompileSweep(sweepGridSpec())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range ref.Cells() {
+			c := &ref.Cells()[j]
+			plan, err := faultcast.Compile(c.Config)
+			if err != nil {
+				b.Fatal(err)
+			}
+			est, err := plan.Estimate(600, faultcast.WithAlmostSafeTarget())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if est.Trials == 0 {
+				b.Fatal("empty estimate")
+			}
+		}
+	}
+}
+
+func BenchmarkSweepFeasibilityGridShared(b *testing.B) {
+	spec := sweepGridSpec()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp, err := faultcast.CompileSweep(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cells := 0
+		err = sp.Run(context.Background(), func(r faultcast.CellResult) {
+			if r.Estimate.Trials == 0 {
+				b.Error("empty estimate")
+			}
+			cells++
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cells != len(sp.Cells()) {
+			b.Fatalf("only %d cells finished", cells)
+		}
 	}
 }
 

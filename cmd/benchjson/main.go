@@ -11,7 +11,10 @@
 //
 // The default benchmark selection covers the engine-level workloads: the
 // compile-once estimator on the Composed and RadioRepeat scenarios (with
-// their scalar-core twins) and the raw engine pairs.
+// their scalar-core twins) and the raw engine pairs. A second invocation
+// with -bench '^BenchmarkSweepFeasibilityGrid' -out BENCH_sweep.json
+// records the sweep scheduler pair (per-cell loop vs shared pool); that
+// delta scales with core count, so read it next to the file's maxprocs.
 package main
 
 import (
@@ -44,6 +47,7 @@ type File struct {
 	GoVersion string   `json:"go"`
 	GOOS      string   `json:"goos"`
 	GOARCH    string   `json:"goarch"`
+	MaxProcs  int      `json:"maxprocs"`
 	Bench     string   `json:"bench"`
 	Benchtime string   `json:"benchtime"`
 	Results   []Result `json:"results"`
@@ -113,6 +117,7 @@ func main() {
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
+		MaxProcs:  runtime.GOMAXPROCS(0),
 		Bench:     *bench,
 		Benchtime: *benchtime,
 	}

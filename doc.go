@@ -25,6 +25,16 @@
 //   - resumable estimation: Plan.EstimateFrom tops an existing Estimate up
 //     to a larger budget or tighter band by continuing its seed sequence —
 //     the refinement primitive of the faultcastd serving layer;
+//   - declarative parameter sweeps: a SweepSpec names axes (graphs, p,
+//     model, fault, adversary, algorithm, message, window constant) and a
+//     per-cell budget; CompileSweep expands the cross product into keyed
+//     cells that share compiled plans, and SweepPlan.Run streams every
+//     cell's estimate from one shared worker pool — early-stopped cells
+//     hand their workers to undecided ones, and cached results feed back
+//     in via WithCellPrev for zero-trial or marginal-trial answers;
+//   - adaptive threshold search: ThresholdSearch brackets a scenario's
+//     empirical feasibility threshold by bisection on p with sequential
+//     Wilson tests, for comparison against the closed-form Threshold;
 //   - canonical keying: Config.Fingerprint hashes the simulation semantics
 //     (graph structure, scenario, seed — not graph names, engine selectors,
 //     or tracing), so semantically identical configurations key equal in
@@ -51,6 +61,11 @@
 //     EstimateFrom visits exactly the seed suffix a one-shot run of the
 //     combined budget would (TestEstimateStreamStopsPrefix,
 //     TestEstimateFromMatchesEstimate).
+//   - A sweep cell's estimate equals plan.Estimate run cell-by-cell with
+//     the same budget and the cell's derived seed, regardless of worker
+//     count or co-scheduled cells (TestSweepMatchesPerCellEstimate), and
+//     cell seeds derive from (sweep seed, cell identity) so editing a grid
+//     never perturbs the streams of its unchanged cells.
 //
 // Lower-level control (custom protocols, custom adversaries, round
 // observers, the goroutine-per-node engine) is available in the internal

@@ -12,13 +12,18 @@
 //
 // This example drives the internal protocol packages directly (the
 // lower-level API beneath faultcast.Run), which is also how custom
-// protocols plug into the simulator.
+// protocols plug into the simulator. Custom protocols cannot ride the
+// public Plan/Sweep API (it names only the paper's algorithms), but they
+// still get the same execution machinery: a reusable engine runner per
+// worker and a cell on the internal/exec scheduler — exactly what
+// Plan.Estimate and SweepPlan.Run lower to.
 package main
 
 import (
 	"fmt"
 	"log"
 
+	"faultcast/internal/exec"
 	"faultcast/internal/graph"
 	"faultcast/internal/protocols/anonymous"
 	"faultcast/internal/sim"
@@ -43,19 +48,31 @@ func main() {
 		}
 		rounds := proto.Rounds(g.Radius(0), a)
 
-		est := stat.Estimate(300, 1, func(seed uint64) bool {
-			res, err := sim.Run(&sim.Config{
-				Graph: g, Model: sim.Radio, Fault: sim.Omission, P: pFault,
-				Source: 0, SourceMsg: []byte("M"),
-				NewNode: proto.NewNode, Rounds: rounds, Seed: seed,
-			})
-			if err != nil {
-				log.Fatal(err)
-			}
-			if res.Stats.Collisions != 0 {
-				log.Fatalf("%v: collision observed — slot discipline broken", kind)
-			}
-			return res.Success
+		cfg := &sim.Config{
+			Graph: g, Model: sim.Radio, Fault: sim.Omission, P: pFault,
+			Source: 0, SourceMsg: []byte("M"),
+			NewNode: proto.NewNode, Rounds: rounds,
+		}
+		est := exec.EstimateCell(0, exec.Cell{
+			MaxTrials: 300, BaseSeed: 1,
+			NewTrial: func() stat.Trial {
+				// One reusable runner per worker: the scenario compiles
+				// once, each trial pays simulation cost only.
+				r, err := sim.NewRunner(cfg)
+				if err != nil {
+					log.Fatal(err)
+				}
+				return func(seed uint64) bool {
+					res, err := r.Run(seed)
+					if err != nil {
+						log.Fatal(err)
+					}
+					if res.Stats.Collisions != 0 {
+						log.Fatalf("%v: collision observed — slot discipline broken", kind)
+					}
+					return res.Success
+				}
+			},
 		})
 		fmt.Printf("%-13v p=%.1f horizon=%-6d success=%v (0 collisions in all runs)\n",
 			kind, pFault, rounds, est)

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,36 +24,41 @@ func main() {
 	fmt.Printf("star with Δ=%d: feasibility threshold p* = %.4f (solves p = (1-p)^%d)\n\n",
 		delta, pStar, delta+1)
 
-	fmt.Printf("%-10s %-10s %-22s %s\n", "p", "p/p*", "success rate", "almost-safe?")
+	// The whole cliff is one declarative sweep: the p axis crosses the
+	// threshold, every cell compiles once, and all cells run on one
+	// shared worker pool. WorstCase selects the paper's Theorem 2.4 star
+	// adversary: when the source's transmitter fails it equivocates, and
+	// when other transmitters fail while the source speaks, they jam.
+	var fracs, ps []float64
 	for _, frac := range []float64{0.25, 0.5, 0.75, 1.0, 1.5, 3.0} {
-		p := pStar * frac
-		if p >= 1 {
-			continue
+		// Keep fracs aligned with the kept ps: rows index both below.
+		if p := pStar * frac; p < 1 {
+			fracs = append(fracs, frac)
+			ps = append(ps, p)
 		}
-		// WorstCase selects the paper's Theorem 2.4 star adversary: when
-		// the source's transmitter fails it equivocates, and when other
-		// transmitters fail while the source speaks, they jam (collide).
-		// Compile per sweep point; all trials reuse the plan's schedule.
-		plan, err := faultcast.Compile(faultcast.Config{
-			Graph:     g,
-			Source:    1, // a leaf
-			Message:   []byte("1"),
-			Model:     faultcast.Radio,
-			Fault:     faultcast.Malicious,
-			P:         p,
-			Algorithm: faultcast.SimpleMalicious,
-			Adversary: faultcast.WorstCase,
-			WindowC:   24,
-			Seed:      7,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		est, err := plan.Estimate(300)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%-10.4f %-10.2f %-22v %v\n", p, frac, est, est.AlmostSafe(g.N()))
+	}
+	sp, err := faultcast.CompileSweep(faultcast.SweepSpec{
+		Graphs:      []faultcast.SweepGraph{{Graph: g, Source: 1}}, // source at a leaf
+		Models:      []faultcast.Model{faultcast.Radio},
+		Faults:      []faultcast.Fault{faultcast.Malicious},
+		Adversaries: []faultcast.AdversaryKind{faultcast.WorstCase},
+		Algorithms:  []faultcast.Algorithm{faultcast.SimpleMalicious},
+		WindowCs:    []float64{24},
+		Ps:          ps,
+		Seed:        7,
+		Budget:      faultcast.CellBudget{Trials: 300},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := sp.Collect(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-10s %-10s %-36s %s\n", "p", "p/p*", "success rate", "almost-safe?")
+	for i, r := range results {
+		fmt.Printf("%-10.4f %-10.2f %-36v %v\n",
+			r.Cell.Config.P, fracs[i], r.Estimate, r.Estimate.AlmostSafe(g.N()))
 	}
 
 	fmt.Println("\nBelow p* the majority windows wash the corruption out; above it the")

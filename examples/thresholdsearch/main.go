@@ -1,0 +1,69 @@
+// Thresholdsearch: locating the radio fixed point p* = (1−p)^(Δ+1)
+// empirically.
+//
+// Theorem 2.4 pins the feasibility threshold for malicious failures in
+// the radio model at the unique solution of p = (1−p)^(Δ+1). This
+// example finds that threshold the hard way — by adaptive bisection on
+// p, running Monte-Carlo probes with sequential Wilson tests on the star
+// (the extremal topology) — and then compares the resulting empirical
+// bracket against the closed form, the repository's ThresholdSearch API
+// in miniature.
+//
+// Each probe is deterministic in the search seed, stops as soon as its
+// interval is decided against the almost-safety bound, and classifies as
+// safe (below the frontier), unsafe (above), or undecided (on it). The
+// window constant is pinned to a "suitable constant" c = 60 because the
+// auto-derived window grows without bound as probes approach the fixed
+// point; a fixed window is sound on both sides (above p* no window
+// works, and below it c = 60 is ample for this star).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"faultcast"
+)
+
+func main() {
+	// A star with 5 leaves: Δ = 5 at the hub, source at a leaf, so every
+	// message must cross the hub — the Theorem 2.4 impossibility shape.
+	g := faultcast.Star(6)
+	delta := g.MaxDegree()
+	fmt.Printf("star with Δ=%d: searching for the malicious-radio threshold\n\n", delta)
+
+	res, err := faultcast.ThresholdSearch(faultcast.Config{
+		Graph:     g,
+		Source:    1,
+		Message:   []byte("1"),
+		Model:     faultcast.Radio,
+		Fault:     faultcast.Malicious,
+		Algorithm: faultcast.SimpleMalicious,
+		Adversary: faultcast.WorstCase, // the paper's star adversary
+		WindowC:   60,
+		Seed:      7,
+	},
+		faultcast.WithThresholdTrials(500),
+		faultcast.WithThresholdResolution(1.0/16),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-10s %-24s %-8s %s\n", "probe p", "success (95% CI)", "trials", "verdict")
+	for _, p := range res.Probes {
+		fmt.Printf("%-10.4f %-24s %-8d %v\n", p.P,
+			fmt.Sprintf("%.4f [%.3f,%.3f]", p.Estimate.Rate, p.Estimate.Low, p.Estimate.Hi),
+			p.Estimate.Trials, p.Verdict)
+	}
+
+	fmt.Printf("\nempirical bracket:   p* ∈ [%.4f, %.4f]\n", res.Low, res.High)
+	fmt.Printf("Theorem 2.4 says:    p* = %.4f (RadioThreshold(%d))\n",
+		faultcast.RadioThreshold(delta), delta)
+	fmt.Printf("bracket contains it: %v\n", res.Contains(res.Theory))
+
+	fmt.Println("\nBelow the bracket the majority windows wash corruption out; above it")
+	fmt.Println("the star adversary equivocates and jams often enough that no window")
+	fmt.Println("length recovers the message — the search walks the cliff blind and")
+	fmt.Println("lands on the fixed point the theorem computes in closed form.")
+}

@@ -1,0 +1,291 @@
+// Package exec schedules Monte-Carlo trial streams onto one bounded
+// worker pool shared across many concurrent estimation cells.
+//
+// The previous design gave every estimate its own pool: each call to
+// stat.EstimateStream spun up worker goroutines, ran one cell to its
+// stopping point, and tore the pool down — so a parameter sweep over k
+// cells paid k pool lifecycles, and every cell's stragglers (the tail of
+// a batch, the wind-down after an early stop) left all other cells'
+// work waiting. This package inverts that: callers submit all cells at
+// once, a single pool of workers multiplexes across them, and the
+// moment one cell's interval is decided its workers flow to the cells
+// still undecided. Intra-cell work is still batched (stopping decisions
+// happen only at batch boundaries), but batches from different cells
+// interleave freely.
+//
+// Determinism contract — identical to stat.EstimateStreamFrom's: the
+// trials a cell executes are always a prefix of its seed sequence
+// BaseSeed+Start.Trials, BaseSeed+Start.Trials+1, ... whose length is
+// decided only at fixed batch boundaries, so each cell's resulting
+// Proportion is a pure function of (cell spec), never of the worker
+// count, the co-scheduled cells, or scheduling order. Success counting
+// is order-independent, so cross-cell interleaving cannot change any
+// result bit.
+package exec
+
+import (
+	"context"
+	"runtime"
+	"strconv"
+	"sync"
+
+	"faultcast/internal/stat"
+)
+
+// Cell is one schedulable estimation stream: up to MaxTrials trials with
+// seeds BaseSeed+i, resumed from Start, stopped early once Rule is
+// satisfied at a batch boundary.
+type Cell struct {
+	// MaxTrials is the total trial budget, including Start.Trials.
+	MaxTrials int
+	// BaseSeed is the seed of trial 0; trial i runs with BaseSeed+i.
+	BaseSeed uint64
+	// Start is the resume point: it is taken to be the outcome of trials
+	// 0..Start.Trials-1, and new trials continue the seed sequence there.
+	// A Start that already satisfies Rule (or exhausts MaxTrials) completes
+	// the cell with zero new trials — the cache-hit fast path.
+	Start stat.Proportion
+	// Rule is the early-stopping rule; the zero value runs all trials.
+	Rule stat.StopRule
+	// NewTrial builds a worker-private trial function. It is called at
+	// most once per (worker, SharedKey) pair, so per-trial state — a
+	// reusable engine runner — persists across every batch a worker
+	// executes for this cell.
+	NewTrial stat.TrialMaker
+	// SharedKey, when non-empty, lets a worker reuse one Trial across all
+	// cells carrying the same key. Cells may share a key only when their
+	// NewTrial functions are interchangeable — e.g. cells compiled from
+	// the same plan, whose trials differ only in the seed argument.
+	SharedKey string
+}
+
+// Run executes the cells on one pool of `workers` goroutines (<= 0 means
+// GOMAXPROCS) and calls onDone exactly once per completed cell with its
+// final Proportion. onDone calls are serialized (no two run at once) and
+// arrive in completion order, from worker goroutines, while other cells
+// are still running — a streaming consumer can forward them immediately.
+//
+// Run blocks until every cell completes or ctx is cancelled. On
+// cancellation it stops claiming new trials, waits for in-flight trials
+// to finish, and returns ctx.Err(); cells not already decided at that
+// point are abandoned unreported — a truncated estimate is never
+// emitted as a decided one.
+func Run(ctx context.Context, workers int, cells []Cell, onDone func(i int, p stat.Proportion)) error {
+	if len(cells) == 0 {
+		return ctx.Err()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := &sched{cells: make([]cellState, len(cells)), onDone: onDone}
+	s.cond = sync.NewCond(&s.mu)
+	var immediate []int
+	for i := range cells {
+		c := &cells[i]
+		cs := &s.cells[i]
+		cs.spec = c
+		cs.trials = c.Start.Trials
+		cs.successes = c.Start.Successes
+		cs.next = c.Start.Trials
+		if cs.trials >= c.MaxTrials || (c.Rule.Enabled() && c.Rule.Done(stat.Proportion{Successes: cs.successes, Trials: cs.trials})) {
+			cs.done = true
+			immediate = append(immediate, i)
+			continue
+		}
+		cs.batchEnd = cs.next + batchSize(c, cs.trials)
+		s.active++
+	}
+	for _, i := range immediate {
+		s.emit(i, stat.Proportion{Successes: s.cells[i].successes, Trials: s.cells[i].trials})
+	}
+	if s.active == 0 {
+		return ctx.Err()
+	}
+
+	var stopWatch chan struct{}
+	if ctx.Done() != nil {
+		stopWatch = make(chan struct{})
+		go func() {
+			select {
+			case <-ctx.Done():
+				s.mu.Lock()
+				s.cancelled = true
+				s.cond.Broadcast()
+				s.mu.Unlock()
+			case <-stopWatch:
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s.worker(w)
+		}(w)
+	}
+	wg.Wait()
+	if stopWatch != nil {
+		close(stopWatch)
+	}
+	s.mu.Lock()
+	abandoned := s.active
+	s.mu.Unlock()
+	if abandoned > 0 {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// EstimateCell runs a single cell to completion — the Plan.Estimate path,
+// now just a one-cell schedule on the shared machinery.
+func EstimateCell(workers int, c Cell) stat.Proportion {
+	var out stat.Proportion
+	// Background context: a lone estimate has no cancellation surface.
+	_ = Run(context.Background(), workers, []Cell{c}, func(_ int, p stat.Proportion) { out = p })
+	return out
+}
+
+// batchSize mirrors stat.StopRule's batching: with a stopping rule,
+// trials run in fixed batches (Rule.Batch, default 32) so the executed
+// count is machine-independent; without one, the whole remaining budget
+// is a single batch.
+func batchSize(c *Cell, trials int) int {
+	rest := c.MaxTrials - trials
+	if !c.Rule.Enabled() {
+		return rest
+	}
+	b := c.Rule.Batch
+	if b <= 0 {
+		b = 32
+	}
+	if b > rest {
+		b = rest
+	}
+	return b
+}
+
+// cellState is the scheduler-private progress of one cell. trials and
+// successes are decided totals (through the last completed batch,
+// including the cell's Start); the open batch accumulates separately and
+// is folded in only when its last trial lands.
+type cellState struct {
+	spec      *Cell
+	done      bool
+	trials    int
+	successes int
+	batchEnd  int // open batch: trial indices [next-inflight..batchEnd)
+	next      int // next unclaimed trial index
+	inflight  int // claimed, not yet reported
+	batchSucc int
+}
+
+type sched struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	cells     []cellState
+	active    int // cells not done
+	cancelled bool
+
+	emitMu sync.Mutex
+	onDone func(i int, p stat.Proportion)
+}
+
+func (s *sched) emit(i int, p stat.Proportion) {
+	if s.onDone == nil {
+		return
+	}
+	s.emitMu.Lock()
+	defer s.emitMu.Unlock()
+	s.onDone(i, p)
+}
+
+// worker claims one trial at a time from any cell with unclaimed work,
+// preferring the cell at its cursor (workers start spread across cells
+// and stay with a cell while it has work — the work-stealing shape: a
+// worker scans forward and takes from the next busy cell only when its
+// own runs dry or stops early).
+func (s *sched) worker(w int) {
+	trials := map[string]stat.Trial{}
+	cursor := w % len(s.cells)
+	for {
+		s.mu.Lock()
+		var cs *cellState
+		ci := -1
+		for !s.cancelled && s.active > 0 {
+			n := len(s.cells)
+			for k := 0; k < n; k++ {
+				i := (cursor + k) % n
+				c := &s.cells[i]
+				if !c.done && c.next < c.batchEnd {
+					cs, ci = c, i
+					cursor = i
+					break
+				}
+			}
+			if cs != nil {
+				break
+			}
+			// No claimable trial anywhere: either every open batch is
+			// fully in flight (its completion will open the next one and
+			// broadcast) or all cells are done. Sleep until then.
+			s.cond.Wait()
+		}
+		if cs == nil {
+			s.mu.Unlock()
+			return
+		}
+		seedIdx := cs.next
+		cs.next++
+		cs.inflight++
+		spec := cs.spec
+		s.mu.Unlock()
+
+		key := spec.SharedKey
+		if key == "" {
+			key = "#" + strconv.Itoa(ci)
+		}
+		trial := trials[key]
+		if trial == nil {
+			trial = spec.NewTrial()
+			trials[key] = trial
+		}
+		ok := trial(spec.BaseSeed + uint64(seedIdx))
+
+		s.mu.Lock()
+		cs.inflight--
+		if ok {
+			cs.batchSucc++
+		}
+		var finished *stat.Proportion
+		if cs.next == cs.batchEnd && cs.inflight == 0 {
+			// Batch boundary: fold it in and decide.
+			cs.trials = cs.batchEnd
+			cs.successes += cs.batchSucc
+			cs.batchSucc = 0
+			p := stat.Proportion{Successes: cs.successes, Trials: cs.trials}
+			switch {
+			case cs.trials >= spec.MaxTrials || (spec.Rule.Enabled() && spec.Rule.Done(p)):
+				cs.done = true
+				s.active--
+				finished = &p
+			case s.cancelled:
+				// Wind-down: the cell is mid-stream, neither budget nor
+				// rule satisfied. Close it WITHOUT emitting — it stays in
+				// the active count, so Run reports ctx.Err() instead of
+				// passing a truncated estimate off as a decided one.
+				cs.done = true
+			default:
+				cs.batchEnd = cs.next + batchSize(spec, cs.trials)
+			}
+			// Either way there is news: fresh trials to claim, or one
+			// fewer active cell (possibly zero, releasing all waiters).
+			s.cond.Broadcast()
+		}
+		s.mu.Unlock()
+		if finished != nil {
+			s.emit(ci, *finished)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package exec
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"faultcast/internal/rng"
+	"faultcast/internal/stat"
+)
+
+// fakeTrial is a deterministic seed-driven trial with success rate p and a
+// tunable amount of busywork, shared by every test below.
+func fakeTrial(p float64) stat.Trial {
+	return func(seed uint64) bool {
+		return rng.New(seed).Float64() < p
+	}
+}
+
+// TestRunMatchesEstimateStream: for a mix of rules, budgets, and resume
+// points, every cell scheduled on the shared pool must produce exactly the
+// Proportion stat.EstimateStreamFrom computes for the same parameters.
+func TestRunMatchesEstimateStream(t *testing.T) {
+	type cse struct {
+		max   int
+		seed  uint64
+		start stat.Proportion
+		rule  stat.StopRule
+		p     float64
+	}
+	cases := []cse{
+		{max: 500, seed: 1, p: 0.5}, // no rule: full sample
+		{max: 2000, seed: 2, p: 0.95, rule: stat.StopRule{UseTarget: true, Target: 0.5, Z: 2.6}}, // early stop, decided above
+		{max: 2000, seed: 3, p: 0.05, rule: stat.StopRule{UseTarget: true, Target: 0.5, Z: 2.6}}, // early stop, decided below
+		{max: 4000, seed: 4, p: 0.3, rule: stat.StopRule{HalfWidth: 0.05}},                       // precision stop
+		{max: 300, seed: 5, p: 0.7, start: stat.Proportion{Successes: 60, Trials: 100}},          // resumed
+		{max: 100, seed: 6, p: 0.7, start: stat.Proportion{Successes: 100, Trials: 100}},         // already exhausted
+		{max: 1000, seed: 7, p: 1.0, start: stat.Proportion{Successes: 64, Trials: 64},
+			rule: stat.StopRule{UseTarget: true, Target: 0.5, Z: 2.6}}, // start already satisfies rule
+		{max: 50, seed: 8, p: 0.5, rule: stat.StopRule{UseTarget: true, Target: 0.5, Z: 2.6, Batch: 7}}, // odd batch
+	}
+	want := make([]stat.Proportion, len(cases))
+	cells := make([]Cell, len(cases))
+	for i, c := range cases {
+		c := c
+		want[i] = stat.EstimateStreamFrom(c.start, c.max, c.seed, 3, c.rule,
+			func() stat.Trial { return fakeTrial(c.p) })
+		cells[i] = Cell{
+			MaxTrials: c.max, BaseSeed: c.seed, Start: c.start, Rule: c.rule,
+			NewTrial: func() stat.Trial { return fakeTrial(c.p) },
+		}
+	}
+	for _, workers := range []int{1, 2, 7} {
+		got := make([]stat.Proportion, len(cases))
+		calls := make([]int, len(cases))
+		if err := Run(context.Background(), workers, cells, func(i int, p stat.Proportion) {
+			got[i] = p
+			calls[i]++
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range cases {
+			if calls[i] != 1 {
+				t.Fatalf("workers=%d cell %d: onDone called %d times", workers, i, calls[i])
+			}
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d cell %d: shared pool %+v != stream %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSharedKeyReusesTrials: cells with one SharedKey must instantiate at
+// most one Trial per worker, not one per (worker, cell).
+func TestSharedKeyReusesTrials(t *testing.T) {
+	var made atomic.Int64
+	const workers = 3
+	cells := make([]Cell, 12)
+	for i := range cells {
+		cells[i] = Cell{
+			MaxTrials: 64, BaseSeed: uint64(i) * 1000, SharedKey: "same-plan",
+			NewTrial: func() stat.Trial {
+				made.Add(1)
+				return fakeTrial(0.5)
+			},
+		}
+	}
+	if err := Run(context.Background(), workers, cells, nil); err != nil {
+		t.Fatal(err)
+	}
+	if n := made.Load(); n > workers {
+		t.Fatalf("NewTrial called %d times for %d workers sharing one key", n, workers)
+	}
+}
+
+// TestEarlyStoppedCellYieldsWorkers: schedule one cell that stops after
+// its first batch next to one that runs a long full sample; both must
+// finish, and the early cell must report its decided batch count.
+func TestEarlyStoppedCellYieldsWorkers(t *testing.T) {
+	cells := []Cell{
+		{MaxTrials: 100000, BaseSeed: 1, NewTrial: func() stat.Trial { return fakeTrial(1.0) },
+			Rule: stat.StopRule{UseTarget: true, Target: 0.5, Z: 2.6}},
+		{MaxTrials: 3000, BaseSeed: 2, NewTrial: func() stat.Trial { return fakeTrial(0.5) }},
+	}
+	got := make([]stat.Proportion, 2)
+	if err := Run(context.Background(), 4, cells, func(i int, p stat.Proportion) { got[i] = p }); err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Trials >= 1000 {
+		t.Fatalf("always-succeeding cell never stopped early: %+v", got[0])
+	}
+	if got[1].Trials != 3000 {
+		t.Fatalf("full-sample cell ran %d/3000 trials", got[1].Trials)
+	}
+}
+
+// TestRunCancellation: cancelling the context must stop the schedule and
+// report ctx.Err without running the remaining budget.
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	cells := []Cell{{
+		MaxTrials: 1 << 30, BaseSeed: 1,
+		Rule: stat.StopRule{HalfWidth: 1e-9}, // unreachable precision: runs "forever"
+		NewTrial: func() stat.Trial {
+			return func(seed uint64) bool {
+				if ran.Add(1) == 100 {
+					cancel()
+				}
+				return fakeTrial(0.5)(seed)
+			}
+		},
+	}}
+	err := Run(ctx, 4, cells, nil)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The bound is loose: trials here are nanosecond-fast, so workers can
+	// claim thousands more during the microseconds cancellation takes to
+	// propagate — what matters is that the 2^30 budget was abandoned.
+	if n := ran.Load(); n > 1<<20 {
+		t.Fatalf("ran %d trials after cancellation", n)
+	}
+}
+
+// TestCancelAtBatchBoundaryNotEmitted: when cancellation lands while a
+// cell's final in-flight batch trial completes, the batch boundary is
+// reached during wind-down — the truncated cell must NOT be emitted as
+// decided, and Run must still report ctx.Err().
+func TestCancelAtBatchBoundaryNotEmitted(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cells := []Cell{{
+		MaxTrials: 1 << 20, BaseSeed: 0,
+		Rule: stat.StopRule{HalfWidth: 1e-9, Batch: 4}, // never satisfied; tiny batches
+		NewTrial: func() stat.Trial {
+			return func(seed uint64) bool {
+				if seed == 3 { // last trial of the first batch
+					cancel()
+				}
+				return fakeTrial(0.5)(seed)
+			}
+		},
+	}}
+	emitted := 0
+	err := Run(ctx, 1, cells, func(int, stat.Proportion) { emitted++ })
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if emitted != 0 {
+		t.Fatalf("truncated cell was emitted as decided (%d emits)", emitted)
+	}
+}
+
+// TestManyCellsManyWorkers is a stress shape: more cells than workers,
+// mixed rules, run under the race detector in CI.
+func TestManyCellsManyWorkers(t *testing.T) {
+	const n = 40
+	cells := make([]Cell, n)
+	var mu sync.Mutex
+	seen := map[int]stat.Proportion{}
+	for i := range cells {
+		i := i
+		rule := stat.StopRule{}
+		if i%2 == 0 {
+			rule = stat.StopRule{UseTarget: true, Target: 0.5, Z: 2.6}
+		}
+		cells[i] = Cell{
+			MaxTrials: 200 + i, BaseSeed: uint64(i) * 7919, Rule: rule,
+			NewTrial: func() stat.Trial { return fakeTrial(float64(i) / n) },
+		}
+	}
+	if err := Run(context.Background(), 5, cells, func(i int, p stat.Proportion) {
+		mu.Lock()
+		seen[i] = p
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != n {
+		t.Fatalf("only %d/%d cells reported", len(seen), n)
+	}
+	// Re-run: every cell must reproduce exactly (determinism under load).
+	if err := Run(context.Background(), 11, cells, func(i int, p stat.Proportion) {
+		mu.Lock()
+		if seen[i] != p {
+			t.Errorf("cell %d nondeterministic: %+v vs %+v", i, seen[i], p)
+		}
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstimateCell(t *testing.T) {
+	p := EstimateCell(3, Cell{MaxTrials: 400, BaseSeed: 9, NewTrial: func() stat.Trial { return fakeTrial(0.25) }})
+	if p.Trials != 400 {
+		t.Fatalf("ran %d/400 trials", p.Trials)
+	}
+	want := stat.EstimateStream(400, 9, 2, stat.StopRule{}, func() stat.Trial { return fakeTrial(0.25) })
+	if p != want {
+		t.Fatalf("EstimateCell %+v != stream %+v", p, want)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"faultcast"
 	"faultcast/internal/adversary"
 	"faultcast/internal/graph"
 	"faultcast/internal/protocols/simplemalicious"
@@ -15,7 +16,8 @@ import (
 // RunA1 sweeps the window constant c: the knob every Section-2 algorithm
 // turns. Success must rise monotonically (in expectation) with c, and the
 // running time grows linearly in it — the time/safety trade the paper's
-// "suitable constant c" hides.
+// "suitable constant c" hides. The grid is a declarative sweep along the
+// WindowCs axis with no early stopping (the curve itself is the content).
 func RunA1(o Options) []*Table {
 	o = o.withDefaults()
 	t := &Table{
@@ -27,17 +29,20 @@ func RunA1(o Options) []*Table {
 	if o.Quick {
 		g = graph.Line(16)
 	}
-	for i, c := range []float64{0.25, 0.5, 1, 2, 4, 8} {
+	cs := []float64{0.25, 0.5, 1, 2, 4, 8}
+	results := runSweep(faultcast.SweepSpec{
+		Graphs:     []faultcast.SweepGraph{{Graph: g}},
+		Algorithms: []faultcast.Algorithm{faultcast.SimpleOmission},
+		WindowCs:   cs,
+		Ps:         []float64{0.5},
+		Seed:       o.Seed,
+		Budget:     o.sweepBudget(false),
+	})
+	for i, c := range cs {
 		proto := simpleomission.New(g, 0, sim.MessagePassing, c)
-		// The sweep is the table's content — no target, no early stop.
-		est := successRate(o, uint64(i+1)*86028121, -1, &sim.Config{
-			Graph: g, Model: sim.MessagePassing, Fault: sim.Omission, P: 0.5,
-			Source: 0, SourceMsg: msg1,
-			NewNode: proto.NewNode, Rounds: proto.Rounds(),
-		})
-		lo, hi := est.Wilson(1.96)
-		t.AddRow(c, proto.WindowLen(), proto.Rounds(), est.Rate(),
-			fmt.Sprintf("[%.3f,%.3f]", lo, hi))
+		est := results[i].Estimate
+		t.AddRow(c, proto.WindowLen(), results[i].Cell.Rounds(), est.Rate,
+			fmt.Sprintf("[%.3f,%.3f]", est.Low, est.Hi))
 		o.logf("A1 c=%v: %v", c, est)
 	}
 	return []*Table{t}
@@ -66,9 +71,9 @@ func RunA2(o Options) []*Table {
 			return adversary.Equivocator{M0: []byte("0"), M1: []byte("1"), SourceOnly: true}
 		}},
 	}
-	for i, a := range advs {
+	for _, a := range advs {
 		// Comparison rates are the content — run the full sample.
-		est := stat.EstimateWith(o.Trials*4, o.Seed+uint64(i)*53, 0,
+		est := estimateCell(o.Trials*4, o.cellSeed("A2|"+a.name), stat.StopRule{},
 			bitTrial(func(msg []byte) *sim.Config {
 				return &sim.Config{
 					Graph: g, Model: sim.MessagePassing, Fault: sim.Malicious, P: 0.5,

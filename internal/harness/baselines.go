@@ -37,7 +37,6 @@ func RunB1(o Options) []*Table {
 		cases = cases[:1]
 	}
 	const p = 0.5
-	cell := uint64(0)
 	for _, tc := range cases {
 		n := tc.ng.g.N()
 		target := almostSafe(n)
@@ -56,8 +55,7 @@ func RunB1(o Options) []*Table {
 			{"decay (randomized baseline)", decayProto.NewNode, decayProto.Rounds(40 + 8*tc.ng.g.Radius(tc.ng.src))},
 		}
 		for _, v := range variants {
-			cell++
-			mean, _, failed := stat.MeanStdWith(o.Trials, o.Seed^cell*101, completionMeasure(&sim.Config{
+			mean, _, failed := stat.MeanStdWith(o.Trials, o.cellSeed(fmt.Sprintf("B1|%s|%s", tc.ng.g.Name(), v.name)), completionMeasure(&sim.Config{
 				Graph: tc.ng.g, Model: sim.Radio, Fault: sim.Omission, P: p,
 				Source: tc.ng.src, SourceMsg: msg1,
 				NewNode: v.newNode, Rounds: v.rounds,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"faultcast"
 	"faultcast/internal/adversary"
 	"faultcast/internal/graph"
 	"faultcast/internal/kucera"
@@ -33,12 +34,12 @@ func RunE7(o Options) []*Table {
 	}
 	var xs, ys []float64
 	const p = 0.5
-	for i, n := range sizes {
+	for _, n := range sizes {
 		g := graph.Line(n)
 		proto := flooding.New(g, 0)
 		rounds := proto.Rounds(6)
 		var failures int
-		mean, std, failed := stat.MeanStdWith(o.Trials, o.Seed+uint64(i)*31, completionMeasure(&sim.Config{
+		mean, std, failed := stat.MeanStdWith(o.Trials, o.cellSeed(fmt.Sprintf("E7|n=%d", n)), completionMeasure(&sim.Config{
 			Graph: g, Model: sim.MessagePassing, Fault: sim.Omission, P: p,
 			Source: 0, SourceMsg: msg1,
 			NewNode: proto.NewNode, Rounds: rounds,
@@ -105,25 +106,26 @@ func RunE8(o Options) []*Table {
 	if o.Quick {
 		cases = cases[:2]
 	}
+	// The composed algorithm is fully expressible through the public API
+	// (Composed + Alpha), so E8b is a declarative sweep over the graph
+	// axis; plan compilation — the Kučera composition plan per graph —
+	// happens once inside CompileSweep.
+	results := runSweep(faultcast.SweepSpec{
+		Graphs:      sweepGraphs(cases),
+		Models:      []faultcast.Model{faultcast.MessagePassing},
+		Faults:      []faultcast.Fault{faultcast.LimitedMalicious},
+		Adversaries: []faultcast.AdversaryKind{faultcast.FlipAdv},
+		Algorithms:  []faultcast.Algorithm{faultcast.Composed},
+		Alpha:       1.5,
+		Ps:          []float64{p},
+		Seed:        o.Seed,
+		Budget:      o.sweepBudget(true),
+	})
 	for i, ng := range cases {
-		plan, err := kucera.PlanForGraph(ng.g, ng.src, p, 1.5, 1, kucera.Options{})
-		if err != nil {
-			panic(err)
-		}
-		proto, err := kucera.New(ng.g, ng.src, plan)
-		if err != nil {
-			panic(err)
-		}
 		target := almostSafe(ng.g.N())
-		est := successRate(o, uint64(i+1)*32452843, target, &sim.Config{
-			Graph: ng.g, Model: sim.MessagePassing, Fault: sim.LimitedMalicious, P: p,
-			Source: ng.src, SourceMsg: msg1,
-			NewNode: proto.NewNode, Rounds: proto.Rounds(),
-			Adversary: adversary.Flip{Wrong: []byte("0")},
-		})
-		lo, hi := est.Wilson(1.96)
-		runs.AddRow(ng.g.Name(), ng.g.N(), ng.g.Radius(ng.src), proto.Rounds(),
-			est.Rate(), fmt.Sprintf("[%.3f,%.3f]", lo, hi), target, verdict(hi >= target))
+		est := results[i].Estimate
+		runs.AddRow(ng.g.Name(), ng.g.N(), ng.g.Radius(ng.src), results[i].Cell.Rounds(),
+			est.Rate, fmt.Sprintf("[%.3f,%.3f]", est.Low, est.Hi), target, verdict(est.Hi >= target))
 		o.logf("E8 %s: %v", ng.g.Name(), est)
 	}
 	return []*Table{algebra, runs}
@@ -246,7 +248,6 @@ func RunE11(o Options) []*Table {
 	if o.Quick {
 		cases = cases[:2]
 	}
-	cell := uint64(0)
 	for _, tc := range cases {
 		delta := tc.ng.g.MaxDegree()
 		pStar := stat.RadioThreshold(delta)
@@ -263,13 +264,12 @@ func RunE11(o Options) []*Table {
 				adversary.Flip{Wrong: []byte("0")}},
 		}
 		for _, va := range variants {
-			cell++
 			proto, err := radiorepeat.New(tc.ng.g, tc.ng.src, tc.sched, va.v, va.c)
 			if err != nil {
 				panic(err)
 			}
 			target := almostSafe(tc.ng.g.N())
-			est := successRate(o, cell*49979687, target, &sim.Config{
+			est := successRate(o, fmt.Sprintf("E11|%s|%v", tc.ng.g.Name(), va.v), target, &sim.Config{
 				Graph: tc.ng.g, Model: sim.Radio, Fault: va.fault, P: va.p,
 				Source: tc.ng.src, SourceMsg: msg1,
 				NewNode: proto.NewNode, Rounds: proto.Rounds(),

@@ -4,12 +4,12 @@ import (
 	"fmt"
 	"sort"
 	"sync"
-	"sync/atomic"
 
 	"faultcast/internal/graph"
 	"faultcast/internal/protocols/decay"
 	"faultcast/internal/protocols/flooding"
 	"faultcast/internal/sim"
+	"faultcast/internal/stat"
 )
 
 // RunF1 produces the repository's "figure": informing-curve quartiles —
@@ -30,9 +30,9 @@ func RunF1(o Options) []*Table {
 		n = 32
 	}
 	g := graph.Line(n)
-	for i, p := range []float64{0, 0.3, 0.5, 0.7} {
+	for _, p := range []float64{0, 0.3, 0.5, 0.7} {
 		proto := flooding.New(g, 0)
-		q := quartiles(o, uint64(i+1)*211, o.Trials/2, &sim.Config{
+		q := quartiles(o, fmt.Sprintf("F1|flooding|p=%v", p), o.Trials/2, &sim.Config{
 			Graph: g, Model: sim.MessagePassing, Fault: sim.Omission, P: p,
 			Source: 0, SourceMsg: msg1,
 			NewNode: proto.NewNode, Rounds: proto.Rounds(8),
@@ -43,8 +43,8 @@ func RunF1(o Options) []*Table {
 	}
 	// Decay on the same line in the radio model for contrast.
 	dec := decay.New(g)
-	for i, p := range []float64{0, 0.5} {
-		q := quartiles(o, uint64(i+11)*223, o.Trials/2, &sim.Config{
+	for _, p := range []float64{0, 0.5} {
+		q := quartiles(o, fmt.Sprintf("F1|decay|p=%v", p), o.Trials/2, &sim.Config{
 			Graph: g, Model: sim.Radio, Fault: sim.Omission, P: p,
 			Source: 0, SourceMsg: msg1,
 			NewNode: dec.NewNode, Rounds: dec.Rounds(12*n + 60),
@@ -62,63 +62,47 @@ type curveQuartiles struct {
 }
 
 // quartiles averages, across trials, the first round by which each
-// quarter of the nodes was informed. cfg is compiled once; each worker
-// streams its trials through a reusable runner.
-func quartiles(o Options, cellSeed uint64, trials int, cfg *sim.Config) curveQuartiles {
+// quarter of the nodes was informed. cfg is compiled once and the trial
+// stream runs as one cell on the shared scheduler (per-worker reusable
+// runners, derived base seed); the trial closure records each successful
+// run's quartile quad as a side effect of the success bit.
+func quartiles(o Options, cellKey string, trials int, cfg *sim.Config) curveQuartiles {
 	if trials < 10 {
 		trials = 10
 	}
 	type quad [4]float64
 	var mu sync.Mutex
 	var samples []quad
-	failed := 0
-	var wg sync.WaitGroup
-	var next atomic.Int64
-	workers := 8
-	if workers > trials {
-		workers = trials
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			r := newRunner(cfg)
-			for {
-				i := next.Add(1) - 1
-				if i >= int64(trials) {
-					return
-				}
-				res, err := r.Run(o.Seed ^ cellSeed + uint64(i))
-				if err != nil {
-					panic(err)
-				}
-				if !res.Success {
-					mu.Lock()
-					failed++
-					mu.Unlock()
-					continue
-				}
-				// The Result is trial-local (Runner.Run copies it out of
-				// the reused state), so sorting in place is safe.
-				rounds := res.InformedRound
-				sort.Ints(rounds)
-				n := len(rounds)
-				var q quad
-				for k, frac := range []float64{0.25, 0.5, 0.75, 1.0} {
-					idx := int(frac*float64(n)) - 1
-					if idx < 0 {
-						idx = 0
-					}
-					q[k] = float64(rounds[idx] + 1)
-				}
-				mu.Lock()
-				samples = append(samples, q)
-				mu.Unlock()
+	prop := estimateCell(trials, o.cellSeed(cellKey), stat.StopRule{}, func() stat.Trial {
+		r := newRunner(cfg)
+		return func(seed uint64) bool {
+			res, err := r.Run(seed)
+			if err != nil {
+				panic(err)
 			}
-		}()
-	}
-	wg.Wait()
-	out := curveQuartiles{failed: failed, q25: "-", q50: "-", q75: "-", q100: "-"}
+			if !res.Success {
+				return false
+			}
+			// The Result is trial-local (Runner.Run copies it out of
+			// the reused state), so sorting in place is safe.
+			rounds := res.InformedRound
+			sort.Ints(rounds)
+			n := len(rounds)
+			var q quad
+			for k, frac := range []float64{0.25, 0.5, 0.75, 1.0} {
+				idx := int(frac*float64(n)) - 1
+				if idx < 0 {
+					idx = 0
+				}
+				q[k] = float64(rounds[idx] + 1)
+			}
+			mu.Lock()
+			samples = append(samples, q)
+			mu.Unlock()
+			return true
+		}
+	})
+	out := curveQuartiles{failed: prop.Trials - prop.Successes, q25: "-", q50: "-", q75: "-", q100: "-"}
 	if len(samples) == 0 {
 		return out
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 
+	"faultcast"
 	"faultcast/internal/adversary"
 	"faultcast/internal/graph"
 	"faultcast/internal/protocols/simplemalicious"
@@ -14,7 +15,9 @@ import (
 )
 
 // RunE1 exercises Theorem 2.1: Simple-Omission is almost-safe for any
-// p < 1 in both the message passing and the radio model.
+// p < 1 in both the message passing and the radio model. The whole grid
+// is one declarative sweep — graphs × models × ps, every cell scheduled
+// on one shared worker pool.
 func RunE1(o Options) []*Table {
 	o = o.withDefaults()
 	t := &Table{
@@ -26,21 +29,27 @@ func RunE1(o Options) []*Table {
 	if !o.Quick {
 		ps = append(ps, 0.9)
 	}
-	cell := uint64(0)
-	for _, ng := range standardGraphs(o) {
+	graphs := standardGraphs(o)
+	results := runSweep(faultcast.SweepSpec{
+		Graphs:     sweepGraphs(graphs),
+		Models:     []faultcast.Model{faultcast.MessagePassing, faultcast.Radio},
+		Faults:     []faultcast.Fault{faultcast.Omission},
+		Algorithms: []faultcast.Algorithm{faultcast.SimpleOmission},
+		Ps:         ps,
+		Seed:       o.Seed,
+		Budget:     o.sweepBudget(true),
+	})
+	i := 0
+	for _, ng := range graphs {
 		for _, model := range []sim.Model{sim.MessagePassing, sim.Radio} {
 			for _, p := range ps {
-				cell++
+				res := results[i]
+				i++
 				proto := simpleomission.New(ng.g, ng.src, model, omissionWindowC(p))
 				target := almostSafe(ng.g.N())
-				est := successRate(o, cell*7919, target, &sim.Config{
-					Graph: ng.g, Model: model, Fault: sim.Omission, P: p,
-					Source: ng.src, SourceMsg: msg1,
-					NewNode: proto.NewNode, Rounds: proto.Rounds(),
-				})
-				lo, hi := est.Wilson(1.96)
-				t.AddRow(ng.g.Name(), model.String(), p, proto.WindowLen(), proto.Rounds(),
-					est.Rate(), fmt.Sprintf("[%.3f,%.3f]", lo, hi), target, verdict(hi >= target))
+				est := res.Estimate
+				t.AddRow(ng.g.Name(), model.String(), p, proto.WindowLen(), res.Cell.Rounds(),
+					est.Rate, fmt.Sprintf("[%.3f,%.3f]", est.Low, est.Hi), target, verdict(est.Hi >= target))
 				o.logf("E1 %s/%s p=%.2f: %v", ng.g.Name(), model, p, est)
 			}
 		}
@@ -49,7 +58,8 @@ func RunE1(o Options) []*Table {
 }
 
 // RunE2 exercises Theorem 2.2: Simple-Malicious in the message passing
-// model is almost-safe for p < 1/2 and collapses above.
+// model is almost-safe for p < 1/2 and collapses above — a one-graph
+// sweep along the p axis across the threshold.
 func RunE2(o Options) []*Table {
 	o = o.withDefaults()
 	t := &Table{
@@ -61,24 +71,28 @@ func RunE2(o Options) []*Table {
 	if o.Quick {
 		g = graph.KaryTree(15, 2)
 	}
-	for i, p := range []float64{0.1, 0.2, 0.3, 0.4, 0.45, 0.5, 0.6} {
-		c := maliciousWindowC(p)
-		proto := simplemalicious.New(g, 0, sim.MessagePassing, c)
+	ps := []float64{0.1, 0.2, 0.3, 0.4, 0.45, 0.5, 0.6}
+	results := runSweep(faultcast.SweepSpec{
+		Graphs:      []faultcast.SweepGraph{{Graph: g}},
+		Models:      []faultcast.Model{faultcast.MessagePassing},
+		Faults:      []faultcast.Fault{faultcast.Malicious},
+		Adversaries: []faultcast.AdversaryKind{faultcast.FlipAdv},
+		Algorithms:  []faultcast.Algorithm{faultcast.SimpleMalicious},
+		Ps:          ps,
+		Seed:        o.Seed,
+		Budget:      o.sweepBudget(true),
+	})
+	for i, p := range ps {
+		proto := simplemalicious.New(g, 0, sim.MessagePassing, maliciousWindowC(p))
 		target := almostSafe(g.N())
-		est := successRate(o, uint64(i+1)*104729, target, &sim.Config{
-			Graph: g, Model: sim.MessagePassing, Fault: sim.Malicious, P: p,
-			Source: 0, SourceMsg: msg1,
-			NewNode: proto.NewNode, Rounds: proto.Rounds(),
-			Adversary: adversary.Flip{Wrong: []byte("0")},
-		})
-		lo, hi := est.Wilson(1.96)
+		est := results[i].Estimate
 		below := p < 0.5
-		pass := hi >= target
+		pass := est.Hi >= target
 		if !below {
-			pass = lo < target // above threshold the algorithm must NOT be almost-safe
+			pass = est.Low < target // above threshold the algorithm must NOT be almost-safe
 		}
-		t.AddRow(g.Name(), p, proto.WindowLen(), est.Rate(),
-			fmt.Sprintf("[%.3f,%.3f]", lo, hi), target, below, verdict(pass))
+		t.AddRow(g.Name(), p, proto.WindowLen(), est.Rate,
+			fmt.Sprintf("[%.3f,%.3f]", est.Low, est.Hi), target, below, verdict(pass))
 		o.logf("E2 p=%.2f: %v", p, est)
 	}
 	return []*Table{t}
@@ -102,15 +116,13 @@ func RunE3(o Options) []*Table {
 	if o.Quick {
 		cs = []float64{5, 17}
 	}
-	cell := uint64(0)
 	for _, p := range []float64{0.5, 0.6, 0.75, 0.9} {
 		for _, c := range cs {
-			cell++
 			proto := simplemalicious.New(g, 0, sim.MessagePassing, c)
 			// Stop early only once a band wider than the 99.9% pinned-
 			// verdict band is decided against 1/2, so a truly pinned cell
 			// still runs its full sample.
-			est := stat.EstimateStream(o.Trials*4, o.Seed^cell*130363, 0, o.stopRule(0.5, 3.29),
+			est := estimateCell(o.Trials*4, o.cellSeed(fmt.Sprintf("E3|p=%v|c=%v", p, c)), o.stopRule(0.5, 3.29),
 				bitTrial(func(msg []byte) *sim.Config {
 					return &sim.Config{
 						Graph: g, Model: sim.MessagePassing, Fault: sim.Malicious, P: p,
@@ -152,7 +164,9 @@ func starTrials(delta int, p, c float64, mkAdv func() sim.Adversary) stat.TrialM
 }
 
 // RunE4 exercises the feasibility direction of Theorem 2.4: malicious
-// radio broadcasting succeeds for p < p* = fix(p = (1-p)^(Δ+1)).
+// radio broadcasting succeeds for p < p* = fix(p = (1-p)^(Δ+1)). Each
+// graph's p and window constant co-vary with its degree, so the sweep
+// uses explicit cells rather than a cross product.
 func RunE4(o Options) []*Table {
 	o = o.withDefaults()
 	t := &Table{
@@ -164,23 +178,32 @@ func RunE4(o Options) []*Table {
 	if o.Quick {
 		graphs = graphs[:2]
 	}
+	cells := make([]faultcast.Config, len(graphs))
 	for i, ng := range graphs {
 		delta := ng.g.MaxDegree()
 		pStar := stat.RadioThreshold(delta)
 		p := pStar * 0.5
 		q := pow(1-p, delta+1)
-		c := maliciousWindowC(p/(p+q)) * (2 / q)
-		proto := simplemalicious.New(ng.g, ng.src, sim.Radio, c)
+		cells[i] = faultcast.Config{
+			Graph: ng.g, Source: ng.src, Message: []byte("1"),
+			Model: faultcast.Radio, Fault: faultcast.Malicious, P: p,
+			Algorithm: faultcast.SimpleMalicious, Adversary: faultcast.FlipAdv,
+			WindowC: maliciousWindowC(p/(p+q)) * (2 / q),
+		}
+	}
+	results := runSweep(faultcast.SweepSpec{
+		Cells:  cells,
+		Seed:   o.Seed,
+		Budget: o.sweepBudget(true),
+	})
+	for i, ng := range graphs {
+		delta := ng.g.MaxDegree()
+		pStar := stat.RadioThreshold(delta)
+		proto := simplemalicious.New(ng.g, ng.src, sim.Radio, cells[i].WindowC)
 		target := almostSafe(ng.g.N())
-		est := successRate(o, uint64(i+1)*95483, target, &sim.Config{
-			Graph: ng.g, Model: sim.Radio, Fault: sim.Malicious, P: p,
-			Source: ng.src, SourceMsg: msg1,
-			NewNode: proto.NewNode, Rounds: proto.Rounds(),
-			Adversary: adversary.Flip{Wrong: []byte("0")},
-		})
-		lo, hi := est.Wilson(1.96)
-		t.AddRow(ng.g.Name(), delta, pStar, p, proto.WindowLen(), est.Rate(),
-			fmt.Sprintf("[%.3f,%.3f]", lo, hi), target, verdict(hi >= target))
+		est := results[i].Estimate
+		t.AddRow(ng.g.Name(), delta, pStar, cells[i].P, proto.WindowLen(), est.Rate,
+			fmt.Sprintf("[%.3f,%.3f]", est.Low, est.Hi), target, verdict(est.Hi >= target))
 		o.logf("E4 %s: %v", ng.g.Name(), est)
 	}
 	return []*Table{t}
@@ -202,7 +225,6 @@ func RunE5(o Options) []*Table {
 	adv := func() sim.Adversary {
 		return adversary.Star{M0: []byte("0"), M1: []byte("1")}
 	}
-	cell := uint64(0)
 	for _, delta := range deltas {
 		pStar := stat.RadioThreshold(delta)
 		cases := []struct {
@@ -214,7 +236,6 @@ func RunE5(o Options) []*Table {
 			{minF(pStar*1.5, 0.9), "above"},
 		}
 		for _, tc := range cases {
-			cell++
 			c := 8.0
 			rule := o.stopRule(0.5, 3.29) // pinned rows read the 99.9% band
 			if tc.regime == "below" {
@@ -222,7 +243,7 @@ func RunE5(o Options) []*Table {
 				c = maliciousWindowC(tc.p/(tc.p+q)) * (2 / q)
 				rule = o.stopRule(0.9, 1.96) // recovery rows read lo > 0.9
 			}
-			est := stat.EstimateStream(o.Trials*4, o.Seed^cell*15485863, 0, rule,
+			est := estimateCell(o.Trials*4, o.cellSeed(fmt.Sprintf("E5|delta=%d|p=%v", delta, tc.p)), rule,
 				starTrials(delta, tc.p, c, adv))
 			lo, hi := est.Wilson(1.96)
 			wlo, whi := est.Wilson(3.29) // family-wise band, as in E3
@@ -242,7 +263,9 @@ func RunE5(o Options) []*Table {
 
 // RunE6 exercises the two-node timing protocol: almost-safe for ANY p < 1
 // under limited malicious failures, with error e^(-Θ(m)) for bit 0 and
-// zero error for bit 1.
+// zero error for bit 1. The grid is a three-axis sweep — message bit ×
+// window length (as WindowC: TimingBit reads m from it) × p — with no
+// early stopping, since the verdict is two-sided.
 func RunE6(o Options) []*Table {
 	o = o.withDefaults()
 	t := &Table{
@@ -254,34 +277,41 @@ func RunE6(o Options) []*Table {
 	if o.Quick {
 		ms = []int{16, 64}
 	}
-	cell := uint64(0)
-	for _, p := range []float64{0.3, 0.5, 0.7, 0.85} {
-		for _, m := range ms {
-			for _, bit := range [][]byte{twonode.Bit0, twonode.Bit1} {
-				cell++
-				proto := twonode.New(m)
-				// No early stopping: the verdict is two-sided (the predicted
-				// value must fall inside the interval), not a target bound.
-				est := successRate(o, cell*179426549, -1, &sim.Config{
-					Graph: graph.TwoNode(), Model: sim.MessagePassing,
-					Fault: sim.LimitedMalicious, P: p,
-					Source: 0, SourceMsg: bit,
-					NewNode: proto.NewNode, Rounds: proto.Rounds(),
-					Adversary: adversary.Crash{},
-				})
-				lo, hi := est.Wilson(1.96)
+	ps := []float64{0.3, 0.5, 0.7, 0.85}
+	bits := []string{string(twonode.Bit0), string(twonode.Bit1)}
+	cs := make([]float64, len(ms))
+	for i, m := range ms {
+		cs[i] = float64(m)
+	}
+	results := runSweep(faultcast.SweepSpec{
+		Graphs:      []faultcast.SweepGraph{{Graph: graph.TwoNode()}},
+		Models:      []faultcast.Model{faultcast.MessagePassing},
+		Faults:      []faultcast.Fault{faultcast.LimitedMalicious},
+		Adversaries: []faultcast.AdversaryKind{faultcast.CrashAdv},
+		Algorithms:  []faultcast.Algorithm{faultcast.TimingBit},
+		Messages:    bits,
+		WindowCs:    cs,
+		Ps:          ps,
+		Seed:        o.Seed,
+		Budget:      o.sweepBudget(false),
+	})
+	for pi, p := range ps {
+		for mi, m := range ms {
+			for bi, bit := range bits {
+				// Expansion order: Messages × WindowCs × Ps (ps innermost).
+				est := results[(bi*len(ms)+mi)*len(ps)+pi].Estimate
 				// Bit 1 is deterministic; bit 0 succeeds iff the execution
 				// contains two consecutive healthy steps among 2m.
 				predicted := 1.0
-				if string(bit) == "0" {
+				if bit == "0" {
 					predicted = probConsecutivePair(2*m, 1-p)
 				}
-				pass := lo <= predicted && predicted <= hi
-				if string(bit) == "1" {
-					pass = est.Rate() == 1
+				pass := est.Low <= predicted && predicted <= est.Hi
+				if bit == "1" {
+					pass = est.Rate == 1
 				}
-				t.AddRow(p, m, string(bit), est.Rate(),
-					fmt.Sprintf("[%.3f,%.3f]", lo, hi), predicted, verdict(pass))
+				t.AddRow(p, m, bit, est.Rate,
+					fmt.Sprintf("[%.3f,%.3f]", est.Low, est.Hi), predicted, verdict(pass))
 			}
 		}
 		o.logf("E6 p=%.2f done", p)

@@ -24,18 +24,16 @@ func RunG1(o Options) []*Table {
 	if o.Quick {
 		graphs = graphs[:2]
 	}
-	cell := uint64(0)
 	for _, ng := range graphs {
 		n := ng.g.N()
 		target := almostSafe(n)
 		for _, p := range []float64{0.3, 0.5, 0.7} {
-			cell++
 			proto := gossip.New(ng.g, ng.src)
 			a := 3 / (1 - p) // horizon multiplier grows with the retry factor
 			rounds := proto.Rounds(a)
 			full := gossip.FullDigest(n)
 			succ := 0
-			mean, _, failed := stat.MeanStdWith(o.Trials, o.Seed^cell*3001, completionMeasure(&sim.Config{
+			mean, _, failed := stat.MeanStdWith(o.Trials, o.cellSeed(fmt.Sprintf("G1|%s|p=%v", ng.g.Name(), p)), completionMeasure(&sim.Config{
 				Graph: ng.g, Model: sim.MessagePassing, Fault: sim.Omission, P: p,
 				Source: ng.src, SourceMsg: full,
 				NewNode: proto.NewNode, Rounds: rounds,

@@ -1,13 +1,17 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"sort"
 
+	"faultcast"
+	"faultcast/internal/exec"
 	"faultcast/internal/graph"
 	"faultcast/internal/protocol"
+	"faultcast/internal/rng"
 	"faultcast/internal/sim"
 	"faultcast/internal/stat"
 )
@@ -144,18 +148,32 @@ func (o Options) stopRule(target, z float64) stat.StopRule {
 	return stat.StopRule{Target: target, UseTarget: true, Z: z * 1.3}
 }
 
-// successRate estimates the success rate of one cell. cfg is compiled once
-// (its Seed field is ignored) and every worker streams trials through its
-// own reusable runner; trial seeds are o.Seed^cellSeed + i. target >= 0
-// stops the stream early once the interval is decided against it (on a
-// band wider than the 95% verdict band; see stopRule).
-func successRate(o Options, cellSeed uint64, target float64, cfg *sim.Config) stat.Proportion {
-	return successRateN(o.Trials, o.Seed^cellSeed, o.stopRule(target, 1.96), cfg)
+// cellSeed derives the trial-stream base seed for a named cell from the
+// harness master seed — rng.Derive of (seed, key), the sweep layer's
+// scheme, replacing the old o.Seed^cellConst XOR (which correlated cell
+// streams with the master and let distinct cells collide).
+func (o Options) cellSeed(key string) uint64 {
+	return rng.Derive(o.Seed, key)
+}
+
+// successRate estimates the success rate of one cell. cfg is compiled
+// once (its Seed field is ignored) and every worker streams trials
+// through its own reusable runner; the trial stream's base seed derives
+// from (o.Seed, cellKey). target >= 0 stops the stream early once the
+// interval is decided against it (on a band wider than the 95% verdict
+// band; see stopRule).
+//
+// Experiments expressible through the public API run whole grids at once
+// via runSweep instead; this is the path for cells whose protocols or
+// scoring the public Config cannot name (custom radio schedules, the
+// bit-alternating impossibility trials).
+func successRate(o Options, cellKey string, target float64, cfg *sim.Config) stat.Proportion {
+	return successRateN(o.Trials, o.cellSeed(cellKey), o.stopRule(target, 1.96), cfg)
 }
 
 // successRateN is successRate with an explicit trial count and stop rule.
 func successRateN(trials int, baseSeed uint64, rule stat.StopRule, cfg *sim.Config) stat.Proportion {
-	return stat.EstimateStream(trials, baseSeed, 0, rule, func() stat.Trial {
+	return estimateCell(trials, baseSeed, rule, func() stat.Trial {
 		r := newRunner(cfg)
 		return func(seed uint64) bool {
 			res, err := r.Run(seed)
@@ -165,6 +183,43 @@ func successRateN(trials int, baseSeed uint64, rule stat.StopRule, cfg *sim.Conf
 			return res.Success
 		}
 	})
+}
+
+// estimateCell schedules one estimation cell on the shared scheduler —
+// every harness estimate now rides internal/exec, the same machinery as
+// Plan.Estimate and SweepPlan.Run.
+func estimateCell(trials int, baseSeed uint64, rule stat.StopRule, mk stat.TrialMaker) stat.Proportion {
+	return exec.EstimateCell(0, exec.Cell{
+		MaxTrials: trials, BaseSeed: baseSeed, Rule: rule, NewTrial: mk,
+	})
+}
+
+// runSweep compiles and runs a declarative grid on one shared worker
+// pool, returning estimates in cell (cross-product) order. Harness grids
+// are static, so compile errors are bugs.
+func runSweep(spec faultcast.SweepSpec) []faultcast.CellResult {
+	sp, err := faultcast.CompileSweep(spec)
+	if err != nil {
+		panic(fmt.Sprintf("harness: %v", err))
+	}
+	res, err := sp.Collect(context.Background())
+	if err != nil {
+		panic(fmt.Sprintf("harness: %v", err))
+	}
+	return res
+}
+
+// sweepBudget is the per-cell budget matching this Options: o.Trials
+// trials, stopped early against the almost-safe bound (on the
+// verdict-band × 1.3 stopping band stopRule uses) unless almostSafe is
+// false or FullTrials disables stopping.
+func (o Options) sweepBudget(almostSafe bool) faultcast.CellBudget {
+	b := faultcast.CellBudget{Trials: o.Trials}
+	if almostSafe && !o.FullTrials {
+		b.AlmostSafe = true
+		b.Z = 1.96 * 1.3
+	}
+	return b
 }
 
 // bitTrial returns a per-worker trial stream for the impossibility cells,
@@ -220,6 +275,15 @@ func maliciousWindowC(q float64) float64 { return protocol.WindowCMalicious(q) }
 type namedGraph struct {
 	g   *graph.Graph
 	src int
+}
+
+// sweepGraphs lifts the harness graph set onto the sweep API's graph axis.
+func sweepGraphs(ngs []namedGraph) []faultcast.SweepGraph {
+	out := make([]faultcast.SweepGraph, len(ngs))
+	for i, ng := range ngs {
+		out[i] = faultcast.SweepGraph{Graph: ng.g, Source: ng.src}
+	}
+	return out
 }
 
 func standardGraphs(o Options) []namedGraph {

@@ -41,11 +41,11 @@ func RunOP1(o Options) []*Table {
 		shapes = []shape{{4, 3}, {8, 1}, {16, 0}}
 	}
 	var ds, times []float64
-	for i, sh := range shapes {
+	for _, sh := range shapes {
 		g := graph.Caterpillar(sh.spine, sh.legs)
 		proto := streaming.New(g, 0, protocol.WindowCMalicious(p))
 		rounds := proto.Rounds(6)
-		mean, _, failed := stat.MeanStdWith(o.Trials, o.Seed+uint64(i)*1009, completionMeasure(&sim.Config{
+		mean, _, failed := stat.MeanStdWith(o.Trials, o.cellSeed("OP1|"+g.Name()), completionMeasure(&sim.Config{
 			Graph: g, Model: sim.MessagePassing, Fault: sim.Malicious, P: p,
 			Source: 0, SourceMsg: msg1,
 			NewNode: proto.NewNode, Rounds: rounds,
@@ -94,13 +94,13 @@ func RunOP2(o Options) []*Table {
 		sched := radio.LayeredSchedule(gm)
 		n := g.N()
 		target := almostSafe(n)
-		for i, window := range []int{1, 2, 4, 8, 16, 32} {
+		for _, window := range []int{1, 2, 4, 8, 16, 32} {
 			proto, err := radiorepeat.New(g, 0, sched, radiorepeat.OmissionVariant,
 				float64(window)/log2f(n))
 			if err != nil {
 				panic(err)
 			}
-			est := successRate(o, uint64(gm*100+i)*2003, target, &sim.Config{
+			est := successRate(o, fmt.Sprintf("OP2|G_%d|window=%d", gm, window), target, &sim.Config{
 				Graph: g, Model: sim.Radio, Fault: sim.Omission, P: 0.5,
 				Source: 0, SourceMsg: msg1,
 				NewNode: proto.NewNode, Rounds: proto.Rounds(),

@@ -29,7 +29,6 @@ func RunA4(o Options) []*Table {
 		graphs = []namedGraph{{graph.Line(12), 0}}
 	}
 	const p = 0.25
-	cell := uint64(0)
 	for _, ng := range graphs {
 		n := ng.g.N()
 		target := almostSafe(n)
@@ -45,9 +44,8 @@ func RunA4(o Options) []*Table {
 			{"sliding window (streaming)", stream.NewNode, stream.Rounds(4)},
 		}
 		for _, v := range variants {
-			cell++
 			succ := 0
-			meanDone, _, failed := stat.MeanStdWith(o.Trials, o.Seed^cell*7, completionMeasure(&sim.Config{
+			meanDone, _, failed := stat.MeanStdWith(o.Trials, o.cellSeed(fmt.Sprintf("A4|%s|%s", ng.g.Name(), v.name)), completionMeasure(&sim.Config{
 				Graph: ng.g, Model: sim.MessagePassing, Fault: sim.Malicious, P: p,
 				Source: ng.src, SourceMsg: msg1,
 				NewNode: v.newNode, Rounds: v.rounds,
@@ -98,12 +96,10 @@ func RunA5(o Options) []*Table {
 			{namedGraph{graph.Star(5), 1}, anonymous.PrimePowers, 60, 0.3},
 		}
 	}
-	cell := uint64(0)
 	for _, tc := range cases {
 		ng := tc.ng
 		n := ng.g.N()
 		target := almostSafe(n)
-		cell++
 		proto, err := anonymous.New(ng.g, tc.kind, n)
 		if err != nil {
 			panic(err)
@@ -117,7 +113,7 @@ func RunA5(o Options) []*Table {
 		}
 		// Full sample: the collision tally spans every trial, so the
 		// zero-collision verdict reads the whole stream.
-		est := stat.EstimateWith(o.Trials, o.Seed^cell*13, 0, func() stat.Trial {
+		est := estimateCell(o.Trials, o.cellSeed(fmt.Sprintf("A5|%s|%v", ng.g.Name(), tc.kind)), stat.StopRule{}, func() stat.Trial {
 			r := newRunner(cfg)
 			return func(seed uint64) bool {
 				res, err := r.Run(seed)

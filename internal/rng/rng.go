@@ -119,6 +119,31 @@ func (r *Source) BernoulliMask(p float64, n int, mask []uint64) {
 	}
 }
 
+// Derive maps a (master seed, key) pair to a base seed via a splitmix64
+// chain over the master and an FNV-1a fold of the key. The sweep layer
+// derives every cell's trial-stream seed this way — Derive(sweepSeed,
+// cellKey) — so that cell seeds are decorrelated from each other and from
+// the master, yet fully determined by (master, key): re-running a sweep
+// reproduces every cell bit-identically, and reordering, adding, or
+// removing cells never changes the seeds of the others (the property the
+// harness's old o.Seed^cellSeed XOR scheme lacked: XOR let distinct cells
+// collide and correlated their streams with the master's).
+func Derive(master uint64, key string) uint64 {
+	const (
+		fnvOffset = 0xcbf29ce484222325
+		fnvPrime  = 0x100000001b3
+	)
+	h := uint64(fnvOffset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime
+	}
+	state := master
+	splitmix64(&state) // decorrelate from the raw master value
+	state ^= h
+	return splitmix64(&state)
+}
+
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.
 func (r *Source) Intn(n int) int {
 	if n <= 0 {

@@ -1,6 +1,7 @@
 package rng
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"testing/quick"
@@ -267,4 +268,34 @@ func BenchmarkBernoulli(b *testing.B) {
 		}
 	}
 	_ = n
+}
+
+func TestDeriveDeterministic(t *testing.T) {
+	if rngDerive := Derive(7, "cell-a"); rngDerive != Derive(7, "cell-a") {
+		t.Fatal("Derive is not deterministic")
+	}
+	if Derive(7, "cell-a") == Derive(7, "cell-b") {
+		t.Fatal("distinct keys collided")
+	}
+	if Derive(7, "cell-a") == Derive(8, "cell-a") {
+		t.Fatal("distinct masters collided")
+	}
+}
+
+// TestDeriveDecorrelated: seeds derived for a batch of related keys must
+// yield pairwise-distinct values and streams that do not track the master
+// (the failure mode of the old master^cellConst XOR scheme, where
+// master+1 shifted every cell's stream in lockstep).
+func TestDeriveDecorrelated(t *testing.T) {
+	seen := map[uint64]string{}
+	for master := uint64(0); master < 4; master++ {
+		for i := 0; i < 64; i++ {
+			key := fmt.Sprintf("graph:line:8|p:%d", i)
+			s := Derive(master, key)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: (%d,%q) and %q", master, key, prev)
+			}
+			seen[s] = fmt.Sprintf("(%d,%q)", master, key)
+		}
+	}
 }

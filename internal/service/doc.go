@@ -6,6 +6,9 @@
 // Endpoints:
 //
 //	POST /v1/estimate   estimate the success probability of a scenario
+//	POST /v1/sweep      run a declarative parameter grid; streams one
+//	                    NDJSON line per cell in completion order, then a
+//	                    summary line
 //	GET  /v1/scenarios  the request vocabulary (graph grammar, models,
 //	                    faults, algorithms, adversaries) and server limits
 //	GET  /v1/stats      request/cache/admission counters
@@ -39,6 +42,13 @@
 //     at most MaxQueue callers wait for a slot; beyond that the server
 //     answers 429 with a Retry-After header instead of letting load grow
 //     the engine's footprint without bound.
+//
+// Sweeps compose with the same machinery at cell granularity: a sweep
+// occupies one admission slot (its cells share one worker pool via the
+// sweep scheduler), every cell is keyed individually in the result
+// cache, cached cells answer with zero simulation, stale-but-close
+// cells are topped up by the marginal trials, and each decided cell is
+// written and flushed immediately so clients watch the grid fill in.
 //
 // Invariants (enforced by the package tests): a cache hit or coalesced
 // follower never runs a trial; an answer produced by refinement keeps the

@@ -26,6 +26,11 @@ type Options struct {
 	// DefaultTrials is used when a request names none (default 1000).
 	MaxTrials     int
 	DefaultTrials int
+	// MaxSweepCells rejects sweep requests whose axis cross product
+	// expands to more cells (default 1024). A sweep occupies one
+	// admission slot regardless of cell count — the cells share one
+	// worker pool — so this bounds the work a single slot can hold.
+	MaxSweepCells int
 	// PlanCacheSize bounds the compiled-plan LRU (default 256 plans);
 	// ResultCacheSize bounds the estimate LRU (default 4096 entries);
 	// ResultTTL is the lifetime of a cached estimate (default 5m).
@@ -57,6 +62,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.DefaultTrials > o.MaxTrials {
 		o.DefaultTrials = o.MaxTrials
+	}
+	if o.MaxSweepCells <= 0 {
+		o.MaxSweepCells = 1024
 	}
 	if o.PlanCacheSize <= 0 {
 		o.PlanCacheSize = 256
@@ -92,6 +100,11 @@ type Server struct {
 	mu      sync.Mutex
 	plans   *lru[*faultcast.Plan]
 	results *lru[resultEntry]
+	// sweeps caches whole compiled SweepPlans by grid identity, so a
+	// polling client re-sweeping the same grid skips all compilation
+	// (its cells then hit the result cache too). Deliberately small: one
+	// entry can hold up to MaxSweepCells compiled plans.
+	sweeps *lru[*faultcast.SweepPlan]
 
 	flight  flightGroup
 	slots   chan struct{}
@@ -101,17 +114,20 @@ type Server struct {
 }
 
 type counters struct {
-	requests        atomic.Uint64
-	estimateCalls   atomic.Uint64
-	badRequests     atomic.Uint64
-	cacheHits       atomic.Uint64
-	coalesced       atomic.Uint64
-	executions      atomic.Uint64
-	refines         atomic.Uint64
-	rejected        atomic.Uint64
-	trialsSimulated atomic.Uint64
-	planCompiles    atomic.Uint64
-	planCacheHits   atomic.Uint64
+	requests           atomic.Uint64
+	estimateCalls      atomic.Uint64
+	sweepCalls         atomic.Uint64
+	sweepCells         atomic.Uint64
+	sweepCellCacheHits atomic.Uint64
+	badRequests        atomic.Uint64
+	cacheHits          atomic.Uint64
+	coalesced          atomic.Uint64
+	executions         atomic.Uint64
+	refines            atomic.Uint64
+	rejected           atomic.Uint64
+	trialsSimulated    atomic.Uint64
+	planCompiles       atomic.Uint64
+	planCacheHits      atomic.Uint64
 }
 
 // New returns a Server with the given options (zero fields defaulted).
@@ -122,6 +138,7 @@ func New(opts Options) *Server {
 		start:   opts.Now(),
 		plans:   newLRU[*faultcast.Plan](opts.PlanCacheSize),
 		results: newLRU[resultEntry](opts.ResultCacheSize),
+		sweeps:  newLRU[*faultcast.SweepPlan](16),
 		slots:   make(chan struct{}, opts.MaxInflight),
 	}
 }
@@ -130,12 +147,13 @@ func New(opts Options) *Server {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	// The catch-all matches before the mux's automatic 405, so method
 	// mismatches on known paths are distinguished from unknown paths here.
-	methods := map[string]string{"/v1/estimate": http.MethodPost, "/v1/scenarios": http.MethodGet, "/v1/stats": http.MethodGet, "/healthz": http.MethodGet}
+	methods := map[string]string{"/v1/estimate": http.MethodPost, "/v1/sweep": http.MethodPost, "/v1/scenarios": http.MethodGet, "/v1/stats": http.MethodGet, "/healthz": http.MethodGet}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if want, ok := methods[r.URL.Path]; ok {
 			w.Header().Set("Allow", want)
@@ -390,6 +408,9 @@ type Stats struct {
 	UptimeSeconds      float64 `json:"uptime_seconds"`
 	Requests           uint64  `json:"requests"`
 	EstimateRequests   uint64  `json:"estimate_requests"`
+	SweepRequests      uint64  `json:"sweep_requests"`
+	SweepCells         uint64  `json:"sweep_cells"`
+	SweepCellCacheHits uint64  `json:"sweep_cell_cache_hits"`
 	BadRequests        uint64  `json:"bad_requests"`
 	CacheHits          uint64  `json:"cache_hits"`
 	Coalesced          uint64  `json:"coalesced"`
@@ -414,6 +435,9 @@ func (s *Server) Stats() Stats {
 		UptimeSeconds:      s.opts.Now().Sub(s.start).Seconds(),
 		Requests:           s.c.requests.Load(),
 		EstimateRequests:   s.c.estimateCalls.Load(),
+		SweepRequests:      s.c.sweepCalls.Load(),
+		SweepCells:         s.c.sweepCells.Load(),
+		SweepCellCacheHits: s.c.sweepCellCacheHits.Load(),
 		BadRequests:        s.c.badRequests.Load(),
 		CacheHits:          s.c.cacheHits.Load(),
 		Coalesced:          s.c.coalesced.Load(),
@@ -464,6 +488,7 @@ type ScenarioLimits struct {
 	MaxNodes      int     `json:"max_nodes"`
 	MaxTrials     int     `json:"max_trials"`
 	DefaultTrials int     `json:"default_trials"`
+	MaxSweepCells int     `json:"max_sweep_cells"`
 	MaxInflight   int     `json:"max_inflight"`
 	MaxQueue      int     `json:"max_queue"`
 	ResultTTLSecs float64 `json:"result_ttl_seconds"`
@@ -494,6 +519,7 @@ func (s *Server) handleScenarios(w http.ResponseWriter, _ *http.Request) {
 			MaxNodes:      s.opts.MaxNodes,
 			MaxTrials:     s.opts.MaxTrials,
 			DefaultTrials: s.opts.DefaultTrials,
+			MaxSweepCells: s.opts.MaxSweepCells,
 			MaxInflight:   s.opts.MaxInflight,
 			MaxQueue:      s.opts.MaxQueue,
 			ResultTTLSecs: s.opts.ResultTTL.Seconds(),

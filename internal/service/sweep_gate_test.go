@@ -1,0 +1,30 @@
+package service
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSweepOversizedRejectsFast: a grid over the cell cap must be
+// rejected by arithmetic alone — before compiling 1198 plans.
+func TestSweepOversizedRejectsFast(t *testing.T) {
+	s := New(Options{})
+	var ps []string
+	for i := 1; i < 600; i++ {
+		ps = append(ps, fmt.Sprintf("%.4f", float64(i)*0.001))
+	}
+	body := `{"graphs":["line:8"],"ps":[` + strings.Join(ps, ",") + `],"models":["mp","radio"],"trials":100}`
+	req := httptest.NewRequest("POST", "/v1/sweep", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	t0 := time.Now()
+	s.Handler().ServeHTTP(w, req)
+	if w.Code != 400 || !strings.Contains(w.Body.String(), "sweep-too-large") {
+		t.Fatalf("status %d body %s", w.Code, w.Body.String())
+	}
+	if d := time.Since(t0); d > 2*time.Second {
+		t.Fatalf("oversized rejection took %v — compiled before gating?", d)
+	}
+}

@@ -3,6 +3,7 @@ package faultcast
 import (
 	"fmt"
 
+	"faultcast/internal/exec"
 	"faultcast/internal/sim"
 	"faultcast/internal/stat"
 	"faultcast/internal/trace"
@@ -188,8 +189,16 @@ func (p *Plan) EstimateFrom(prev Estimate, trials int, opts ...EstimateOption) (
 	if o.baseSeed != nil {
 		baseSeed = *o.baseSeed
 	}
-	start := stat.Proportion{Successes: prev.Succeeds, Trials: prev.Trials}
-	prop := stat.EstimateStreamFrom(start, trials, baseSeed, o.workers, o.rule, p.newTrialMaker())
+	// One cell on the shared scheduler (internal/exec): the estimate is a
+	// single-cell schedule, so standalone estimates and sweep cells run on
+	// the same machinery with the same determinism contract.
+	prop := exec.EstimateCell(o.workers, exec.Cell{
+		MaxTrials: trials,
+		BaseSeed:  baseSeed,
+		Start:     stat.Proportion{Successes: prev.Succeeds, Trials: prev.Trials},
+		Rule:      o.rule,
+		NewTrial:  p.newTrialMaker(),
+	})
 	lo, hi := prop.Wilson(1.96)
 	return Estimate{
 		Rate: prop.Rate(), Low: lo, Hi: hi,

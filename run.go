@@ -146,6 +146,24 @@ func ParseAdversary(s string) (AdversaryKind, error) {
 // AdversaryKind selects the malicious strategy for Run.
 type AdversaryKind int
 
+// String returns the ParseAdversary vocabulary form ("worst", "crash",
+// "flip", "noise"), so the value round-trips through the CLI flags and
+// service request fields.
+func (a AdversaryKind) String() string {
+	switch a {
+	case WorstCase:
+		return "worst"
+	case CrashAdv:
+		return "crash"
+	case FlipAdv:
+		return "flip"
+	case NoiseAdv:
+		return "noise"
+	default:
+		return fmt.Sprintf("AdversaryKind(%d)", int(a))
+	}
+}
+
 const (
 	// WorstCase picks the paper's proof-strategy adversary for the
 	// scenario: the equivocator (Theorem 2.3) in the message passing
