@@ -4,6 +4,8 @@
 //	faultcastctl [-addr URL] scenarios              request vocabulary + limits
 //	faultcastctl [-addr URL] stats [-out FILE]      request/cache counters
 //	faultcastctl [-addr URL] estimate -graph SPEC -p P [flags]
+//	faultcastctl [-addr URL] sweep -graphs A,B -ps P1,P2 [flags]
+//	faultcastctl [-addr URL] workers                coordinator fleet health
 //	faultcastctl [-addr URL] smoke [flags]          concurrent load smoke test
 //
 // smoke fires a burst of concurrent identical estimation requests plus a
@@ -11,9 +13,16 @@
 // server amortized the identical burst (cache hits + coalescing, not one
 // execution per request). CI runs it against a race-built faultcastd and
 // archives the resulting /v1/stats snapshot next to BENCH_engine.json.
+//
+// sweep streams a /v1/sweep grid; -sort reorders the NDJSON cell lines
+// into index order, making the output a deterministic artifact — the
+// cluster CI job diffs a coordinator-run sweep against a single-node one
+// byte for byte. workers renders a coordinator's per-worker health, shard
+// counters, and plan-cache hit rates from /v1/stats.
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -21,7 +30,11 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
+	"text/tabwriter"
 	"time"
 
 	"faultcast/internal/service"
@@ -30,7 +43,7 @@ import (
 func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8347", "faultcastd base URL")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: faultcastctl [-addr URL] {health|scenarios|stats|estimate|smoke} [flags]")
+		fmt.Fprintln(os.Stderr, "usage: faultcastctl [-addr URL] {health|scenarios|stats|estimate|sweep|workers|smoke} [flags]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -50,6 +63,10 @@ func main() {
 		err = cmdStats(c, args[1:])
 	case "estimate":
 		err = cmdEstimate(c, args[1:])
+	case "sweep":
+		err = cmdSweep(c, args[1:])
+	case "workers":
+		err = cmdWorkers(c)
 	case "smoke":
 		err = cmdSmoke(c, args[1:])
 	default:
@@ -168,6 +185,180 @@ func cmdEstimate(c *client, args []string) error {
 	fmt.Printf("almost-safe (>= %.4f): %v\n", er.AlmostSafeTarget, er.Almostsafe)
 	fmt.Printf("served: %s (%d trials simulated for this request), plan horizon %d rounds, n=%d\n",
 		er.Served, er.TrialsSimulated, er.Rounds, er.N)
+	return nil
+}
+
+// cmdSweep posts a sweep and streams its NDJSON. With -sort, cell lines
+// are buffered and re-emitted in index order (completion order is
+// scheduling-dependent; index order is deterministic), followed by the
+// summary line — so two runs of the same grid on any topology of
+// machines produce byte-identical files.
+func cmdSweep(c *client, args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	graphs := fs.String("graphs", "", "comma-separated graph specs (required), e.g. grid:6x6,line:32")
+	ps := fs.String("ps", "", "comma-separated failure probabilities (required)")
+	models := fs.String("models", "", "comma-separated model axis (mp, radio)")
+	faults := fs.String("faults", "", "comma-separated fault axis")
+	algos := fs.String("algos", "", "comma-separated algorithm axis")
+	trials := fs.Int("trials", 0, "per-cell trial budget (default server's)")
+	seed := fs.Uint64("seed", 0, "sweep master seed (default 1)")
+	almostSafe := fs.Bool("almost-safe", false, "stop each cell once decided against its almost-safety bound")
+	sortCells := fs.Bool("sort", false, "emit cell lines in index order instead of completion order")
+	out := fs.String("out", "", "also write the NDJSON to this file")
+	fs.Parse(args)
+	if *graphs == "" || *ps == "" {
+		return fmt.Errorf("sweep: -graphs and -ps are required")
+	}
+	req := service.SweepRequest{
+		Graphs:         splitList(*graphs),
+		Models:         splitList(*models),
+		Faults:         splitList(*faults),
+		Algorithms:     splitList(*algos),
+		Trials:         *trials,
+		Seed:           *seed,
+		AlmostSafeStop: *almostSafe,
+	}
+	for _, p := range splitList(*ps) {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return fmt.Errorf("sweep: bad p %q", p)
+		}
+		req.Ps = append(req.Ps, v)
+	}
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Post(c.base+"/v1/sweep", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("sweep: %s: %s", resp.Status, body)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	if !*sortCells {
+		// Stream: the server flushes each cell as it decides, so the grid
+		// fills in live on stdout (and in -out, line by line).
+		var outFile *os.File
+		if *out != "" {
+			var err error
+			if outFile, err = os.Create(*out); err != nil {
+				return err
+			}
+			defer outFile.Close()
+		}
+		for sc.Scan() {
+			line := sc.Text()
+			if line == "" {
+				continue
+			}
+			fmt.Println(line)
+			if outFile != nil {
+				fmt.Fprintln(outFile, line)
+			}
+		}
+		return sc.Err()
+	}
+	// -sort: buffer, reorder cells by index, emit the summary last — a
+	// deterministic artifact two runs of the same grid reproduce byte for
+	// byte whatever the completion order was.
+	type cellLine struct {
+		index int
+		line  string
+	}
+	var cells []cellLine
+	var tail []string // the summary (and anything unrecognized), in arrival order
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		var probe struct {
+			Index *int `json:"index"`
+		}
+		if json.Unmarshal([]byte(line), &probe) == nil && probe.Index != nil {
+			cells = append(cells, cellLine{index: *probe.Index, line: line})
+		} else {
+			tail = append(tail, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	sort.Slice(cells, func(i, j int) bool { return cells[i].index < cells[j].index })
+	for _, cl := range cells {
+		fmt.Fprintln(&buf, cl.line)
+	}
+	for _, line := range tail {
+		fmt.Fprintln(&buf, line)
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, buf.Bytes(), 0o644); err != nil {
+			return err
+		}
+	}
+	_, err = os.Stdout.Write(buf.Bytes())
+	return err
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// cmdWorkers renders a coordinator's fleet view from /v1/stats: one line
+// per configured worker with health, shard counters, and the plan-cache
+// hit rate of its shards, then the coordinator's dispatch totals.
+func cmdWorkers(c *client) error {
+	body, err := c.get("/v1/stats")
+	if err != nil {
+		return err
+	}
+	var st service.Stats
+	if err := json.Unmarshal(body, &st); err != nil {
+		return err
+	}
+	if st.Cluster == nil {
+		fmt.Println("no workers configured (the server is not a coordinator; start faultcastd with -workers)")
+		return nil
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "WORKER\tSTATE\tINFLIGHT\tOK\tFAILED\tCONSEC\tTRIALS\tPLAN CACHE\tLAST ERROR")
+	for _, w := range st.Cluster.Workers {
+		state := "up"
+		if !w.Healthy {
+			state = fmt.Sprintf("down %.0fs", w.DownForSeconds)
+		}
+		hitRate := "-"
+		if total := w.PlanCacheHits + w.PlanCompiles; total > 0 {
+			hitRate = fmt.Sprintf("%d/%d (%.0f%%)", w.PlanCacheHits, total, 100*float64(w.PlanCacheHits)/float64(total))
+		}
+		lastErr := w.LastError
+		if lastErr == "" {
+			lastErr = "-"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\t%d\t%s\t%s\n",
+			w.URL, state, w.Inflight, w.ShardsOK, w.ShardsFailed, w.ConsecutiveFailures, w.TrialsExecuted, hitRate, lastErr)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("cells distributed %d (local %d), shards dispatched %d, retries %d, local failovers %d, shard size %d trials\n",
+		st.Cluster.CellsDistributed, st.Cluster.LocalCells, st.Cluster.ShardsDispatched,
+		st.Cluster.ShardRetries, st.Cluster.LocalFailovers, st.Cluster.ShardTrials)
 	return nil
 }
 

@@ -4,14 +4,27 @@
 // and result caches, request coalescing, confidence-aware estimate reuse,
 // and bounded admission (429 + Retry-After under overload).
 //
-// Endpoints: POST /v1/estimate, GET /v1/scenarios, GET /v1/stats,
-// GET /healthz. See internal/service for semantics and cmd/faultcastctl
-// for a client.
+// Endpoints: POST /v1/estimate, POST /v1/sweep, POST /v1/shard,
+// GET /v1/scenarios, GET /v1/stats, GET /healthz. See internal/service
+// for semantics and cmd/faultcastctl for a client.
 //
-// Example:
+// Every faultcastd is also a cluster worker: POST /v1/shard executes one
+// shard of a remote coordinator's trial stream against the local plan
+// cache. With -workers, the daemon additionally becomes a coordinator:
+// estimates and sweeps are split into fixed-size shards and fanned out
+// across the listed workers, with per-worker health tracking, retry, and
+// transparent failover to local execution — and results bit-identical to
+// a single-node run. On SIGTERM the daemon drains gracefully: new shard
+// work is refused with 503 while in-flight work finishes, then the
+// listener closes.
 //
-//	faultcastd -addr 127.0.0.1:8347 &
+// Example (one coordinator, two workers):
+//
+//	faultcastd -addr 127.0.0.1:8351 &
+//	faultcastd -addr 127.0.0.1:8352 &
+//	faultcastd -addr 127.0.0.1:8347 -workers http://127.0.0.1:8351,http://127.0.0.1:8352 &
 //	faultcastctl -addr http://127.0.0.1:8347 estimate -graph grid:8x8 -p 0.5 -trials 5000
+//	faultcastctl -addr http://127.0.0.1:8347 workers
 package main
 
 import (
@@ -21,9 +34,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"faultcast/internal/cluster"
 	"faultcast/internal/service"
 )
 
@@ -32,17 +47,19 @@ func main() {
 		addr          = flag.String("addr", "127.0.0.1:8347", "listen address")
 		maxInflight   = flag.Int("max-inflight", 0, "concurrently executing estimations (0 = GOMAXPROCS)")
 		maxQueue      = flag.Int("max-queue", 0, "requests waiting for a slot before 429 (0 = 64, negative = no queue)")
-		workers       = flag.Int("workers", 0, "worker goroutines per estimation (0 = GOMAXPROCS)")
+		workers       = flag.Int("workers-per-run", 0, "worker goroutines per estimation (0 = GOMAXPROCS)")
 		planCache     = flag.Int("plan-cache", 0, "compiled plans kept in the LRU (0 = 256)")
 		resultCache   = flag.Int("result-cache", 0, "estimates kept in the result cache (0 = 4096)")
 		resultTTL     = flag.Duration("result-ttl", 0, "lifetime of a cached estimate (0 = 5m)")
 		maxNodes      = flag.Int("max-nodes", 0, "largest served graph (0 = 4096 vertices)")
 		maxTrials     = flag.Int("max-trials", 0, "per-request trial cap (0 = 200000)")
 		defaultTrials = flag.Int("default-trials", 0, "trial budget when a request names none (0 = 1000)")
+		workerURLs    = flag.String("workers", "", "comma-separated worker base URLs; enables coordinator mode")
+		shardTrials   = flag.Int("shard-trials", 0, "trials per dispatched shard in coordinator mode (0 = 512)")
 	)
 	flag.Parse()
 
-	srv := service.New(service.Options{
+	opts := service.Options{
 		MaxNodes:        *maxNodes,
 		MaxTrials:       *maxTrials,
 		DefaultTrials:   *defaultTrials,
@@ -52,7 +69,26 @@ func main() {
 		MaxInflight:     *maxInflight,
 		MaxQueue:        *maxQueue,
 		Workers:         *workers,
-	})
+	}
+	if *workerURLs != "" {
+		urls := strings.Split(*workerURLs, ",")
+		for _, u := range urls {
+			// -workers used to be the goroutines-per-estimation count
+			// (now -workers-per-run); fail loudly on anything that isn't a
+			// worker base URL rather than dispatch shards into the void.
+			if u = strings.TrimSpace(u); !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+				log.Fatalf("faultcastd: -workers takes worker base URLs (got %q); for per-estimation goroutines use -workers-per-run", u)
+			}
+		}
+		opts.Cluster = cluster.New(urls, cluster.Options{
+			ShardTrials: *shardTrials,
+			// Failover shards respect the same per-run goroutine bound as
+			// everything else on this process.
+			LocalWorkers: *workers,
+		})
+		log.Printf("faultcastd: coordinator mode over %d workers: %s", len(urls), *workerURLs)
+	}
+	srv := service.New(opts)
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
@@ -65,7 +101,12 @@ func main() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		log.Print("faultcastd: shutting down")
+		// Drain before Shutdown: new shard work is refused with 503 (so
+		// coordinators re-route immediately instead of losing shards to a
+		// closed listener), then Shutdown waits for everything in flight —
+		// shards included — before closing the listener.
+		srv.BeginDrain()
+		log.Print("faultcastd: draining, then shutting down")
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {

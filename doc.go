@@ -35,6 +35,11 @@
 //   - adaptive threshold search: ThresholdSearch brackets a scenario's
 //     empirical feasibility threshold by bisection on p with sequential
 //     Wilson tests, for comparison against the closed-form Threshold;
+//   - pluggable execution: WithDispatcher / WithSweepDispatcher swap the
+//     in-process worker pool for any exec.Dispatcher — in particular the
+//     cluster coordinator (internal/cluster), which fans trial shards out
+//     across remote faultcastd workers with bit-identical results;
+//     Plan.TallyShard is the worker-side shard primitive;
 //   - canonical keying: Config.Fingerprint hashes the simulation semantics
 //     (graph structure, scenario, seed — not graph names, engine selectors,
 //     or tracing), so semantically identical configurations key equal in
@@ -66,6 +71,10 @@
 //     count or co-scheduled cells (TestSweepMatchesPerCellEstimate), and
 //     cell seeds derive from (sweep seed, cell identity) so editing a grid
 //     never perturbs the streams of its unchanged cells.
+//   - A distributed estimate or sweep through a cluster coordinator equals
+//     the local single-process result bit for bit, including under worker
+//     failure mid-run (internal/cluster's bit-identity tests over real
+//     HTTP workers).
 //
 // Lower-level control (custom protocols, custom adversaries, round
 // observers, the goroutine-per-node engine) is available in the internal

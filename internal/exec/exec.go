@@ -57,6 +57,12 @@ type Cell struct {
 	// NewTrial functions are interchangeable — e.g. cells compiled from
 	// the same plan, whose trials differ only in the seed argument.
 	SharedKey string
+	// Scenario is an opaque wire description of the cell's computation,
+	// consumed by remote Dispatchers (the cluster coordinator ships it to
+	// workers, which recompile the plan there). The in-process Dispatcher
+	// ignores it; NewTrial remains authoritative locally — including for a
+	// remote dispatcher's failover path.
+	Scenario any
 }
 
 // Run executes the cells on one pool of `workers` goroutines (<= 0 means

@@ -9,10 +9,13 @@
 //	POST /v1/sweep      run a declarative parameter grid; streams one
 //	                    NDJSON line per cell in completion order, then a
 //	                    summary line
+//	POST /v1/shard      execute one shard of a cluster coordinator's trial
+//	                    stream and return its per-batch success tally
 //	GET  /v1/scenarios  the request vocabulary (graph grammar, models,
 //	                    faults, algorithms, adversaries) and server limits
-//	GET  /v1/stats      request/cache/admission counters
-//	GET  /healthz       liveness
+//	GET  /v1/stats      request/cache/admission counters (plus the fleet
+//	                    snapshot in coordinator mode)
+//	GET  /healthz       liveness (reports "draining" during shutdown)
 //
 // Four mechanisms stand between a request and the engine, in order:
 //
@@ -49,6 +52,15 @@
 // cache, cached cells answer with zero simulation, stale-but-close
 // cells are topped up by the marginal trials, and each decided cell is
 // written and flushed immediately so clients watch the grid fill in.
+//
+// The cluster layer rides the same plan cache: every server is a worker
+// (POST /v1/shard rebuilds a wire scenario, verifies the coordinator's
+// plan key, and tallies one seed range with no stopping rule — shards of
+// one scenario compile at most once per worker), and a server built with
+// Options.Cluster is a coordinator whose estimates and sweeps dispatch
+// through the fleet with bit-identical results. BeginDrain supports
+// graceful shutdown: new shard work is refused with 503/"draining" while
+// in-flight work completes — see internal/cluster for the protocol.
 //
 // Invariants (enforced by the package tests): a cache hit or coalesced
 // follower never runs a trial; an answer produced by refinement keeps the

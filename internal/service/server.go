@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"faultcast"
+	"faultcast/internal/cluster"
 )
 
 // Options tunes a Server. The zero value gets sensible defaults (see
@@ -46,6 +47,13 @@ type Options struct {
 	// GOMAXPROCS). With MaxInflight > 1, lowering it keeps one request
 	// from monopolizing the cores.
 	Workers int
+	// Cluster, when non-nil, puts the server in coordinator mode: every
+	// estimate and sweep dispatches its trial stream through the cluster
+	// coordinator (shards fanned out to remote workers, transparent local
+	// failover) instead of the in-process pool, with bit-identical
+	// results. The coordinator's per-worker health and shard counters are
+	// surfaced in /v1/stats.
+	Cluster *cluster.Coordinator
 	// Now is the clock, overridable by TTL tests (default time.Now).
 	Now func() time.Time
 }
@@ -110,6 +118,12 @@ type Server struct {
 	slots   chan struct{}
 	waiting atomic.Int64
 
+	// draining gates /v1/shard: once set, new shard work is refused with
+	// 503 while everything already admitted runs to completion — the
+	// graceful-drain half of a worker's SIGTERM handling.
+	draining      atomic.Bool
+	shardInflight atomic.Int64
+
 	c counters
 }
 
@@ -128,6 +142,10 @@ type counters struct {
 	trialsSimulated    atomic.Uint64
 	planCompiles       atomic.Uint64
 	planCacheHits      atomic.Uint64
+	shardCalls         atomic.Uint64
+	shardsExecuted     atomic.Uint64
+	shardTrials        atomic.Uint64
+	shardsDrained      atomic.Uint64
 }
 
 // New returns a Server with the given options (zero fields defaulted).
@@ -148,12 +166,13 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("POST /v1/shard", s.handleShard)
 	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	// The catch-all matches before the mux's automatic 405, so method
 	// mismatches on known paths are distinguished from unknown paths here.
-	methods := map[string]string{"/v1/estimate": http.MethodPost, "/v1/sweep": http.MethodPost, "/v1/scenarios": http.MethodGet, "/v1/stats": http.MethodGet, "/healthz": http.MethodGet}
+	methods := map[string]string{"/v1/estimate": http.MethodPost, "/v1/sweep": http.MethodPost, "/v1/shard": http.MethodPost, "/v1/scenarios": http.MethodGet, "/v1/stats": http.MethodGet, "/healthz": http.MethodGet}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if want, ok := methods[r.URL.Path]; ok {
 			w.Header().Set("Allow", want)
@@ -256,7 +275,7 @@ func (s *Server) execute(ctx context.Context, cfg faultcast.Config, key string, 
 	// cache stays on the seed-inclusive key — results DO depend on it.
 	seedless := cfg
 	seedless.Seed = 0
-	plan, err := s.plan(seedless.Fingerprint(), seedless)
+	plan, _, err := s.plan(seedless.Fingerprint(), seedless)
 	if err != nil {
 		// Compile rejects scenario mismatches request validation cannot
 		// see (e.g. flooding requested under the radio model).
@@ -267,6 +286,9 @@ func (s *Server) execute(ctx context.Context, cfg faultcast.Config, key string, 
 	opts := []faultcast.EstimateOption{faultcast.WithBaseSeed(cfg.Seed)}
 	if s.opts.Workers > 0 {
 		opts = append(opts, faultcast.WithWorkers(s.opts.Workers))
+	}
+	if s.opts.Cluster != nil {
+		opts = append(opts, faultcast.WithDispatcher(s.opts.Cluster))
 	}
 	if halfWidth > 0 {
 		opts = append(opts, faultcast.WithHalfWidth(halfWidth))
@@ -313,24 +335,25 @@ func (s *Server) acquire(ctx context.Context) bool {
 func (s *Server) release() { <-s.slots }
 
 // plan returns the cached compiled plan for key, compiling (outside the
-// cache lock — compiles can be slow) on a miss.
-func (s *Server) plan(key string, cfg faultcast.Config) (*faultcast.Plan, error) {
+// cache lock — compiles can be slow) on a miss; cached reports which of
+// the two happened (the shard endpoint surfaces it to its coordinator).
+func (s *Server) plan(key string, cfg faultcast.Config) (plan *faultcast.Plan, cached bool, err error) {
 	s.mu.Lock()
 	if p, ok := s.plans.get(key); ok {
 		s.mu.Unlock()
 		s.c.planCacheHits.Add(1)
-		return p, nil
+		return p, true, nil
 	}
 	s.mu.Unlock()
-	plan, err := faultcast.Compile(cfg)
+	plan, err = faultcast.Compile(cfg)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	s.c.planCompiles.Add(1)
 	s.mu.Lock()
 	s.plans.put(key, plan)
 	s.mu.Unlock()
-	return plan, nil
+	return plan, false, nil
 }
 
 // cachedSatisfying returns the cached entry for key iff it is fresh and
@@ -424,6 +447,17 @@ type Stats struct {
 	Waiting            int64   `json:"waiting"`
 	PlanCacheEntries   int     `json:"plan_cache_entries"`
 	ResultCacheEntries int     `json:"result_cache_entries"`
+	// Worker-side shard counters (the /v1/shard endpoint).
+	ShardRequests  uint64 `json:"shard_requests"`
+	ShardsExecuted uint64 `json:"shards_executed"`
+	ShardTrials    uint64 `json:"shard_trials"`
+	ShardsDrained  uint64 `json:"shards_drained"`
+	ShardInflight  int64  `json:"shard_inflight"`
+	Draining       bool   `json:"draining"`
+	// Cluster is the coordinator's fleet snapshot — per-worker health,
+	// shard counters, and plan-cache hit rates. Present only in
+	// coordinator mode (faultcastd -workers).
+	Cluster *cluster.Status `json:"cluster,omitempty"`
 }
 
 // Stats snapshots the server counters.
@@ -431,7 +465,7 @@ func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	planLen, resultLen := s.plans.len(), s.results.len()
 	s.mu.Unlock()
-	return Stats{
+	st := Stats{
 		UptimeSeconds:      s.opts.Now().Sub(s.start).Seconds(),
 		Requests:           s.c.requests.Load(),
 		EstimateRequests:   s.c.estimateCalls.Load(),
@@ -451,7 +485,18 @@ func (s *Server) Stats() Stats {
 		Waiting:            s.waiting.Load(),
 		PlanCacheEntries:   planLen,
 		ResultCacheEntries: resultLen,
+		ShardRequests:      s.c.shardCalls.Load(),
+		ShardsExecuted:     s.c.shardsExecuted.Load(),
+		ShardTrials:        s.c.shardTrials.Load(),
+		ShardsDrained:      s.c.shardsDrained.Load(),
+		ShardInflight:      s.shardInflight.Load(),
+		Draining:           s.draining.Load(),
 	}
+	if s.opts.Cluster != nil {
+		cs := s.opts.Cluster.Status()
+		st.Cluster = &cs
+	}
+	return st
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -459,8 +504,14 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		// Still 200 — the process is healthy — but load balancers and
+		// coordinators can see the drain and steer work elsewhere.
+		status = "draining"
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":         "ok",
+		"status":         status,
 		"uptime_seconds": s.opts.Now().Sub(s.start).Seconds(),
 	})
 }

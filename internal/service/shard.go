@@ -1,0 +1,127 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"faultcast/internal/cluster"
+)
+
+// BeginDrain puts the server into drain mode: new /v1/shard work is
+// refused with 503/"draining" — coordinators treat that as a dispatch
+// failure and re-route the shard to another worker or run it locally —
+// while estimates, sweeps, and shards already admitted run to
+// completion. faultcastd calls this on SIGTERM before http.Server.
+// Shutdown, so by the time the listener closes every in-flight shard has
+// been answered, not dropped. Draining is irreversible for the process
+// (it only ever precedes shutdown) and is surfaced in /healthz and
+// /v1/stats.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// ShardInflight reports the number of /v1/shard executions currently
+// running — zero once a drain has quiesced.
+func (s *Server) ShardInflight() int { return int(s.shardInflight.Load()) }
+
+// handleShard executes one shard of a remote coordinator's trial stream:
+// rebuild the scenario from the wire (verifying the coordinator's plan
+// key), reuse or compile the plan through the same seed-less plan cache
+// every other endpoint shares — so all shards of a scenario compile at
+// most once per worker — run the shard's exact seed range with no
+// stopping rule, and return the per-batch success tally. Shards occupy
+// an admission slot like any other execution, so a worker under
+// coordinator load still backpressures with 429 rather than oversubscribe
+// its cores.
+func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
+	s.c.shardCalls.Add(1)
+	if s.draining.Load() {
+		s.c.shardsDrained.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{
+			Error:             "worker is draining; re-dispatch the shard elsewhere",
+			Code:              "draining",
+			RetryAfterSeconds: 1,
+		})
+		return
+	}
+	// The inflight count covers validation through execution: a drain
+	// beginning after this point lets the shard finish.
+	s.shardInflight.Add(1)
+	defer s.shardInflight.Add(-1)
+
+	r.Body = http.MaxBytesReader(w, r.Body, 16<<20)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req cluster.ShardRequest
+	if err := dec.Decode(&req); err != nil {
+		s.c.badRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), Code: "bad-json"})
+		return
+	}
+	cfg, err := req.Config()
+	if err != nil {
+		s.c.badRequests.Add(1)
+		if errors.Is(err, cluster.ErrPlanKeyMismatch) {
+			// 409, not 400: the request was well-formed, but the two sides
+			// disagree on what scenario it names — version drift the
+			// coordinator must surface, not retry around.
+			writeJSON(w, http.StatusConflict, ErrorResponse{Error: err.Error(), Code: "plan-key-mismatch"})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), Code: "bad-request"})
+		return
+	}
+	if n := cfg.Graph.N(); n > s.opts.MaxNodes {
+		s.c.badRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{
+			Error: "shard graph exceeds this worker's max_nodes",
+			Code:  "graph-too-large", Field: "graph",
+		})
+		return
+	}
+	if err := req.CheckShard(s.opts.MaxTrials); err != nil {
+		s.c.badRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), Code: "bad-request"})
+		return
+	}
+	if !s.acquire(r.Context()) {
+		s.c.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
+			Error:             "shard capacity exhausted; re-dispatch elsewhere or retry shortly",
+			Code:              "overloaded",
+			RetryAfterSeconds: 1,
+		})
+		return
+	}
+	defer s.release()
+
+	key := cfg.Fingerprint() // cfg is seed-less by wire construction
+	plan, cached, err := s.plan(key, cfg)
+	if err != nil {
+		// Compile rejects scenario mismatches validation cannot see
+		// (e.g. flooding requested under the radio model).
+		s.c.badRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), Code: "bad-request"})
+		return
+	}
+	tally := plan.TallyShard(req.BaseSeed, req.Trials, req.Batch, s.opts.Workers)
+	s.c.shardsExecuted.Add(1)
+	s.c.shardTrials.Add(uint64(tally.Trials))
+	s.c.trialsSimulated.Add(uint64(tally.Trials))
+	source := "compiled"
+	if cached {
+		source = "cache"
+	}
+	writeJSON(w, http.StatusOK, cluster.ShardResponse{
+		Key:        key,
+		Index:      req.Index,
+		Trials:     tally.Trials,
+		Batch:      tally.Batch,
+		Successes:  tally.Successes,
+		PlanSource: source,
+	})
+}

@@ -1,0 +1,226 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"faultcast"
+	"faultcast/internal/cluster"
+)
+
+func postShard(t *testing.T, url string, req cluster.ShardRequest) (int, cluster.ShardResponse, ErrorResponse) {
+	t.Helper()
+	payload, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/shard", "application/json", strings.NewReader(string(payload)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr cluster.ShardResponse
+	var er ErrorResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		_ = json.NewDecoder(resp.Body).Decode(&er)
+	}
+	return resp.StatusCode, sr, er
+}
+
+func shardRequest(t *testing.T, cfg faultcast.Config, baseSeed uint64, trials, batch int) cluster.ShardRequest {
+	t.Helper()
+	req, err := cluster.NewShardRequest(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.BaseSeed = baseSeed
+	req.Trials = trials
+	req.Batch = batch
+	return req
+}
+
+var shardCfg = faultcast.Config{Graph: faultcast.Grid(5, 5), Message: []byte("1"), P: 0.5}
+
+// TestShardEndpointTally: the endpoint must return exactly the tally the
+// plan computes locally, and repeated shards of one scenario must hit the
+// worker's plan cache after the first.
+func TestShardEndpointTally(t *testing.T) {
+	s, ts := testServer(t, Options{})
+	plan, err := faultcast.Compile(shardCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := plan.TallyShard(1000, 96, 32, 0)
+
+	status, sr, _ := postShard(t, ts.URL, shardRequest(t, shardCfg, 1000, 96, 32))
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	if sr.Trials != 96 || sr.Batch != 32 || len(sr.Successes) != 3 {
+		t.Fatalf("tally shape %+v", sr)
+	}
+	for i := range want.Successes {
+		if sr.Successes[i] != want.Successes[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, sr.Successes[i], want.Successes[i])
+		}
+	}
+	if sr.PlanSource != "compiled" {
+		t.Fatalf("first shard plan source %q", sr.PlanSource)
+	}
+	// Second shard of the same scenario: plan cache hit.
+	status, sr, _ = postShard(t, ts.URL, shardRequest(t, shardCfg, 1096, 96, 32))
+	if status != http.StatusOK || sr.PlanSource != "cache" {
+		t.Fatalf("second shard: status %d, plan source %q", status, sr.PlanSource)
+	}
+	st := s.Stats()
+	if st.ShardRequests != 2 || st.ShardsExecuted != 2 || st.ShardTrials != 192 {
+		t.Fatalf("shard counters: %+v", st)
+	}
+}
+
+func TestShardEndpointValidation(t *testing.T) {
+	_, ts := testServer(t, Options{MaxNodes: 16, MaxTrials: 1000})
+
+	// Tampered scenario: plan-key mismatch is a 409.
+	req := shardRequest(t, shardCfg, 1, 32, 32)
+	req.P = 0.6
+	if status, _, er := postShard(t, ts.URL, req); status != http.StatusConflict || er.Code != "plan-key-mismatch" {
+		t.Fatalf("tampered shard: status %d, code %q", status, er.Code)
+	}
+	// Oversized graph for this worker.
+	if status, _, er := postShard(t, ts.URL, shardRequest(t, shardCfg, 1, 32, 32)); status != http.StatusBadRequest || er.Code != "graph-too-large" {
+		t.Fatalf("oversized graph: status %d, code %q", status, er.Code)
+	}
+	small := faultcast.Config{Graph: faultcast.Line(8), Message: []byte("1"), P: 0.5}
+	// Over-budget shard.
+	if status, _, er := postShard(t, ts.URL, shardRequest(t, small, 1, 5000, 32)); status != http.StatusBadRequest || er.Code != "bad-request" {
+		t.Fatalf("oversized shard: status %d, code %q", status, er.Code)
+	}
+	// Batch larger than the shard.
+	if status, _, _ := postShard(t, ts.URL, shardRequest(t, small, 1, 10, 32)); status != http.StatusBadRequest {
+		t.Fatalf("bad batch accepted: status %d", status)
+	}
+	// Scenario the compiler rejects: flooding under the radio model.
+	bad := faultcast.Config{Graph: faultcast.Line(8), Message: []byte("1"), P: 0.5, Model: faultcast.Radio, Algorithm: faultcast.Flooding}
+	if status, _, _ := postShard(t, ts.URL, shardRequest(t, bad, 1, 32, 32)); status != http.StatusBadRequest {
+		t.Fatalf("uncompilable shard accepted: status %d", status)
+	}
+}
+
+// TestShardDrain pins the graceful-drain satellite: before BeginDrain
+// shards execute; after it they are refused with 503/"draining" (and a
+// Retry-After header) while an already-admitted shard runs to completion.
+func TestShardDrain(t *testing.T) {
+	s, ts := testServer(t, Options{MaxTrials: 1 << 20})
+	if s.Draining() {
+		t.Fatal("fresh server draining")
+	}
+
+	// A long shard admitted before the drain: it must complete with 200
+	// even though the drain begins while it runs. (If the machine is fast
+	// enough that it finishes first, the assertion still holds — the test
+	// then only proves the post-drain 503.)
+	done := make(chan int, 1)
+	go func() {
+		status, _, _ := postShard(t, ts.URL, shardRequest(t, shardCfg, 1, 5000, 5000))
+		done <- status
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.ShardInflight() == 0 && time.Now().Before(deadline) {
+		select {
+		case status := <-done:
+			// Finished before we saw it in flight; fall through to drain.
+			if status != http.StatusOK {
+				t.Fatalf("pre-drain shard: status %d", status)
+			}
+			done <- status
+		default:
+			time.Sleep(time.Millisecond)
+		}
+		if len(done) > 0 {
+			break
+		}
+	}
+
+	s.BeginDrain()
+	if !s.Draining() {
+		t.Fatal("BeginDrain did not stick")
+	}
+	status, _, er := postShard(t, ts.URL, shardRequest(t, shardCfg, 1, 32, 32))
+	if status != http.StatusServiceUnavailable || er.Code != "draining" {
+		t.Fatalf("post-drain shard: status %d, code %q", status, er.Code)
+	}
+	if status := <-done; status != http.StatusOK {
+		t.Fatalf("in-flight shard was not allowed to finish: status %d", status)
+	}
+	if s.ShardInflight() != 0 {
+		t.Fatalf("shard inflight %d after quiesce", s.ShardInflight())
+	}
+	st := s.Stats()
+	if !st.Draining || st.ShardsDrained == 0 {
+		t.Fatalf("drain not surfaced in stats: %+v", st)
+	}
+
+	// Estimates and sweeps keep working during a drain — only new shard
+	// work is refused.
+	er2 := postEstimate(t, ts.URL, EstimateRequest{Graph: "line:8", P: 0.2, Trials: 50})
+	if er2.Trials != 50 {
+		t.Fatalf("estimate during drain: %+v", er2)
+	}
+
+	// /healthz reports the drain (still 200 — the process is healthy).
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hz struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || hz.Status != "draining" {
+		t.Fatalf("healthz during drain: %d %q", resp.StatusCode, hz.Status)
+	}
+}
+
+// TestCoordinatorModeServesClusterStats: a server wired to a coordinator
+// surfaces the fleet in /v1/stats, and its estimates go through the
+// cluster with answers identical to a plain server's.
+func TestCoordinatorModeServesClusterStats(t *testing.T) {
+	_, workerTS := testServer(t, Options{})
+	coord := cluster.New([]string{workerTS.URL}, cluster.Options{ShardTrials: 64})
+	_, coordTS := testServer(t, Options{Cluster: coord})
+	_, plainTS := testServer(t, Options{})
+
+	req := EstimateRequest{Graph: "grid:5x5", P: 0.5, Trials: 400}
+	viaCluster := postEstimate(t, coordTS.URL, req)
+	viaLocal := postEstimate(t, plainTS.URL, req)
+	if viaCluster.Rate != viaLocal.Rate || viaCluster.Trials != viaLocal.Trials || viaCluster.Successes != viaLocal.Successes {
+		t.Fatalf("coordinator-mode estimate %+v != plain %+v", viaCluster, viaLocal)
+	}
+
+	resp, err := http.Get(coordTS.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Cluster == nil || len(st.Cluster.Workers) != 1 {
+		t.Fatalf("cluster status missing from coordinator stats: %+v", st)
+	}
+	if st.Cluster.Workers[0].ShardsOK == 0 {
+		t.Fatalf("worker executed no shards: %+v", st.Cluster)
+	}
+}

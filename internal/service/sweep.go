@@ -356,6 +356,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if s.opts.Workers > 0 {
 		opts = append(opts, faultcast.WithSweepWorkers(s.opts.Workers))
 	}
+	if s.opts.Cluster != nil {
+		opts = append(opts, faultcast.WithSweepDispatcher(s.opts.Cluster))
+	}
 	// Emit calls are serialized by the sweep runner, so the encoder and
 	// summary tallies need no extra locking.
 	runErr := sp.Run(r.Context(), func(res faultcast.CellResult) {

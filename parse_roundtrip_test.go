@@ -1,0 +1,70 @@
+package faultcast
+
+import "testing"
+
+// These property tests pin the Parse*(X.String()) identities for every
+// defined enum value. The cluster wire format depends on them: a shard
+// request carries its scenario's enums in String() form and the worker
+// rebuilds the config with the parsers, so any value that failed to
+// round-trip would make every shard of that scenario undispatchable.
+
+func TestParseModelRoundTrip(t *testing.T) {
+	for _, m := range []Model{MessagePassing, Radio} {
+		got, err := ParseModel(m.String())
+		if err != nil {
+			t.Errorf("ParseModel(%q): %v", m.String(), err)
+		} else if got != m {
+			t.Errorf("ParseModel(%q) = %v, want %v", m.String(), got, m)
+		}
+	}
+}
+
+func TestParseFaultRoundTrip(t *testing.T) {
+	for _, f := range []Fault{Omission, Malicious, LimitedMalicious} {
+		got, err := ParseFault(f.String())
+		if err != nil {
+			t.Errorf("ParseFault(%q): %v", f.String(), err)
+		} else if got != f {
+			t.Errorf("ParseFault(%q) = %v, want %v", f.String(), got, f)
+		}
+	}
+}
+
+func TestParseAlgorithmRoundTrip(t *testing.T) {
+	for _, a := range []Algorithm{Auto, SimpleOmission, SimpleMalicious, Flooding, Composed, RadioRepeat, TimingBit} {
+		got, err := ParseAlgorithm(a.String())
+		if err != nil {
+			t.Errorf("ParseAlgorithm(%q): %v", a.String(), err)
+		} else if got != a {
+			t.Errorf("ParseAlgorithm(%q) = %v, want %v", a.String(), got, a)
+		}
+	}
+}
+
+func TestParseAdversaryRoundTrip(t *testing.T) {
+	for _, a := range []AdversaryKind{WorstCase, CrashAdv, FlipAdv, NoiseAdv} {
+		got, err := ParseAdversary(a.String())
+		if err != nil {
+			t.Errorf("ParseAdversary(%q): %v", a.String(), err)
+		} else if got != a {
+			t.Errorf("ParseAdversary(%q) = %v, want %v", a.String(), got, a)
+		}
+	}
+}
+
+// Undefined values must render distinctly (the Stringer fallback) and
+// fail to parse rather than alias a defined value.
+func TestParseRejectsUndefined(t *testing.T) {
+	if _, err := ParseModel(Model(99).String()); err == nil {
+		t.Error("undefined Model round-tripped")
+	}
+	if _, err := ParseFault(Fault(99).String()); err == nil {
+		t.Error("undefined Fault round-tripped")
+	}
+	if _, err := ParseAlgorithm(Algorithm(99).String()); err == nil {
+		t.Error("undefined Algorithm round-tripped")
+	}
+	if _, err := ParseAdversary(AdversaryKind(99).String()); err == nil {
+		t.Error("undefined AdversaryKind round-tripped")
+	}
+}

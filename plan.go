@@ -1,6 +1,7 @@
 package faultcast
 
 import (
+	"context"
 	"fmt"
 
 	"faultcast/internal/exec"
@@ -92,6 +93,7 @@ type estimateOptions struct {
 	workers    int
 	rule       stat.StopRule
 	almostSafe bool
+	dispatcher exec.Dispatcher
 }
 
 // EstimateOption tunes Plan.Estimate.
@@ -143,6 +145,15 @@ func WithHalfWidth(w float64) EstimateOption {
 	return func(o *estimateOptions) { o.rule.HalfWidth = w }
 }
 
+// WithDispatcher routes the estimate's trial stream through d — e.g. a
+// cluster coordinator fanning shards out to remote faultcastd workers —
+// instead of the in-process pool. Every dispatcher honors the same
+// batch-boundary determinism contract, so the estimate is bit-identical
+// whichever one runs it (the cluster tests pin this).
+func WithDispatcher(d exec.Dispatcher) EstimateOption {
+	return func(o *estimateOptions) { o.dispatcher = d }
+}
+
 // Estimate runs up to `trials` independent simulations (seeds Seed+i)
 // across worker goroutines and estimates the success probability with a
 // 95% Wilson interval. Each sequential worker reuses one engine state for
@@ -191,19 +202,63 @@ func (p *Plan) EstimateFrom(prev Estimate, trials int, opts ...EstimateOption) (
 	}
 	// One cell on the shared scheduler (internal/exec): the estimate is a
 	// single-cell schedule, so standalone estimates and sweep cells run on
-	// the same machinery with the same determinism contract.
-	prop := exec.EstimateCell(o.workers, exec.Cell{
+	// the same machinery with the same determinism contract. A configured
+	// dispatcher (WithDispatcher) replaces the in-process pool; the cell
+	// carries its Config so a remote dispatcher can ship the scenario.
+	cell := exec.Cell{
 		MaxTrials: trials,
 		BaseSeed:  baseSeed,
 		Start:     stat.Proportion{Successes: prev.Succeeds, Trials: prev.Trials},
 		Rule:      o.rule,
 		NewTrial:  p.newTrialMaker(),
-	})
+		Scenario:  p.cfg,
+	}
+	var prop stat.Proportion
+	d := o.dispatcher
+	if d == nil {
+		d = exec.Local{}
+	}
+	// Background context: a lone estimate has no cancellation surface.
+	if err := d.Run(context.Background(), o.workers, []exec.Cell{cell}, func(_ int, got stat.Proportion) { prop = got }); err != nil {
+		return Estimate{}, err
+	}
 	lo, hi := prop.Wilson(1.96)
 	return Estimate{
 		Rate: prop.Rate(), Low: lo, Hi: hi,
 		Trials: prop.Trials, Succeeds: prop.Successes,
 	}, nil
+}
+
+// ShardTally is the raw, mergeable outcome of one shard of a plan's trial
+// stream: success counts bucketed per batch, in trial order. It is the
+// unit of work the cluster layer moves between machines; a coordinator
+// concatenates tallies in shard order and replays the stopping rule over
+// the merged prefixes, reproducing the single-process stop decisions
+// exactly (see internal/cluster).
+type ShardTally struct {
+	// Trials is the number of trials the shard executed.
+	Trials int
+	// Batch is the bucket granularity: Successes[i] counts successes among
+	// shard trials [i*Batch, min((i+1)*Batch, Trials)).
+	Batch int
+	// Successes has ceil(Trials/Batch) entries.
+	Successes []int
+}
+
+// TallyShard runs trials with seeds baseSeed+0 .. baseSeed+trials-1 on
+// `workers` goroutines (<= 0 means GOMAXPROCS) and returns their per-batch
+// success tally — the worker side of the cluster shard protocol. There is
+// deliberately no stopping rule: a shard cannot know the merged prefix it
+// will land in, so stop decisions belong to the coordinator's replay.
+//
+// The tally is a pure function of (plan, baseSeed, trials, batch) — bucket
+// membership is fixed by trial index, so worker count and scheduling order
+// cannot change any bucket. Shards are therefore idempotent: a coordinator
+// may re-run a dropped shard anywhere, even concurrently with a straggling
+// first attempt, and fold in whichever copy returns.
+func (p *Plan) TallyShard(baseSeed uint64, trials, batch, workers int) ShardTally {
+	t := exec.RunShard(workers, baseSeed, trials, batch, p.newTrialMaker())
+	return ShardTally{Trials: t.Trials, Batch: t.Batch, Successes: t.Successes}
 }
 
 // newTrialMaker returns the per-worker trial constructor for this plan:

@@ -316,8 +316,9 @@ func (sp *SweepPlan) Budget() CellBudget { return sp.budget }
 
 // sweepOptions collects Run tuning; see the SweepOption constructors.
 type sweepOptions struct {
-	workers int
-	prev    func(c *SweepCell) (Estimate, bool)
+	workers    int
+	prev       func(c *SweepCell) (Estimate, bool)
+	dispatcher exec.Dispatcher
 }
 
 // SweepOption tunes SweepPlan.Run.
@@ -335,6 +336,14 @@ func WithSweepWorkers(n int) SweepOption {
 // Plan.EstimateFrom refines a cached estimate.
 func WithCellPrev(f func(c *SweepCell) (Estimate, bool)) SweepOption {
 	return func(o *sweepOptions) { o.prev = f }
+}
+
+// WithSweepDispatcher routes every cell's trial stream through d — e.g. a
+// cluster coordinator fanning shards out to remote faultcastd workers —
+// instead of the in-process pool. The determinism contract makes the two
+// interchangeable: each cell's estimate is bit-identical either way.
+func WithSweepDispatcher(d exec.Dispatcher) SweepOption {
+	return func(o *sweepOptions) { o.dispatcher = d }
 }
 
 // Run executes every cell on one bounded worker pool and calls emit once
@@ -383,9 +392,14 @@ func (sp *SweepPlan) Run(ctx context.Context, emit func(CellResult), opts ...Swe
 			Rule:      sp.budget.rule(c.plan),
 			NewTrial:  c.plan.newTrialMaker(),
 			SharedKey: c.PlanKey,
+			Scenario:  c.Config,
 		}
 	}
-	return exec.Run(ctx, o.workers, execCells, func(gi int, p stat.Proportion) {
+	d := o.dispatcher
+	if d == nil {
+		d = exec.Local{}
+	}
+	return d.Run(ctx, o.workers, execCells, func(gi int, p stat.Proportion) {
 		lo, hi := p.Wilson(1.96)
 		est := Estimate{Rate: p.Rate(), Low: lo, Hi: hi, Trials: p.Trials, Succeeds: p.Successes}
 		for _, i := range groups[order[gi]] {
