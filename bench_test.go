@@ -489,6 +489,42 @@ func BenchmarkEstimatePlanRadioRepeatScalarCore(b *testing.B) {
 	benchEstimatePlan(b, scalarCore(radioRepeatCfg()))
 }
 
+// --- lane-transposed trial-parallel core vs the bitset round core --------
+//
+// The *Lanes/*BitsetCore pairs pin the trial-parallel tentpole: the same
+// Estimate workload with the core forced either to the lane engine (64
+// trials per machine word) or to the word-parallel-per-round bitset
+// engine it supersedes on this path. CoreAuto already selects lanes for
+// these scenarios, so the unsuffixed EstimatePlan benchmarks above track
+// the default-path number; the explicit pair keeps the speedup measurable
+// even as defaults move.
+
+func laneCore(cfg faultcast.Config) faultcast.Config {
+	cfg.Core = faultcast.CoreLanes
+	return cfg
+}
+
+func bitsetCore(cfg faultcast.Config) faultcast.Config {
+	cfg.Core = faultcast.CoreBitset
+	return cfg
+}
+
+func BenchmarkEstimatePlanComposedLanes(b *testing.B) {
+	benchEstimatePlan(b, laneCore(composedCfg()))
+}
+
+func BenchmarkEstimatePlanComposedBitsetCore(b *testing.B) {
+	benchEstimatePlan(b, bitsetCore(composedCfg()))
+}
+
+func BenchmarkEstimatePlanRadioRepeatLanes(b *testing.B) {
+	benchEstimatePlan(b, laneCore(radioRepeatCfg()))
+}
+
+func BenchmarkEstimatePlanRadioRepeatBitsetCore(b *testing.B) {
+	benchEstimatePlan(b, bitsetCore(radioRepeatCfg()))
+}
+
 func benchEngineRun(b *testing.B, cfg faultcast.Config) {
 	plan, err := faultcast.Compile(cfg)
 	if err != nil {

@@ -11,7 +11,8 @@
 //
 // The default benchmark selection covers the engine-level workloads: the
 // compile-once estimator on the Composed and RadioRepeat scenarios (with
-// their scalar-core twins) and the raw engine pairs. A second invocation
+// their scalar-core, bitset-core and lane-core twins) and the raw engine
+// pairs. A second invocation
 // with -bench '^BenchmarkSweepFeasibilityGrid' -out BENCH_sweep.json
 // records the sweep scheduler pair (per-cell loop vs shared pool); that
 // delta scales with core count, so read it next to the file's maxprocs.
@@ -41,23 +42,43 @@ type Result struct {
 	Samples     int     `json:"samples"`
 }
 
-// File is the BENCH_engine.json schema.
+// File is the BENCH_engine.json schema. MaxProcs and CPU identify the
+// builder: ns/op from a 1-core CI runner and a 16-core workstation are
+// not comparable, and the lane-core speedups in particular divide across
+// however many workers the estimator was allowed.
 type File struct {
 	Schema    string   `json:"schema"`
 	GoVersion string   `json:"go"`
 	GOOS      string   `json:"goos"`
 	GOARCH    string   `json:"goarch"`
 	MaxProcs  int      `json:"maxprocs"`
+	CPU       string   `json:"cpu,omitempty"`
 	Bench     string   `json:"bench"`
 	Benchtime string   `json:"benchtime"`
 	Results   []Result `json:"results"`
+}
+
+// cpuModel reads the processor model from /proc/cpuinfo. Best effort:
+// on platforms without it (or with an unexpected layout) the header just
+// omits the field rather than failing the run.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return ""
 }
 
 var benchLine = regexp.MustCompile(
 	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 func main() {
-	bench := flag.String("bench", `^Benchmark(EstimatePlan(Composed|RadioRepeat)(ScalarCore)?|Engine.*)$`,
+	bench := flag.String("bench", `^Benchmark(EstimatePlan(Composed|RadioRepeat)(ScalarCore|Lanes|BitsetCore)?|Engine.*)$`,
 		"benchmark selection regexp, passed to go test -bench")
 	pkg := flag.String("pkg", ".", "package pattern to benchmark")
 	benchtime := flag.String("benchtime", "1s", "go test -benchtime value")
@@ -118,6 +139,7 @@ func main() {
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 		MaxProcs:  runtime.GOMAXPROCS(0),
+		CPU:       cpuModel(),
 		Bench:     *bench,
 		Benchtime: *benchtime,
 	}

@@ -1,0 +1,56 @@
+// Lane-counter helpers for the trial-parallel simulation core: a
+// bit-sliced counter holds 64 independent small counters, one per bit
+// lane, with bit j of counter[j] being bit j of lane L's value. The lane
+// kernels use them to run 64 trials' majority votes per word operation.
+package bitset
+
+// LaneAdd increments, per lane, the bit-sliced counter by the lanes set in
+// bit: a ripple-carry add of a one-bit addend across counter's words
+// (counter[0] is the least significant bit plane). Lanes whose count would
+// exceed the counter's width wrap; callers size the width to the maximum
+// possible count, so overflow never occurs in practice.
+func LaneAdd(counter []uint64, bit uint64) {
+	carry := bit
+	for j := 0; j < len(counter) && carry != 0; j++ {
+		next := counter[j] & carry
+		counter[j] ^= carry
+		carry = next
+	}
+}
+
+// LaneGEConst returns the lanes whose bit-sliced counter value is >= k.
+func LaneGEConst(counter []uint64, k uint64) uint64 {
+	if k == 0 {
+		return ^uint64(0)
+	}
+	w := len(counter)
+	if w < 64 && k >= 1<<uint(w) {
+		return 0 // k needs more bits than the counter holds
+	}
+	// MSB-down comparison: eq tracks lanes equal on the bits seen so far,
+	// gt the lanes already decided greater.
+	var gt uint64
+	eq := ^uint64(0)
+	for j := w - 1; j >= 0; j-- {
+		c := counter[j]
+		if k>>uint(j)&1 == 1 {
+			eq &= c
+		} else {
+			gt |= eq & c
+			eq &^= c
+		}
+	}
+	return gt | eq
+}
+
+// LaneGT returns the lanes where bit-sliced counter a is strictly greater
+// than b. The counters must have equal widths.
+func LaneGT(a, b []uint64) uint64 {
+	var gt uint64
+	eq := ^uint64(0)
+	for j := len(a) - 1; j >= 0; j-- {
+		gt |= eq & a[j] &^ b[j]
+		eq &^= a[j] ^ b[j]
+	}
+	return gt
+}

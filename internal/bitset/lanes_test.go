@@ -1,0 +1,77 @@
+package bitset
+
+import "testing"
+
+// laneValue reads lane L's value out of a bit-sliced counter — the scalar
+// reference the word-parallel helpers are checked against.
+func laneValue(counter []uint64, lane int) uint64 {
+	var v uint64
+	for j, w := range counter {
+		v |= (w >> uint(lane) & 1) << uint(j)
+	}
+	return v
+}
+
+// lcg is a tiny deterministic generator for test patterns (the package
+// must not depend on internal/rng, which depends on nothing; keep it so).
+func lcg(x *uint64) uint64 {
+	*x = *x*6364136223846793005 + 1442695040888963407
+	return *x
+}
+
+func TestLaneAddMatchesScalarCounting(t *testing.T) {
+	const width = 5
+	counter := make([]uint64, width)
+	want := [64]uint64{}
+	state := uint64(42)
+	for step := 0; step < 31; step++ { // 31 < 2^5: no overflow
+		bit := lcg(&state)
+		LaneAdd(counter, bit)
+		for lane := 0; lane < 64; lane++ {
+			want[lane] += bit >> uint(lane) & 1
+		}
+	}
+	for lane := 0; lane < 64; lane++ {
+		if got := laneValue(counter, lane); got != want[lane] {
+			t.Fatalf("lane %d: counter=%d want %d", lane, got, want[lane])
+		}
+	}
+}
+
+func TestLaneGEConst(t *testing.T) {
+	const width = 4
+	counter := make([]uint64, width)
+	state := uint64(7)
+	for step := 0; step < 15; step++ {
+		LaneAdd(counter, lcg(&state))
+	}
+	for k := uint64(0); k <= 20; k++ {
+		got := LaneGEConst(counter, k)
+		for lane := 0; lane < 64; lane++ {
+			want := laneValue(counter, lane) >= k
+			if got>>uint(lane)&1 == 1 != want {
+				t.Fatalf("k=%d lane=%d (value %d): got %v want %v",
+					k, lane, laneValue(counter, lane), !want, want)
+			}
+		}
+	}
+}
+
+func TestLaneGT(t *testing.T) {
+	const width = 4
+	a := make([]uint64, width)
+	b := make([]uint64, width)
+	state := uint64(99)
+	for step := 0; step < 15; step++ {
+		LaneAdd(a, lcg(&state))
+		LaneAdd(b, lcg(&state))
+	}
+	got := LaneGT(a, b)
+	for lane := 0; lane < 64; lane++ {
+		want := laneValue(a, lane) > laneValue(b, lane)
+		if got>>uint(lane)&1 == 1 != want {
+			t.Fatalf("lane %d: a=%d b=%d got %v want %v",
+				lane, laneValue(a, lane), laneValue(b, lane), !want, want)
+		}
+	}
+}

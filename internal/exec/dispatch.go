@@ -2,6 +2,7 @@ package exec
 
 import (
 	"context"
+	"math/bits"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -77,6 +78,70 @@ func RunShard(workers int, baseSeed uint64, trials, batch int, newTrial stat.Tri
 				}
 				if trial(baseSeed + uint64(i)) {
 					buckets[i/batch].Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	t.Successes = make([]int, len(buckets))
+	for i := range buckets {
+		t.Successes[i] = int(buckets[i].Load())
+	}
+	return t
+}
+
+// RunShardBlocks is RunShard for block trials: the same shard tally —
+// bucket membership fixed by trial index — computed with trials claimed
+// in stat.BlockWidth-sized chunks and each block's verdict word split
+// across the bucket boundaries it straddles. Because a TrialBlock's
+// verdicts are bit-identical to the per-trial ones over the same seeds,
+// the returned Tally equals RunShard's exactly.
+func RunShardBlocks(workers int, baseSeed uint64, trials, batch int, newBlock stat.TrialBlockMaker) stat.Tally {
+	if trials <= 0 {
+		return stat.Tally{}
+	}
+	if batch <= 0 || batch > trials {
+		batch = trials
+	}
+	t := stat.Tally{Trials: trials, Batch: batch}
+	buckets := make([]atomic.Int64, (trials+batch-1)/batch)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if max := (trials + stat.BlockWidth - 1) / stat.BlockWidth; workers > max {
+		workers = max
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			block := newBlock()
+			for {
+				i := int(next.Add(stat.BlockWidth) - stat.BlockWidth)
+				if i >= trials {
+					return
+				}
+				k := trials - i
+				if k > stat.BlockWidth {
+					k = stat.BlockWidth
+				}
+				word := block(baseSeed+uint64(i), k)
+				// Split the verdict word across the buckets it spans.
+				for off := 0; off < k; {
+					b := (i + off) / batch
+					lim := (b+1)*batch - i
+					if lim > k {
+						lim = k
+					}
+					mask := ^uint64(0)
+					if lim < 64 {
+						mask = 1<<uint(lim) - 1
+					}
+					mask &^= 1<<uint(off) - 1
+					buckets[b].Add(int64(bits.OnesCount64(word & mask)))
+					off = lim
 				}
 			}
 		}()

@@ -95,3 +95,45 @@ func TestLocalDispatcherIsRun(t *testing.T) {
 		t.Fatalf("Local %+v != Run %+v", viaLocal, direct)
 	}
 }
+
+// synthBlock is the block-trial twin of synthTrial: same per-seed verdict,
+// packed 64 lanes to the word.
+func synthBlock(threshold uint64) stat.TrialBlock {
+	trial := synthTrial(threshold)
+	return func(baseSeed uint64, count int) uint64 {
+		var word uint64
+		for i := 0; i < count; i++ {
+			if trial(baseSeed + uint64(i)) {
+				word |= 1 << uint(i)
+			}
+		}
+		return word
+	}
+}
+
+// TestRunShardBlocksMatchesRunShard pins the block shard primitive to the
+// per-trial one bucket for bucket, including batch sizes that are not
+// multiples of the block width (so verdict words straddle buckets) and
+// ragged final blocks.
+func TestRunShardBlocksMatchesRunShard(t *testing.T) {
+	newTrial := func() stat.Trial { return synthTrial(1 << 62) }
+	newBlock := func() stat.TrialBlock { return synthBlock(1 << 62) }
+	cases := []struct{ trials, batch int }{
+		{1, 0}, {70, 1}, {70, 7}, {150, 48}, {128, 64}, {333, 100}, {64, 0},
+	}
+	for _, c := range cases {
+		for _, workers := range []int{1, 3, 8} {
+			want := RunShard(workers, 99, c.trials, c.batch, newTrial)
+			got := RunShardBlocks(workers, 99, c.trials, c.batch, newBlock)
+			if got.Trials != want.Trials || got.Batch != want.Batch {
+				t.Fatalf("trials=%d batch=%d workers=%d: shape %+v vs %+v", c.trials, c.batch, workers, got, want)
+			}
+			for i := range want.Successes {
+				if got.Successes[i] != want.Successes[i] {
+					t.Fatalf("trials=%d batch=%d workers=%d bucket %d: blocks=%d per-trial=%d",
+						c.trials, c.batch, workers, i, got.Successes[i], want.Successes[i])
+				}
+			}
+		}
+	}
+}

@@ -25,6 +25,7 @@ package exec
 
 import (
 	"context"
+	"math/bits"
 	"runtime"
 	"strconv"
 	"sync"
@@ -52,6 +53,14 @@ type Cell struct {
 	// reusable engine runner — persists across every batch a worker
 	// executes for this cell.
 	NewTrial stat.TrialMaker
+	// NewBlock, when non-nil, builds a worker-private block-trial function
+	// whose verdicts are bit-identical to NewTrial's over the same seeds
+	// (the lane-transposed engine core). Workers then claim trials in
+	// stat.BlockWidth-sized chunks, clipped to batch boundaries — so batch
+	// totals, stop decisions, and the final Proportion are unchanged; only
+	// the per-trial cost drops. NewTrial must still be set: dispatchers
+	// without block support (and failover paths) fall back to it.
+	NewBlock stat.TrialBlockMaker
 	// SharedKey, when non-empty, lets a worker reuse one Trial across all
 	// cells carrying the same key. Cells may share a key only when their
 	// NewTrial functions are interchangeable — e.g. cells compiled from
@@ -207,13 +216,17 @@ func (s *sched) emit(i int, p stat.Proportion) {
 	s.onDone(i, p)
 }
 
-// worker claims one trial at a time from any cell with unclaimed work,
-// preferring the cell at its cursor (workers start spread across cells
-// and stay with a cell while it has work — the work-stealing shape: a
-// worker scans forward and takes from the next busy cell only when its
-// own runs dry or stops early).
+// worker claims work from any cell with unclaimed trials, preferring the
+// cell at its cursor (workers start spread across cells and stay with a
+// cell while it has work — the work-stealing shape: a worker scans
+// forward and takes from the next busy cell only when its own runs dry or
+// stops early). Cells with a NewBlock are claimed in stat.BlockWidth-sized
+// chunks (clipped to the open batch), others one trial at a time; either
+// way the claimed range folds into the same batch totals, so results are
+// identical.
 func (s *sched) worker(w int) {
 	trials := map[string]stat.Trial{}
+	blocks := map[string]stat.TrialBlock{}
 	cursor := w % len(s.cells)
 	for {
 		s.mu.Lock()
@@ -242,28 +255,45 @@ func (s *sched) worker(w int) {
 			s.mu.Unlock()
 			return
 		}
-		seedIdx := cs.next
-		cs.next++
-		cs.inflight++
 		spec := cs.spec
+		claim := 1
+		if spec.NewBlock != nil {
+			claim = cs.batchEnd - cs.next
+			if claim > stat.BlockWidth {
+				claim = stat.BlockWidth
+			}
+		}
+		seedIdx := cs.next
+		cs.next += claim
+		cs.inflight += claim
 		s.mu.Unlock()
 
 		key := spec.SharedKey
 		if key == "" {
 			key = "#" + strconv.Itoa(ci)
 		}
-		trial := trials[key]
-		if trial == nil {
-			trial = spec.NewTrial()
-			trials[key] = trial
+		var succ int
+		if spec.NewBlock != nil {
+			block := blocks[key]
+			if block == nil {
+				block = spec.NewBlock()
+				blocks[key] = block
+			}
+			succ = bits.OnesCount64(block(spec.BaseSeed+uint64(seedIdx), claim))
+		} else {
+			trial := trials[key]
+			if trial == nil {
+				trial = spec.NewTrial()
+				trials[key] = trial
+			}
+			if trial(spec.BaseSeed + uint64(seedIdx)) {
+				succ = 1
+			}
 		}
-		ok := trial(spec.BaseSeed + uint64(seedIdx))
 
 		s.mu.Lock()
-		cs.inflight--
-		if ok {
-			cs.batchSucc++
-		}
+		cs.inflight -= claim
+		cs.batchSucc += succ
 		var finished *stat.Proportion
 		if cs.next == cs.batchEnd && cs.inflight == 0 {
 			// Batch boundary: fold it in and decide.

@@ -1,0 +1,212 @@
+package kucera
+
+import (
+	"math/bits"
+
+	"faultcast/internal/bitset"
+	"faultcast/internal/sim"
+)
+
+// Lane kernel: the compiled CO1/CO2 program in the transposed layout.
+// Registers are single-assignment cells whose values, in the two-symbol
+// payload universe {M, default}, are fully described by one bit — so a
+// position's register file becomes one uint64 per register (lane L's bit =
+// "this register holds M in trial L"), and the majority combine over K
+// source registers becomes a bit-sliced popcount compared against the
+// strict-majority threshold K/2+1 (over two symbols, plurality is exactly
+// strict majority: cntM > K − cntM).
+//
+// Every vertex at the same tree depth runs the same position program, so
+// the instruction cursors are shared per depth and each instruction is
+// applied to all of the depth's vertices at once.
+
+// NewLaneKernel returns the transposed protocol instance.
+func (p *Proto) NewLaneKernel() sim.LaneKernel {
+	n := p.tree.N()
+	maxDepth := 0
+	for _, d := range p.tree.Depth {
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	byDepth := make([][]int, maxDepth+1)
+	for v, d := range p.tree.Depth {
+		byDepth[d] = append(byDepth[d], v)
+	}
+	progs := make([]*laneDepthProg, maxDepth+1)
+	maxW := 1
+	for d := range progs {
+		progs[d] = newLaneDepthProg(&p.prog.Positions[d])
+		for _, c := range progs[d].combines {
+			if c.width > maxW {
+				maxW = c.width
+			}
+		}
+	}
+	regM := make([][]uint64, n)
+	for v := 0; v < n; v++ {
+		regM[v] = make([]uint64, progs[p.tree.Depth[v]].nregs)
+	}
+	return &laneKernel{
+		proto:    p,
+		byDepth:  byDepth,
+		progs:    progs,
+		regM:     regM,
+		pendingM: make([]uint64, n),
+		scratch:  make([]uint64, maxW),
+	}
+}
+
+// LaneTargets returns the per-vertex send-target lists (the tree children
+// — the compiled program is message passing only).
+func (p *Proto) LaneTargets() [][]int { return p.tree.Children }
+
+type laneInstr struct {
+	round int
+	reg   int // dense register index
+}
+
+type laneCombine struct {
+	round int
+	dst   int
+	srcs  []int
+	width int    // counter planes: bits.Len(len(srcs))
+	need  uint64 // strict-majority threshold len(srcs)/2+1
+}
+
+// laneDepthProg is one position's instruction table with register ids
+// remapped to a dense 0..nregs-1 space (the runtime materializes only the
+// registers its own position touches, like the scalar node's lazy map).
+type laneDepthProg struct {
+	nregs    int
+	final    int // dense index of FinalReg
+	recvs    []laneInstr
+	sends    []laneInstr
+	combines []laneCombine
+
+	// Cursors, reset per trial; instructions are consumed in the scalar
+	// node's order (receives of rounds < r, combines of rounds <= r,
+	// then the send of round r).
+	nextRecv, nextCombine, nextSend int
+}
+
+func newLaneDepthProg(pos *posProgram) *laneDepthProg {
+	dp := &laneDepthProg{}
+	idx := make(map[int]int)
+	dense := func(reg int) int {
+		i, ok := idx[reg]
+		if !ok {
+			i = dp.nregs
+			idx[reg] = i
+			dp.nregs++
+		}
+		return i
+	}
+	dp.final = dense(pos.FinalReg)
+	for _, r := range pos.Recvs {
+		dp.recvs = append(dp.recvs, laneInstr{round: r.Round, reg: dense(r.Reg)})
+	}
+	for _, s := range pos.Sends {
+		dp.sends = append(dp.sends, laneInstr{round: s.Round, reg: dense(s.Reg)})
+	}
+	for _, c := range pos.Combines {
+		srcs := make([]int, len(c.Srcs))
+		for i, s := range c.Srcs {
+			srcs[i] = dense(s)
+		}
+		dp.combines = append(dp.combines, laneCombine{
+			round: c.Round,
+			dst:   dense(c.Dst),
+			srcs:  srcs,
+			width: bits.Len(uint(len(srcs))),
+			need:  uint64(len(srcs)/2 + 1),
+		})
+	}
+	return dp
+}
+
+type laneKernel struct {
+	proto   *Proto
+	byDepth [][]int
+	progs   []*laneDepthProg
+
+	regM     [][]uint64 // [vertex][dense register]: register holds M
+	pendingM []uint64   // in-flight receive: payload == M (0 on silence/default)
+	scratch  []uint64
+}
+
+func (k *laneKernel) Reset() {
+	for v := range k.regM {
+		for j := range k.regM[v] {
+			k.regM[v][j] = 0
+		}
+		k.pendingM[v] = 0
+	}
+	for _, dp := range k.progs {
+		dp.nextRecv, dp.nextCombine, dp.nextSend = 0, 0, 0
+	}
+	// Position 0's input register is the source message itself.
+	k.regM[k.proto.tree.Root][k.progs[0].final] = ^uint64(0)
+}
+
+func (k *laneKernel) Transmit(round int, intent, payM []uint64) {
+	for d, dp := range k.progs {
+		vs := k.byDepth[d]
+		for dp.nextRecv < len(dp.recvs) && dp.recvs[dp.nextRecv].round < round {
+			reg := dp.recvs[dp.nextRecv].reg
+			for _, v := range vs {
+				k.regM[v][reg] = k.pendingM[v]
+				k.pendingM[v] = 0
+			}
+			dp.nextRecv++
+		}
+		for dp.nextCombine < len(dp.combines) && dp.combines[dp.nextCombine].round <= round {
+			c := &dp.combines[dp.nextCombine]
+			counter := k.scratch[:c.width]
+			for _, v := range vs {
+				for i := range counter {
+					counter[i] = 0
+				}
+				for _, s := range c.srcs {
+					bitset.LaneAdd(counter, k.regM[v][s])
+				}
+				k.regM[v][c.dst] = bitset.LaneGEConst(counter, c.need)
+			}
+			dp.nextCombine++
+		}
+		if dp.nextSend < len(dp.sends) && dp.sends[dp.nextSend].round == round {
+			reg := dp.sends[dp.nextSend].reg
+			dp.nextSend++
+			for _, v := range vs {
+				if len(k.proto.tree.Children[v]) == 0 {
+					continue
+				}
+				intent[v] = ^uint64(0)
+				payM[v] = k.regM[v][reg]
+			}
+		}
+	}
+}
+
+func (k *laneKernel) Absorb(round int, heard, heardM []uint64) {
+	for d, dp := range k.progs {
+		// Record the payload for the receive scheduled this round, if any
+		// (cursors already consumed everything earlier, so a match can
+		// only sit at the front).
+		if dp.nextRecv < len(dp.recvs) && dp.recvs[dp.nextRecv].round == round {
+			for _, v := range k.byDepth[d] {
+				k.pendingM[v] = heard[v] & heardM[v]
+			}
+		}
+	}
+}
+
+func (k *laneKernel) Verdict() uint64 {
+	and := ^uint64(0)
+	for d, dp := range k.progs {
+		for _, v := range k.byDepth[d] {
+			and &= k.regM[v][dp.final]
+		}
+	}
+	return and
+}

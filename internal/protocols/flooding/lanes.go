@@ -1,0 +1,63 @@
+package flooding
+
+import "faultcast/internal/sim"
+
+// Lane kernel: the transposed form of the flooding node for the
+// trial-parallel engine. Per (vertex, lane) the node state collapses to
+// two bits — has (informed) and isM (belief equals the source message) —
+// because under the supported fault lowerings every payload is either the
+// source message or a non-source value, and the node retransmits whatever
+// it adopted verbatim. Deliver adopts the first payload of the round
+// unconditionally, which is exactly the first-sender bit the lane engine's
+// message-passing rule reports.
+
+// NewLaneKernel returns the transposed protocol instance; pass it (with
+// LaneTargets) into a sim.LaneSpec.
+func (p *Proto) NewLaneKernel() sim.LaneKernel {
+	n := p.tree.N()
+	return &laneKernel{proto: p, has: make([]uint64, n), isM: make([]uint64, n)}
+}
+
+// LaneTargets returns the per-vertex send-target lists (the tree
+// children — flooding traffic is tree-directed).
+func (p *Proto) LaneTargets() [][]int { return p.tree.Children }
+
+type laneKernel struct {
+	proto    *Proto
+	has, isM []uint64
+}
+
+func (k *laneKernel) Reset() {
+	for v := range k.has {
+		k.has[v], k.isM[v] = 0, 0
+	}
+	r := k.proto.tree.Root
+	k.has[r] = ^uint64(0)
+	k.isM[r] = ^uint64(0)
+}
+
+func (k *laneKernel) Transmit(round int, intent, payM []uint64) {
+	for v, children := range k.proto.tree.Children {
+		if len(children) == 0 {
+			continue // childless nodes have no one to send to
+		}
+		intent[v] = k.has[v]
+		payM[v] = k.isM[v]
+	}
+}
+
+func (k *laneKernel) Absorb(round int, heard, heardM []uint64) {
+	for v := range k.has {
+		adopt := heard[v] &^ k.has[v]
+		k.isM[v] |= adopt & heardM[v]
+		k.has[v] |= adopt
+	}
+}
+
+func (k *laneKernel) Verdict() uint64 {
+	and := ^uint64(0)
+	for _, w := range k.isM {
+		and &= w
+	}
+	return and
+}

@@ -1,0 +1,131 @@
+package radiorepeat
+
+import (
+	"math/bits"
+
+	"faultcast/internal/bitset"
+	"faultcast/internal/sim"
+)
+
+// Lane kernel: the Theorem 3.4 repeated-schedule radio algorithms in the
+// transposed layout. Each schedule step i becomes a series of m rounds in
+// which the step's transmitter set broadcasts; a node listening in series
+// S_i either adopts any genuine reception (Omission-Radio — in the
+// two-symbol universe "non-default" means the source message, so a single
+// isM word per vertex suffices) or votes (Malicious-Radio — two
+// bit-sliced counters per vertex, winner M on the lanes where
+// cntM > cntD, the same reduction as simplemalicious: commitment freezes
+// the window so committed and truncated outputs share the formula).
+
+// NewLaneKernel returns the transposed protocol instance. RadioRepeat is
+// radio-only, so there is no LaneTargets: the LaneSpec takes nil targets.
+func (p *Proto) NewLaneKernel() sim.LaneKernel {
+	n := len(p.recvStep)
+	stepSets := make([][]int, p.steps)
+	for v := 0; v < n; v++ { // iterate vertices, not the map, for determinism
+		for _, t := range p.sched[v] {
+			stepSets[t] = append(stepSets[t], v)
+		}
+	}
+	recvSets := make([][]int, p.steps)
+	for v, rs := range p.recvStep {
+		if rs >= 0 {
+			recvSets[rs] = append(recvSets[rs], v)
+		}
+	}
+	k := &laneKernel{proto: p, stepSets: stepSets, recvSets: recvSets}
+	if p.variant == MaliciousVariant {
+		width := bits.Len(uint(p.m)) // a series holds at most m votes
+		k.cntM = make([][]uint64, n)
+		k.cntD = make([][]uint64, n)
+		for v := 0; v < n; v++ {
+			k.cntM[v] = make([]uint64, width)
+			k.cntD[v] = make([]uint64, width)
+		}
+	} else {
+		k.isM = make([]uint64, n)
+	}
+	return k
+}
+
+type laneKernel struct {
+	proto    *Proto
+	stepSets [][]int // series -> transmitting vertices
+	recvSets [][]int // series -> vertices whose listening window it is
+
+	isM        []uint64   // OmissionVariant belief state
+	cntM, cntD [][]uint64 // MaliciousVariant vote counters
+}
+
+func (k *laneKernel) Reset() {
+	if k.proto.variant == OmissionVariant {
+		for v := range k.isM {
+			k.isM[v] = 0
+			if k.proto.recvStep[v] < 0 { // the source
+				k.isM[v] = ^uint64(0)
+			}
+		}
+		return
+	}
+	for v := range k.cntM {
+		for j := range k.cntM[v] {
+			k.cntM[v][j], k.cntD[v][j] = 0, 0
+		}
+	}
+}
+
+func (k *laneKernel) Transmit(round int, intent, payM []uint64) {
+	series := round / k.proto.m
+	if series >= len(k.stepSets) {
+		return
+	}
+	for _, v := range k.stepSets[series] {
+		intent[v] = ^uint64(0)
+		rs := k.proto.recvStep[v]
+		switch {
+		case rs < 0: // the source always transmits M
+			payM[v] = ^uint64(0)
+		case k.proto.variant == OmissionVariant:
+			payM[v] = k.isM[v]
+		case round >= (rs+1)*k.proto.m:
+			// The listening series is over and the vote committed; the
+			// counters are frozen, so recomputing the winner each round
+			// reproduces the scalar M_v exactly.
+			payM[v] = bitset.LaneGT(k.cntM[v], k.cntD[v])
+		default:
+			payM[v] = 0 // not yet committed: "transmit 0"
+		}
+	}
+}
+
+func (k *laneKernel) Absorb(round int, heard, heardM []uint64) {
+	series := round / k.proto.m
+	if series >= len(k.recvSets) {
+		return
+	}
+	for _, v := range k.recvSets[series] {
+		if k.proto.variant == OmissionVariant {
+			k.isM[v] |= heard[v] & heardM[v]
+			continue
+		}
+		bitset.LaneAdd(k.cntM[v], heard[v]&heardM[v])
+		bitset.LaneAdd(k.cntD[v], heard[v]&^heardM[v])
+	}
+}
+
+func (k *laneKernel) Verdict() uint64 {
+	and := ^uint64(0)
+	if k.proto.variant == OmissionVariant {
+		for _, w := range k.isM {
+			and &= w
+		}
+		return and
+	}
+	for v := range k.cntM {
+		if k.proto.recvStep[v] < 0 {
+			continue // the source holds M by definition
+		}
+		and &= bitset.LaneGT(k.cntM[v], k.cntD[v])
+	}
+	return and
+}

@@ -1,0 +1,113 @@
+package simplemalicious
+
+import (
+	"math/bits"
+
+	"faultcast/internal/bitset"
+	"faultcast/internal/sim"
+)
+
+// Lane kernel: Simple-Malicious in the transposed layout. In the
+// two-symbol payload universe {M, default} a node's vote over its
+// listening window reduces to two bit-sliced counters per vertex — cntM
+// (votes for the source message) and cntD (votes for anything else) — and
+// the plurality winner is M exactly on the lanes where cntM > cntD. That
+// one formula covers every scalar Output path: the committed value is the
+// winner of the full window (commitment happens only after the window
+// closes and votes are frozen), the horizon-truncated fallback is the
+// winner of the votes so far, and an empty tally gives cntM = cntD = 0,
+// whose strict comparison fails just like the scalar nil message.
+
+// NewLaneKernel returns the transposed protocol instance.
+func (p *Proto) NewLaneKernel() sim.LaneKernel {
+	n := p.tree.N()
+	order := p.tree.Order()
+	listeners := make([][]int, len(order))
+	for ph, v := range order {
+		listeners[ph] = p.tree.Children[v]
+	}
+	width := bits.Len(uint(p.m)) // a window holds at most m votes
+	k := &laneKernel{
+		proto:     p,
+		order:     order,
+		listeners: listeners,
+		cntM:      make([][]uint64, n),
+		cntD:      make([][]uint64, n),
+	}
+	for v := 0; v < n; v++ {
+		k.cntM[v] = make([]uint64, width)
+		k.cntD[v] = make([]uint64, width)
+	}
+	return k
+}
+
+// LaneTargets returns the per-vertex send-target lists for the message
+// passing model (tree children), or nil for radio (broadcast).
+func (p *Proto) LaneTargets() [][]int {
+	if p.model == sim.Radio {
+		return nil
+	}
+	return p.tree.Children
+}
+
+type laneKernel struct {
+	proto *Proto
+	order []int
+	// listeners[ph] is the set of nodes whose listening window is phase
+	// ph — the children of order[ph]. In the radio model every node hears
+	// the phase's lone transmitter, but only these nodes count votes
+	// (everyone else's window is a different phase), so the two models
+	// share the listener sets.
+	listeners  [][]int
+	cntM, cntD [][]uint64
+}
+
+func (k *laneKernel) Reset() {
+	for v := range k.cntM {
+		for j := range k.cntM[v] {
+			k.cntM[v][j], k.cntD[v][j] = 0, 0
+		}
+	}
+}
+
+func (k *laneKernel) Transmit(round int, intent, payM []uint64) {
+	phase := round / k.proto.m
+	if phase >= len(k.order) {
+		return
+	}
+	v := k.order[phase]
+	if k.proto.model == sim.MessagePassing && len(k.proto.tree.Children[v]) == 0 {
+		return
+	}
+	intent[v] = ^uint64(0)
+	if v == k.proto.tree.Root {
+		payM[v] = ^uint64(0)
+		return
+	}
+	// By the level-respecting enumeration v's parent's phase — v's
+	// listening window — is strictly earlier, so v's votes are frozen and
+	// this is the committed M_v of the scalar protocol.
+	payM[v] = bitset.LaneGT(k.cntM[v], k.cntD[v])
+}
+
+func (k *laneKernel) Absorb(round int, heard, heardM []uint64) {
+	phase := round / k.proto.m
+	if phase >= len(k.listeners) {
+		return
+	}
+	for _, v := range k.listeners[phase] {
+		bitset.LaneAdd(k.cntM[v], heard[v]&heardM[v])
+		bitset.LaneAdd(k.cntD[v], heard[v]&^heardM[v])
+	}
+}
+
+func (k *laneKernel) Verdict() uint64 {
+	and := ^uint64(0)
+	for v := range k.cntM {
+		if v == k.proto.tree.Root {
+			continue // the source holds M by definition
+		}
+		and &= bitset.LaneGT(k.cntM[v], k.cntD[v])
+	}
+	return and
+}

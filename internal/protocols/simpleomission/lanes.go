@@ -1,0 +1,64 @@
+package simpleomission
+
+import "faultcast/internal/sim"
+
+// Lane kernel: Simple-Omission in the transposed layout. A node's belief
+// is nil or the source message (Deliver adopts only non-default payloads,
+// and in the two-symbol universe non-default means the source message), so
+// one word per vertex — has, the lanes where the node knows M — is the
+// whole state. During phase i only v_i transmits: all lanes, with payload
+// M where informed and the default elsewhere.
+
+// NewLaneKernel returns the transposed protocol instance.
+func (p *Proto) NewLaneKernel() sim.LaneKernel {
+	return &laneKernel{proto: p, order: p.tree.Order(), has: make([]uint64, p.tree.N())}
+}
+
+// LaneTargets returns the per-vertex send-target lists for the message
+// passing model (tree children), or nil for radio (broadcast).
+func (p *Proto) LaneTargets() [][]int {
+	if p.model == sim.Radio {
+		return nil
+	}
+	return p.tree.Children
+}
+
+type laneKernel struct {
+	proto *Proto
+	order []int
+	has   []uint64
+}
+
+func (k *laneKernel) Reset() {
+	for v := range k.has {
+		k.has[v] = 0
+	}
+	k.has[k.proto.tree.Root] = ^uint64(0)
+}
+
+func (k *laneKernel) Transmit(round int, intent, payM []uint64) {
+	phase := round / k.proto.m
+	if phase >= len(k.order) {
+		return // horizon overrides can run past the last phase
+	}
+	v := k.order[phase]
+	if k.proto.model == sim.MessagePassing && len(k.proto.tree.Children[v]) == 0 {
+		return // nothing to direct a send at
+	}
+	intent[v] = ^uint64(0)
+	payM[v] = k.has[v]
+}
+
+func (k *laneKernel) Absorb(round int, heard, heardM []uint64) {
+	for v := range k.has {
+		k.has[v] |= heard[v] & heardM[v]
+	}
+}
+
+func (k *laneKernel) Verdict() uint64 {
+	and := ^uint64(0)
+	for _, w := range k.has {
+		and &= w
+	}
+	return and
+}

@@ -1,0 +1,107 @@
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// LaneCount is the number of generators in a Lanes bank: one per bit lane
+// of a uint64, so a bank advances 64 independent streams per operation.
+const LaneCount = 64
+
+// Lanes is a bank of 64 independent xoshiro256** generators advanced in
+// lockstep, one per bit lane of a uint64. It backs the trial-parallel
+// simulation core: lane L carries the fault stream of Monte-Carlo trial
+// baseSeed+L, and BernoulliWords transposes the 64 per-lane draws of each
+// step into one word per vertex.
+//
+// The state is laid out structure-of-arrays (four word banks indexed by
+// lane) so the per-lane advance loop is a straight-line pass over dense
+// arrays. Like Source, a Lanes is NOT safe for concurrent use.
+type Lanes struct {
+	s0, s1, s2, s3 [LaneCount]uint64
+}
+
+// NewLanes returns a bank whose lane L is seeded exactly like New(seeds[L]).
+func NewLanes(seeds *[LaneCount]uint64) *Lanes {
+	var l Lanes
+	l.Seed(seeds)
+	return &l
+}
+
+// Seed re-initializes the bank in place: lane L's stream becomes identical
+// to a fresh New(seeds[L]) — the same splitmix64 expansion, including the
+// nonzero-state guard — so a reused bank is bit-identical to a freshly
+// allocated one (the lane runner reseeds one bank per trial block).
+func (l *Lanes) Seed(seeds *[LaneCount]uint64) {
+	for lane, seed := range seeds {
+		sm := seed
+		a := splitmix64(&sm)
+		b := splitmix64(&sm)
+		c := splitmix64(&sm)
+		d := splitmix64(&sm)
+		if a|b|c|d == 0 {
+			a = 0x9e3779b97f4a7c15
+		}
+		l.s0[lane] = a
+		l.s1[lane] = b
+		l.s2[lane] = c
+		l.s3[lane] = d
+	}
+}
+
+// bernoulliThreshold returns the integer threshold t such that, for
+// 0 < p < 1, Float64() < p holds iff the 53-bit draw (Uint64() >> 11) is
+// below t. Float64 returns (x>>11)·2⁻⁵³ exactly (a 53-bit integer scaled
+// by a power of two incurs no rounding), so the comparison y·2⁻⁵³ < p over
+// integers y is y < p·2⁵³, i.e. y < ceil(p·2⁵³); and p·2⁵³ itself is exact
+// in float64 for the same power-of-two reason. The scalar Bernoulli path
+// and this integer form therefore decide every draw identically — the
+// equivalence the lane sampler's bit-identity rests on, pinned by
+// TestBernoulliWordsMatchesScalarStreams.
+func bernoulliThreshold(p float64) uint64 {
+	return uint64(math.Ceil(p * (1 << 53)))
+}
+
+// BernoulliWords fills out[0..n-1] with transposed Bernoulli(p) draws: bit
+// L of out[i] is the i-th draw of lane L. Per lane the draws are identical,
+// in number and order, to n successive Bernoulli(p) calls on a Source
+// seeded like that lane — including the p-range rules (p <= 0 consumes no
+// randomness and is always false; p >= 1 consumes none and is always
+// true) — so lane L of a word stream reproduces the scalar fault stream of
+// trial L exactly.
+//
+// out must have at least n words; the first n are overwritten.
+func (l *Lanes) BernoulliWords(p float64, n int, out []uint64) {
+	for i := 0; i < n; i++ {
+		out[i] = 0
+	}
+	if n <= 0 || p <= 0 {
+		return
+	}
+	if p >= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = ^uint64(0)
+		}
+		return
+	}
+	t := bernoulliThreshold(p)
+	for lane := 0; lane < LaneCount; lane++ {
+		s0, s1, s2, s3 := l.s0[lane], l.s1[lane], l.s2[lane], l.s3[lane]
+		bit := uint64(1) << uint(lane)
+		for i := 0; i < n; i++ {
+			x := bits.RotateLeft64(s1*5, 7) * 9
+			tt := s1 << 17
+			s2 ^= s0
+			s3 ^= s1
+			s1 ^= s2
+			s0 ^= s3
+			s2 ^= tt
+			s3 = bits.RotateLeft64(s3, 45)
+			if x>>11 < t {
+				out[i] |= bit
+			}
+		}
+		l.s0[lane], l.s1[lane], l.s2[lane], l.s3[lane] = s0, s1, s2, s3
+	}
+}

@@ -1,0 +1,113 @@
+package rng
+
+import (
+	"testing"
+)
+
+// TestBernoulliWordsMatchesScalarStreams is the RNG contract the lane-
+// transposed simulation core's bit-identity rests on: for every lane L,
+// the draw stream produced by BernoulliWords is identical — in value,
+// number, and order — to Bernoulli(p) calls on an independent scalar
+// Source seeded like that lane. The test drives both sides through many
+// rounds of varying width, across the full p range including the
+// no-consume edge cases, and cross-checks the residual streams afterwards
+// so a hidden extra draw on either side would be caught.
+func TestBernoulliWordsMatchesScalarStreams(t *testing.T) {
+	ps := []float64{0, -0.5, 1e-12, 0.05, 0.25, 0.5, 0.75, 0.97, 1 - 1e-12, 1, 1.5}
+	// Round widths exercise n=0, sub-word, and multi-step accumulation.
+	widths := []int{17, 0, 1, 64, 5, 33}
+	for _, p := range ps {
+		var seeds [LaneCount]uint64
+		scalars := make([]*Source, LaneCount)
+		for lane := range seeds {
+			seeds[lane] = 0x1234_5678_9abc_def0 + uint64(lane)*0x9e3779b97f4a7c15
+			scalars[lane] = New(seeds[lane])
+		}
+		lanes := NewLanes(&seeds)
+		out := make([]uint64, 64)
+		for step, n := range widths {
+			lanes.BernoulliWords(p, n, out)
+			// The transposed sampler draws lane-major; the scalar reference
+			// draws n values per lane. Compare draw i of lane L.
+			for lane := 0; lane < LaneCount; lane++ {
+				for i := 0; i < n; i++ {
+					want := scalars[lane].Bernoulli(p)
+					got := out[i]>>uint(lane)&1 == 1
+					if got != want {
+						t.Fatalf("p=%v step=%d lane=%d draw=%d: lanes=%v scalar=%v", p, step, lane, i, got, want)
+					}
+				}
+			}
+		}
+		// Residual-stream check: if either side consumed a different number
+		// of draws (e.g. a spurious draw at p<=0 or p>=1), the next raw
+		// outputs diverge.
+		lanes.BernoulliWords(0.5, 4, out)
+		for lane := 0; lane < LaneCount; lane++ {
+			for i := 0; i < 4; i++ {
+				want := scalars[lane].Bernoulli(0.5)
+				got := out[i]>>uint(lane)&1 == 1
+				if got != want {
+					t.Fatalf("p=%v residual lane=%d draw=%d: lanes=%v scalar=%v (draw counts diverged)", p, lane, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestLanesSeedReuse pins that reseeding a bank in place is bit-identical
+// to a fresh bank — the lane runner reuses one bank across trial blocks.
+func TestLanesSeedReuse(t *testing.T) {
+	var a, b [LaneCount]uint64
+	for lane := range a {
+		a[lane] = uint64(lane) * 77
+		b[lane] = uint64(lane)*131 + 5
+	}
+	reused := NewLanes(&a)
+	scratch := make([]uint64, 8)
+	reused.BernoulliWords(0.3, 8, scratch)
+	reused.Seed(&b)
+	fresh := NewLanes(&b)
+	got := make([]uint64, 16)
+	want := make([]uint64, 16)
+	reused.BernoulliWords(0.42, 16, got)
+	fresh.BernoulliWords(0.42, 16, want)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("word %d: reused bank %#x != fresh bank %#x", i, got[i], want[i])
+		}
+	}
+}
+
+// TestBernoulliThresholdEdges spot-checks the integer threshold at values
+// where float rounding could plausibly bite.
+func TestBernoulliThresholdEdges(t *testing.T) {
+	cases := []struct {
+		p    float64
+		want uint64
+	}{
+		{0.5, 1 << 52},
+		{0.25, 1 << 51},
+		{1.0 / (1 << 53), 1},
+	}
+	for _, c := range cases {
+		if got := bernoulliThreshold(c.p); got != c.want {
+			t.Fatalf("threshold(%v) = %d, want %d", c.p, got, c.want)
+		}
+	}
+	// For arbitrary p the decision must match the scalar comparison for
+	// every possible 53-bit draw near the threshold.
+	for _, p := range []float64{0.1, 0.3, 0.7, 0.999, 1e-9} {
+		thr := bernoulliThreshold(p)
+		for _, y := range []uint64{thr - 2, thr - 1, thr, thr + 1} {
+			if y >= 1<<53 {
+				continue
+			}
+			scalar := float64(y)/(1<<53) < p
+			integer := y < thr
+			if scalar != integer {
+				t.Fatalf("p=%v y=%d: scalar=%v integer=%v", p, y, scalar, integer)
+			}
+		}
+	}
+}

@@ -92,72 +92,91 @@ func digestRun(t *testing.T, family string, cfg *sim.Config) goldenTrace {
 	return trace
 }
 
+// goldenCase is one fixed-seed experiment family: the scalar/bitset
+// configuration plus, when the protocol has a lane lowering, the
+// equivalent LaneSpec for the trial-parallel core.
+type goldenCase struct {
+	cfg   *sim.Config
+	lanes *sim.LaneSpec
+}
+
 // goldenCases builds one representative fixed-seed configuration per
 // experiment family (message passing and radio, each fault type, plus the
 // randomized Decay baseline so the per-node RNG streams are covered).
-func goldenCases(t *testing.T) map[string]*sim.Config {
+func goldenCases(t *testing.T) map[string]goldenCase {
 	t.Helper()
-	cases := map[string]*sim.Config{}
+	cases := map[string]goldenCase{}
+	laneSpec := func(cfg *sim.Config, corr sim.LaneCorruption, targets [][]int, newKernel func() sim.LaneKernel) *sim.LaneSpec {
+		return &sim.LaneSpec{
+			Graph: cfg.Graph, Model: cfg.Model, Fault: cfg.Fault, P: cfg.P,
+			Rounds: cfg.Rounds, Corruption: corr, Targets: targets, NewKernel: newKernel,
+		}
+	}
 
 	g := graph.Grid(5, 5)
 	fl := flooding.New(g, 0)
-	cases["mp-omission-flooding"] = &sim.Config{
+	cfg := &sim.Config{
 		Graph: g, Model: sim.MessagePassing, Fault: sim.Omission, P: 0.3,
 		Source: 0, SourceMsg: []byte("1"),
 		NewNode: fl.NewNode, Rounds: fl.Rounds(6), Seed: 1,
 	}
+	cases["mp-omission-flooding"] = goldenCase{cfg, laneSpec(cfg, sim.LaneSilence, fl.LaneTargets(), fl.NewLaneKernel)}
 
 	gt := graph.KaryTree(15, 2)
 	sm := simplemalicious.New(gt, 0, sim.MessagePassing, 8)
-	cases["mp-malicious-voting"] = &sim.Config{
+	cfg = &sim.Config{
 		Graph: gt, Model: sim.MessagePassing, Fault: sim.Malicious, P: 0.3,
 		Source: 0, SourceMsg: []byte("1"),
 		NewNode: sm.NewNode, Rounds: sm.Rounds(), Seed: 1,
 		Adversary: adversary.Flip{Wrong: []byte("0")},
 	}
+	cases["mp-malicious-voting"] = goldenCase{cfg, laneSpec(cfg, sim.LaneFlip, sm.LaneTargets(), sm.NewLaneKernel)}
 
 	k2 := graph.TwoNode()
 	tn := twonode.New(32)
-	cases["mp-limited-timing"] = &sim.Config{
+	cases["mp-limited-timing"] = goldenCase{cfg: &sim.Config{
 		Graph: k2, Model: sim.MessagePassing, Fault: sim.LimitedMalicious, P: 0.5,
 		Source: 0, SourceMsg: []byte("1"),
 		NewNode: tn.NewNode, Rounds: tn.Rounds(), Seed: 1,
 		Adversary: adversary.Crash{},
-	}
+	}}
 
 	gl := graph.Layered(3)
 	rr, err := radiorepeat.New(gl, 0, radio.LayeredSchedule(3), radiorepeat.OmissionVariant, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cases["radio-omission-repeat"] = &sim.Config{
+	cfg = &sim.Config{
 		Graph: gl, Model: sim.Radio, Fault: sim.Omission, P: 0.3,
 		Source: 0, SourceMsg: []byte("1"),
 		NewNode: rr.NewNode, Rounds: rr.Rounds(), Seed: 1,
 	}
+	cases["radio-omission-repeat"] = goldenCase{cfg, laneSpec(cfg, sim.LaneSilence, nil, rr.NewLaneKernel)}
 
 	gr := graph.Line(8)
 	rm := simplemalicious.New(gr, 0, sim.Radio, 6)
-	cases["radio-malicious-voting"] = &sim.Config{
+	cfg = &sim.Config{
 		Graph: gr, Model: sim.Radio, Fault: sim.Malicious, P: 0.1,
 		Source: 0, SourceMsg: []byte("1"),
 		NewNode: rm.NewNode, Rounds: rm.Rounds(), Seed: 1,
 		Adversary: adversary.Flip{Wrong: []byte("0")},
 	}
+	cases["radio-malicious-voting"] = goldenCase{cfg, laneSpec(cfg, sim.LaneFlip, nil, rm.NewLaneKernel)}
 
 	gd := graph.Grid(4, 4)
 	dc := decay.New(gd)
-	cases["radio-omission-decay"] = &sim.Config{
+	cases["radio-omission-decay"] = goldenCase{cfg: &sim.Config{
 		Graph: gd, Model: sim.Radio, Fault: sim.Omission, P: 0.3,
 		Source: 0, SourceMsg: []byte("1"),
 		NewNode: dc.NewNode, Rounds: dc.Rounds(25), Seed: 1,
-	}
+	}}
 
 	return cases
 }
 
 func TestGoldenTraces(t *testing.T) {
-	for family, cfg := range goldenCases(t) {
+	for family, gc := range goldenCases(t) {
+		cfg := gc.cfg
 		t.Run(family, func(t *testing.T) {
 			got := digestRun(t, family, cfg)
 			path := filepath.Join("testdata", "golden", family+".json")
@@ -202,7 +221,8 @@ func TestGoldenTraces(t *testing.T) {
 // the scalar reference core — a second, protocol-level witness of the
 // differential guarantee on real experiment workloads.
 func TestGoldenTracesCoreInvariant(t *testing.T) {
-	for family, cfg := range goldenCases(t) {
+	for family, gc := range goldenCases(t) {
+		cfg := gc.cfg
 		bit := digestRun(t, family, cfg)
 		scalar := *cfg
 		scalar.ScalarCore = true
@@ -216,5 +236,47 @@ func TestGoldenTracesCoreInvariant(t *testing.T) {
 					family, r, bit.Rounds[r], ref.Rounds[r])
 			}
 		}
+	}
+}
+
+// TestGoldenTracesLaneCore extends the core-invariance witness to the
+// lane-transposed engine on the golden experiment families that have a
+// lane lowering (the real protocol kernels, not the synthetic test ones):
+// a 64-trial lane block over the golden seed must reproduce, bit for bit,
+// the scalar reference engine's per-trial success verdicts.
+func TestGoldenTracesLaneCore(t *testing.T) {
+	covered := 0
+	for family, gc := range goldenCases(t) {
+		if gc.lanes == nil {
+			continue
+		}
+		covered++
+		lr, err := sim.NewLaneRunner(gc.lanes)
+		if err != nil {
+			t.Fatalf("%s: NewLaneRunner: %v", family, err)
+		}
+		scalar := *gc.cfg
+		scalar.ScalarCore = true
+		runner, err := sim.NewRunner(&scalar)
+		if err != nil {
+			t.Fatalf("%s: NewRunner: %v", family, err)
+		}
+		got := lr.Run(gc.cfg.Seed, sim.LaneWidth)
+		var want uint64
+		for lane := 0; lane < sim.LaneWidth; lane++ {
+			res, err := runner.Run(gc.cfg.Seed + uint64(lane))
+			if err != nil {
+				t.Fatalf("%s: scalar trial %d: %v", family, lane, err)
+			}
+			if res.Success {
+				want |= 1 << uint(lane)
+			}
+		}
+		if got != want {
+			t.Fatalf("%s: lane verdicts %016x != scalar %016x (xor %016x)", family, got, want, got^want)
+		}
+	}
+	if covered < 4 {
+		t.Fatalf("only %d golden families carry a lane spec; expected 4", covered)
 	}
 }

@@ -1,0 +1,329 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"faultcast/internal/graph"
+	"faultcast/internal/rng"
+)
+
+// This file implements the trial-parallel ("lane-transposed") execution
+// core. The bitset core in engine.go is word-parallel across vertices
+// within one trial; this core transposes the layout so that bit lane L of
+// every word is Monte-Carlo trial baseSeed+L of the same compiled
+// scenario, and each word operation advances all 64 trials at once.
+//
+// The trade that makes the transposition possible: the engine stops
+// simulating payload bytes and histories, and tracks only, per (vertex,
+// lane), whether the vertex transmits and whether its payload equals the
+// source message. That is lossless exactly when the protocol's payload
+// universe is two-valued {M, Default} — true for the paper's algorithms
+// under the supported fault lowerings (omission silencing; malicious
+// adversaries that crash or rewrite payloads to the default) — and the
+// public layer only routes a plan here when it has proven that gate
+// (see run.go). Everything that needs per-round histories, stats, or
+// arbitrary payloads stays on the scalar/bitset reference paths, which
+// remain selectable and differentially tested.
+//
+// Bit-identity contract: lane L of Run(baseSeed, count) equals the scalar
+// engine's Result.Success for seed baseSeed+L. It holds because
+//   - the per-lane fault stream is seeded exactly like the scalar trial's
+//     (rng.New(seed).Uint64() is the fault Split of the trial master) and
+//     rng.Lanes draws per lane in the scalar order (n draws per round);
+//   - the supported adversaries and protocols never draw from the
+//     adversary or node streams, so skipping those Splits is unobservable;
+//   - delivery reproduces the scalar rules exactly (first-sender payload
+//     for message passing, the seen-once/seen-twice collision rule for
+//     radio).
+// The differential matrix in lanes_test.go and the public equivalence
+// tests pin all of this per trial.
+
+// LaneWidth is the number of trials a lane runner advances per word
+// operation: one per bit lane of a uint64.
+const LaneWidth = 64
+
+// LaneCorruption selects how the lane engine models what this scenario's
+// fault semantics do to a faulty vertex's transmissions — the lane
+// counterpart of (FaultType, Adversary) after the public layer has lowered
+// the adversary to a payload-free form.
+type LaneCorruption int
+
+const (
+	// LaneSilence drops the faulty vertex's transmissions (omission
+	// failures, and malicious runs under a crashing adversary).
+	LaneSilence LaneCorruption = iota
+	// LaneFlip keeps the transmissions but rewrites their payloads to a
+	// non-source value (adversary.Flip with a wrong value that is not the
+	// source message).
+	LaneFlip
+	// LaneShout makes the faulty vertex broadcast a non-source value
+	// regardless of intent (adversary.OutOfTurn). Full-malicious only, and
+	// only with broadcast targeting (Targets == nil), since the shout goes
+	// to all neighbors.
+	LaneShout
+)
+
+// LaneKernel is a protocol compiled to the transposed layout. The runner
+// drives it once per round: Transmit fills the per-vertex intent and
+// payload-is-M words (both pre-zeroed by the runner), the runner applies
+// faults and the model's delivery rule, and Absorb consumes the resulting
+// per-vertex heard and heard-is-M words. Verdict returns the lanes whose
+// trial succeeded (every vertex would output exactly M).
+//
+// Kernels are stateful per trial block and reset by Reset; they are not
+// safe for concurrent use (one kernel per runner, one runner per worker).
+type LaneKernel interface {
+	Reset()
+	Transmit(round int, intent, payloadM []uint64)
+	Absorb(round int, heard, heardM []uint64)
+	Verdict() uint64
+}
+
+// LaneSpec describes a scenario compiled for the lane engine. It mirrors
+// the corresponding Config exactly except that the protocol and adversary
+// are already lowered: NewKernel builds the transposed protocol, and
+// Corruption is the adversary's payload-free form.
+type LaneSpec struct {
+	Graph *graph.Graph
+	Model Model
+	Fault FaultType
+	// P is the per-step transmitter failure probability in [0, 1).
+	P float64
+	// Rounds is the horizon, after any Config.Rounds override.
+	Rounds int
+	// Corruption is the lowered fault semantics (ignored for NoFaults and
+	// Omission, which always silence).
+	Corruption LaneCorruption
+	// Targets, when non-nil, restricts vertex v's transmissions to the
+	// listed neighbors (message passing only; the tree-directed sends of
+	// the paper's protocols). nil means every transmission is a broadcast
+	// to all neighbors.
+	Targets [][]int
+	// NewKernel builds the transposed protocol instance.
+	NewKernel func() LaneKernel
+}
+
+// Validate reports specification errors before a runner is built.
+func (s *LaneSpec) Validate() error {
+	switch {
+	case s.Graph == nil:
+		return errors.New("sim: LaneSpec.Graph is nil")
+	case s.Graph.N() == 0:
+		return errors.New("sim: empty graph")
+	case s.NewKernel == nil:
+		return errors.New("sim: LaneSpec.NewKernel is nil")
+	case s.Rounds < 0:
+		return fmt.Errorf("sim: negative rounds %d", s.Rounds)
+	case s.Model != MessagePassing && s.Model != Radio:
+		return fmt.Errorf("sim: unknown model %d", int(s.Model))
+	}
+	switch s.Fault {
+	case NoFaults:
+		// p ignored
+	case Omission, Malicious, LimitedMalicious:
+		if s.P < 0 || s.P >= 1 {
+			return fmt.Errorf("sim: failure probability %v outside [0,1)", s.P)
+		}
+	default:
+		return fmt.Errorf("sim: unknown fault type %d", int(s.Fault))
+	}
+	if s.Model == Radio && s.Targets != nil {
+		return errors.New("sim: radio transmissions are broadcasts; LaneSpec.Targets must be nil")
+	}
+	if s.Corruption == LaneShout {
+		if s.Fault == LimitedMalicious {
+			return errors.New("sim: limited-malicious cannot speak out of turn (LaneShout)")
+		}
+		if s.Targets != nil {
+			return errors.New("sim: LaneShout broadcasts to all neighbors; LaneSpec.Targets must be nil")
+		}
+	}
+	return nil
+}
+
+// LaneRunner executes blocks of up to 64 trials of one LaneSpec, reusing
+// all state across blocks (the lane analogue of Runner). Not safe for
+// concurrent use: one runner per worker goroutine.
+type LaneRunner struct {
+	spec   *LaneSpec
+	kernel LaneKernel
+	nbrs   [][]int // neighbor lists, used for broadcasts and radio
+
+	seeds [rng.LaneCount]uint64
+	rnd   rng.Lanes
+
+	// Per-vertex lane words, reused across rounds and blocks.
+	intent []uint64 // kernel's intended transmitters
+	payM   []uint64 // payload == M, meaningful where transmitting
+	act    []uint64 // actual transmitters after fault semantics
+	fault  []uint64 // this round's faulty vertices
+	heard  []uint64 // lanes where the vertex receives this round
+	heardM []uint64 // ... and the received payload is M
+	once   []uint64 // radio: covered by >= 1 transmitter
+	twice  []uint64 // radio: covered by >= 2 transmitters
+	seenM  []uint64 // radio: OR of transmitting neighbors' payload-is-M
+}
+
+// NewLaneRunner validates the spec and builds a reusable runner.
+func NewLaneRunner(spec *LaneSpec) (*LaneRunner, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	n := spec.Graph.N()
+	r := &LaneRunner{
+		spec:   spec,
+		kernel: spec.NewKernel(),
+		intent: make([]uint64, n),
+		payM:   make([]uint64, n),
+		act:    make([]uint64, n),
+		fault:  make([]uint64, n),
+		heard:  make([]uint64, n),
+		heardM: make([]uint64, n),
+	}
+	if spec.Model == Radio {
+		r.once = make([]uint64, n)
+		r.twice = make([]uint64, n)
+		r.seenM = make([]uint64, n)
+	}
+	if spec.Model == Radio || spec.Targets == nil {
+		r.nbrs = make([][]int, n)
+		for v := 0; v < n; v++ {
+			r.nbrs[v] = spec.Graph.Neighbors(v, nil)
+		}
+	}
+	return r, nil
+}
+
+// Run executes trials baseSeed+0 .. baseSeed+count-1 (count clamped to
+// [0, 64]) and returns their success verdicts: bit L of the result is
+// trial baseSeed+L's success, bit-identical to the scalar engine's
+// Result.Success for that seed. Bits at or above count are zero.
+//
+// The runner always advances all 64 lanes — a partial block costs the same
+// as a full one — and masks the verdict, so callers should claim trials in
+// full lane-width chunks whenever the stream allows it.
+func (r *LaneRunner) Run(baseSeed uint64, count int) uint64 {
+	if count <= 0 {
+		return 0
+	}
+	spec := r.spec
+	n := spec.Graph.N()
+	for lane := 0; lane < LaneWidth; lane++ {
+		// The scalar trial derives its fault stream as master.Split() —
+		// rng.New of the master's first output — so lane L's stream seed is
+		// that first output for seed baseSeed+L.
+		r.seeds[lane] = rng.New(baseSeed + uint64(lane)).Uint64()
+	}
+	r.rnd.Seed(&r.seeds)
+	r.kernel.Reset()
+	for round := 0; round < spec.Rounds; round++ {
+		for v := 0; v < n; v++ {
+			r.intent[v] = 0
+			r.payM[v] = 0
+		}
+		r.kernel.Transmit(round, r.intent, r.payM)
+
+		// Fault semantics. NoFaults draws nothing (matching the scalar
+		// engine, which skips sampling entirely); otherwise each vertex
+		// draws one Bernoulli per lane per round, in scalar order.
+		if spec.Fault == NoFaults {
+			copy(r.act, r.intent)
+		} else {
+			r.rnd.BernoulliWords(spec.P, n, r.fault)
+			switch {
+			case spec.Fault == Omission || spec.Corruption == LaneSilence:
+				for v := 0; v < n; v++ {
+					r.act[v] = r.intent[v] &^ r.fault[v]
+				}
+			case spec.Corruption == LaneFlip:
+				// Targets unchanged; faulty payloads become non-M. A faulty
+				// vertex with no intent stays silent (Flip never adds
+				// transmissions), which intent&^... preserves via act=intent.
+				for v := 0; v < n; v++ {
+					r.act[v] = r.intent[v]
+					r.payM[v] &^= r.fault[v]
+				}
+			default: // LaneShout
+				// Faulty vertices broadcast a non-M payload regardless of
+				// intent (intended payloads are replaced wholesale).
+				for v := 0; v < n; v++ {
+					r.act[v] = r.intent[v] | r.fault[v]
+					r.payM[v] &^= r.fault[v]
+				}
+			}
+		}
+
+		if spec.Model == MessagePassing {
+			r.deliverMP(n)
+		} else {
+			r.deliverRadio(n)
+		}
+		r.kernel.Absorb(round, r.heard, r.heardM)
+	}
+	v := r.kernel.Verdict()
+	if count >= LaneWidth {
+		return v
+	}
+	return v & (1<<uint(count) - 1)
+}
+
+// deliverMP is the transposed message-passing rule. heard[u] collects the
+// lanes in which u receives at least one message; heardM[u] reports, per
+// lane, the payload-is-M bit of the LOWEST-ID transmitting sender — the
+// first delivery of the scalar engine's increasing-sender order. The
+// paper's protocols either receive from a single sender per round
+// (tree-directed traffic) or adopt the first delivery, so the first-sender
+// payload is exactly what their kernels need.
+func (r *LaneRunner) deliverMP(n int) {
+	for u := 0; u < n; u++ {
+		r.heard[u] = 0
+		r.heardM[u] = 0
+	}
+	targets := r.spec.Targets
+	for w := 0; w < n; w++ {
+		a := r.act[w]
+		if a == 0 {
+			continue
+		}
+		pm := r.payM[w] & a
+		var tos []int
+		if targets != nil {
+			tos = targets[w]
+		} else {
+			tos = r.nbrs[w]
+		}
+		for _, u := range tos {
+			r.heardM[u] |= pm &^ r.heard[u]
+			r.heard[u] |= a
+		}
+	}
+}
+
+// deliverRadio is the transposed radio collision rule: per lane, a vertex
+// hears iff it is silent and exactly one neighbor transmits, in which case
+// seenM carries that unique neighbor's payload bit.
+func (r *LaneRunner) deliverRadio(n int) {
+	for v := 0; v < n; v++ {
+		r.once[v] = 0
+		r.twice[v] = 0
+		r.seenM[v] = 0
+	}
+	for w := 0; w < n; w++ {
+		a := r.act[w]
+		if a == 0 {
+			continue
+		}
+		pm := r.payM[w] & a
+		for _, u := range r.nbrs[w] {
+			r.twice[u] |= r.once[u] & a
+			r.once[u] |= a
+			r.seenM[u] |= pm
+		}
+	}
+	for v := 0; v < n; v++ {
+		h := r.once[v] &^ r.twice[v] &^ r.act[v]
+		r.heard[v] = h
+		r.heardM[v] = h & r.seenM[v]
+	}
+}

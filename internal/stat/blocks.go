@@ -1,0 +1,147 @@
+package stat
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// BlockWidth is the number of trials a TrialBlock can run per call — one
+// bit lane per trial in a machine word.
+const BlockWidth = 64
+
+// TrialBlock runs up to BlockWidth consecutive trials — seeds baseSeed+0
+// .. baseSeed+count-1 — and returns their success verdicts as a bit mask
+// (bit i = trial baseSeed+i succeeded; bits >= count are zero). Each
+// trial's verdict must be the pure function of its own seed that the
+// equivalent Trial computes: callers claim blocks from arbitrary (not
+// necessarily aligned) offsets of a seed sequence and mix block and
+// per-trial execution freely, relying on bit-identical verdicts.
+//
+// Like Trial, a TrialBlock may hold reusable per-worker state and is only
+// ever called from the single worker that owns it.
+type TrialBlock func(baseSeed uint64, count int) uint64
+
+// TrialBlockMaker builds the TrialBlock for one worker goroutine.
+type TrialBlockMaker func() TrialBlock
+
+// EstimateWithBlocks is EstimateWith for block trials: it runs `trials`
+// independent trials with seeds baseSeed+0, baseSeed+1, ... claimed in
+// BlockWidth-sized chunks, and returns the estimated success proportion.
+// The estimate depends only on (trials, baseSeed) — identical to the
+// per-trial estimators over the same seeds.
+func EstimateWithBlocks(trials int, baseSeed uint64, workers int, newBlock TrialBlockMaker) Proportion {
+	if trials <= 0 {
+		return Proportion{}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if max := (trials + BlockWidth - 1) / BlockWidth; workers > max {
+		workers = max
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var succ atomic.Int64
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			block := newBlock()
+			for {
+				i := next.Add(BlockWidth) - BlockWidth
+				if i >= int64(trials) {
+					return
+				}
+				k := trials - int(i)
+				if k > BlockWidth {
+					k = BlockWidth
+				}
+				succ.Add(int64(bits.OnesCount64(block(baseSeed+uint64(i), k))))
+			}
+		}()
+	}
+	wg.Wait()
+	return Proportion{Successes: int(succ.Load()), Trials: trials}
+}
+
+// EstimateStreamBlocks is EstimateStream for block trials.
+func EstimateStreamBlocks(maxTrials int, baseSeed uint64, workers int, rule StopRule, newBlock TrialBlockMaker) Proportion {
+	return EstimateStreamFromBlocks(Proportion{}, maxTrials, baseSeed, workers, rule, newBlock)
+}
+
+// EstimateStreamFromBlocks is EstimateStreamFrom for block trials: the
+// same resumable stream with the same stopping semantics — batches of
+// Rule.Batch trials, the interval consulted only at batch boundaries —
+// but with each batch's trials claimed in BlockWidth-sized chunks and
+// their verdicts popcounted. Because every block verdict is bit-identical
+// to the corresponding per-trial verdicts, the returned Proportion (and
+// every stop decision along the way) equals EstimateStreamFrom's over the
+// same seeds; batches are not block-aligned and blocks clip to batch
+// boundaries, so the batch totals match exactly.
+func EstimateStreamFromBlocks(start Proportion, maxTrials int, baseSeed uint64, workers int, rule StopRule, newBlock TrialBlockMaker) Proportion {
+	p := start
+	if p.Trials >= maxTrials || (rule.Enabled() && rule.Done(p)) {
+		return p
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if !rule.Enabled() {
+		rest := EstimateWithBlocks(maxTrials-p.Trials, baseSeed+uint64(p.Trials), workers, newBlock)
+		p.Trials += rest.Trials
+		p.Successes += rest.Successes
+		return p
+	}
+	batch := rule.Batch
+	if batch <= 0 {
+		batch = 32
+	}
+	if max := (batch + BlockWidth - 1) / BlockWidth; workers > max {
+		workers = max // a batch can't occupy more workers than blocks
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	blocks := make([]TrialBlock, workers)
+	for w := range blocks {
+		blocks[w] = newBlock()
+	}
+	for {
+		b := batch
+		if rest := maxTrials - p.Trials; b > rest {
+			b = rest
+		}
+		end := int64(p.Trials + b)
+		var next, succ atomic.Int64
+		next.Store(int64(p.Trials))
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(block TrialBlock) {
+				defer wg.Done()
+				for {
+					i := next.Add(BlockWidth) - BlockWidth
+					if i >= end {
+						return
+					}
+					k := int(end - i)
+					if k > BlockWidth {
+						k = BlockWidth
+					}
+					succ.Add(int64(bits.OnesCount64(block(baseSeed+uint64(i), k))))
+				}
+			}(blocks[w])
+		}
+		wg.Wait()
+		p.Trials += b
+		p.Successes += int(succ.Load())
+		if p.Trials >= maxTrials || rule.Done(p) {
+			return p
+		}
+	}
+}

@@ -1,0 +1,272 @@
+package faultcast
+
+import (
+	"strings"
+	"testing"
+)
+
+// laneScenarios enumerates one configuration per (algorithm × model ×
+// fault × adversary) combination that has a lane lowering. Every entry
+// must produce per-trial verdicts, estimates, stop decisions, and shard
+// tallies bit-identical to the scalar and bitset cores.
+func laneScenarios() map[string]Config {
+	msg := []byte("hi") // non-bit so WorstCase lowers to Flip
+	return map[string]Config{
+		"flooding/omission": {
+			Graph: Grid(3, 4), Source: 0, Message: []byte("1"),
+			Model: MessagePassing, Fault: Omission, P: 0.35,
+			Algorithm: Flooding,
+		},
+		"flooding/malicious/crash": {
+			Graph: Line(9), Source: 0, Message: []byte("1"),
+			Model: MessagePassing, Fault: Malicious, P: 0.3,
+			Algorithm: Flooding, Adversary: CrashAdv,
+		},
+		"flooding/malicious/flip": {
+			Graph: KaryTree(2, 10), Source: 0, Message: []byte("1"),
+			Model: MessagePassing, Fault: Malicious, P: 0.3,
+			Algorithm: Flooding, Adversary: FlipAdv,
+		},
+		"flooding/limited/worst-nonbit": {
+			Graph: Line(8), Source: 0, Message: msg,
+			Model: MessagePassing, Fault: LimitedMalicious, P: 0.25,
+			Algorithm: Flooding, Adversary: WorstCase,
+		},
+		"simple-omission/mp": {
+			Graph: Line(7), Source: 0, Message: []byte("1"),
+			Model: MessagePassing, Fault: Omission, P: 0.45, WindowC: 1,
+			Algorithm: SimpleOmission,
+		},
+		"simple-omission/radio": {
+			Graph: Star(6), Source: 1, Message: []byte("1"),
+			Model: Radio, Fault: Omission, P: 0.5, WindowC: 1,
+			Algorithm: SimpleOmission,
+		},
+		"simple-omission/malicious/crash": {
+			Graph: Ring(8), Source: 0, Message: []byte("1"),
+			Model: MessagePassing, Fault: Malicious, P: 0.3, WindowC: 1,
+			Algorithm: SimpleOmission, Adversary: CrashAdv,
+		},
+		"simple-malicious/mp/flip": {
+			Graph: Line(6), Source: 0, Message: []byte("1"),
+			Model: MessagePassing, Fault: Malicious, P: 0.35, WindowC: 2,
+			Algorithm: SimpleMalicious, Adversary: FlipAdv,
+		},
+		"simple-malicious/mp/crash": {
+			Graph: KaryTree(2, 9), Source: 0, Message: []byte("1"),
+			Model: MessagePassing, Fault: Malicious, P: 0.4, WindowC: 2,
+			Algorithm: SimpleMalicious, Adversary: CrashAdv,
+		},
+		"simple-malicious/mp/worst-nonbit": {
+			Graph: Grid(2, 4), Source: 0, Message: msg,
+			Model: MessagePassing, Fault: Malicious, P: 0.3, WindowC: 2,
+			Algorithm: SimpleMalicious, Adversary: WorstCase,
+		},
+		"simple-malicious/radio/flip": {
+			Graph: Star(7), Source: 1, Message: []byte("1"),
+			Model: Radio, Fault: Malicious, P: 0.25, WindowC: 2,
+			Algorithm: SimpleMalicious, Adversary: FlipAdv,
+		},
+		"simple-malicious/limited/crash": {
+			Graph: Line(6), Source: 0, Message: []byte("1"),
+			Model: MessagePassing, Fault: LimitedMalicious, P: 0.3, WindowC: 2,
+			Algorithm: SimpleMalicious, Adversary: CrashAdv,
+		},
+		"composed/limited/flip": {
+			Graph: Line(9), Source: 0, Message: []byte("1"),
+			Model: MessagePassing, Fault: LimitedMalicious, P: 0.2,
+			Algorithm: Composed, Adversary: FlipAdv,
+		},
+		"composed/limited/crash": {
+			Graph: KaryTree(2, 7), Source: 0, Message: msg,
+			Model: MessagePassing, Fault: LimitedMalicious, P: 0.15,
+			Algorithm: Composed, Adversary: CrashAdv,
+		},
+		"radio-repeat/omission": {
+			Graph: Layered(3), Source: 0, Message: []byte("1"),
+			Model: Radio, Fault: Omission, P: 0.4, WindowC: 1,
+			Algorithm: RadioRepeat,
+		},
+		"radio-repeat/malicious/flip": {
+			Graph: Layered(3), Source: 0, Message: []byte("1"),
+			Model: Radio, Fault: Malicious, P: 0.3, WindowC: 2,
+			Algorithm: RadioRepeat, Adversary: FlipAdv,
+		},
+		"radio-repeat/malicious/crash": {
+			Graph: Star(8), Source: 1, Message: []byte("1"),
+			Model: Radio, Fault: Malicious, P: 0.35, WindowC: 2,
+			Algorithm: RadioRepeat, Adversary: CrashAdv,
+		},
+	}
+}
+
+func withCore(cfg Config, core Core) Config {
+	cfg.Core = core
+	return cfg
+}
+
+// TestLanesPerTrialIdentity pins the tentpole contract at per-trial
+// granularity: a shard tally with batch 1 exposes every individual trial
+// verdict, and the lane-transposed core must match the bitset and scalar
+// cores verdict for verdict — across full and partial lane blocks (70
+// trials = one full 64-wide block plus a 6-trial tail).
+func TestLanesPerTrialIdentity(t *testing.T) {
+	const trials = 70
+	for name, cfg := range laneScenarios() {
+		lanes, err := Compile(withCore(cfg, CoreLanes))
+		if err != nil {
+			t.Fatalf("%s: compile lanes: %v", name, err)
+		}
+		if lanes.newBlockMaker() == nil {
+			t.Fatalf("%s: lane plan has no block maker", name)
+		}
+		bitset, err := Compile(withCore(cfg, CoreBitset))
+		if err != nil {
+			t.Fatalf("%s: compile bitset: %v", name, err)
+		}
+		scalar, err := Compile(withCore(cfg, CoreScalar))
+		if err != nil {
+			t.Fatalf("%s: compile scalar: %v", name, err)
+		}
+		got := lanes.TallyShard(cfg.Seed+11, trials, 1, 4)
+		wantB := bitset.TallyShard(cfg.Seed+11, trials, 1, 4)
+		wantS := scalar.TallyShard(cfg.Seed+11, trials, 1, 4)
+		for i := 0; i < trials; i++ {
+			if got.Successes[i] != wantB.Successes[i] || got.Successes[i] != wantS.Successes[i] {
+				t.Fatalf("%s: trial %d: lanes=%d bitset=%d scalar=%d",
+					name, i, got.Successes[i], wantB.Successes[i], wantS.Successes[i])
+			}
+		}
+	}
+}
+
+// TestLanesEstimateIdentity pins the estimation surface: with an early
+// stopping rule the executed trial count, the success count, and hence
+// every stop decision must be identical across cores, and the cached-
+// estimate refinement path (EstimateFrom) must continue a bitset-core
+// stream bit-identically on the lane core.
+func TestLanesEstimateIdentity(t *testing.T) {
+	for name, cfg := range laneScenarios() {
+		lanes, err := Compile(withCore(cfg, CoreLanes))
+		if err != nil {
+			t.Fatalf("%s: compile lanes: %v", name, err)
+		}
+		bitset, err := Compile(withCore(cfg, CoreBitset))
+		if err != nil {
+			t.Fatalf("%s: compile bitset: %v", name, err)
+		}
+		opts := []EstimateOption{WithTarget(0.85), WithBaseSeed(cfg.Seed + 5)}
+		got, err := lanes.Estimate(300, opts...)
+		if err != nil {
+			t.Fatalf("%s: lanes estimate: %v", name, err)
+		}
+		want, err := bitset.Estimate(300, opts...)
+		if err != nil {
+			t.Fatalf("%s: bitset estimate: %v", name, err)
+		}
+		if got.Trials != want.Trials || got.Succeeds != want.Succeeds {
+			t.Fatalf("%s: estimate diverged: lanes %d/%d, bitset %d/%d",
+				name, got.Succeeds, got.Trials, want.Succeeds, want.Trials)
+		}
+
+		// Refinement: top an 80-trial bitset estimate up to 200 on lanes;
+		// the combined stream must equal a straight 200-trial run.
+		prev, err := bitset.Estimate(80, WithBaseSeed(cfg.Seed+5))
+		if err != nil {
+			t.Fatalf("%s: bitset prefix: %v", name, err)
+		}
+		resumed, err := lanes.EstimateFrom(prev, 200, WithBaseSeed(cfg.Seed+5))
+		if err != nil {
+			t.Fatalf("%s: lanes resume: %v", name, err)
+		}
+		full, err := bitset.Estimate(200, WithBaseSeed(cfg.Seed+5))
+		if err != nil {
+			t.Fatalf("%s: bitset full: %v", name, err)
+		}
+		if resumed.Trials != full.Trials || resumed.Succeeds != full.Succeeds {
+			t.Fatalf("%s: refinement diverged: resumed %d/%d, full %d/%d",
+				name, resumed.Succeeds, resumed.Trials, full.Succeeds, full.Trials)
+		}
+	}
+}
+
+// TestLanesShardTallyIdentity pins the cluster shard protocol: per-batch
+// tallies (the wire unit coordinators merge and replay) must be identical
+// whichever core computes them, including blocks straddling bucket
+// boundaries (batch 48 vs block width 64).
+func TestLanesShardTallyIdentity(t *testing.T) {
+	for name, cfg := range laneScenarios() {
+		lanes, err := Compile(withCore(cfg, CoreLanes))
+		if err != nil {
+			t.Fatalf("%s: compile lanes: %v", name, err)
+		}
+		bitset, err := Compile(withCore(cfg, CoreBitset))
+		if err != nil {
+			t.Fatalf("%s: compile bitset: %v", name, err)
+		}
+		got := lanes.TallyShard(cfg.Seed+101, 150, 48, 3)
+		want := bitset.TallyShard(cfg.Seed+101, 150, 48, 3)
+		if got.Trials != want.Trials || got.Batch != want.Batch || len(got.Successes) != len(want.Successes) {
+			t.Fatalf("%s: tally shape diverged: %+v vs %+v", name, got, want)
+		}
+		for i := range got.Successes {
+			if got.Successes[i] != want.Successes[i] {
+				t.Fatalf("%s: bucket %d: lanes=%d bitset=%d", name, i, got.Successes[i], want.Successes[i])
+			}
+		}
+	}
+}
+
+// TestCoreLanesUnsupported pins the Compile-time gate: scenarios with no
+// two-symbol lane lowering must fail under Core=lanes (and silently fall
+// back to the bitset core under the default CoreAuto).
+func TestCoreLanesUnsupported(t *testing.T) {
+	base := Config{
+		Graph: Line(6), Source: 0, Message: []byte("1"),
+		Model: MessagePassing, Fault: Malicious, P: 0.3,
+		Algorithm: SimpleMalicious,
+	}
+	cases := map[string]Config{
+		"noise adversary": func() Config { c := base; c.Adversary = NoiseAdv; return c }(),
+		"equivocator":     func() Config { c := base; c.Adversary = WorstCase; return c }(), // bit message
+		"default message": func() Config { c := base; c.Message = []byte("0"); c.Adversary = CrashAdv; return c }(),
+		"timing bit": {
+			Graph: Complete(2), Source: 0, Message: []byte("1"),
+			Model: MessagePassing, Fault: LimitedMalicious, P: 0.3,
+			Algorithm: TimingBit,
+		},
+		"concurrent": func() Config { c := base; c.Adversary = CrashAdv; c.Concurrent = true; return c }(),
+	}
+	for name, cfg := range cases {
+		cfg.Core = CoreLanes
+		if _, err := Compile(cfg); err == nil {
+			t.Errorf("%s: Core=lanes compiled but the scenario has no lane lowering", name)
+		}
+		// CoreAuto must still compile (falling back to the round engine) …
+		cfg.Core = CoreAuto
+		plan, err := Compile(cfg)
+		if err != nil {
+			t.Fatalf("%s: CoreAuto: %v", name, err)
+		}
+		// … without a lane block maker (concurrent keeps its lowering but
+		// must not use it).
+		if plan.newBlockMaker() != nil {
+			t.Errorf("%s: CoreAuto plan unexpectedly built a lane block maker", name)
+		}
+	}
+}
+
+// TestCoreExcludedFromFingerprint pins the cache-key contract: the engine
+// selectors cannot change a result, so they must not change the key.
+func TestCoreExcludedFromFingerprint(t *testing.T) {
+	cfg := laneScenarios()["composed/limited/flip"]
+	base := cfg.Fingerprint()
+	for _, core := range []Core{CoreBitset, CoreScalar, CoreLanes} {
+		if got := withCore(cfg, core).Fingerprint(); got != base {
+			t.Fatalf("Core=%v changed the fingerprint", core)
+		}
+	}
+	if !strings.Contains(cfg.CanonicalString(), "algo:") {
+		t.Fatal("canonical string lost its shape")
+	}
+}

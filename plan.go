@@ -2,6 +2,7 @@ package faultcast
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"faultcast/internal/exec"
@@ -26,8 +27,9 @@ import (
 // trace writer, so traced plans must run one trial at a time (Estimate
 // ignores Trace).
 type Plan struct {
-	cfg Config      // the scenario, as passed to Compile (Trace/Seed included)
-	sim *sim.Config // compiled engine configuration template
+	cfg   Config        // the scenario, as passed to Compile (Trace/Seed included)
+	sim   *sim.Config   // compiled engine configuration template
+	lanes *sim.LaneSpec // lane-transposed trial-parallel lowering (nil if unsupported)
 }
 
 // Compile lowers the configuration to a reusable execution plan. It
@@ -38,11 +40,35 @@ type Plan struct {
 // is honored by Plan.Run (each run appends to the writer), and ignored by
 // Estimate.
 func Compile(cfg Config) (*Plan, error) {
-	simCfg, err := build(cfg)
+	simCfg, lanes, err := build(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Plan{cfg: cfg, sim: simCfg}, nil
+	switch cfg.Core {
+	case CoreAuto, CoreLanes:
+		if cfg.Core == CoreLanes {
+			if lanes == nil {
+				return nil, fmt.Errorf("faultcast: Core=lanes but the scenario has no lane lowering (algorithm %s, adversary %s, message %q)",
+					cfg.Algorithm, cfg.Adversary, cfg.Message)
+			}
+			if cfg.Concurrent {
+				return nil, errors.New("faultcast: Core=lanes is incompatible with Concurrent")
+			}
+		}
+		if lanes != nil {
+			if err := lanes.Validate(); err != nil {
+				return nil, fmt.Errorf("faultcast: lane lowering: %w", err)
+			}
+		}
+	case CoreBitset, CoreScalar:
+		lanes = nil // estimation stays on the round engine
+	default:
+		return nil, fmt.Errorf("faultcast: unknown core %d", int(cfg.Core))
+	}
+	if cfg.Core == CoreScalar {
+		simCfg.ScalarCore = true
+	}
+	return &Plan{cfg: cfg, sim: simCfg, lanes: lanes}, nil
 }
 
 // Config returns the scenario this plan was compiled from.
@@ -211,6 +237,7 @@ func (p *Plan) EstimateFrom(prev Estimate, trials int, opts ...EstimateOption) (
 		Start:     stat.Proportion{Successes: prev.Succeeds, Trials: prev.Trials},
 		Rule:      o.rule,
 		NewTrial:  p.newTrialMaker(),
+		NewBlock:  p.newBlockMaker(),
 		Scenario:  p.cfg,
 	}
 	var prop stat.Proportion
@@ -257,7 +284,12 @@ type ShardTally struct {
 // may re-run a dropped shard anywhere, even concurrently with a straggling
 // first attempt, and fold in whichever copy returns.
 func (p *Plan) TallyShard(baseSeed uint64, trials, batch, workers int) ShardTally {
-	t := exec.RunShard(workers, baseSeed, trials, batch, p.newTrialMaker())
+	var t stat.Tally
+	if newBlock := p.newBlockMaker(); newBlock != nil {
+		t = exec.RunShardBlocks(workers, baseSeed, trials, batch, newBlock)
+	} else {
+		t = exec.RunShard(workers, baseSeed, trials, batch, p.newTrialMaker())
+	}
 	return ShardTally{Trials: t.Trials, Batch: t.Batch, Successes: t.Successes}
 }
 
@@ -290,6 +322,25 @@ func (p *Plan) newTrialMaker() stat.TrialMaker {
 			}
 			return res.Success
 		}
+	}
+}
+
+// newBlockMaker returns the per-worker block-trial constructor for this
+// plan — a reusable lane-transposed runner per worker, computing 64
+// trials per call with verdicts bit-identical to newTrialMaker's — or nil
+// when the plan has no lane lowering or an explicit engine selection
+// (Concurrent, ScalarCore) asks for the round engines.
+func (p *Plan) newBlockMaker() stat.TrialBlockMaker {
+	if p.lanes == nil || p.cfg.Concurrent || p.cfg.ScalarCore {
+		return nil
+	}
+	spec := p.lanes
+	return func() stat.TrialBlock {
+		lr, err := sim.NewLaneRunner(spec)
+		if err != nil {
+			panic(fmt.Sprintf("faultcast: estimate block: %v", err)) // unreachable: validated at Compile
+		}
+		return lr.Run
 	}
 }
 

@@ -215,6 +215,63 @@ type Config struct {
 	// the word-parallel bitset core (identical results, slower; kept so
 	// the bitset core stays differentially testable end to end).
 	ScalarCore bool
+	// Core selects the engine core for Monte-Carlo estimation (Estimate,
+	// EstimateFrom, TallyShard). The default CoreAuto uses the
+	// lane-transposed trial-parallel core — 64 trials per machine word —
+	// whenever the scenario supports it, falling back to the bitset core
+	// otherwise; all cores are proven bit-identical by the differential
+	// test matrix. Single runs (Plan.Run) always use the scalar/bitset
+	// engine, which is the only one that produces full per-run statistics.
+	Core Core
+}
+
+// Core selects the execution core for estimation trial streams.
+type Core int
+
+const (
+	// CoreAuto picks the fastest supported core: the lane-transposed
+	// trial-parallel core when the scenario has a lane lowering, the
+	// word-parallel bitset core otherwise.
+	CoreAuto Core = iota
+	// CoreBitset forces the word-parallel bitset round core.
+	CoreBitset
+	// CoreScalar forces the scalar reference round core.
+	CoreScalar
+	// CoreLanes forces the lane-transposed trial-parallel core; Compile
+	// fails if the scenario has no lane lowering (or Concurrent is set).
+	CoreLanes
+)
+
+// String returns the ParseCore vocabulary form.
+func (c Core) String() string {
+	switch c {
+	case CoreAuto:
+		return "auto"
+	case CoreBitset:
+		return "bitset"
+	case CoreScalar:
+		return "scalar"
+	case CoreLanes:
+		return "lanes"
+	default:
+		return fmt.Sprintf("Core(%d)", int(c))
+	}
+}
+
+// ParseCore parses "auto", "bitset", "scalar", or "lanes".
+func ParseCore(s string) (Core, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "auto":
+		return CoreAuto, nil
+	case "bitset":
+		return CoreBitset, nil
+	case "scalar":
+		return CoreScalar, nil
+	case "lanes":
+		return CoreLanes, nil
+	default:
+		return CoreAuto, fmt.Errorf("faultcast: unknown core %q", s)
+	}
 }
 
 // CanonicalString returns a deterministic serialization of the
@@ -226,11 +283,12 @@ type Config struct {
 // bit-identical.
 //
 // Excluded on purpose: Trace (observation, not semantics) and the engine
-// selectors Concurrent and ScalarCore — the goroutine-per-node engine and
-// the scalar round core are proven bit-identical to the default by the
-// differential test matrix, so they cannot change a result, only how fast
-// it arrives. Seed IS included: results are deterministic in (config,
-// seed), so different seeds are different computations.
+// selectors Concurrent, ScalarCore, and Core — the goroutine-per-node
+// engine, the scalar round core, and the lane-transposed trial-parallel
+// core are proven bit-identical to the default by the differential test
+// matrix, so they cannot change a result, only how fast it arrives. Seed
+// IS included: results are deterministic in (config, seed), so different
+// seeds are different computations.
 func (cfg Config) CanonicalString() string {
 	var b strings.Builder
 	b.WriteString("faultcast/v1|graph:")
@@ -318,19 +376,21 @@ func EstimateSuccess(cfg Config, trials int) (Estimate, error) {
 	return plan.Estimate(trials)
 }
 
-// build lowers the public Config to an engine configuration.
-func build(cfg Config) (*sim.Config, error) {
+// build lowers the public Config to an engine configuration, plus the
+// lane-transposed trial-parallel lowering when the scenario has one (nil
+// otherwise — callers fall back to the scalar/bitset engine).
+func build(cfg Config) (*sim.Config, *sim.LaneSpec, error) {
 	if cfg.Graph == nil {
-		return nil, errors.New("faultcast: Config.Graph is nil")
+		return nil, nil, errors.New("faultcast: Config.Graph is nil")
 	}
 	if len(cfg.Message) == 0 {
-		return nil, errors.New("faultcast: empty message")
+		return nil, nil, errors.New("faultcast: empty message")
 	}
 	if cfg.Source < 0 || cfg.Source >= cfg.Graph.N() {
-		return nil, fmt.Errorf("faultcast: source %d out of range", cfg.Source)
+		return nil, nil, fmt.Errorf("faultcast: source %d out of range", cfg.Source)
 	}
 	if cfg.P < 0 || cfg.P >= 1 {
-		return nil, fmt.Errorf("faultcast: P=%v outside [0,1)", cfg.P)
+		return nil, nil, fmt.Errorf("faultcast: P=%v outside [0,1)", cfg.P)
 	}
 	model := sim.MessagePassing
 	if cfg.Model == Radio {
@@ -345,16 +405,16 @@ func build(cfg Config) (*sim.Config, error) {
 	case LimitedMalicious:
 		fault = sim.LimitedMalicious
 	default:
-		return nil, fmt.Errorf("faultcast: unknown fault %d", int(cfg.Fault))
+		return nil, nil, fmt.Errorf("faultcast: unknown fault %d", int(cfg.Fault))
 	}
 
 	algo := cfg.Algorithm
 	if algo == Auto {
 		algo = pickAlgorithm(cfg)
 	}
-	newNode, rounds, err := buildProtocol(cfg, algo, model)
+	newNode, rounds, lp, err := buildProtocol(cfg, algo, model)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if cfg.Rounds > 0 {
 		rounds = cfg.Rounds
@@ -374,7 +434,58 @@ func build(cfg Config) (*sim.Config, error) {
 	if fault == sim.Malicious || fault == sim.LimitedMalicious {
 		simCfg.Adversary = buildAdversary(cfg)
 	}
-	return simCfg, nil
+	lanes := buildLaneSpec(cfg, simCfg, lp)
+	return simCfg, lanes, nil
+}
+
+// laneParts is a protocol's contribution to its lane lowering: the
+// transposed kernel constructor and the per-vertex send-target lists (nil
+// for radio broadcast).
+type laneParts struct {
+	newKernel func() sim.LaneKernel
+	targets   [][]int
+}
+
+// buildLaneSpec assembles the lane-transposed lowering of a built
+// scenario, or nil when it has none. The lane core tracks one bit of
+// payload state per (vertex, trial) — "payload is the source message" —
+// which is faithful exactly when the payload universe of every execution
+// is the two symbols {message, default}: the message must not itself be
+// the default, and the adversary must only silence faulty transmissions
+// (crash) or rewrite them to the default (flip — flipOf returns the
+// default for every non-default message). The equivocating worst-case bit
+// adversaries and the noise adversary inject other symbols, so those
+// scenarios stay on the scalar/bitset cores.
+func buildLaneSpec(cfg Config, simCfg *sim.Config, lp *laneParts) *sim.LaneSpec {
+	if lp == nil || protocol.IsDefault(cfg.Message) {
+		return nil
+	}
+	corruption := sim.LaneSilence
+	if simCfg.Fault != sim.Omission {
+		switch cfg.Adversary {
+		case CrashAdv:
+			corruption = sim.LaneSilence
+		case FlipAdv:
+			corruption = sim.LaneFlip
+		case NoiseAdv:
+			return nil
+		default: // WorstCase and out-of-range kinds fall back to Flip
+			if isBit(cfg.Message) {
+				return nil // equivocator/star: not a two-symbol lowering
+			}
+			corruption = sim.LaneFlip
+		}
+	}
+	return &sim.LaneSpec{
+		Graph:      simCfg.Graph,
+		Model:      simCfg.Model,
+		Fault:      simCfg.Fault,
+		P:          simCfg.P,
+		Rounds:     simCfg.Rounds,
+		Corruption: corruption,
+		Targets:    lp.targets,
+		NewKernel:  lp.newKernel,
+	}
 }
 
 func pickAlgorithm(cfg Config) Algorithm {
@@ -398,7 +509,7 @@ func isBit(msg []byte) bool {
 	return len(msg) == 1 && (msg[0] == '0' || msg[0] == '1')
 }
 
-func buildProtocol(cfg Config, algo Algorithm, model sim.Model) (func(int) sim.Node, int, error) {
+func buildProtocol(cfg Config, algo Algorithm, model sim.Model) (func(int) sim.Node, int, *laneParts, error) {
 	n := cfg.Graph.N()
 	switch algo {
 	case SimpleOmission:
@@ -407,7 +518,7 @@ func buildProtocol(cfg Config, algo Algorithm, model sim.Model) (func(int) sim.N
 			c = protocol.WindowCOmission(cfg.P)
 		}
 		p := simpleomission.New(cfg.Graph, cfg.Source, model, c)
-		return p.NewNode, p.Rounds(), nil
+		return p.NewNode, p.Rounds(), &laneParts{p.NewLaneKernel, p.LaneTargets()}, nil
 
 	case SimpleMalicious:
 		c := cfg.WindowC
@@ -419,22 +530,22 @@ func buildProtocol(cfg Config, algo Algorithm, model sim.Model) (func(int) sim.N
 			}
 		}
 		p := simplemalicious.New(cfg.Graph, cfg.Source, model, c)
-		return p.NewNode, p.Rounds(), nil
+		return p.NewNode, p.Rounds(), &laneParts{p.NewLaneKernel, p.LaneTargets()}, nil
 
 	case Flooding:
 		if model != sim.MessagePassing {
-			return nil, 0, errors.New("faultcast: flooding requires the message passing model")
+			return nil, 0, nil, errors.New("faultcast: flooding requires the message passing model")
 		}
 		a := cfg.WindowC
 		if a == 0 {
 			a = 6
 		}
 		p := flooding.New(cfg.Graph, cfg.Source)
-		return p.NewNode, p.Rounds(a), nil
+		return p.NewNode, p.Rounds(a), &laneParts{p.NewLaneKernel, p.LaneTargets()}, nil
 
 	case Composed:
 		if model != sim.MessagePassing {
-			return nil, 0, errors.New("faultcast: the composed algorithm requires the message passing model")
+			return nil, 0, nil, errors.New("faultcast: the composed algorithm requires the message passing model")
 		}
 		alpha := cfg.Alpha
 		if alpha == 0 {
@@ -442,17 +553,17 @@ func buildProtocol(cfg Config, algo Algorithm, model sim.Model) (func(int) sim.N
 		}
 		plan, err := kucera.PlanForGraph(cfg.Graph, cfg.Source, cfg.P, alpha, 1, kucera.Options{})
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, nil, err
 		}
 		p, err := kucera.New(cfg.Graph, cfg.Source, plan)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, nil, err
 		}
-		return p.NewNode, p.Rounds(), nil
+		return p.NewNode, p.Rounds(), &laneParts{p.NewLaneKernel, p.LaneTargets()}, nil
 
 	case RadioRepeat:
 		if model != sim.Radio {
-			return nil, 0, errors.New("faultcast: radio-repeat requires the radio model")
+			return nil, 0, nil, errors.New("faultcast: radio-repeat requires the radio model")
 		}
 		variant := radiorepeat.OmissionVariant
 		c := cfg.WindowC
@@ -469,26 +580,26 @@ func buildProtocol(cfg Config, algo Algorithm, model sim.Model) (func(int) sim.N
 		sched := radio.Greedy(cfg.Graph, cfg.Source)
 		p, err := radiorepeat.New(cfg.Graph, cfg.Source, sched, variant, c)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, nil, err
 		}
-		return p.NewNode, p.Rounds(), nil
+		return p.NewNode, p.Rounds(), &laneParts{newKernel: p.NewLaneKernel}, nil
 
 	case TimingBit:
 		if n != 2 {
-			return nil, 0, errors.New("faultcast: the timing protocol runs on K2 only")
+			return nil, 0, nil, errors.New("faultcast: the timing protocol runs on K2 only")
 		}
 		if !isBit(cfg.Message) {
-			return nil, 0, errors.New("faultcast: the timing protocol broadcasts a single bit (\"0\" or \"1\")")
+			return nil, 0, nil, errors.New("faultcast: the timing protocol broadcasts a single bit (\"0\" or \"1\")")
 		}
 		m := 64
 		if cfg.WindowC > 0 {
 			m = int(cfg.WindowC)
 		}
 		p := twonode.New(m)
-		return p.NewNode, p.Rounds(), nil
+		return p.NewNode, p.Rounds(), nil, nil
 
 	default:
-		return nil, 0, fmt.Errorf("faultcast: unknown algorithm %d", int(algo))
+		return nil, 0, nil, fmt.Errorf("faultcast: unknown algorithm %d", int(algo))
 	}
 }
 

@@ -391,6 +391,7 @@ func (sp *SweepPlan) Run(ctx context.Context, emit func(CellResult), opts ...Swe
 			Start:     stat.Proportion{Successes: prevs[gi].Succeeds, Trials: prevs[gi].Trials},
 			Rule:      sp.budget.rule(c.plan),
 			NewTrial:  c.plan.newTrialMaker(),
+			NewBlock:  c.plan.newBlockMaker(),
 			SharedKey: c.PlanKey,
 			Scenario:  c.Config,
 		}
