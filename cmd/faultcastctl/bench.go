@@ -1,0 +1,376 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"faultcast/internal/hist"
+	"faultcast/internal/load"
+	"faultcast/internal/service"
+)
+
+// benchFile is the BENCH_service.json schema: the same header discipline
+// as BENCH_engine.json (toolchain, maxprocs, CPU model — of the CLIENT
+// host; the server's limits identify its side), then the workload spec,
+// the client-observed per-class results, the server's /v1/stats deltas
+// over the measured window, the server-observed latency summaries for
+// cross-checking, and the SLO verdict.
+type benchFile struct {
+	Schema    string `json:"schema"`
+	GoVersion string `json:"go"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	MaxProcs  int    `json:"maxprocs"`
+	CPU       string `json:"cpu,omitempty"`
+	// Server echoes the target's /v1/scenarios limits — the options the
+	// measured numbers were taken against.
+	Server   service.ScenarioLimits `json:"server"`
+	Workload load.Spec              `json:"workload"`
+	Client   *load.Report           `json:"client"`
+	// StatsDelta is the server-side story of the measured window: where
+	// the answers came from (cache/coalesce/refine/execute) and what was
+	// refused.
+	StatsDelta statsDelta `json:"stats_delta"`
+	// ServerLatency is the server's own per-endpoint view at run end
+	// (cumulative since server start — comparable to Client when the
+	// server is fresh, as in CI).
+	ServerLatency map[string]hist.Summary `json:"server_latency"`
+	SLO           map[string]string       `json:"slo,omitempty"`
+	SLOOk         bool                    `json:"slo_ok"`
+	Violations    []string                `json:"violations,omitempty"`
+}
+
+// statsDelta is the difference of two /v1/stats snapshots taken around
+// the measured window.
+type statsDelta struct {
+	Requests           uint64 `json:"requests"`
+	EstimateRequests   uint64 `json:"estimate_requests"`
+	SweepRequests      uint64 `json:"sweep_requests"`
+	SweepCells         uint64 `json:"sweep_cells"`
+	SweepCellCacheHits uint64 `json:"sweep_cell_cache_hits"`
+	BadRequests        uint64 `json:"bad_requests"`
+	CacheHits          uint64 `json:"cache_hits"`
+	Coalesced          uint64 `json:"coalesced"`
+	CoalescedErrors    uint64 `json:"coalesced_errors"`
+	Executions         uint64 `json:"executions"`
+	Refines            uint64 `json:"refines"`
+	Rejected           uint64 `json:"rejected"`
+	Canceled           uint64 `json:"canceled"`
+	TrialsSimulated    uint64 `json:"trials_simulated"`
+	PlanCompiles       uint64 `json:"plan_compiles"`
+	PlanCacheHits      uint64 `json:"plan_cache_hits"`
+}
+
+func deltaStats(before, after service.Stats) statsDelta {
+	return statsDelta{
+		Requests:           after.Requests - before.Requests,
+		EstimateRequests:   after.EstimateRequests - before.EstimateRequests,
+		SweepRequests:      after.SweepRequests - before.SweepRequests,
+		SweepCells:         after.SweepCells - before.SweepCells,
+		SweepCellCacheHits: after.SweepCellCacheHits - before.SweepCellCacheHits,
+		BadRequests:        after.BadRequests - before.BadRequests,
+		CacheHits:          after.CacheHits - before.CacheHits,
+		Coalesced:          after.Coalesced - before.Coalesced,
+		CoalescedErrors:    after.CoalescedErrors - before.CoalescedErrors,
+		Executions:         after.Executions - before.Executions,
+		Refines:            after.Refines - before.Refines,
+		Rejected:           after.Rejected - before.Rejected,
+		Canceled:           after.Canceled - before.Canceled,
+		TrialsSimulated:    after.TrialsSimulated - before.TrialsSimulated,
+		PlanCompiles:       after.PlanCompiles - before.PlanCompiles,
+		PlanCacheHits:      after.PlanCacheHits - before.PlanCacheHits,
+	}
+}
+
+// cmdBench runs the open-loop load harness against a faultcastd, prints
+// the per-class report, optionally writes BENCH_service.json, and — with
+// -slo — gates on explicit latency/rate objectives, returning an error
+// (non-zero exit) on any violation. Same seed, same server options ⇒ the
+// same request sequence, so two runs differ only by what the server did.
+func cmdBench(c *client, args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	rate := fs.Float64("rate", 50, "offered arrival rate, requests/second")
+	arrival := fs.String("arrival", "constant", "arrival process: constant | poisson")
+	duration := fs.Duration("duration", 10*time.Second, "measured window")
+	warmup := fs.Duration("warmup", 2*time.Second, "warmup window before measurement (issued, not recorded)")
+	seed := fs.Uint64("seed", 1, "schedule seed (same seed = same request sequence)")
+	sweepFrac := fs.Float64("sweep-fraction", 0.05, "fraction of arrivals that are sweeps")
+	hotFrac := fs.Float64("hot", 0.8, "fraction of requests reusing their scenario's hot key")
+	keys := fs.Int("keys", 256, "cold-key universe size per scenario")
+	trials := fs.Int("trials", 1000, "per-request trial budget (0 = server default)")
+	halfWidth := fs.Float64("half-width", 0.05, "precision target carried by half-width requests")
+	hwFrac := fs.Float64("half-width-fraction", 0.25, "fraction of estimates stating the half-width target instead of only the budget")
+	maxInflight := fs.Int("max-inflight", 512, "client-side cap on concurrent requests; arrivals beyond it are dropped and counted")
+	scenarios := fs.String("scenarios", "", "workload scenarios as graph@p[*weight], comma-separated, e.g. grid:6x6@0.5*3,line:32@0.3 (empty = built-in mix)")
+	slo := fs.String("slo", "", "comma-separated objectives, e.g. p95=250ms,reject_rate=0.05,estimate-hot.p50=20ms; violation = non-zero exit")
+	out := fs.String("out", "", "write BENCH_service.json here")
+	fs.Parse(args)
+
+	spec := load.Spec{
+		Rate: *rate, Arrival: *arrival,
+		Duration: *duration, Warmup: *warmup,
+		Seed: *seed, SweepFraction: *sweepFrac, HotFraction: *hotFrac,
+		KeyUniverse: *keys, Trials: *trials,
+		HalfWidth: *halfWidth, HalfWidthFraction: *hwFrac,
+		MaxInflight: *maxInflight,
+	}
+	if *scenarios != "" {
+		parsed, err := parseScenarios(*scenarios)
+		if err != nil {
+			return err
+		}
+		spec.Scenarios = parsed
+	}
+	objectives, err := parseSLOs(*slo)
+	if err != nil {
+		return err
+	}
+
+	if _, err := c.get("/healthz"); err != nil {
+		return fmt.Errorf("bench: server not healthy: %w", err)
+	}
+	var info service.ScenarioInfo
+	if body, err := c.get("/v1/scenarios"); err != nil {
+		return err
+	} else if err := json.Unmarshal(body, &info); err != nil {
+		return err
+	}
+
+	// The before-snapshot is taken at the warmup/measurement boundary, so
+	// the deltas cover exactly the measured window (in-flight warmup
+	// stragglers excepted).
+	var before service.Stats
+	var beforeErr error
+	snapshot := func() (service.Stats, error) {
+		var st service.Stats
+		body, err := c.get("/v1/stats")
+		if err != nil {
+			return st, err
+		}
+		return st, json.Unmarshal(body, &st)
+	}
+	fmt.Printf("bench: %s arrivals at %g req/s for %v (warmup %v), seed %d\n",
+		spec.Arrival, spec.Rate, *duration, *warmup, spec.Seed)
+	rep, err := load.Run(context.Background(), c.base, spec, load.Options{
+		Client:       c.http,
+		OnWarmupDone: func() { before, beforeErr = snapshot() },
+	})
+	if err != nil {
+		return err
+	}
+	if beforeErr != nil {
+		return fmt.Errorf("bench: stats snapshot at warmup end: %w", beforeErr)
+	}
+	after, err := snapshot()
+	if err != nil {
+		return fmt.Errorf("bench: stats snapshot at run end: %w", err)
+	}
+	delta := deltaStats(before, after)
+
+	printBenchReport(rep, delta, after.Latency)
+
+	violations := checkSLOs(objectives, rep)
+	file := benchFile{
+		Schema:        "faultcast-service-bench/v1",
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		MaxProcs:      runtime.GOMAXPROCS(0),
+		CPU:           load.CPUModel(),
+		Server:        info.Limits,
+		Workload:      spec.Normalized(),
+		Client:        rep,
+		StatsDelta:    delta,
+		ServerLatency: after.Latency,
+		SLO:           objectives,
+		SLOOk:         len(violations) == 0,
+		Violations:    violations,
+	}
+	if *out != "" {
+		data, err := json.MarshalIndent(file, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("bench: wrote %s\n", *out)
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "bench: SLO violation: %s\n", v)
+		}
+		return fmt.Errorf("bench: %d SLO violation(s)", len(violations))
+	}
+	if len(objectives) > 0 {
+		fmt.Println("bench: all SLOs met")
+	}
+	return nil
+}
+
+func printBenchReport(rep *load.Report, delta statsDelta, serverLat map[string]hist.Summary) {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "CLASS\tCOUNT\tOK\t429\tERR\tDROP\tP50\tP90\tP95\tP99\tMAX")
+	for _, cl := range rep.Classes {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%.1fms\t%.1fms\t%.1fms\t%.1fms\t%.1fms\n",
+			cl.Class, cl.Count, cl.OK, cl.Rejected, cl.Errors, cl.Dropped,
+			cl.Latency.P50Ms, cl.Latency.P90Ms, cl.Latency.P95Ms, cl.Latency.P99Ms, cl.Latency.MaxMs)
+	}
+	tw.Flush()
+	fmt.Printf("throughput: offered %.1f req/s, achieved %.1f req/s over %.1fs; reject rate %.4f, error rate %.4f\n",
+		rep.OfferedRate, rep.AchievedRate, rep.ElapsedS, rep.RejectRate, rep.ErrorRate)
+	fmt.Printf("server window: executions=%d cache_hits=%d coalesced=%d (+%d error-shared) refines=%d rejected=%d canceled=%d trials=%d compiles=%d\n",
+		delta.Executions, delta.CacheHits, delta.Coalesced, delta.CoalescedErrors,
+		delta.Refines, delta.Rejected, delta.Canceled, delta.TrialsSimulated, delta.PlanCompiles)
+	if est, ok := serverLat["estimate"]; ok && est.Count > 0 {
+		fmt.Printf("server-observed estimate latency (cumulative): p50 %.1fms p95 %.1fms p99 %.1fms over %d requests\n",
+			est.P50Ms, est.P95Ms, est.P99Ms, est.Count)
+	}
+}
+
+// parseScenarios parses graph@p[*weight] entries: graph specs keep their
+// own colons (grid:6x6), @ introduces the failure probability, and an
+// optional *weight scales the draw.
+func parseScenarios(s string) ([]load.Scenario, error) {
+	var out []load.Scenario
+	for _, entry := range splitList(s) {
+		graph, rest, ok := strings.Cut(entry, "@")
+		if !ok || graph == "" {
+			return nil, fmt.Errorf("bench: scenario %q is not graph@p[*weight]", entry)
+		}
+		pStr, wStr, hasW := strings.Cut(rest, "*")
+		p, err := strconv.ParseFloat(pStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bench: scenario %q: bad p %q", entry, pStr)
+		}
+		weight := 1.0
+		if hasW {
+			if weight, err = strconv.ParseFloat(wStr, 64); err != nil || weight <= 0 {
+				return nil, fmt.Errorf("bench: scenario %q: bad weight %q", entry, wStr)
+			}
+		}
+		out = append(out, load.Scenario{Graph: graph, P: p, Weight: weight})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("bench: empty -scenarios")
+	}
+	return out, nil
+}
+
+// parseSLOs parses the -slo string into metric → threshold (kept as the
+// user wrote them, for the report). Metrics: p50/p90/p95/p99/max/mean as
+// durations — bare, applying to every class with successes, or prefixed
+// class.p95 for one class — and reject_rate/error_rate/drop_rate as
+// fractions of completed (resp. scheduled) requests.
+func parseSLOs(s string) (map[string]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]string{}
+	for _, pair := range splitList(s) {
+		key, val, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("bench: SLO %q is not metric=threshold", pair)
+		}
+		metric := key
+		if _, m, ok := strings.Cut(key, "."); ok {
+			metric = m
+		}
+		switch metric {
+		case "p50", "p90", "p95", "p99", "max", "mean":
+			if _, err := time.ParseDuration(val); err != nil {
+				return nil, fmt.Errorf("bench: SLO %q: %q is not a duration", pair, val)
+			}
+		case "reject_rate", "error_rate", "drop_rate":
+			if strings.Contains(key, ".") {
+				return nil, fmt.Errorf("bench: SLO %q: rate objectives are global, not per class", pair)
+			}
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f < 0 || f > 1 {
+				return nil, fmt.Errorf("bench: SLO %q: %q is not a rate in [0, 1]", pair, val)
+			}
+		default:
+			return nil, fmt.Errorf("bench: SLO %q: unknown metric %q", pair, metric)
+		}
+		out[key] = val
+	}
+	return out, nil
+}
+
+// checkSLOs evaluates the parsed objectives against the report and
+// returns human-readable violations (empty = all met).
+func checkSLOs(objectives map[string]string, rep *load.Report) []string {
+	if len(objectives) == 0 {
+		return nil
+	}
+	quantile := func(sum hist.Summary, metric string) float64 {
+		switch metric {
+		case "p50":
+			return sum.P50Ms
+		case "p90":
+			return sum.P90Ms
+		case "p95":
+			return sum.P95Ms
+		case "p99":
+			return sum.P99Ms
+		case "mean":
+			return sum.MeanMs
+		default:
+			return sum.MaxMs
+		}
+	}
+	var violations []string
+	keys := make([]string, 0, len(objectives))
+	for k := range objectives {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		val := objectives[key]
+		class, metric, scoped := strings.Cut(key, ".")
+		if !scoped {
+			metric = key
+		}
+		switch metric {
+		case "reject_rate", "error_rate", "drop_rate":
+			limit, _ := strconv.ParseFloat(val, 64)
+			got := rep.RejectRate
+			switch metric {
+			case "error_rate":
+				got = rep.ErrorRate
+			case "drop_rate":
+				got = 0
+				if rep.Scheduled > 0 {
+					got = float64(rep.Dropped) / float64(rep.Scheduled)
+				}
+			}
+			if got > limit {
+				violations = append(violations, fmt.Sprintf("%s %.4f > %v", metric, got, val))
+			}
+		default:
+			limit, _ := time.ParseDuration(val)
+			limitMs := float64(limit) / float64(time.Millisecond)
+			for _, cl := range rep.Classes {
+				if scoped && cl.Class != class {
+					continue
+				}
+				if cl.OK == 0 {
+					continue
+				}
+				if got := quantile(cl.Latency, metric); got > limitMs {
+					violations = append(violations, fmt.Sprintf("%s.%s %.1fms > %v", cl.Class, metric, got, val))
+				}
+			}
+		}
+	}
+	return violations
+}

@@ -7,12 +7,21 @@
 //	faultcastctl [-addr URL] sweep -graphs A,B -ps P1,P2 [flags]
 //	faultcastctl [-addr URL] workers                coordinator fleet health
 //	faultcastctl [-addr URL] smoke [flags]          concurrent load smoke test
+//	faultcastctl [-addr URL] bench [flags]          open-loop service load bench
 //
 // smoke fires a burst of concurrent identical estimation requests plus a
 // spread of distinct ones, verifies every answer, and checks that the
 // server amortized the identical burst (cache hits + coalescing, not one
 // execution per request). CI runs it against a race-built faultcastd and
 // archives the resulting /v1/stats snapshot next to BENCH_engine.json.
+//
+// bench drives internal/load's deterministic open-loop schedule at the
+// server: a seeded mix of hot/cold estimates and sweeps arriving at a
+// configured rate (constant or Poisson), reported as per-class latency
+// percentiles, achieved vs offered throughput, and the server's
+// /v1/stats deltas over the measured window. -out writes
+// BENCH_service.json; -slo turns the run into a CI gate
+// (-slo p95=250ms,reject_rate=0.05 exits non-zero on violation).
 //
 // sweep streams a /v1/sweep grid; -sort reorders the NDJSON cell lines
 // into index order, making the output a deterministic artifact — the
@@ -43,7 +52,7 @@ import (
 func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8347", "faultcastd base URL")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: faultcastctl [-addr URL] {health|scenarios|stats|estimate|sweep|workers|smoke} [flags]")
+		fmt.Fprintln(os.Stderr, "usage: faultcastctl [-addr URL] {health|scenarios|stats|estimate|sweep|workers|smoke|bench} [flags]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -69,6 +78,8 @@ func main() {
 		err = cmdWorkers(c)
 	case "smoke":
 		err = cmdSmoke(c, args[1:])
+	case "bench":
+		err = cmdBench(c, args[1:])
 	default:
 		err = fmt.Errorf("unknown command %q", args[0])
 	}

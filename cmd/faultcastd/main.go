@@ -5,8 +5,12 @@
 // and bounded admission (429 + Retry-After under overload).
 //
 // Endpoints: POST /v1/estimate, POST /v1/sweep, POST /v1/shard,
-// GET /v1/scenarios, GET /v1/stats, GET /healthz. See internal/service
-// for semantics and cmd/faultcastctl for a client.
+// GET /v1/scenarios, GET /v1/stats, GET /healthz. /v1/stats exposes the
+// full serving ledger — cache/coalescing/admission counters plus
+// per-endpoint latency histograms — with semantics documented on
+// internal/service.Stats. See cmd/faultcastctl for a client, including
+// the open-loop load bench (faultcastctl bench) that exercises a daemon
+// and gates its latency/reject SLOs in CI.
 //
 // Every faultcastd is also a cluster worker: POST /v1/shard executes one
 // shard of a remote coordinator's trial stream against the local plan

@@ -1,0 +1,187 @@
+// Package hist provides a fixed-bucket, log-spaced latency histogram with
+// lock-free atomic recording, shared by the server's per-endpoint latency
+// tracking (internal/service, surfaced in /v1/stats) and the load
+// harness's per-class client-side measurements (internal/load, written to
+// BENCH_service.json) — so the two sides of a benchmark report quantiles
+// computed by the same estimator over the same bucket boundaries, and
+// client-observed p95s can be cross-checked against server-observed ones
+// without unit or method skew.
+//
+// Buckets are spaced geometrically: 4 per octave (each boundary ~19%
+// above the previous) from 1µs up to ~4.6 minutes, with a final overflow
+// bucket. Observe is wait-free (one atomic add plus a max CAS loop) and
+// safe for any number of concurrent writers; Snapshot may run concurrently
+// with writers and sees some consistent-enough interleaving (counts may
+// trail the max by in-flight observations, never the reverse in aggregate).
+package hist
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// bucketsPerOctave fixes the resolution: 4 boundaries per doubling
+	// puts any quantile within ~19% of its true value, tight enough to
+	// compare client- and server-side percentiles of the same run.
+	bucketsPerOctave = 4
+	// octaves spans 1µs .. 2^28µs ≈ 4.6min; slower outcomes land in the
+	// overflow bucket and report as the recorded maximum.
+	octaves    = 28
+	numBounds  = bucketsPerOctave * octaves
+	numBuckets = numBounds + 1 // + overflow
+	minValue   = time.Microsecond
+)
+
+// bounds[i] is the inclusive upper edge of bucket i, in nanoseconds.
+var bounds = func() [numBounds]int64 {
+	var b [numBounds]int64
+	for i := range b {
+		b[i] = int64(math.Round(float64(minValue) * math.Pow(2, float64(i+1)/bucketsPerOctave)))
+	}
+	return b
+}()
+
+// Histogram accumulates durations into fixed log-spaced buckets. The zero
+// value is ready to use; all methods are safe for concurrent use.
+type Histogram struct {
+	buckets [numBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64 // nanoseconds
+	max     atomic.Int64 // nanoseconds
+}
+
+// bucketOf returns the index of the bucket holding duration d: the first
+// whose upper edge is >= d (binary search over the precomputed edges).
+func bucketOf(d time.Duration) int {
+	ns := int64(d)
+	lo, hi := 0, numBounds // hi = overflow bucket
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bounds[mid] >= ns {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Observe records one duration. Negative durations clamp to zero (they
+// can only come from clock weirdness; losing them would skew counts).
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketOf(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	for {
+		old := h.max.Load()
+		if int64(d) <= old || h.max.CompareAndSwap(old, int64(d)) {
+			return
+		}
+	}
+}
+
+// Snapshot copies the histogram's current state for quantile queries.
+type Snapshot struct {
+	Count   uint64
+	Sum     time.Duration
+	Max     time.Duration
+	buckets [numBuckets]uint64
+}
+
+// Snapshot captures the counters. Concurrent Observe calls may or may not
+// be included; the snapshot itself is immutable.
+func (h *Histogram) Snapshot() Snapshot {
+	var s Snapshot
+	for i := range h.buckets {
+		s.buckets[i] = h.buckets[i].Load()
+		s.Count += s.buckets[i]
+	}
+	s.Sum = time.Duration(h.sum.Load())
+	s.Max = time.Duration(h.max.Load())
+	return s
+}
+
+// Quantile estimates the q-th quantile (q in [0, 1]) by linear
+// interpolation inside the bucket where the target rank falls. The
+// overflow bucket reports the recorded maximum; an empty histogram
+// reports zero. Estimates are bounded by the bucket resolution (~19%).
+func (s Snapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.buckets {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= rank {
+			if i == numBounds { // overflow: no upper edge, report the max
+				return s.Max
+			}
+			lower := int64(0)
+			if i > 0 {
+				lower = bounds[i-1]
+			}
+			upper := bounds[i]
+			if upper > int64(s.Max) && int64(s.Max) > lower {
+				// The true values in the top bucket can't exceed the max.
+				upper = int64(s.Max)
+			}
+			frac := (rank - cum) / float64(c)
+			return time.Duration(float64(lower) + frac*float64(upper-lower))
+		}
+		cum = next
+	}
+	return s.Max
+}
+
+// Mean returns the arithmetic mean of the recorded durations (exact, from
+// the running sum — not a bucket estimate).
+func (s Snapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// Summary is the JSON rendering of a histogram shared by /v1/stats and
+// BENCH_service.json: count plus quantiles in milliseconds. Quantiles are
+// bucket-interpolated (see Quantile); Mean and Max are exact.
+type Summary struct {
+	Count  uint64  `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// Summarize renders the snapshot for JSON reports.
+func (s Snapshot) Summarize() Summary {
+	ms := func(d time.Duration) float64 {
+		return math.Round(float64(d)/float64(time.Millisecond)*1000) / 1000
+	}
+	return Summary{
+		Count:  s.Count,
+		MeanMs: ms(s.Mean()),
+		P50Ms:  ms(s.Quantile(0.50)),
+		P90Ms:  ms(s.Quantile(0.90)),
+		P95Ms:  ms(s.Quantile(0.95)),
+		P99Ms:  ms(s.Quantile(0.99)),
+		MaxMs:  ms(s.Max),
+	}
+}

@@ -1,0 +1,142 @@
+package hist
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketBoundaries pins the bucket layout: edges are inclusive upper
+// bounds, values at an edge land in that bucket, values just above move to
+// the next, sub-minimum values land in bucket 0, and anything beyond the
+// last edge lands in the overflow bucket.
+func TestBucketBoundaries(t *testing.T) {
+	if bounds[0] != int64(time.Duration(1189)) { // 1µs * 2^(1/4) ≈ 1189ns
+		t.Fatalf("first edge %d ns, want 1189", bounds[0])
+	}
+	for i := 1; i < numBounds; i++ {
+		if bounds[i] <= bounds[i-1] {
+			t.Fatalf("edges not strictly increasing at %d: %d <= %d", i, bounds[i], bounds[i-1])
+		}
+	}
+	// One doubling every bucketsPerOctave edges (rounding-exact because
+	// the edges are derived from the same power ladder).
+	for i := bucketsPerOctave; i < numBounds; i++ {
+		ratio := float64(bounds[i]) / float64(bounds[i-bucketsPerOctave])
+		if ratio < 1.999 || ratio > 2.001 {
+			t.Fatalf("edge %d is %.4fx edge %d, want 2x", i, ratio, i-bucketsPerOctave)
+		}
+	}
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{time.Nanosecond, 0},
+		{time.Duration(bounds[0]), 0},     // exactly on the first edge
+		{time.Duration(bounds[0] + 1), 1}, // just past it
+		{time.Duration(bounds[7]), 7},
+		{time.Duration(bounds[7] + 1), 8},
+		{time.Duration(bounds[numBounds-1]), numBounds - 1}, // last finite edge
+		{time.Hour, numBounds},                              // overflow
+	}
+	for _, tc := range cases {
+		if got := bucketOf(tc.d); got != tc.want {
+			t.Errorf("bucketOf(%v) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+}
+
+// TestQuantiles: a known population must report quantiles within one
+// bucket's resolution, exact count/mean/max, and monotone quantiles.
+func TestQuantiles(t *testing.T) {
+	var h Histogram
+	// 100 observations: 1ms, 2ms, ..., 100ms.
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count %d, want 100", s.Count)
+	}
+	if s.Max != 100*time.Millisecond {
+		t.Fatalf("max %v, want 100ms", s.Max)
+	}
+	if mean := s.Mean(); mean != 50500*time.Microsecond {
+		t.Fatalf("mean %v, want 50.5ms", mean)
+	}
+	// Each quantile must land within the ~19% bucket resolution of truth.
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{{0.5, 50 * time.Millisecond}, {0.9, 90 * time.Millisecond}, {0.99, 99 * time.Millisecond}} {
+		got := s.Quantile(tc.q)
+		lo := time.Duration(float64(tc.want) * 0.80)
+		hi := time.Duration(float64(tc.want) * 1.20)
+		if got < lo || got > hi {
+			t.Errorf("q%.2f = %v, want within [%v, %v]", tc.q, got, lo, hi)
+		}
+	}
+	if s.Quantile(0) > s.Quantile(0.5) || s.Quantile(0.5) > s.Quantile(1) {
+		t.Error("quantiles not monotone")
+	}
+	if s.Quantile(1) > s.Max {
+		t.Errorf("q1 %v exceeds max %v", s.Quantile(1), s.Max)
+	}
+}
+
+func TestEmptyAndOverflow(t *testing.T) {
+	var h Histogram
+	if s := h.Snapshot(); s.Count != 0 || s.Quantile(0.5) != 0 || s.Mean() != 0 {
+		t.Fatalf("empty histogram not zero: %+v", s)
+	}
+	h.Observe(2 * time.Hour) // far past the last edge
+	h.Observe(-time.Second)  // clamps to zero, still counted
+	s := h.Snapshot()
+	if s.Count != 2 {
+		t.Fatalf("count %d, want 2", s.Count)
+	}
+	if got := s.Quantile(1); got != 2*time.Hour {
+		t.Fatalf("overflow quantile %v, want the recorded max", got)
+	}
+}
+
+// TestConcurrentObserve hammers one histogram from many goroutines (run
+// under -race in CI) and checks nothing is lost: count, sum, and max must
+// all be exact, and the buckets must sum to the count.
+func TestConcurrentObserve(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(w*per+i) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count %d, want %d", s.Count, workers*per)
+	}
+	var want time.Duration
+	for i := 0; i < workers*per; i++ {
+		want += time.Duration(i) * time.Microsecond
+	}
+	if s.Sum != want {
+		t.Fatalf("sum %v, want %v", s.Sum, want)
+	}
+	if s.Max != time.Duration(workers*per-1)*time.Microsecond {
+		t.Fatalf("max %v, want %v", s.Max, time.Duration(workers*per-1)*time.Microsecond)
+	}
+	var bucketSum uint64
+	for _, c := range s.buckets {
+		bucketSum += c
+	}
+	if bucketSum != s.Count {
+		t.Fatalf("buckets sum to %d, count is %d", bucketSum, s.Count)
+	}
+}

@@ -1,0 +1,22 @@
+package load
+
+import (
+	"os"
+	"strings"
+)
+
+// CPUModel reads the processor model from /proc/cpuinfo for bench-file
+// headers. Best effort: on platforms without it (or with an unexpected
+// layout) the header just omits the field rather than failing the run.
+func CPUModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return ""
+}

@@ -1,0 +1,190 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"faultcast/internal/service"
+)
+
+// TestScheduleDeterministic: the whole point of the seeded schedule —
+// equal specs expand to element-for-element identical request sequences,
+// and a different seed to a different one.
+func TestScheduleDeterministic(t *testing.T) {
+	spec := Spec{
+		Rate: 200, Arrival: "poisson",
+		Duration: 2 * time.Second, Warmup: 500 * time.Millisecond,
+		Seed: 42, SweepFraction: 0.1, HotFraction: 0.6, KeyUniverse: 32,
+		Trials: 500, HalfWidth: 0.05, HalfWidthFraction: 0.3,
+	}
+	a, err := spec.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spec.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if string(aj) != string(bj) {
+		t.Fatal("same spec produced different schedules")
+	}
+	// The mix must actually be mixed: all three classes, both warm and
+	// measured arrivals, hot and cold seeds, some precision requests.
+	seen := map[string]int{}
+	var warm, hotSeeds, coldSeeds, precision int
+	for i, rq := range a {
+		seen[rq.Class]++
+		if rq.Warm {
+			warm++
+		}
+		if i > 0 && rq.At < a[i-1].At {
+			t.Fatalf("arrival %d at %v before %d at %v", i, rq.At, i-1, a[i-1].At)
+		}
+		if rq.Estimate != nil {
+			if rq.Estimate.Seed == 1 {
+				hotSeeds++
+			} else {
+				coldSeeds++
+				if rq.Estimate.Seed < 2 || rq.Estimate.Seed > 33 {
+					t.Fatalf("cold seed %d outside the 32-key universe", rq.Estimate.Seed)
+				}
+			}
+			if rq.Estimate.HalfWidth > 0 {
+				precision++
+			}
+		}
+	}
+	if seen[ClassEstimateHot] == 0 || seen[ClassEstimateCold] == 0 || seen[ClassSweep] == 0 {
+		t.Fatalf("classes missing from the mix: %v", seen)
+	}
+	if warm == 0 || warm == len(a) {
+		t.Fatalf("warmup split degenerate: %d of %d warm", warm, len(a))
+	}
+	if hotSeeds == 0 || coldSeeds == 0 || precision == 0 {
+		t.Fatalf("degenerate draws: hot=%d cold=%d precision=%d", hotSeeds, coldSeeds, precision)
+	}
+
+	diff := spec
+	diff.Seed = 43
+	c, err := diff.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cj, _ := json.Marshal(c)
+	if string(cj) == string(aj) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestScheduleConstantArrivals: constant arrivals are evenly spaced at
+// 1/rate and independent of the seed.
+func TestScheduleConstantArrivals(t *testing.T) {
+	spec := Spec{Rate: 100, Duration: time.Second}
+	sched, err := spec.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched) != 100 {
+		t.Fatalf("%d arrivals for 100/s over 1s, want 100", len(sched))
+	}
+	for i, rq := range sched {
+		want := time.Duration(i) * 10 * time.Millisecond
+		if rq.At != want {
+			t.Fatalf("arrival %d at %v, want %v", i, rq.At, want)
+		}
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := []Spec{
+		{Rate: 0, Duration: time.Second},
+		{Rate: 10, Duration: 0},
+		{Rate: 10, Duration: time.Second, Arrival: "uniform"},
+		{Rate: 10, Duration: time.Second, SweepFraction: 1.5},
+		{Rate: 10, Duration: time.Second, HalfWidthFraction: 0.5}, // no half_width
+	}
+	for i, spec := range bad {
+		if _, err := spec.Schedule(); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+// TestRunSmoke drives a short real schedule against an httptest
+// faultcastd and checks the report is coherent: every measured arrival is
+// accounted for exactly once, latency percentiles exist and are ordered,
+// and the server's own counters line up with the client's 429 count.
+func TestRunSmoke(t *testing.T) {
+	srv := service.New(service.Options{MaxInflight: 2, DefaultTrials: 200})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	spec := Spec{
+		Rate: 150, Arrival: "poisson",
+		Duration: 800 * time.Millisecond, Warmup: 200 * time.Millisecond,
+		Seed: 7, SweepFraction: 0.05, HotFraction: 0.7, KeyUniverse: 16,
+		Trials: 300, MaxInflight: 64,
+	}
+	warmupDone := 0
+	rep, err := Run(context.Background(), ts.URL, spec, Options{
+		OnWarmupDone: func() { warmupDone++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmupDone != 1 {
+		t.Fatalf("OnWarmupDone fired %d times, want once", warmupDone)
+	}
+	if rep.Scheduled == 0 || rep.Warmup == 0 {
+		t.Fatalf("degenerate run: %+v", rep)
+	}
+	if rep.Issued+rep.Dropped != rep.Scheduled {
+		t.Fatalf("issued %d + dropped %d != scheduled %d", rep.Issued, rep.Dropped, rep.Scheduled)
+	}
+	var count, ok, rejected, errors, dropped int
+	for _, c := range rep.Classes {
+		count += c.Count
+		ok += c.OK
+		rejected += c.Rejected
+		errors += c.Errors
+		dropped += c.Dropped
+		if c.OK != int(c.Latency.Count) {
+			t.Errorf("class %s: %d OK but %d latency samples", c.Class, c.OK, c.Latency.Count)
+		}
+		if c.Latency.P50Ms > c.Latency.P95Ms || c.Latency.P95Ms > c.Latency.MaxMs {
+			t.Errorf("class %s: disordered percentiles %+v", c.Class, c.Latency)
+		}
+	}
+	if count != rep.Issued || dropped != rep.Dropped {
+		t.Fatalf("class totals (count %d, dropped %d) disagree with report (issued %d, dropped %d)",
+			count, dropped, rep.Issued, rep.Dropped)
+	}
+	if ok+rejected+errors != count {
+		t.Fatalf("ok %d + rejected %d + errors %d != completed %d", ok, rejected, errors, count)
+	}
+	if errors != 0 {
+		t.Fatalf("%d transport/status errors against a healthy test server", errors)
+	}
+	if ok == 0 {
+		t.Fatal("no successful responses at all")
+	}
+	// Cross-check against the server's own accounting: it saw at least
+	// every measured estimate (warmup adds more), and its rejected
+	// counter now counts every 429 the client observed (the PR's
+	// counter-semantics fix — the harness relies on it).
+	st := srv.Stats()
+	if uint64(rejected) > st.Rejected {
+		t.Fatalf("client saw %d 429s, server counted only %d rejected", rejected, st.Rejected)
+	}
+	if st.Latency["estimate"].Count == 0 {
+		t.Fatal("server-side estimate latency histogram is empty")
+	}
+}

@@ -1,6 +1,9 @@
 package service
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // outcome is the shared result of one coalesced estimate execution: either
 // a success response or a structured error with its HTTP status.
@@ -21,7 +24,11 @@ type flightGroup struct {
 
 type flightCall struct {
 	done chan struct{}
-	out  outcome
+	// riders counts followers currently parked on done — observability
+	// for the deterministic admission tests, which must know the whole
+	// barrage has coalesced before releasing the leader.
+	riders atomic.Int64
+	out    outcome
 }
 
 // do runs fn under key, or waits for the in-flight run of fn under the
@@ -35,6 +42,7 @@ func (g *flightGroup) do(key string, fn func() outcome) (out outcome, shared boo
 		g.m = make(map[string]*flightCall)
 	}
 	if c, ok := g.m[key]; ok {
+		c.riders.Add(1)
 		g.mu.Unlock()
 		<-c.done
 		return c.out, true
@@ -61,4 +69,16 @@ func (g *flightGroup) do(key string, fn func() outcome) (out outcome, shared boo
 	}()
 	c.out = fn()
 	return c.out, false
+}
+
+// riders reports how many followers are parked on the in-flight call for
+// key (0, false when nothing is in flight). Test observability only.
+func (g *flightGroup) ridersOf(key string) (int64, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	c, ok := g.m[key]
+	if !ok {
+		return 0, false
+	}
+	return c.riders.Load(), true
 }

@@ -13,8 +13,9 @@
 //	                    stream and return its per-batch success tally
 //	GET  /v1/scenarios  the request vocabulary (graph grammar, models,
 //	                    faults, algorithms, adversaries) and server limits
-//	GET  /v1/stats      request/cache/admission counters (plus the fleet
-//	                    snapshot in coordinator mode)
+//	GET  /v1/stats      request/cache/admission counters, per-endpoint
+//	                    latency histograms (plus the fleet snapshot in
+//	                    coordinator mode)
 //	GET  /healthz       liveness (reports "draining" during shutdown)
 //
 // Four mechanisms stand between a request and the engine, in order:
@@ -44,7 +45,30 @@
 //  4. Bounded admission. At most MaxInflight estimations run at once and
 //     at most MaxQueue callers wait for a slot; beyond that the server
 //     answers 429 with a Retry-After header instead of letting load grow
-//     the engine's footprint without bound.
+//     the engine's footprint without bound. A caller that disconnects
+//     while waiting for a slot is not shed load: that path answers 499
+//     without Retry-After and bumps its own counter.
+//
+// Counter semantics (the /v1/stats ledger; each outcome increments
+// exactly one of the serving-path counters, so operators can alert on
+// them without double counting):
+//
+//   - cache_hits: answers satisfied from the result cache, zero trials.
+//   - coalesced: followers that shared a leader's SUCCESSFUL answer.
+//   - coalesced_errors: followers that inherited a leader's error
+//     instead — counted separately so coalesced remains a pure
+//     amortization metric.
+//   - executions / refines: leader runs, from scratch vs topped up.
+//   - rejected: exactly the number of 429 responses sent — leaders
+//     refused admission AND followers that shared a leader's 429.
+//   - canceled: requests whose own client disconnected while queued
+//     (the 499 path); never counted as rejected.
+//
+// The latency map carries one log-spaced histogram per endpoint
+// (estimate/sweep/shard, internal/hist) summarized as count, mean, and
+// p50/p90/p95/p99/max — measured handler-entry to handler-exit, the
+// server-side clock faultcastctl bench cross-checks its client-side
+// percentiles against.
 //
 // Sweeps compose with the same machinery at cell granularity: a sweep
 // occupies one admission slot (its cells share one worker pool via the

@@ -40,8 +40,11 @@ type EstimateRequest struct {
 	Seed uint64 `json:"seed,omitempty"`
 	// Rounds overrides the round horizon (0 = the algorithm's own).
 	Rounds int `json:"rounds,omitempty"`
-	// Trials is the trial budget (default Options.DefaultTrials, capped
-	// at Options.MaxTrials).
+	// Trials is the trial budget (default Options.DefaultTrials). A
+	// budget above Options.MaxTrials is clamped to it, never rejected —
+	// and the clamp is echoed, not silent: the response then carries
+	// clamped=true and trials_requested alongside the effective budget
+	// in its trials field.
 	Trials int `json:"trials,omitempty"`
 	// HalfWidth, when positive, stops the stream once the 95% interval
 	// half-width reaches it — and lets the server reuse any cached
@@ -79,6 +82,12 @@ type EstimateResponse struct {
 	// request: 0 for "cache" and "coalesced" answers, the marginal top-up
 	// for "refined" ones.
 	TrialsSimulated int `json:"trials_simulated"`
+	// Clamped reports that the requested trial budget exceeded the
+	// server's MaxTrials and was reduced; TrialsRequested then echoes the
+	// budget the caller asked for (the effective budget is in Trials /
+	// the /v1/scenarios limits). Both are omitted when no clamp happened.
+	Clamped         bool `json:"clamped,omitempty"`
+	TrialsRequested int  `json:"trials_requested,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx answer.

@@ -14,6 +14,7 @@ import (
 
 	"faultcast"
 	"faultcast/internal/cluster"
+	"faultcast/internal/hist"
 )
 
 // Options tunes a Server. The zero value gets sensible defaults (see
@@ -125,6 +126,16 @@ type Server struct {
 	shardInflight atomic.Int64
 
 	c counters
+
+	// lat records server-observed request latency per endpoint (handler
+	// entry to response written, all statuses), surfaced in /v1/stats so
+	// a load harness can cross-check its client-side percentiles against
+	// what the server itself saw.
+	lat struct {
+		estimate hist.Histogram
+		sweep    hist.Histogram
+		shard    hist.Histogram
+	}
 }
 
 type counters struct {
@@ -136,9 +147,11 @@ type counters struct {
 	badRequests        atomic.Uint64
 	cacheHits          atomic.Uint64
 	coalesced          atomic.Uint64
+	coalescedErrors    atomic.Uint64
 	executions         atomic.Uint64
 	refines            atomic.Uint64
 	rejected           atomic.Uint64
+	canceled           atomic.Uint64
 	trialsSimulated    atomic.Uint64
 	planCompiles       atomic.Uint64
 	planCacheHits      atomic.Uint64
@@ -195,6 +208,8 @@ func (s *Server) Handler() http.Handler {
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	s.c.estimateCalls.Add(1)
+	start := time.Now()
+	defer func() { s.lat.estimate.Observe(time.Since(start)) }()
 	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -212,19 +227,31 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := cfg.Fingerprint()
+	// clamped: the server reduced the requested budget to MaxTrials.
+	// (trials only ever shrinks below req.Trials by that clamp; the
+	// req.Trials == 0 default path grows it.) Echoed on every successful
+	// answer so callers can see the budget they actually got.
+	clamped := req.Trials > 0 && trials < req.Trials
+	annotate := func(resp *EstimateResponse) {
+		if clamped {
+			resp.TrialsRequested = req.Trials
+			resp.Clamped = true
+		}
+	}
 
 	// Fast path: a fresh cached estimate that already satisfies the
 	// confidence requirement answers with zero simulation and no slot.
 	if e, ok := s.cachedSatisfying(key, trials, req.HalfWidth); ok {
 		s.c.cacheHits.Add(1)
-		writeJSON(w, http.StatusOK, s.response(cfg, key, e.est, e.rounds, "cache", 0))
+		resp := s.response(cfg, key, e.est, e.rounds, "cache", 0)
+		annotate(&resp)
+		writeJSON(w, http.StatusOK, resp)
 		return
 	}
 
 	// Coalesce on (semantics, requirement): N concurrent identical
 	// requests trigger one execution and all ride its outcome.
-	flightKey := fmt.Sprintf("%s|t:%d|hw:%016x", key, trials, math.Float64bits(req.HalfWidth))
-	out, shared := s.flight.do(flightKey, func() outcome {
+	out, shared := s.flight.do(estimateFlightKey(key, trials, req.HalfWidth), func() outcome {
 		// The execution belongs to the coalesced group, not to whoever
 		// happened to arrive first: detach the leader's cancellation so
 		// one disconnecting client can't turn everyone's answer into a
@@ -233,10 +260,21 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		return s.execute(context.WithoutCancel(r.Context()), cfg, key, trials, req.HalfWidth)
 	})
 	if shared {
-		s.c.coalesced.Add(1)
-		if out.status == http.StatusOK {
+		// Only a shared SUCCESS is a coalesce — simulation the rider did
+		// not pay for. Riding a failed leader saved nothing; count it
+		// separately, and count every 429 actually returned as rejected
+		// (the leader's own 429 was already counted where it failed), so
+		// rejected in /v1/stats equals the 429s a load harness observes.
+		switch {
+		case out.status == http.StatusOK:
+			s.c.coalesced.Add(1)
 			out.resp.Served = "coalesced"
 			out.resp.TrialsSimulated = 0
+		case out.status == http.StatusTooManyRequests:
+			s.c.coalescedErrors.Add(1)
+			s.c.rejected.Add(1)
+		default:
+			s.c.coalescedErrors.Add(1)
 		}
 	}
 	if out.status != http.StatusOK {
@@ -246,7 +284,14 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, out.status, out.errResp)
 		return
 	}
+	annotate(&out.resp)
 	writeJSON(w, http.StatusOK, out.resp)
+}
+
+// estimateFlightKey names one coalescable computation: the canonical
+// config fingerprint plus the effective confidence requirement.
+func estimateFlightKey(key string, trials int, halfWidth float64) string {
+	return fmt.Sprintf("%s|t:%d|hw:%016x", key, trials, math.Float64bits(halfWidth))
 }
 
 // execute is the singleflight leader's path: admission, plan lookup or
@@ -258,12 +303,23 @@ func (s *Server) execute(ctx context.Context, cfg faultcast.Config, key string, 
 		s.c.cacheHits.Add(1)
 		return outcome{status: http.StatusOK, resp: s.response(cfg, key, e.est, e.rounds, "cache", 0)}
 	}
-	if !s.acquire(ctx) {
+	switch s.acquire(ctx) {
+	case admitted:
+	case admitFull:
 		s.c.rejected.Add(1)
 		return outcome{status: http.StatusTooManyRequests, errResp: ErrorResponse{
 			Error:             "estimation capacity exhausted; retry shortly",
 			Code:              "overloaded",
 			RetryAfterSeconds: 1,
+		}}
+	case admitCanceled:
+		// Unreachable in practice — handleEstimate detaches the leader's
+		// cancellation — but a canceled caller is not capacity exhaustion:
+		// no rejected bump, no Retry-After.
+		s.c.canceled.Add(1)
+		return outcome{status: statusClientClosedRequest, errResp: ErrorResponse{
+			Error: "request canceled by the client while queued",
+			Code:  "canceled",
 		}}
 	}
 	defer s.release()
@@ -309,26 +365,45 @@ func (s *Server) execute(ctx context.Context, cfg faultcast.Config, key string, 
 	return outcome{status: http.StatusOK, resp: s.response(cfg, key, est, plan.Rounds(), served, simulated)}
 }
 
+// admission is the outcome of acquire: a slot was taken, capacity is
+// exhausted (reject with backpressure), or the caller's own context was
+// cancelled while queued. The last two are deliberately distinct — a
+// client hanging up is not server overload, and conflating them (as an
+// early version did) pollutes the rejected counter and hands impatient
+// clients a Retry-After they will never read.
+type admission int
+
+const (
+	admitted admission = iota
+	admitFull
+	admitCanceled
+)
+
+// statusClientClosedRequest is the nginx-convention status for "the
+// client went away before we could answer"; the body is unreadable by
+// definition, the code only feeds access logs and tests.
+const statusClientClosedRequest = 499
+
 // acquire takes an execution slot, waiting while the queue has room.
-// It returns false — reject with backpressure — once MaxInflight
-// executions are running AND MaxQueue callers are already waiting, or if
-// the caller's request is cancelled while queued.
-func (s *Server) acquire(ctx context.Context) bool {
+// It returns admitFull once MaxInflight executions are running AND
+// MaxQueue callers are already waiting, and admitCanceled if the caller's
+// request is cancelled while queued.
+func (s *Server) acquire(ctx context.Context) admission {
 	select {
 	case s.slots <- struct{}{}:
-		return true
+		return admitted
 	default:
 	}
 	if s.waiting.Add(1) > int64(s.opts.MaxQueue) {
 		s.waiting.Add(-1)
-		return false
+		return admitFull
 	}
 	defer s.waiting.Add(-1)
 	select {
 	case s.slots <- struct{}{}:
-		return true
+		return admitted
 	case <-ctx.Done():
-		return false
+		return admitCanceled
 	}
 }
 
@@ -436,17 +511,26 @@ type Stats struct {
 	SweepCellCacheHits uint64  `json:"sweep_cell_cache_hits"`
 	BadRequests        uint64  `json:"bad_requests"`
 	CacheHits          uint64  `json:"cache_hits"`
-	Coalesced          uint64  `json:"coalesced"`
-	Executions         uint64  `json:"executions"`
-	Refines            uint64  `json:"refines"`
-	Rejected           uint64  `json:"rejected"`
-	TrialsSimulated    uint64  `json:"trials_simulated"`
-	PlanCompiles       uint64  `json:"plan_compiles"`
-	PlanCacheHits      uint64  `json:"plan_cache_hits"`
-	InFlight           int     `json:"in_flight"`
-	Waiting            int64   `json:"waiting"`
-	PlanCacheEntries   int     `json:"plan_cache_entries"`
-	ResultCacheEntries int     `json:"result_cache_entries"`
+	// Coalesced counts requests that rode another's SUCCESSFUL in-flight
+	// execution; CoalescedErrors counts riders of a failed one (no work
+	// was saved — the follower just shared the leader's error).
+	Coalesced       uint64 `json:"coalesced"`
+	CoalescedErrors uint64 `json:"coalesced_errors"`
+	Executions      uint64 `json:"executions"`
+	Refines         uint64 `json:"refines"`
+	// Rejected counts every 429 actually returned (leaders and riders
+	// alike), so it matches the reject rate a load harness observes.
+	// Canceled counts callers whose own request died while queued for a
+	// slot — client impatience, deliberately NOT part of Rejected.
+	Rejected           uint64 `json:"rejected"`
+	Canceled           uint64 `json:"canceled"`
+	TrialsSimulated    uint64 `json:"trials_simulated"`
+	PlanCompiles       uint64 `json:"plan_compiles"`
+	PlanCacheHits      uint64 `json:"plan_cache_hits"`
+	InFlight           int    `json:"in_flight"`
+	Waiting            int64  `json:"waiting"`
+	PlanCacheEntries   int    `json:"plan_cache_entries"`
+	ResultCacheEntries int    `json:"result_cache_entries"`
 	// Worker-side shard counters (the /v1/shard endpoint).
 	ShardRequests  uint64 `json:"shard_requests"`
 	ShardsExecuted uint64 `json:"shards_executed"`
@@ -458,6 +542,11 @@ type Stats struct {
 	// shard counters, and plan-cache hit rates. Present only in
 	// coordinator mode (faultcastd -workers).
 	Cluster *cluster.Status `json:"cluster,omitempty"`
+	// Latency holds server-observed per-endpoint latency summaries
+	// (keys "estimate", "sweep", "shard"; handler entry to response
+	// written, all statuses, since process start). A load harness
+	// cross-checks its client-side percentiles against these.
+	Latency map[string]hist.Summary `json:"latency"`
 }
 
 // Stats snapshots the server counters.
@@ -475,9 +564,11 @@ func (s *Server) Stats() Stats {
 		BadRequests:        s.c.badRequests.Load(),
 		CacheHits:          s.c.cacheHits.Load(),
 		Coalesced:          s.c.coalesced.Load(),
+		CoalescedErrors:    s.c.coalescedErrors.Load(),
 		Executions:         s.c.executions.Load(),
 		Refines:            s.c.refines.Load(),
 		Rejected:           s.c.rejected.Load(),
+		Canceled:           s.c.canceled.Load(),
 		TrialsSimulated:    s.c.trialsSimulated.Load(),
 		PlanCompiles:       s.c.planCompiles.Load(),
 		PlanCacheHits:      s.c.planCacheHits.Load(),
@@ -491,6 +582,11 @@ func (s *Server) Stats() Stats {
 		ShardsDrained:      s.c.shardsDrained.Load(),
 		ShardInflight:      s.shardInflight.Load(),
 		Draining:           s.draining.Load(),
+		Latency: map[string]hist.Summary{
+			"estimate": s.lat.estimate.Snapshot().Summarize(),
+			"sweep":    s.lat.sweep.Snapshot().Summarize(),
+			"shard":    s.lat.shard.Snapshot().Summarize(),
+		},
 	}
 	if s.opts.Cluster != nil {
 		cs := s.opts.Cluster.Status()

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"time"
 
 	"faultcast/internal/cluster"
 )
@@ -37,6 +38,8 @@ func (s *Server) ShardInflight() int { return int(s.shardInflight.Load()) }
 // its cores.
 func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 	s.c.shardCalls.Add(1)
+	start := time.Now()
+	defer func() { s.lat.shard.Observe(time.Since(start)) }()
 	if s.draining.Load() {
 		s.c.shardsDrained.Add(1)
 		w.Header().Set("Retry-After", "1")
@@ -87,13 +90,24 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), Code: "bad-request"})
 		return
 	}
-	if !s.acquire(r.Context()) {
+	switch s.acquire(r.Context()) {
+	case admitted:
+	case admitFull:
 		s.c.rejected.Add(1)
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
 			Error:             "shard capacity exhausted; re-dispatch elsewhere or retry shortly",
 			Code:              "overloaded",
 			RetryAfterSeconds: 1,
+		})
+		return
+	case admitCanceled:
+		// The coordinator abandoned the shard while it was queued (its
+		// own deadline or caller hung up); this worker was not overloaded.
+		s.c.canceled.Add(1)
+		writeJSON(w, statusClientClosedRequest, ErrorResponse{
+			Error: "shard canceled by the coordinator while queued",
+			Code:  "canceled",
 		})
 		return
 	}

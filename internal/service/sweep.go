@@ -6,6 +6,7 @@ import (
 	"math"
 	"net/http"
 	"strings"
+	"time"
 
 	"faultcast"
 )
@@ -294,6 +295,8 @@ func (req *SweepRequest) spec(opts Options) (faultcast.SweepSpec, error) {
 // immediately, so clients see the grid fill in as it computes.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.c.sweepCalls.Add(1)
+	start := time.Now()
+	defer func() { s.lat.sweep.Observe(time.Since(start)) }()
 	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -321,13 +324,24 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	if !s.acquire(r.Context()) {
+	switch s.acquire(r.Context()) {
+	case admitted:
+	case admitFull:
 		s.c.rejected.Add(1)
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
 			Error:             "estimation capacity exhausted; retry shortly",
 			Code:              "overloaded",
 			RetryAfterSeconds: 1,
+		})
+		return
+	case admitCanceled:
+		// The client hung up while queued. Not overload: no rejected
+		// bump, no Retry-After — nobody is listening for one anyway.
+		s.c.canceled.Add(1)
+		writeJSON(w, statusClientClosedRequest, ErrorResponse{
+			Error: "request canceled by the client while queued",
+			Code:  "canceled",
 		})
 		return
 	}
