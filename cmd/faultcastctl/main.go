@@ -52,7 +52,7 @@ import (
 func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8347", "faultcastd base URL")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: faultcastctl [-addr URL] {health|scenarios|stats|estimate|sweep|workers|smoke|bench} [flags]")
+		fmt.Fprintln(os.Stderr, "usage: faultcastctl [-addr URL] {health|scenarios|stats|estimate|sweep|workers|smoke|bench|store} [flags]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -80,6 +80,8 @@ func main() {
 		err = cmdSmoke(c, args[1:])
 	case "bench":
 		err = cmdBench(c, args[1:])
+	case "store":
+		err = cmdStore(args[1:])
 	default:
 		err = fmt.Errorf("unknown command %q", args[0])
 	}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"faultcast/internal/store"
+)
+
+// cmdStore inspects and maintains a faultcastd tally store directory,
+// offline — it reads the segment files directly, no daemon needed (run
+// gc against a live daemon's directory only after draining it; the
+// daemon re-simulates anything removed, but the stored prefixes are
+// gone).
+//
+//	faultcastctl store ls -dir DIR              list segments
+//	faultcastctl store verify -dir DIR          decode every frame, report corruption
+//	faultcastctl store gc -dir DIR [-max-age D] [-max-bytes N] [-dry-run]
+func cmdStore(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: faultcastctl store {ls|verify|gc} -dir DIR [flags]")
+	}
+	sub, args := args[0], args[1:]
+	fs := flag.NewFlagSet("store "+sub, flag.ExitOnError)
+	dir := fs.String("dir", "", "tally store directory (as given to faultcastd -store)")
+	maxAge := fs.Duration("max-age", 0, "gc: remove segments not written for this long (0 = no age limit)")
+	maxBytes := fs.Int64("max-bytes", 0, "gc: then remove oldest segments until this many bytes remain (0 = no size limit)")
+	dryRun := fs.Bool("dry-run", false, "gc: report what would be removed without removing it")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("store %s: -dir is required", sub)
+	}
+	switch sub {
+	case "ls", "verify":
+		infos, err := store.Scan(*dir)
+		if err != nil {
+			return err
+		}
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "PLAN KEY\tSEED\tBATCH\tTRIALS\tBUCKETS\tBYTES\tAGE\tSTATE")
+		var trials, bytes int64
+		dirty := 0
+		for _, si := range infos {
+			state := "ok"
+			if !si.Clean() {
+				state = fmt.Sprintf("corrupt: %d frames, %d tail bytes", si.CorruptFrames, si.TailBytes)
+				dirty++
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%s\t%s\n",
+				short(si.PlanKey), si.BaseSeed, si.Batch, si.Trials, si.Buckets,
+				si.Bytes, time.Since(si.ModTime).Round(time.Second), state)
+			trials += int64(si.Trials)
+			bytes += si.Bytes
+		}
+		tw.Flush()
+		fmt.Printf("%d segments, %d stored trials, %d bytes\n", len(infos), trials, bytes)
+		if sub == "verify" {
+			if dirty > 0 {
+				// Corruption is recoverable (the intact prefixes still
+				// serve), but verify exists to notice it: non-zero exit.
+				return fmt.Errorf("%d of %d segments have corrupt frames (intact prefixes still loadable)", dirty, len(infos))
+			}
+			fmt.Println("all segments verified clean")
+		}
+		return nil
+	case "gc":
+		if *dryRun {
+			infos, err := store.Scan(*dir)
+			if err != nil {
+				return err
+			}
+			var total int64
+			for _, si := range infos {
+				total += si.Bytes
+			}
+			now := time.Now()
+			removed := 0
+			for _, si := range infos {
+				age := now.Sub(si.ModTime)
+				if *maxAge > 0 && age > *maxAge {
+					fmt.Printf("would remove %s (age %s)\n", si.Path, age.Round(time.Second))
+					removed++
+				}
+			}
+			if *maxBytes > 0 && total > *maxBytes {
+				fmt.Printf("would then trim oldest segments from %d toward %d bytes\n", total, *maxBytes)
+			}
+			if removed == 0 {
+				fmt.Println("nothing past -max-age")
+			}
+			return nil
+		}
+		removed, err := store.GC(*dir, *maxAge, *maxBytes, time.Now())
+		for _, si := range removed {
+			fmt.Printf("removed %s (%d trials, %d bytes)\n", si.Path, si.Trials, si.Bytes)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d segments removed\n", len(removed))
+		return nil
+	default:
+		return fmt.Errorf("unknown store subcommand %q (want ls, verify, or gc)", sub)
+	}
+}
+
+// short elides a 64-hex plan key for table display.
+func short(key string) string {
+	if len(key) > 16 {
+		return key[:16] + "…"
+	}
+	return key
+}

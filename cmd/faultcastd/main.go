@@ -22,6 +22,15 @@
 // work is refused with 503 while in-flight work finishes, then the
 // listener closes.
 //
+// With -store=DIR the daemon additionally keeps a durable tally store:
+// every estimate and sweep cell resumes from the store's persisted trial
+// prefix and appends its marginal batches back, so a restarted daemon
+// answers previously-served requests with zero trials, bit-identical
+// (warm restart), and refinements only ever simulate what is not on disk.
+// The latency histograms in /v1/stats are snapshotted to DIR/stats.json
+// on drain and restored at startup. Inspect the store offline with
+// faultcastctl store ls|verify|gc -dir DIR.
+//
 // Example (one coordinator, two workers):
 //
 //	faultcastd -addr 127.0.0.1:8351 &
@@ -38,12 +47,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	"faultcast/internal/cluster"
 	"faultcast/internal/service"
+	"faultcast/internal/store"
 )
 
 func main() {
@@ -60,6 +71,7 @@ func main() {
 		defaultTrials = flag.Int("default-trials", 0, "trial budget when a request names none (0 = 1000)")
 		workerURLs    = flag.String("workers", "", "comma-separated worker base URLs; enables coordinator mode")
 		shardTrials   = flag.Int("shard-trials", 0, "trials per dispatched shard in coordinator mode (0 = 512)")
+		storeDir      = flag.String("store", "", "durable tally store directory; enables warm restart (empty = in-memory caches only)")
 	)
 	flag.Parse()
 
@@ -92,7 +104,24 @@ func main() {
 		})
 		log.Printf("faultcastd: coordinator mode over %d workers: %s", len(urls), *workerURLs)
 	}
+	var statsPath string
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			log.Fatalf("faultcastd: %v", err)
+		}
+		opts.Store = st
+		statsPath = filepath.Join(*storeDir, "stats.json")
+		log.Printf("faultcastd: durable tally store at %s", *storeDir)
+	}
 	srv := service.New(opts)
+	if statsPath != "" {
+		// Warm restart: carry the latency ledger across the restart so a
+		// bench window spanning it keeps its "before" deltas.
+		if err := srv.LoadStatsSnapshot(statsPath); err != nil {
+			log.Printf("faultcastd: stats snapshot not restored: %v", err)
+		}
+	}
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
@@ -115,6 +144,13 @@ func main() {
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {
 			log.Printf("faultcastd: shutdown: %v", err)
+		}
+		if statsPath != "" {
+			// After Shutdown: every in-flight request has finished, so
+			// the saved histograms include everything this process served.
+			if err := srv.SaveStatsSnapshot(statsPath); err != nil {
+				log.Printf("faultcastd: stats snapshot not saved: %v", err)
+			}
 		}
 	}()
 

@@ -242,6 +242,11 @@ func (c *Coordinator) runCell(ctx context.Context, poolWorkers int, cell *exec.C
 		if batch <= 0 {
 			batch = 32
 		}
+	} else if cell.Bucket > 0 {
+		// Un-ruled but observed (a tally store is recording): bucket at
+		// the requested granularity so the persisted decomposition
+		// matches a local run's, at a modest wire cost.
+		batch = cell.Bucket
 	}
 	shardTrials := c.opts.ShardTrials
 	if batch > 0 {
@@ -292,12 +297,26 @@ func (c *Coordinator) runCell(ctx context.Context, poolWorkers int, cell *exec.C
 		}
 		tallies[r.index] = &r.tally
 		for contig < nShards && tallies[contig] != nil {
-			var done bool
-			run, done = stat.Replay(run, cell.MaxTrials, rule, []stat.Tally{*tallies[contig]})
-			contig++
-			if done {
-				return run, true
+			// Inlined stat.Replay, bucket by bucket, so OnBatch observes
+			// exactly the consumed buckets — the deciding one included,
+			// the discarded speculation past it excluded — in the same
+			// trial order a local fold would report them.
+			t := tallies[contig]
+			for i, succ := range t.Successes {
+				size := t.Batch
+				if last := t.Trials - i*t.Batch; last < size {
+					size = last
+				}
+				run.Trials += size
+				run.Successes += succ
+				if cell.OnBatch != nil {
+					cell.OnBatch(size, succ)
+				}
+				if run.Trials >= cell.MaxTrials || (rule.Enabled() && rule.Done(run)) {
+					return run, true
+				}
 			}
+			contig++
 		}
 	}
 	// Unreachable in practice: consuming every shard reaches MaxTrials,

@@ -48,6 +48,23 @@ type Cell struct {
 	Start stat.Proportion
 	// Rule is the early-stopping rule; the zero value runs all trials.
 	Rule stat.StopRule
+	// Bucket, when positive and Rule is disabled, folds trials in
+	// Bucket-sized batches instead of one whole-budget batch. Batch
+	// decomposition never changes an un-ruled result (there are no stop
+	// decisions, and success counting is order-free); it only sets the
+	// granularity OnBatch observes — a tally store persists un-ruled
+	// streams at the same bucket size ruled ones replay at. Ignored when
+	// Rule is enabled: the rule's own batch governs there.
+	Bucket int
+	// OnBatch, when non-nil, observes every batch the cell folds in, in
+	// trial order: the batch's own trial and success counts, called once
+	// per batch boundary before the stop decision, serialized per cell
+	// (under the scheduler lock — keep it cheap; buffer, don't block).
+	// Batches of a cell later abandoned by cancellation are still
+	// reported; consumers that persist must gate on cell completion.
+	// The resume prefix in Start is prior work, not a fold — it is never
+	// reported.
+	OnBatch func(trials, successes int)
 	// NewTrial builds a worker-private trial function. It is called at
 	// most once per (worker, SharedKey) pair, so per-trial state — a
 	// reusable engine runner — persists across every batch a worker
@@ -165,13 +182,16 @@ func EstimateCell(workers int, c Cell) stat.Proportion {
 // batchSize mirrors stat.StopRule's batching: with a stopping rule,
 // trials run in fixed batches (Rule.Batch, default 32) so the executed
 // count is machine-independent; without one, the whole remaining budget
-// is a single batch.
+// is a single batch unless Cell.Bucket asks for observation granularity.
 func batchSize(c *Cell, trials int) int {
 	rest := c.MaxTrials - trials
-	if !c.Rule.Enabled() {
-		return rest
-	}
 	b := c.Rule.Batch
+	if !c.Rule.Enabled() {
+		if c.Bucket <= 0 {
+			return rest
+		}
+		b = c.Bucket
+	}
 	if b <= 0 {
 		b = 32
 	}
@@ -297,6 +317,9 @@ func (s *sched) worker(w int) {
 		var finished *stat.Proportion
 		if cs.next == cs.batchEnd && cs.inflight == 0 {
 			// Batch boundary: fold it in and decide.
+			if spec.OnBatch != nil {
+				spec.OnBatch(cs.batchEnd-cs.trials, cs.batchSucc)
+			}
 			cs.trials = cs.batchEnd
 			cs.successes += cs.batchSucc
 			cs.batchSucc = 0

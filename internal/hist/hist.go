@@ -16,6 +16,8 @@
 package hist
 
 import (
+	"encoding/json"
+	"fmt"
 	"math"
 	"sync/atomic"
 	"time"
@@ -104,6 +106,85 @@ func (h *Histogram) Snapshot() Snapshot {
 	s.Sum = time.Duration(h.sum.Load())
 	s.Max = time.Duration(h.max.Load())
 	return s
+}
+
+// Merge folds a snapshot's counts into the histogram — the restore half
+// of snapshot persistence: a histogram that merges a saved snapshot
+// continues exactly where the saved process left off (same counts, same
+// sum, same max, so identical quantiles before any new observation).
+// Safe for concurrent use with Observe, like every Histogram method.
+func (h *Histogram) Merge(s Snapshot) {
+	for i, c := range s.buckets {
+		if c != 0 {
+			h.buckets[i].Add(c)
+		}
+	}
+	h.count.Add(s.Count)
+	h.sum.Add(int64(s.Sum))
+	for {
+		old := h.max.Load()
+		if int64(s.Max) <= old || h.max.CompareAndSwap(old, int64(s.Max)) {
+			return
+		}
+	}
+}
+
+// wireSnapshot is the JSON form of a Snapshot. It names the bucket
+// layout explicitly so a snapshot saved by one build can never be
+// silently mis-binned by another with different resolution — a layout
+// mismatch is an unmarshal error, and the caller starts fresh.
+type wireSnapshot struct {
+	BucketsPerOctave int      `json:"buckets_per_octave"`
+	Octaves          int      `json:"octaves"`
+	Count            uint64   `json:"count"`
+	SumNs            int64    `json:"sum_ns"`
+	MaxNs            int64    `json:"max_ns"`
+	Buckets          []uint64 `json:"buckets"` // trailing zeros trimmed
+}
+
+// MarshalJSON serializes the snapshot, layout-tagged, with trailing
+// empty buckets trimmed (latency histograms are sparse at the top).
+func (s Snapshot) MarshalJSON() ([]byte, error) {
+	last := -1
+	for i, c := range s.buckets {
+		if c != 0 {
+			last = i
+		}
+	}
+	return json.Marshal(wireSnapshot{
+		BucketsPerOctave: bucketsPerOctave,
+		Octaves:          octaves,
+		Count:            s.Count,
+		SumNs:            int64(s.Sum),
+		MaxNs:            int64(s.Max),
+		Buckets:          s.buckets[:last+1],
+	})
+}
+
+// UnmarshalJSON restores a snapshot, validating the layout tag, the
+// bucket count, and that the header count matches the bucket sum — a
+// corrupted or foreign snapshot errors instead of skewing quantiles.
+func (s *Snapshot) UnmarshalJSON(b []byte) error {
+	var w wireSnapshot
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	if w.BucketsPerOctave != bucketsPerOctave || w.Octaves != octaves {
+		return fmt.Errorf("hist: snapshot layout %d/%d, this build uses %d/%d",
+			w.BucketsPerOctave, w.Octaves, bucketsPerOctave, octaves)
+	}
+	if len(w.Buckets) > numBuckets {
+		return fmt.Errorf("hist: snapshot has %d buckets, max %d", len(w.Buckets), numBuckets)
+	}
+	*s = Snapshot{Sum: time.Duration(w.SumNs), Max: time.Duration(w.MaxNs)}
+	for i, c := range w.Buckets {
+		s.buckets[i] = c
+		s.Count += c
+	}
+	if s.Count != w.Count {
+		return fmt.Errorf("hist: snapshot count %d does not match bucket sum %d", w.Count, s.Count)
+	}
+	return nil
 }
 
 // Quantile estimates the q-th quantile (q in [0, 1]) by linear

@@ -1,0 +1,110 @@
+package hist
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSnapshotJSONRoundTrip: a marshaled snapshot must unmarshal to the
+// identical value — same counts, same quantiles — and merging it into a
+// fresh histogram must reproduce the original summary exactly. This is
+// the contract faultcastd's stats persistence rides on.
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	var h Histogram
+	durations := []time.Duration{
+		500 * time.Nanosecond, // below the first edge
+		time.Microsecond,
+		37 * time.Microsecond,
+		time.Millisecond,
+		time.Millisecond, // repeated value
+		250 * time.Millisecond,
+		3 * time.Second,
+		10 * time.Minute, // overflow bucket
+	}
+	for _, d := range durations {
+		h.Observe(d)
+	}
+	snap := h.Snapshot()
+
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != snap {
+		t.Fatalf("round trip changed the snapshot:\n got %+v\nwant %+v", back, snap)
+	}
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+		if back.Quantile(q) != snap.Quantile(q) {
+			t.Fatalf("q%.2f differs after round trip: %v vs %v", q, back.Quantile(q), snap.Quantile(q))
+		}
+	}
+
+	// Merge into a fresh histogram: identical summary before any new
+	// observation, and observations keep counting afterwards.
+	var h2 Histogram
+	h2.Merge(back)
+	if got := h2.Snapshot(); got != snap || got.Summarize() != snap.Summarize() {
+		t.Fatalf("merged snapshot differs:\n got %+v\nwant %+v", got, snap)
+	}
+	h2.Observe(time.Hour)
+	after := h2.Snapshot()
+	if after.Count != snap.Count+1 || after.Max != time.Hour {
+		t.Fatalf("merge froze the histogram: %+v", after)
+	}
+
+	// Merging into a non-empty histogram sums counts and keeps the
+	// larger max.
+	var h3 Histogram
+	h3.Observe(2 * time.Hour)
+	h3.Merge(snap)
+	if got := h3.Snapshot(); got.Count != snap.Count+1 || got.Max != 2*time.Hour {
+		t.Fatalf("merge into non-empty: %+v", got)
+	}
+}
+
+func TestSnapshotJSONRejectsBadInput(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	good, err := json.Marshal(h.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string]string{
+		"layout mismatch": strings.Replace(string(good), `"buckets_per_octave":4`, `"buckets_per_octave":8`, 1),
+		"count mismatch":  strings.Replace(string(good), `"count":1`, `"count":7`, 1),
+		"not json":        `{"buckets_per_octave":`,
+	}
+	for name, body := range cases {
+		if body == string(good) {
+			t.Fatalf("%s: mutation did not apply to %s", name, good)
+		}
+		var s Snapshot
+		if err := json.Unmarshal([]byte(body), &s); err == nil {
+			t.Errorf("%s: accepted %s", name, body)
+		}
+	}
+
+	// Too many buckets: build a wire form with one extra.
+	var w struct {
+		BucketsPerOctave int      `json:"buckets_per_octave"`
+		Octaves          int      `json:"octaves"`
+		Count            uint64   `json:"count"`
+		Buckets          []uint64 `json:"buckets"`
+	}
+	w.BucketsPerOctave, w.Octaves = bucketsPerOctave, octaves
+	w.Buckets = make([]uint64, numBuckets+1)
+	w.Buckets[numBuckets] = 1
+	w.Count = 1
+	body, _ := json.Marshal(w)
+	var s Snapshot
+	if err := json.Unmarshal(body, &s); err == nil {
+		t.Errorf("accepted %d buckets", len(w.Buckets))
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"faultcast"
 	"faultcast/internal/cluster"
 	"faultcast/internal/hist"
+	"faultcast/internal/store"
 )
 
 // Options tunes a Server. The zero value gets sensible defaults (see
@@ -55,6 +56,16 @@ type Options struct {
 	// results. The coordinator's per-worker health and shard counters are
 	// surfaced in /v1/stats.
 	Cluster *cluster.Coordinator
+	// Store, when non-nil, is the durable tally store (faultcastd
+	// -store=DIR). Every estimate and sweep cell then resumes from the
+	// store's persisted trial prefix and appends its marginal batches
+	// back, so a restarted daemon answers previously-served requests
+	// with zero trials, bit-identical — the TTL result cache becomes a
+	// write-through view over it (in-memory hits still short-circuit,
+	// but refinement always resumes from the store's replay, never from
+	// a cache entry the store has not seen). Store counters surface in
+	// /v1/stats under "store".
+	Store *store.Store
 	// Now is the clock, overridable by TTL tests (default time.Now).
 	Now func() time.Time
 }
@@ -159,6 +170,8 @@ type counters struct {
 	shardsExecuted     atomic.Uint64
 	shardTrials        atomic.Uint64
 	shardsDrained      atomic.Uint64
+	storeHits          atomic.Uint64
+	storeRefines       atomic.Uint64
 }
 
 // New returns a Server with the given options (zero fields defaulted).
@@ -338,8 +351,22 @@ func (s *Server) execute(ctx context.Context, cfg faultcast.Config, key string, 
 		s.c.badRequests.Add(1)
 		return outcome{status: http.StatusBadRequest, errResp: ErrorResponse{Error: err.Error(), Code: "bad-request"}}
 	}
-	prev, refining := s.cachedAny(key)
+	var prev faultcast.Estimate
+	var refining bool
+	resumed := 0
 	opts := []faultcast.EstimateOption{faultcast.WithBaseSeed(cfg.Seed)}
+	if s.opts.Store != nil {
+		// Store mode: refinement ALWAYS resumes from the store's replay,
+		// never from an in-memory estimate the store has not persisted —
+		// otherwise a warm restart could not reproduce the answers this
+		// process served. The result cache stays a write-through view:
+		// cachedSatisfying above still answers repeats without disk.
+		opts = append(opts,
+			faultcast.WithTallyStore(s.opts.Store),
+			faultcast.WithResumeReport(func(n int) { resumed = n }))
+	} else {
+		prev, refining = s.cachedAny(key)
+	}
 	if s.opts.Workers > 0 {
 		opts = append(opts, faultcast.WithWorkers(s.opts.Workers))
 	}
@@ -354,10 +381,25 @@ func (s *Server) execute(ctx context.Context, cfg faultcast.Config, key string, 
 		return outcome{status: http.StatusInternalServerError, errResp: ErrorResponse{Error: err.Error(), Code: "internal"}}
 	}
 	s.c.executions.Add(1)
-	simulated := est.Trials - prev.Trials
+	if s.opts.Store == nil {
+		resumed = prev.Trials
+	}
+	simulated := est.Trials - resumed
 	s.c.trialsSimulated.Add(uint64(simulated))
 	served := "simulated"
-	if refining {
+	switch {
+	case s.opts.Store != nil && simulated == 0:
+		// The stored prefix already satisfied the request: a cache hit
+		// that happens to live on disk (e.g. the first ask after a warm
+		// restart, before the result cache refills).
+		served = "cache"
+		s.c.cacheHits.Add(1)
+		s.c.storeHits.Add(1)
+	case s.opts.Store != nil && resumed > 0:
+		served = "refined"
+		s.c.refines.Add(1)
+		s.c.storeRefines.Add(1)
+	case refining:
 		served = "refined"
 		s.c.refines.Add(1)
 	}
@@ -538,6 +580,15 @@ type Stats struct {
 	ShardsDrained  uint64 `json:"shards_drained"`
 	ShardInflight  int64  `json:"shard_inflight"`
 	Draining       bool   `json:"draining"`
+	// StoreHits counts requests (and sweep cells) fully answered by the
+	// durable store's replay — zero trials simulated; StoreRefines
+	// counts those that resumed a stored prefix and simulated only the
+	// marginal batches. Both zero unless the daemon runs with -store.
+	StoreHits    uint64 `json:"store_hits"`
+	StoreRefines uint64 `json:"store_refines"`
+	// Store is the durable tally store's own ledger — loads, appends,
+	// rewinds, corrupt-records-skipped. Present only with -store.
+	Store *store.Stats `json:"store,omitempty"`
 	// Cluster is the coordinator's fleet snapshot — per-worker health,
 	// shard counters, and plan-cache hit rates. Present only in
 	// coordinator mode (faultcastd -workers).
@@ -582,11 +633,17 @@ func (s *Server) Stats() Stats {
 		ShardsDrained:      s.c.shardsDrained.Load(),
 		ShardInflight:      s.shardInflight.Load(),
 		Draining:           s.draining.Load(),
+		StoreHits:          s.c.storeHits.Load(),
+		StoreRefines:       s.c.storeRefines.Load(),
 		Latency: map[string]hist.Summary{
 			"estimate": s.lat.estimate.Snapshot().Summarize(),
 			"sweep":    s.lat.sweep.Snapshot().Summarize(),
 			"shard":    s.lat.shard.Snapshot().Summarize(),
 		},
+	}
+	if s.opts.Store != nil {
+		ss := s.opts.Store.Stats()
+		st.Store = &ss
 	}
 	if s.opts.Cluster != nil {
 		cs := s.opts.Cluster.Status()

@@ -1,0 +1,102 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"faultcast/internal/hist"
+)
+
+// Stats-snapshot persistence: the /v1/stats latency histograms live only
+// in memory, so before this seam a warm restart silently zeroed them —
+// and a bench window spanning the restart computed its "before" deltas
+// against a fresh ledger, under-reporting everything the previous
+// process had observed. With -store, faultcastd saves the histograms on
+// drain and merges them back at startup, so server-observed latency
+// counts are continuous across a warm restart exactly like the tally
+// data is. Counters (requests, cache hits, ...) intentionally stay
+// per-process: they describe this process's serving work, and the warm
+// -restart CI job asserts trials_simulated == 0 on the NEW process —
+// carrying the old count forward would hide exactly the regression that
+// check exists to catch.
+
+// statsSnapshotVersion guards the file schema; hist's own layout tag
+// guards the bucket geometry inside it.
+const statsSnapshotVersion = 1
+
+// statsSnapshotFile is the on-disk form of the persisted histograms.
+type statsSnapshotFile struct {
+	Version int                      `json:"version"`
+	Latency map[string]hist.Snapshot `json:"latency"`
+}
+
+// SaveStatsSnapshot writes the server's latency histograms to path,
+// atomically (temp file + rename), for LoadStatsSnapshot to restore.
+func (s *Server) SaveStatsSnapshot(path string) error {
+	snap := statsSnapshotFile{
+		Version: statsSnapshotVersion,
+		Latency: map[string]hist.Snapshot{
+			"estimate": s.lat.estimate.Snapshot(),
+			"sweep":    s.lat.sweep.Snapshot(),
+			"shard":    s.lat.shard.Snapshot(),
+		},
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return fmt.Errorf("service: stats snapshot: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".stats-*.json")
+	if err != nil {
+		return fmt.Errorf("service: stats snapshot: %w", err)
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: stats snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: stats snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: stats snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadStatsSnapshot merges a saved snapshot into the server's latency
+// histograms. A missing file is a cold start, not an error; a corrupt or
+// layout-mismatched one errors and restores nothing (all-or-nothing, so
+// a half-restored ledger can't mislead a bench). Call before serving —
+// it folds counts into live histograms without locking them against
+// writers, which is safe but would interleave confusingly mid-traffic.
+func (s *Server) LoadStatsSnapshot(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("service: stats snapshot: %w", err)
+	}
+	var snap statsSnapshotFile
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("service: stats snapshot: %w", err)
+	}
+	if snap.Version != statsSnapshotVersion {
+		return fmt.Errorf("service: stats snapshot version %d, want %d", snap.Version, statsSnapshotVersion)
+	}
+	for name, hs := range snap.Latency {
+		switch name {
+		case "estimate":
+			s.lat.estimate.Merge(hs)
+		case "sweep":
+			s.lat.sweep.Merge(hs)
+		case "shard":
+			s.lat.shard.Merge(hs)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,242 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"faultcast"
+	"faultcast/internal/store"
+)
+
+// sameBits strips the serving annotations and compares everything that
+// must be bit-identical across cold, warm, refined, and coalesced
+// answers: the estimate itself and the plan metadata.
+func sameBits(t *testing.T, label string, got, want EstimateResponse) {
+	t.Helper()
+	got.Served, want.Served = "", ""
+	got.TrialsSimulated, want.TrialsSimulated = 0, 0
+	if got != want {
+		t.Fatalf("%s: answers differ:\n got %+v\nwant %+v", label, got, want)
+	}
+}
+
+// TestWarmRestartServesFromStore is the tentpole contract at the service
+// layer: a fresh process over the same store directory must answer a
+// previously-served estimate with zero trials, bit-identical — the
+// restart is invisible except to the latency of the disk read.
+func TestWarmRestartServesFromStore(t *testing.T) {
+	dir := t.TempDir()
+	req := EstimateRequest{Graph: "grid:5x5", P: 0.4, Trials: 256, Seed: 11}
+
+	st1, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, ts1 := testServer(t, Options{Store: st1})
+	cold := postEstimate(t, ts1.URL, req)
+	if cold.Served != "simulated" || cold.TrialsSimulated != cold.Trials {
+		t.Fatalf("cold serve: %+v", cold)
+	}
+	// Same process, same request again: the result cache answers.
+	repeat := postEstimate(t, ts1.URL, req)
+	if repeat.Served != "cache" || repeat.TrialsSimulated != 0 {
+		t.Fatalf("in-process repeat: %+v", repeat)
+	}
+	sameBits(t, "in-process repeat", repeat, cold)
+	if stats := s1.Stats(); stats.Store == nil || stats.Store.Appends == 0 {
+		t.Fatalf("store not written through: %+v", stats.Store)
+	}
+
+	// The "restart": a new Server over a new Store handle on the same
+	// directory, with stone-cold in-memory caches.
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, ts2 := testServer(t, Options{Store: st2})
+	warm := postEstimate(t, ts2.URL, req)
+	if warm.Served != "cache" || warm.TrialsSimulated != 0 {
+		t.Fatalf("warm restart simulated trials: %+v", warm)
+	}
+	sameBits(t, "warm restart", warm, cold)
+	stats := s2.Stats()
+	if stats.StoreHits != 1 || stats.TrialsSimulated != 0 {
+		t.Fatalf("warm stats: store_hits=%d trials_simulated=%d", stats.StoreHits, stats.TrialsSimulated)
+	}
+
+	// A bigger budget against the restarted server refines: it resumes
+	// all stored trials and simulates only the margin.
+	bigger := req
+	bigger.Trials = 512
+	refined := postEstimate(t, ts2.URL, bigger)
+	if refined.Served != "refined" {
+		t.Fatalf("refinement served as %q: %+v", refined.Served, refined)
+	}
+	if refined.TrialsSimulated != refined.Trials-cold.Trials {
+		t.Fatalf("refinement simulated %d, want %d", refined.TrialsSimulated, refined.Trials-cold.Trials)
+	}
+	if s2.Stats().StoreRefines != 1 {
+		t.Fatalf("store_refines = %d, want 1", s2.Stats().StoreRefines)
+	}
+	// And the refined answer must be what a cold server computes for the
+	// bigger budget outright.
+	st3, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts3 := testServer(t, Options{Store: st3})
+	coldBig := postEstimate(t, ts3.URL, bigger)
+	sameBits(t, "refined vs cold", refined, coldBig)
+}
+
+// TestStoreRefinementCoalesces pins the concurrency contract of the
+// store path (run under -race): two identical requests refining the same
+// stored prefix trigger exactly one execution — one leader resumes the
+// store and simulates the margin, the rider coalesces onto its answer.
+// Deterministic in the style of the admission tests: the single
+// execution slot is held until both requests are parked.
+func TestStoreRefinementCoalesces(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts := testServer(t, Options{Store: st, MaxInflight: 1, MaxQueue: 2})
+
+	prime := EstimateRequest{Graph: "line:12", P: 0.3, Trials: 64, Seed: 5}
+	cold := postEstimate(t, ts.URL, prime)
+	if cold.Served != "simulated" {
+		t.Fatalf("prime: %+v", cold)
+	}
+
+	s.slots <- struct{}{} // hold the only execution slot
+	refine := prime
+	refine.Trials = 192
+	responses := make(chan EstimateResponse, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			responses <- postEstimate(t, ts.URL, refine)
+		}()
+	}
+	// One leader must reach the admission queue; its twin is then parked
+	// on the flight group, not the queue.
+	waitFor(t, "leader parked in the queue", func() bool { return s.waiting.Load() == 1 })
+	<-s.slots
+	wg.Wait()
+	close(responses)
+
+	var got []EstimateResponse
+	byServed := map[string]int{}
+	for r := range responses {
+		got = append(got, r)
+		byServed[r.Served]++
+	}
+	if byServed["refined"] != 1 || byServed["coalesced"] != 1 {
+		t.Fatalf("served split %v, want one refined + one coalesced", byServed)
+	}
+	sameBits(t, "coalesced vs leader", got[0], got[1])
+	stats := s.Stats()
+	if stats.Executions != 2 {
+		t.Fatalf("executions = %d, want 2 (prime + one leader)", stats.Executions)
+	}
+	if stats.StoreRefines != 1 || stats.Coalesced != 1 {
+		t.Fatalf("store_refines=%d coalesced=%d, want 1 and 1", stats.StoreRefines, stats.Coalesced)
+	}
+	for _, r := range got {
+		if r.Served == "refined" && r.TrialsSimulated != r.Trials-cold.Trials {
+			t.Fatalf("leader simulated %d, want %d", r.TrialsSimulated, r.Trials-cold.Trials)
+		}
+	}
+}
+
+// TestStatsSnapshotRoundTrip is the regression test for the warm-restart
+// stats hole: latency histograms lived only in memory, so a restart
+// zeroed them and polluted any bench window spanning it. Saved snapshots
+// must restore counts and quantiles into a fresh server exactly.
+func TestStatsSnapshotRoundTrip(t *testing.T) {
+	s1, ts1 := testServer(t, Options{})
+	for i := 0; i < 5; i++ {
+		postEstimate(t, ts1.URL, EstimateRequest{Graph: "line:8", P: 0.2, Trials: 64, Seed: uint64(i)})
+	}
+	before := s1.Stats().Latency["estimate"]
+	if before.Count != 5 {
+		t.Fatalf("observed %d estimate latencies, want 5", before.Count)
+	}
+
+	path := filepath.Join(t.TempDir(), "stats.json")
+	if err := s1.SaveStatsSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	s2, ts2 := testServer(t, Options{})
+	if err := s2.LoadStatsSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	after := s2.Stats().Latency["estimate"]
+	if after != before {
+		t.Fatalf("restored summary %+v != saved %+v", after, before)
+	}
+
+	// The restored ledger keeps counting: one more request, count 6.
+	postEstimate(t, ts2.URL, EstimateRequest{Graph: "line:8", P: 0.2, Trials: 64, Seed: 99})
+	if c := s2.Stats().Latency["estimate"].Count; c != 6 {
+		t.Fatalf("count after restore+serve = %d, want 6", c)
+	}
+
+	// Missing file: a cold start, not an error. Corrupt file: an error,
+	// and nothing restored.
+	s3, _ := testServer(t, Options{})
+	if err := s3.LoadStatsSnapshot(filepath.Join(t.TempDir(), "absent.json")); err != nil {
+		t.Fatalf("missing snapshot errored: %v", err)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s3.LoadStatsSnapshot(bad); err == nil {
+		t.Fatal("corrupt snapshot loaded silently")
+	}
+	if c := s3.Stats().Latency["estimate"].Count; c != 0 {
+		t.Fatalf("corrupt snapshot half-restored: count %d", c)
+	}
+}
+
+// TestStoreModeSkipsMemoryPrev: in store mode the refinement prev must
+// come from the store replay, never from the in-memory result cache —
+// otherwise a restarted process could not reproduce this one's answers.
+// Pinned by poisoning the result cache under the request's key: the
+// store-backed execution must ignore the poisoned estimate and land on
+// the cold bits anyway.
+func TestStoreModeSkipsMemoryPrev(t *testing.T) {
+	req := EstimateRequest{Graph: "line:10", P: 0.25, Trials: 96, Seed: 3}
+
+	// The cold answer, from a throwaway store-backed server.
+	st0, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts0 := testServer(t, Options{Store: st0})
+	cold := postEstimate(t, ts0.URL, req)
+
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts := testServer(t, Options{Store: st})
+	cfg, _, err := req.config(s.opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A poisoned 64-trial estimate under the real key: too small for the
+	// cachedSatisfying fast path, so only a regression to cachedAny
+	// resume could pick it up — and its absurd success count would show.
+	s.storeResult(cfg.Fingerprint(), faultcast.Estimate{Rate: 1, Low: 1, Hi: 1, Trials: 64, Succeeds: 64}, 1)
+	got := postEstimate(t, ts.URL, req)
+	if got.Served != "simulated" || got.TrialsSimulated != got.Trials {
+		t.Fatalf("store-mode execution resumed the in-memory cache: %+v", got)
+	}
+	sameBits(t, "poisoned-cache", got, cold)
+}

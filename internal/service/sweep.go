@@ -362,10 +362,18 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	summary := SweepSummary{Cells: len(sp.Cells()), DistinctPlans: sp.PlanCount()}
 
-	opts := []faultcast.SweepOption{
-		faultcast.WithCellPrev(func(c *faultcast.SweepCell) (faultcast.Estimate, bool) {
+	var opts []faultcast.SweepOption
+	if s.opts.Store != nil {
+		// Store mode: every cell resumes from the durable store's replay
+		// instead of the in-memory cache, so a restarted daemon re-runs
+		// the sweep bit-identically with zero trials — and repeat sweeps
+		// answer budget-exact rather than echoing whatever larger
+		// estimate the cache happens to hold.
+		opts = append(opts, faultcast.WithSweepTallyStore(s.opts.Store))
+	} else {
+		opts = append(opts, faultcast.WithCellPrev(func(c *faultcast.SweepCell) (faultcast.Estimate, bool) {
 			return s.cachedAny(c.Key)
-		}),
+		}))
 	}
 	if s.opts.Workers > 0 {
 		opts = append(opts, faultcast.WithSweepWorkers(s.opts.Workers))
@@ -387,6 +395,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			served = "refined"
 			s.c.refines.Add(1)
 			summary.Refined++
+		}
+		if s.opts.Store != nil && res.Resumed > 0 {
+			if simulated == 0 {
+				s.c.storeHits.Add(1)
+			} else {
+				s.c.storeRefines.Add(1)
+			}
 		}
 		if simulated > 0 {
 			s.c.trialsSimulated.Add(uint64(simulated))

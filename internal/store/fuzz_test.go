@@ -1,0 +1,111 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"faultcast"
+)
+
+// FuzzStoreRecord drives arbitrary bytes through the record codec and
+// the segment loader. The invariants are the store's whole safety
+// story: decoding never panics, anything decodeRecord accepts is a
+// record some writer could legitimately have produced (positive bucket
+// sizes, successes within them), a genuine record round-trips
+// bit-identically, and loadSegment's output is always internally
+// consistent — end equals the bucket sum — no matter what the file
+// holds. Mirrors graphspec_fuzz_test.go at the root: parse-don't-trust,
+// with the corpus seeded from real encodings and their mutations.
+func FuzzStoreRecord(f *testing.F) {
+	// Real encodings...
+	f.Add(encodeRecord(0, []faultcast.TallyBucket{{Trials: 32, Successes: 10}}))
+	f.Add(encodeRecord(64, []faultcast.TallyBucket{{Trials: 32, Successes: 0}, {Trials: 7, Successes: 7}}))
+	f.Add(encodeHeader(Key{PlanKey: "ab12", BaseSeed: 3, Batch: 32}))
+	// ...and shapes that must be rejected: truncations, a zero bucket,
+	// successes past trials, an absurd count, raw garbage.
+	r := encodeRecord(32, []faultcast.TallyBucket{{Trials: 32, Successes: 5}})
+	f.Add(r[:len(r)-1])
+	f.Add(r[:13])
+	f.Add(encodeRecord(0, []faultcast.TallyBucket{{Trials: 0, Successes: 0}}))
+	f.Add(encodeRecord(0, []faultcast.TallyBucket{{Trials: 3, Successes: 9}}))
+	f.Add([]byte{kindRecord, 0, 0, 0, 0, 0, 0, 0, 0, 255, 255, 255, 255})
+	f.Add([]byte("FCTALLY1 but not really"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		start, buckets, ok := decodeRecord(payload)
+		if ok {
+			// Accepted: must be a legitimate record, and re-encoding must
+			// reproduce the accepted bytes exactly (the codec is canonical).
+			if err := checkBuckets(start, buckets); err != nil {
+				t.Fatalf("decodeRecord accepted an invalid record: %v", err)
+			}
+			if len(buckets) == 0 {
+				t.Fatal("decodeRecord accepted an empty record")
+			}
+			if re := encodeRecord(start, buckets); !bytes.Equal(re, payload) {
+				t.Fatalf("round-trip mismatch: %x -> %x", payload, re)
+			}
+		}
+
+		// The same bytes as a frame payload inside a file: the loader
+		// must never panic and never produce inconsistent state, whether
+		// the frame is intact, torn, or garbage.
+		dir := t.TempDir()
+		path := filepath.Join(dir, "fuzz.tally")
+		var file []byte
+		file = append(file, magic...)
+		file = appendFrame(file, encodeHeader(Key{PlanKey: "ab12", BaseSeed: 3, Batch: 32}))
+		file = appendFrame(file, encodeRecord(0, []faultcast.TallyBucket{{Trials: 32, Successes: 9}}))
+		framed := appendFrame(append([]byte{}, file...), payload)
+		for _, data := range [][]byte{
+			framed,                     // payload as a properly CRC'd frame
+			append(file, payload...),   // payload as raw tail garbage
+			payload,                    // payload as the whole file
+			framed[:len(framed)*3/4+1], // torn mid-frame
+		} {
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			res := loadSegment(path, Key{})
+			sum := 0
+			for _, b := range res.buckets {
+				if b.Trials <= 0 || b.Successes < 0 || b.Successes > b.Trials {
+					t.Fatalf("loadSegment produced invalid bucket %+v from %x", b, data)
+				}
+				sum += b.Trials
+			}
+			if sum != res.end {
+				t.Fatalf("loadSegment inconsistent: end=%d sum=%d from %x", res.end, sum, data)
+			}
+			if res.valid > int64(len(data)) {
+				t.Fatalf("valid prefix %d exceeds file size %d", res.valid, len(data))
+			}
+			// And the full Store path on top of it: load, then append —
+			// never a panic, and the appended state must round-trip.
+			s, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prev, err := s.LoadTally("ab12", 3, 32)
+			if err != nil {
+				t.Fatalf("LoadTally errored on corrupt input: %v", err)
+			}
+			startAt := 0
+			for _, b := range prev {
+				startAt += b.Trials
+			}
+			next := []faultcast.TallyBucket{{Trials: 32, Successes: 1}}
+			if err := s.AppendTally("ab12", 3, 32, startAt, next); err != nil {
+				t.Fatalf("append after corrupt load: %v", err)
+			}
+			got, _ := s.LoadTally("ab12", 3, 32)
+			if want := append(append([]faultcast.TallyBucket{}, prev...), next...); !reflect.DeepEqual(got, want) {
+				t.Fatalf("append after corrupt load: got %v want %v", got, want)
+			}
+		}
+	})
+}

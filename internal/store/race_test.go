@@ -1,0 +1,101 @@
+package store
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"faultcast"
+)
+
+// TestStoreConcurrentReadersAndAppenders hammers the store the way a
+// loaded daemon does: per key, many concurrent LoadTally readers racing
+// one appender extending the segment batch by batch; across keys,
+// everything fully parallel. Run under -race. The invariants: every
+// load observes a consistent prefix of the final stream (tally values
+// match, bucket count only grows), and the final on-disk state reloads
+// bit-identically in a fresh Store.
+func TestStoreConcurrentReadersAndAppenders(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		keys    = 4
+		rounds  = 50
+		readers = 4
+	)
+	// Deterministic per-key stream: bucket i of key k holds (k+i)%33
+	// successes of 32 trials, so a reader can verify any prefix.
+	bucket := func(k, i int) faultcast.TallyBucket {
+		return faultcast.TallyBucket{Trials: 32, Successes: (k + i) % 33}
+	}
+	planKey := func(k int) string { return fmt.Sprintf("ab%02d", k) }
+
+	var wg sync.WaitGroup
+	errc := make(chan error, keys*(readers+1))
+	for k := 0; k < keys; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if err := s.AppendTally(planKey(k), uint64(k), 32, i*32, []faultcast.TallyBucket{bucket(k, i)}); err != nil {
+					errc <- fmt.Errorf("key %d append %d: %w", k, i, err)
+					return
+				}
+			}
+		}(k)
+		for r := 0; r < readers; r++ {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				seen := 0
+				for j := 0; j < rounds; j++ {
+					got, err := s.LoadTally(planKey(k), uint64(k), 32)
+					if err != nil {
+						errc <- fmt.Errorf("key %d load: %w", k, err)
+						return
+					}
+					if len(got) < seen {
+						errc <- fmt.Errorf("key %d: prefix shrank %d -> %d", k, seen, len(got))
+						return
+					}
+					seen = len(got)
+					for i, b := range got {
+						if b != bucket(k, i) {
+							errc <- fmt.Errorf("key %d bucket %d: got %+v want %+v", k, i, b, bucket(k, i))
+							return
+						}
+					}
+				}
+			}(k)
+		}
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	// Everything the appenders wrote must reload bit-identically.
+	s2, _ := Open(dir)
+	for k := 0; k < keys; k++ {
+		want := make([]faultcast.TallyBucket, rounds)
+		for i := range want {
+			want[i] = bucket(k, i)
+		}
+		got, err := s2.LoadTally(planKey(k), uint64(k), 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("key %d reload: got %d buckets, mismatch", k, len(got))
+		}
+	}
+	if st := s2.Stats(); st.CorruptRecordsSkipped != 0 || st.AppendErrors != 0 {
+		t.Fatalf("stats after race run: %+v", st)
+	}
+}

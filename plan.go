@@ -115,11 +115,13 @@ func (p *Plan) Run(seed uint64) (Result, error) {
 // estimateOptions collects Estimate tuning; see the EstimateOption
 // constructors for semantics.
 type estimateOptions struct {
-	baseSeed   *uint64
-	workers    int
-	rule       stat.StopRule
-	almostSafe bool
-	dispatcher exec.Dispatcher
+	baseSeed     *uint64
+	workers      int
+	rule         stat.StopRule
+	almostSafe   bool
+	dispatcher   exec.Dispatcher
+	store        TallyStore
+	resumeReport func(resumedTrials int)
 }
 
 // EstimateOption tunes Plan.Estimate.
@@ -180,6 +182,31 @@ func WithDispatcher(d exec.Dispatcher) EstimateOption {
 	return func(o *estimateOptions) { o.dispatcher = d }
 }
 
+// WithTallyStore resumes the estimate from ts's persisted prefix of this
+// (plan, base seed) trial stream and appends the marginal batches back
+// after the run — the durable analogue of EstimateFrom's in-memory prev.
+// The stored prefix is replayed through the stopping rule at cold batch
+// boundaries, so the result is bit-identical to a cold run with the same
+// budget: a fully-covering prefix answers with zero trials, a partial
+// one simulates only the remainder. Store reads and writes are
+// best-effort — a load or append failure costs re-simulation or
+// persistence, never correctness. Ignored when prev is non-zero (the two
+// resume sources would race for the same seed positions); use
+// WithResumeReport to see how many trials the store supplied.
+func WithTallyStore(ts TallyStore) EstimateOption {
+	return func(o *estimateOptions) { o.store = ts }
+}
+
+// WithResumeReport reports, after the estimate completes, how many of
+// its trials came from a resume source — the prev argument or a
+// WithTallyStore replay — rather than fresh simulation. Estimate.Trials
+// minus the reported count is the simulation this call actually paid
+// for; the Estimate itself deliberately carries no such field, since
+// resuming never changes the result bits, only who computed them.
+func WithResumeReport(f func(resumedTrials int)) EstimateOption {
+	return func(o *estimateOptions) { o.resumeReport = f }
+}
+
 // Estimate runs up to `trials` independent simulations (seeds Seed+i)
 // across worker goroutines and estimates the success probability with a
 // 95% Wilson interval. Each sequential worker reuses one engine state for
@@ -231,14 +258,34 @@ func (p *Plan) EstimateFrom(prev Estimate, trials int, opts ...EstimateOption) (
 	// the same machinery with the same determinism contract. A configured
 	// dispatcher (WithDispatcher) replaces the in-process pool; the cell
 	// carries its Config so a remote dispatcher can ship the scenario.
+	start := stat.Proportion{Successes: prev.Succeeds, Trials: prev.Trials}
+	var rec *tallyRecorder
+	if o.store != nil && prev.Trials == 0 {
+		// Durable resume: replay the stored prefix through the rule at
+		// cold batch boundaries and start simulation where it runs out.
+		// A load error just means a cold run; the append then restocks.
+		batch := storeBatch(o.rule)
+		planKey := p.StoreKey()
+		if stored, err := o.store.LoadTally(planKey, baseSeed, batch); err == nil {
+			start, _ = replayStored(stored, trials, o.rule)
+		}
+		rec = &tallyRecorder{store: o.store, planKey: planKey, baseSeed: baseSeed, batch: batch, start: start.Trials}
+	}
 	cell := exec.Cell{
 		MaxTrials: trials,
 		BaseSeed:  baseSeed,
-		Start:     stat.Proportion{Successes: prev.Succeeds, Trials: prev.Trials},
+		Start:     start,
 		Rule:      o.rule,
 		NewTrial:  p.newTrialMaker(),
 		NewBlock:  p.newBlockMaker(),
 		Scenario:  p.cfg,
+	}
+	if rec != nil {
+		// Store granularity even without a rule: un-ruled streams fold in
+		// store-batch buckets (no stop decisions depend on it) so the
+		// persisted decomposition is shared with ruled requests.
+		cell.Bucket = rec.batch
+		cell.OnBatch = rec.observe
 	}
 	var prop stat.Proportion
 	d := o.dispatcher
@@ -248,6 +295,10 @@ func (p *Plan) EstimateFrom(prev Estimate, trials int, opts ...EstimateOption) (
 	// Background context: a lone estimate has no cancellation surface.
 	if err := d.Run(context.Background(), o.workers, []exec.Cell{cell}, func(_ int, got stat.Proportion) { prop = got }); err != nil {
 		return Estimate{}, err
+	}
+	rec.flush()
+	if o.resumeReport != nil {
+		o.resumeReport(start.Trials)
 	}
 	lo, hi := prop.Wilson(1.96)
 	return Estimate{

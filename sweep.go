@@ -319,6 +319,7 @@ type sweepOptions struct {
 	workers    int
 	prev       func(c *SweepCell) (Estimate, bool)
 	dispatcher exec.Dispatcher
+	store      TallyStore
 }
 
 // SweepOption tunes SweepPlan.Run.
@@ -336,6 +337,19 @@ func WithSweepWorkers(n int) SweepOption {
 // Plan.EstimateFrom refines a cached estimate.
 func WithCellPrev(f func(c *SweepCell) (Estimate, bool)) SweepOption {
 	return func(o *sweepOptions) { o.prev = f }
+}
+
+// WithSweepTallyStore resumes every cell from ts's persisted prefix of
+// its (PlanKey, derived seed) stream and appends the marginal batches
+// back as cells complete — WithTallyStore at sweep granularity. Cells
+// whose stored confidence already meets the budget complete with zero
+// simulation (CellResult.Resumed == Estimate.Trials), so re-running a
+// sweep against a warm store only simulates what changed; results stay
+// bit-identical to a cold run by the same replay contract. A cell with a
+// WithCellPrev prior takes that prior and skips the store, exactly as
+// EstimateFrom's prev disables WithTallyStore.
+func WithSweepTallyStore(ts TallyStore) SweepOption {
+	return func(o *sweepOptions) { o.store = ts }
 }
 
 // WithSweepDispatcher routes every cell's trial stream through d — e.g. a
@@ -378,6 +392,7 @@ func (sp *SweepPlan) Run(ctx context.Context, emit func(CellResult), opts ...Swe
 	}
 	execCells := make([]exec.Cell, len(order))
 	prevs := make([]Estimate, len(order))
+	recs := make([]*tallyRecorder, len(order))
 	for gi, k := range order {
 		c := &sp.cells[groups[k][0]]
 		if o.prev != nil {
@@ -385,15 +400,32 @@ func (sp *SweepPlan) Run(ctx context.Context, emit func(CellResult), opts ...Swe
 				prevs[gi] = e
 			}
 		}
+		rule := sp.budget.rule(c.plan)
 		execCells[gi] = exec.Cell{
 			MaxTrials: sp.budget.Trials,
 			BaseSeed:  c.Config.Seed,
 			Start:     stat.Proportion{Successes: prevs[gi].Succeeds, Trials: prevs[gi].Trials},
-			Rule:      sp.budget.rule(c.plan),
+			Rule:      rule,
 			NewTrial:  c.plan.newTrialMaker(),
 			NewBlock:  c.plan.newBlockMaker(),
 			SharedKey: c.PlanKey,
 			Scenario:  c.Config,
+		}
+		if o.store != nil && prevs[gi].Trials == 0 {
+			// Durable resume, exactly as in EstimateFrom: replay the
+			// stored prefix at cold boundaries, simulate the rest, and
+			// append the marginal batches once the cell completes.
+			batch := storeBatch(rule)
+			start := stat.Proportion{}
+			if stored, err := o.store.LoadTally(c.PlanKey, c.Config.Seed, batch); err == nil {
+				start, _ = replayStored(stored, sp.budget.Trials, rule)
+			}
+			prevs[gi] = Estimate{Trials: start.Trials, Succeeds: start.Successes}
+			execCells[gi].Start = start
+			execCells[gi].Bucket = batch
+			rec := &tallyRecorder{store: o.store, planKey: c.PlanKey, baseSeed: c.Config.Seed, batch: batch, start: start.Trials}
+			execCells[gi].OnBatch = rec.observe
+			recs[gi] = rec
 		}
 	}
 	d := o.dispatcher
@@ -401,6 +433,9 @@ func (sp *SweepPlan) Run(ctx context.Context, emit func(CellResult), opts ...Swe
 		d = exec.Local{}
 	}
 	return d.Run(ctx, o.workers, execCells, func(gi int, p stat.Proportion) {
+		// onDone is serialized and ordered after the cell's last fold, so
+		// the recorder's buckets are complete and safely visible here.
+		recs[gi].flush()
 		lo, hi := p.Wilson(1.96)
 		est := Estimate{Rate: p.Rate(), Low: lo, Hi: hi, Trials: p.Trials, Succeeds: p.Successes}
 		for _, i := range groups[order[gi]] {
