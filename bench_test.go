@@ -525,6 +525,66 @@ func BenchmarkEstimatePlanRadioRepeatBitsetCore(b *testing.B) {
 	benchEstimatePlan(b, bitsetCore(radioRepeatCfg()))
 }
 
+// --- k-bit lane lowerings: noise, equivocator, and timing scenarios ------
+//
+// The pairs below pin the k-bit generalization: the same Estimate workload
+// on the scenarios the two-symbol lane core used to gate — the noise
+// adversary (three payload symbols, per-transmission alphabet draws), the
+// source-only equivocator on a bit message, and the content-free timing
+// protocol — forced to the lane core and to the bitset round core it
+// replaces on the default path.
+
+func noiseEstimateCfg() faultcast.Config {
+	return faultcast.Config{
+		Graph: faultcast.KaryTree(63, 2), Source: 0, Message: []byte("diff"),
+		Model: faultcast.MessagePassing, Fault: faultcast.Malicious,
+		P: 0.3, WindowC: 2, Algorithm: faultcast.SimpleMalicious,
+		Adversary: faultcast.NoiseAdv,
+	}
+}
+
+func equivocatorEstimateCfg() faultcast.Config {
+	return faultcast.Config{
+		Graph: faultcast.KaryTree(63, 2), Source: 0, Message: []byte("1"),
+		Model: faultcast.MessagePassing, Fault: faultcast.Malicious,
+		P: 0.35, WindowC: 2, Algorithm: faultcast.SimpleMalicious,
+		Adversary: faultcast.WorstCase,
+	}
+}
+
+func timingEstimateCfg() faultcast.Config {
+	return faultcast.Config{
+		Graph: faultcast.TwoNode(), Source: 0, Message: []byte("1"),
+		Model: faultcast.MessagePassing, Fault: faultcast.LimitedMalicious,
+		P: 0.4, WindowC: 64, Algorithm: faultcast.TimingBit,
+		Adversary: faultcast.CrashAdv,
+	}
+}
+
+func BenchmarkEstimateLanesNoise(b *testing.B) {
+	benchEstimatePlan(b, laneCore(noiseEstimateCfg()))
+}
+
+func BenchmarkEstimateLanesNoiseBitsetCore(b *testing.B) {
+	benchEstimatePlan(b, bitsetCore(noiseEstimateCfg()))
+}
+
+func BenchmarkEstimateLanesEquivocator(b *testing.B) {
+	benchEstimatePlan(b, laneCore(equivocatorEstimateCfg()))
+}
+
+func BenchmarkEstimateLanesEquivocatorBitsetCore(b *testing.B) {
+	benchEstimatePlan(b, bitsetCore(equivocatorEstimateCfg()))
+}
+
+func BenchmarkEstimateLanesTiming(b *testing.B) {
+	benchEstimatePlan(b, laneCore(timingEstimateCfg()))
+}
+
+func BenchmarkEstimateLanesTimingBitsetCore(b *testing.B) {
+	benchEstimatePlan(b, bitsetCore(timingEstimateCfg()))
+}
+
 func benchEngineRun(b *testing.B, cfg faultcast.Config) {
 	plan, err := faultcast.Compile(cfg)
 	if err != nil {

@@ -54,3 +54,17 @@ func LaneGT(a, b []uint64) uint64 {
 	}
 	return gt
 }
+
+// LanePlurality decides, per lane, a three-way plurality vote over the
+// bit-sliced counters c0 (votes for the default symbol), c1, and c2: win1
+// is the lanes where c1 is the strict maximum, win2 where c2 is. Lanes in
+// neither (ties included) resolve to the default symbol, matching
+// protocol.Tally.Winner's "strictly the most votes, else default". The
+// counters must have equal widths.
+func LanePlurality(c0, c1, c2 []uint64) (win1, win2 uint64) {
+	g10 := LaneGT(c1, c0)
+	g12 := LaneGT(c1, c2)
+	g20 := LaneGT(c2, c0)
+	g21 := LaneGT(c2, c1)
+	return g10 & g12, g20 & g21
+}

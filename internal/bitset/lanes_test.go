@@ -57,6 +57,34 @@ func TestLaneGEConst(t *testing.T) {
 	}
 }
 
+func TestLanePlurality(t *testing.T) {
+	const width = 4
+	c0 := make([]uint64, width)
+	c1 := make([]uint64, width)
+	c2 := make([]uint64, width)
+	state := uint64(1234)
+	for step := 0; step < 10; step++ { // up to 10 votes per counter, < 2^4
+		LaneAdd(c0, lcg(&state))
+		LaneAdd(c1, lcg(&state))
+		LaneAdd(c2, lcg(&state))
+	}
+	win1, win2 := LanePlurality(c0, c1, c2)
+	for lane := 0; lane < 64; lane++ {
+		v0, v1, v2 := laneValue(c0, lane), laneValue(c1, lane), laneValue(c2, lane)
+		want1 := v1 > v0 && v1 > v2
+		want2 := v2 > v0 && v2 > v1
+		if got1 := win1>>uint(lane)&1 == 1; got1 != want1 {
+			t.Fatalf("lane %d (%d,%d,%d): win1=%v want %v", lane, v0, v1, v2, got1, want1)
+		}
+		if got2 := win2>>uint(lane)&1 == 1; got2 != want2 {
+			t.Fatalf("lane %d (%d,%d,%d): win2=%v want %v", lane, v0, v1, v2, got2, want2)
+		}
+	}
+	if win1&win2 != 0 {
+		t.Fatalf("a lane claims two winners: %#x & %#x", win1, win2)
+	}
+}
+
 func TestLaneGT(t *testing.T) {
 	const width = 4
 	a := make([]uint64, width)

@@ -8,21 +8,28 @@ import (
 )
 
 // Lane kernel: the compiled CO1/CO2 program in the transposed layout.
-// Registers are single-assignment cells whose values, in the two-symbol
-// payload universe {M, default}, are fully described by one bit — so a
-// position's register file becomes one uint64 per register (lane L's bit =
-// "this register holds M in trial L"), and the majority combine over K
-// source registers becomes a bit-sliced popcount compared against the
-// strict-majority threshold K/2+1 (over two symbols, plurality is exactly
-// strict majority: cntM > K − cntM).
+// Registers are single-assignment cells whose values, in the small payload
+// universe of the supported fault lowerings, are fully described by the
+// payload symbol columns — one uint64 per register per column (lane L's
+// bit of column 0 = "this register holds M in trial L"; all columns clear
+// = the default). The majority combine over K source registers becomes a
+// word-parallel vote: over two symbols a bit-sliced popcount against the
+// strict-majority threshold K/2+1 (plurality over two symbols is exactly
+// strict majority: cntM > K − cntM), over three symbols one counter per
+// symbol and bitset.LanePlurality — every source register always votes
+// (a never-written register holds the default, like the scalar node's
+// missing-register read), so the default counter is fed by the lanes in
+// neither non-default column.
 //
 // Every vertex at the same tree depth runs the same position program, so
 // the instruction cursors are shared per depth and each instruction is
 // applied to all of the depth's vertices at once.
 
-// NewLaneKernel returns the transposed protocol instance.
-func (p *Proto) NewLaneKernel() sim.LaneKernel {
+// NewLaneKernel returns the transposed protocol instance for the given
+// symbol-alphabet size.
+func (p *Proto) NewLaneKernel(symbols int) sim.LaneKernel {
 	n := p.tree.N()
+	cols := symbols - 1
 	maxDepth := 0
 	for _, d := range p.tree.Depth {
 		if d > maxDepth {
@@ -43,18 +50,24 @@ func (p *Proto) NewLaneKernel() sim.LaneKernel {
 			}
 		}
 	}
-	regM := make([][]uint64, n)
-	for v := 0; v < n; v++ {
-		regM[v] = make([]uint64, progs[p.tree.Depth[v]].nregs)
+	k := &laneKernel{
+		proto:   p,
+		byDepth: byDepth,
+		progs:   progs,
+		reg:     make([][][]uint64, cols),
+		pending: make([][]uint64, cols),
 	}
-	return &laneKernel{
-		proto:    p,
-		byDepth:  byDepth,
-		progs:    progs,
-		regM:     regM,
-		pendingM: make([]uint64, n),
-		scratch:  make([]uint64, maxW),
+	for c := 0; c < cols; c++ {
+		k.reg[c] = make([][]uint64, n)
+		for v := 0; v < n; v++ {
+			k.reg[c][v] = make([]uint64, progs[p.tree.Depth[v]].nregs)
+		}
+		k.pending[c] = make([]uint64, n)
 	}
+	for i := range k.scratch {
+		k.scratch[i] = make([]uint64, maxW)
+	}
+	return k
 }
 
 // LaneTargets returns the per-vertex send-target lists (the tree children
@@ -130,47 +143,78 @@ type laneKernel struct {
 	byDepth [][]int
 	progs   []*laneDepthProg
 
-	regM     [][]uint64 // [vertex][dense register]: register holds M
-	pendingM []uint64   // in-flight receive: payload == M (0 on silence/default)
-	scratch  []uint64
+	// reg[c][vertex][dense register] is symbol column c of the register's
+	// value; pending[c][vertex] the in-flight receive's columns (all clear
+	// on silence or a default payload).
+	reg     [][][]uint64
+	pending [][]uint64
+	scratch [3][]uint64 // per-symbol combine counters
 }
 
 func (k *laneKernel) Reset() {
-	for v := range k.regM {
-		for j := range k.regM[v] {
-			k.regM[v][j] = 0
+	for c := range k.reg {
+		for v := range k.reg[c] {
+			for j := range k.reg[c][v] {
+				k.reg[c][v][j] = 0
+			}
+			k.pending[c][v] = 0
 		}
-		k.pendingM[v] = 0
 	}
 	for _, dp := range k.progs {
 		dp.nextRecv, dp.nextCombine, dp.nextSend = 0, 0, 0
 	}
 	// Position 0's input register is the source message itself.
-	k.regM[k.proto.tree.Root][k.progs[0].final] = ^uint64(0)
+	k.reg[0][k.proto.tree.Root][k.progs[0].final] = ^uint64(0)
 }
 
-func (k *laneKernel) Transmit(round int, intent, payM []uint64) {
+// combine runs one combine instruction for vertex v.
+func (k *laneKernel) combine(c *laneCombine, v int) {
+	if len(k.reg) == 1 {
+		counter := k.scratch[0][:c.width]
+		for i := range counter {
+			counter[i] = 0
+		}
+		regs := k.reg[0][v]
+		for _, s := range c.srcs {
+			bitset.LaneAdd(counter, regs[s])
+		}
+		regs[c.dst] = bitset.LaneGEConst(counter, c.need)
+		return
+	}
+	c0 := k.scratch[0][:c.width]
+	c1 := k.scratch[1][:c.width]
+	c2 := k.scratch[2][:c.width]
+	for i := 0; i < c.width; i++ {
+		c0[i], c1[i], c2[i] = 0, 0, 0
+	}
+	r0, r1 := k.reg[0][v], k.reg[1][v]
+	for _, s := range c.srcs {
+		bitset.LaneAdd(c1, r0[s])
+		bitset.LaneAdd(c2, r1[s])
+		bitset.LaneAdd(c0, ^(r0[s] | r1[s]))
+	}
+	w1, w2 := bitset.LanePlurality(c0, c1, c2)
+	r0[c.dst] = w1
+	r1[c.dst] = w2
+}
+
+func (k *laneKernel) Transmit(round int, intent []uint64, pay [][]uint64) {
 	for d, dp := range k.progs {
 		vs := k.byDepth[d]
 		for dp.nextRecv < len(dp.recvs) && dp.recvs[dp.nextRecv].round < round {
 			reg := dp.recvs[dp.nextRecv].reg
-			for _, v := range vs {
-				k.regM[v][reg] = k.pendingM[v]
-				k.pendingM[v] = 0
+			for c := range k.reg {
+				for _, v := range vs {
+					k.reg[c][v][reg] = k.pending[c][v]
+					k.pending[c][v] = 0
+				}
 			}
 			dp.nextRecv++
 		}
 		for dp.nextCombine < len(dp.combines) && dp.combines[dp.nextCombine].round <= round {
 			c := &dp.combines[dp.nextCombine]
-			counter := k.scratch[:c.width]
 			for _, v := range vs {
-				for i := range counter {
-					counter[i] = 0
-				}
-				for _, s := range c.srcs {
-					bitset.LaneAdd(counter, k.regM[v][s])
-				}
-				k.regM[v][c.dst] = bitset.LaneGEConst(counter, c.need)
+				k.combine(c, v)
 			}
 			dp.nextCombine++
 		}
@@ -182,20 +226,24 @@ func (k *laneKernel) Transmit(round int, intent, payM []uint64) {
 					continue
 				}
 				intent[v] = ^uint64(0)
-				payM[v] = k.regM[v][reg]
+				for c := range k.reg {
+					pay[c][v] = k.reg[c][v][reg]
+				}
 			}
 		}
 	}
 }
 
-func (k *laneKernel) Absorb(round int, heard, heardM []uint64) {
+func (k *laneKernel) Absorb(round int, heard []uint64, sym [][]uint64) {
 	for d, dp := range k.progs {
 		// Record the payload for the receive scheduled this round, if any
 		// (cursors already consumed everything earlier, so a match can
 		// only sit at the front).
 		if dp.nextRecv < len(dp.recvs) && dp.recvs[dp.nextRecv].round == round {
 			for _, v := range k.byDepth[d] {
-				k.pendingM[v] = heard[v] & heardM[v]
+				for c := range k.pending {
+					k.pending[c][v] = heard[v] & sym[c][v]
+				}
 			}
 		}
 	}
@@ -205,7 +253,7 @@ func (k *laneKernel) Verdict() uint64 {
 	and := ^uint64(0)
 	for d, dp := range k.progs {
 		for _, v := range k.byDepth[d] {
-			and &= k.regM[v][dp.final]
+			and &= k.reg[0][v][dp.final]
 		}
 	}
 	return and

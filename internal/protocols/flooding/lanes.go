@@ -4,18 +4,22 @@ import "faultcast/internal/sim"
 
 // Lane kernel: the transposed form of the flooding node for the
 // trial-parallel engine. Per (vertex, lane) the node state collapses to
-// two bits — has (informed) and isM (belief equals the source message) —
-// because under the supported fault lowerings every payload is either the
-// source message or a non-source value, and the node retransmits whatever
-// it adopted verbatim. Deliver adopts the first payload of the round
-// unconditionally, which is exactly the first-sender bit the lane engine's
-// message-passing rule reports.
+// the informed bit plus the payload symbol columns of the adopted belief
+// (bel[c]; all columns clear = the default symbol), because the node
+// retransmits whatever it adopted verbatim. Deliver adopts the first
+// payload of the round unconditionally — default included — which is
+// exactly the first-sender symbol the lane engine's message-passing rule
+// reports.
 
-// NewLaneKernel returns the transposed protocol instance; pass it (with
-// LaneTargets) into a sim.LaneSpec.
-func (p *Proto) NewLaneKernel() sim.LaneKernel {
+// NewLaneKernel returns the transposed protocol instance for the given
+// symbol-alphabet size; pass it (with LaneTargets) into a sim.LaneSpec.
+func (p *Proto) NewLaneKernel(symbols int) sim.LaneKernel {
 	n := p.tree.N()
-	return &laneKernel{proto: p, has: make([]uint64, n), isM: make([]uint64, n)}
+	k := &laneKernel{proto: p, has: make([]uint64, n), bel: make([][]uint64, symbols-1)}
+	for c := range k.bel {
+		k.bel[c] = make([]uint64, n)
+	}
+	return k
 }
 
 // LaneTargets returns the per-vertex send-target lists (the tree
@@ -23,40 +27,48 @@ func (p *Proto) NewLaneKernel() sim.LaneKernel {
 func (p *Proto) LaneTargets() [][]int { return p.tree.Children }
 
 type laneKernel struct {
-	proto    *Proto
-	has, isM []uint64
+	proto *Proto
+	has   []uint64
+	bel   [][]uint64 // adopted payload symbol columns; bel[0] = "belief is M"
 }
 
 func (k *laneKernel) Reset() {
 	for v := range k.has {
-		k.has[v], k.isM[v] = 0, 0
+		k.has[v] = 0
+		for c := range k.bel {
+			k.bel[c][v] = 0
+		}
 	}
 	r := k.proto.tree.Root
 	k.has[r] = ^uint64(0)
-	k.isM[r] = ^uint64(0)
+	k.bel[0][r] = ^uint64(0)
 }
 
-func (k *laneKernel) Transmit(round int, intent, payM []uint64) {
+func (k *laneKernel) Transmit(round int, intent []uint64, pay [][]uint64) {
 	for v, children := range k.proto.tree.Children {
 		if len(children) == 0 {
 			continue // childless nodes have no one to send to
 		}
 		intent[v] = k.has[v]
-		payM[v] = k.isM[v]
+		for c := range k.bel {
+			pay[c][v] = k.bel[c][v]
+		}
 	}
 }
 
-func (k *laneKernel) Absorb(round int, heard, heardM []uint64) {
+func (k *laneKernel) Absorb(round int, heard []uint64, sym [][]uint64) {
 	for v := range k.has {
 		adopt := heard[v] &^ k.has[v]
-		k.isM[v] |= adopt & heardM[v]
+		for c := range k.bel {
+			k.bel[c][v] |= adopt & sym[c][v]
+		}
 		k.has[v] |= adopt
 	}
 }
 
 func (k *laneKernel) Verdict() uint64 {
 	and := ^uint64(0)
-	for _, w := range k.isM {
+	for _, w := range k.bel[0] {
 		and &= w
 	}
 	return and

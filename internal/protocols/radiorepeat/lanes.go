@@ -10,16 +10,17 @@ import (
 // Lane kernel: the Theorem 3.4 repeated-schedule radio algorithms in the
 // transposed layout. Each schedule step i becomes a series of m rounds in
 // which the step's transmitter set broadcasts; a node listening in series
-// S_i either adopts any genuine reception (Omission-Radio — in the
-// two-symbol universe "non-default" means the source message, so a single
-// isM word per vertex suffices) or votes (Malicious-Radio — two
-// bit-sliced counters per vertex, winner M on the lanes where
-// cntM > cntD, the same reduction as simplemalicious: commitment freezes
-// the window so committed and truncated outputs share the formula).
+// S_i either adopts the first NON-default reception and sticks with it
+// (Omission-Radio — an informed bit plus the adopted payload's symbol
+// columns per vertex) or votes (Malicious-Radio — one bit-sliced counter
+// per payload symbol, winner by word-parallel plurality, the same
+// reduction as simplemalicious: commitment freezes the window so
+// committed and truncated outputs share the formula).
 
-// NewLaneKernel returns the transposed protocol instance. RadioRepeat is
-// radio-only, so there is no LaneTargets: the LaneSpec takes nil targets.
-func (p *Proto) NewLaneKernel() sim.LaneKernel {
+// NewLaneKernel returns the transposed protocol instance for the given
+// symbol-alphabet size. RadioRepeat is radio-only, so there is no
+// LaneTargets: the LaneSpec takes nil targets.
+func (p *Proto) NewLaneKernel(symbols int) sim.LaneKernel {
 	n := len(p.recvStep)
 	stepSets := make([][]int, p.steps)
 	for v := 0; v < n; v++ { // iterate vertices, not the map, for determinism
@@ -38,12 +39,22 @@ func (p *Proto) NewLaneKernel() sim.LaneKernel {
 		width := bits.Len(uint(p.m)) // a series holds at most m votes
 		k.cntM = make([][]uint64, n)
 		k.cntD = make([][]uint64, n)
+		if symbols == 3 {
+			k.cnt2 = make([][]uint64, n)
+		}
 		for v := 0; v < n; v++ {
 			k.cntM[v] = make([]uint64, width)
 			k.cntD[v] = make([]uint64, width)
+			if k.cnt2 != nil {
+				k.cnt2[v] = make([]uint64, width)
+			}
 		}
 	} else {
-		k.isM = make([]uint64, n)
+		k.has = make([]uint64, n)
+		k.bel = make([][]uint64, symbols-1)
+		for c := range k.bel {
+			k.bel[c] = make([]uint64, n)
+		}
 	}
 	return k
 }
@@ -53,16 +64,33 @@ type laneKernel struct {
 	stepSets [][]int // series -> transmitting vertices
 	recvSets [][]int // series -> vertices whose listening window it is
 
-	isM        []uint64   // OmissionVariant belief state
-	cntM, cntD [][]uint64 // MaliciousVariant vote counters
+	// OmissionVariant: sticky first-non-default adoption state.
+	has []uint64
+	bel [][]uint64 // adopted payload symbol columns; bel[0] = "belief is M"
+
+	// MaliciousVariant: per-symbol vote counters (cnt2 nil for 2 symbols).
+	cntM, cntD, cnt2 [][]uint64
+}
+
+// winner returns the lanes where v's plurality vote resolves to the
+// source message (w1) and to the third symbol (w2; zero for two symbols).
+func (k *laneKernel) winner(v int) (w1, w2 uint64) {
+	if k.cnt2 == nil {
+		return bitset.LaneGT(k.cntM[v], k.cntD[v]), 0
+	}
+	return bitset.LanePlurality(k.cntD[v], k.cntM[v], k.cnt2[v])
 }
 
 func (k *laneKernel) Reset() {
 	if k.proto.variant == OmissionVariant {
-		for v := range k.isM {
-			k.isM[v] = 0
+		for v := range k.has {
+			k.has[v] = 0
+			for c := range k.bel {
+				k.bel[c][v] = 0
+			}
 			if k.proto.recvStep[v] < 0 { // the source
-				k.isM[v] = ^uint64(0)
+				k.has[v] = ^uint64(0)
+				k.bel[0][v] = ^uint64(0)
 			}
 		}
 		return
@@ -70,11 +98,14 @@ func (k *laneKernel) Reset() {
 	for v := range k.cntM {
 		for j := range k.cntM[v] {
 			k.cntM[v][j], k.cntD[v][j] = 0, 0
+			if k.cnt2 != nil {
+				k.cnt2[v][j] = 0
+			}
 		}
 	}
 }
 
-func (k *laneKernel) Transmit(round int, intent, payM []uint64) {
+func (k *laneKernel) Transmit(round int, intent []uint64, pay [][]uint64) {
 	series := round / k.proto.m
 	if series >= len(k.stepSets) {
 		return
@@ -84,39 +115,58 @@ func (k *laneKernel) Transmit(round int, intent, payM []uint64) {
 		rs := k.proto.recvStep[v]
 		switch {
 		case rs < 0: // the source always transmits M
-			payM[v] = ^uint64(0)
+			pay[0][v] = ^uint64(0)
 		case k.proto.variant == OmissionVariant:
-			payM[v] = k.isM[v]
+			for c := range k.bel {
+				pay[c][v] = k.bel[c][v]
+			}
 		case round >= (rs+1)*k.proto.m:
 			// The listening series is over and the vote committed; the
 			// counters are frozen, so recomputing the winner each round
 			// reproduces the scalar M_v exactly.
-			payM[v] = bitset.LaneGT(k.cntM[v], k.cntD[v])
+			w1, w2 := k.winner(v)
+			pay[0][v] = w1
+			if k.cnt2 != nil {
+				pay[1][v] = w2
+			}
 		default:
-			payM[v] = 0 // not yet committed: "transmit 0"
+			// not yet committed: "transmit 0" (columns stay clear)
 		}
 	}
 }
 
-func (k *laneKernel) Absorb(round int, heard, heardM []uint64) {
+func (k *laneKernel) Absorb(round int, heard []uint64, sym [][]uint64) {
 	series := round / k.proto.m
 	if series >= len(k.recvSets) {
 		return
 	}
 	for _, v := range k.recvSets[series] {
 		if k.proto.variant == OmissionVariant {
-			k.isM[v] |= heard[v] & heardM[v]
+			nonDef := uint64(0)
+			for c := range k.bel {
+				nonDef |= sym[c][v]
+			}
+			adopt := heard[v] & nonDef &^ k.has[v]
+			for c := range k.bel {
+				k.bel[c][v] |= adopt & sym[c][v]
+			}
+			k.has[v] |= adopt
 			continue
 		}
-		bitset.LaneAdd(k.cntM[v], heard[v]&heardM[v])
-		bitset.LaneAdd(k.cntD[v], heard[v]&^heardM[v])
+		bitset.LaneAdd(k.cntM[v], heard[v]&sym[0][v])
+		if k.cnt2 == nil {
+			bitset.LaneAdd(k.cntD[v], heard[v]&^sym[0][v])
+			continue
+		}
+		bitset.LaneAdd(k.cnt2[v], heard[v]&sym[1][v])
+		bitset.LaneAdd(k.cntD[v], heard[v]&^sym[0][v]&^sym[1][v])
 	}
 }
 
 func (k *laneKernel) Verdict() uint64 {
 	and := ^uint64(0)
 	if k.proto.variant == OmissionVariant {
-		for _, w := range k.isM {
+		for _, w := range k.bel[0] {
 			and &= w
 		}
 		return and
@@ -125,7 +175,8 @@ func (k *laneKernel) Verdict() uint64 {
 		if k.proto.recvStep[v] < 0 {
 			continue // the source holds M by definition
 		}
-		and &= bitset.LaneGT(k.cntM[v], k.cntD[v])
+		w1, _ := k.winner(v)
+		and &= w1
 	}
 	return and
 }

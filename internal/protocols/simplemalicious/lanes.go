@@ -7,19 +7,23 @@ import (
 	"faultcast/internal/sim"
 )
 
-// Lane kernel: Simple-Malicious in the transposed layout. In the
-// two-symbol payload universe {M, default} a node's vote over its
-// listening window reduces to two bit-sliced counters per vertex — cntM
-// (votes for the source message) and cntD (votes for anything else) — and
-// the plurality winner is M exactly on the lanes where cntM > cntD. That
-// one formula covers every scalar Output path: the committed value is the
-// winner of the full window (commitment happens only after the window
-// closes and votes are frozen), the horizon-truncated fallback is the
-// winner of the votes so far, and an empty tally gives cntM = cntD = 0,
-// whose strict comparison fails just like the scalar nil message.
+// Lane kernel: Simple-Malicious in the transposed layout. A node's vote
+// over its listening window becomes one bit-sliced counter per payload
+// symbol — cntD (default), cntM (the source message), and, in the
+// three-symbol universe the noise adversary induces, cnt2 (the third
+// value) — and the plurality winner is computed word-parallel: for two
+// symbols, winner M exactly where cntM > cntD; for three, the strict
+// argmax of bitset.LanePlurality, whose ties resolve to the default just
+// like protocol.Tally.Winner. That one formula covers every scalar Output
+// path: the committed value is the winner of the full window (commitment
+// happens only after the window closes and votes are frozen), the
+// horizon-truncated fallback is the winner of the votes so far, and an
+// empty tally gives all-zero counters, whose strict comparison fails just
+// like the scalar nil message.
 
-// NewLaneKernel returns the transposed protocol instance.
-func (p *Proto) NewLaneKernel() sim.LaneKernel {
+// NewLaneKernel returns the transposed protocol instance for the given
+// symbol-alphabet size.
+func (p *Proto) NewLaneKernel(symbols int) sim.LaneKernel {
 	n := p.tree.N()
 	order := p.tree.Order()
 	listeners := make([][]int, len(order))
@@ -34,9 +38,15 @@ func (p *Proto) NewLaneKernel() sim.LaneKernel {
 		cntM:      make([][]uint64, n),
 		cntD:      make([][]uint64, n),
 	}
+	if symbols == 3 {
+		k.cnt2 = make([][]uint64, n)
+	}
 	for v := 0; v < n; v++ {
 		k.cntM[v] = make([]uint64, width)
 		k.cntD[v] = make([]uint64, width)
+		if k.cnt2 != nil {
+			k.cnt2[v] = make([]uint64, width)
+		}
 	}
 	return k
 }
@@ -60,17 +70,30 @@ type laneKernel struct {
 	// share the listener sets.
 	listeners  [][]int
 	cntM, cntD [][]uint64
+	cnt2       [][]uint64 // nil in the two-symbol universe
+}
+
+// winner returns the lanes where v's plurality vote resolves to the
+// source message (w1) and to the third symbol (w2; zero for two symbols).
+func (k *laneKernel) winner(v int) (w1, w2 uint64) {
+	if k.cnt2 == nil {
+		return bitset.LaneGT(k.cntM[v], k.cntD[v]), 0
+	}
+	return bitset.LanePlurality(k.cntD[v], k.cntM[v], k.cnt2[v])
 }
 
 func (k *laneKernel) Reset() {
 	for v := range k.cntM {
 		for j := range k.cntM[v] {
 			k.cntM[v][j], k.cntD[v][j] = 0, 0
+			if k.cnt2 != nil {
+				k.cnt2[v][j] = 0
+			}
 		}
 	}
 }
 
-func (k *laneKernel) Transmit(round int, intent, payM []uint64) {
+func (k *laneKernel) Transmit(round int, intent []uint64, pay [][]uint64) {
 	phase := round / k.proto.m
 	if phase >= len(k.order) {
 		return
@@ -81,23 +104,32 @@ func (k *laneKernel) Transmit(round int, intent, payM []uint64) {
 	}
 	intent[v] = ^uint64(0)
 	if v == k.proto.tree.Root {
-		payM[v] = ^uint64(0)
+		pay[0][v] = ^uint64(0)
 		return
 	}
 	// By the level-respecting enumeration v's parent's phase — v's
 	// listening window — is strictly earlier, so v's votes are frozen and
 	// this is the committed M_v of the scalar protocol.
-	payM[v] = bitset.LaneGT(k.cntM[v], k.cntD[v])
+	w1, w2 := k.winner(v)
+	pay[0][v] = w1
+	if k.cnt2 != nil {
+		pay[1][v] = w2
+	}
 }
 
-func (k *laneKernel) Absorb(round int, heard, heardM []uint64) {
+func (k *laneKernel) Absorb(round int, heard []uint64, sym [][]uint64) {
 	phase := round / k.proto.m
 	if phase >= len(k.listeners) {
 		return
 	}
 	for _, v := range k.listeners[phase] {
-		bitset.LaneAdd(k.cntM[v], heard[v]&heardM[v])
-		bitset.LaneAdd(k.cntD[v], heard[v]&^heardM[v])
+		bitset.LaneAdd(k.cntM[v], heard[v]&sym[0][v])
+		if k.cnt2 == nil {
+			bitset.LaneAdd(k.cntD[v], heard[v]&^sym[0][v])
+			continue
+		}
+		bitset.LaneAdd(k.cnt2[v], heard[v]&sym[1][v])
+		bitset.LaneAdd(k.cntD[v], heard[v]&^sym[0][v]&^sym[1][v])
 	}
 }
 
@@ -107,7 +139,8 @@ func (k *laneKernel) Verdict() uint64 {
 		if v == k.proto.tree.Root {
 			continue // the source holds M by definition
 		}
-		and &= bitset.LaneGT(k.cntM[v], k.cntD[v])
+		w1, _ := k.winner(v)
+		and &= w1
 	}
 	return and
 }

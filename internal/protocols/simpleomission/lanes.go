@@ -2,16 +2,31 @@ package simpleomission
 
 import "faultcast/internal/sim"
 
-// Lane kernel: Simple-Omission in the transposed layout. A node's belief
-// is nil or the source message (Deliver adopts only non-default payloads,
-// and in the two-symbol universe non-default means the source message), so
-// one word per vertex — has, the lanes where the node knows M — is the
-// whole state. During phase i only v_i transmits: all lanes, with payload
-// M where informed and the default elsewhere.
+// Lane kernel: Simple-Omission in the transposed layout. Deliver adopts
+// the first NON-default payload and sticks with it, so per (vertex, lane)
+// the state is the informed bit plus the adopted payload's symbol columns
+// (bel[c]; bel[0] = "belief is M"). During phase i only v_i transmits: all
+// lanes, with its belief where informed and the default elsewhere.
+//
+// The first-sender symbol the lane engine reports is faithful here because
+// at most one vertex transmits per round, so there is never a competing
+// second sender whose non-default payload the scalar node would prefer
+// over a first sender's default.
 
-// NewLaneKernel returns the transposed protocol instance.
-func (p *Proto) NewLaneKernel() sim.LaneKernel {
-	return &laneKernel{proto: p, order: p.tree.Order(), has: make([]uint64, p.tree.N())}
+// NewLaneKernel returns the transposed protocol instance for the given
+// symbol-alphabet size.
+func (p *Proto) NewLaneKernel(symbols int) sim.LaneKernel {
+	n := p.tree.N()
+	k := &laneKernel{
+		proto: p,
+		order: p.tree.Order(),
+		has:   make([]uint64, n),
+		bel:   make([][]uint64, symbols-1),
+	}
+	for c := range k.bel {
+		k.bel[c] = make([]uint64, n)
+	}
+	return k
 }
 
 // LaneTargets returns the per-vertex send-target lists for the message
@@ -27,16 +42,22 @@ type laneKernel struct {
 	proto *Proto
 	order []int
 	has   []uint64
+	bel   [][]uint64
 }
 
 func (k *laneKernel) Reset() {
 	for v := range k.has {
 		k.has[v] = 0
+		for c := range k.bel {
+			k.bel[c][v] = 0
+		}
 	}
-	k.has[k.proto.tree.Root] = ^uint64(0)
+	r := k.proto.tree.Root
+	k.has[r] = ^uint64(0)
+	k.bel[0][r] = ^uint64(0)
 }
 
-func (k *laneKernel) Transmit(round int, intent, payM []uint64) {
+func (k *laneKernel) Transmit(round int, intent []uint64, pay [][]uint64) {
 	phase := round / k.proto.m
 	if phase >= len(k.order) {
 		return // horizon overrides can run past the last phase
@@ -46,18 +67,28 @@ func (k *laneKernel) Transmit(round int, intent, payM []uint64) {
 		return // nothing to direct a send at
 	}
 	intent[v] = ^uint64(0)
-	payM[v] = k.has[v]
+	for c := range k.bel {
+		pay[c][v] = k.bel[c][v]
+	}
 }
 
-func (k *laneKernel) Absorb(round int, heard, heardM []uint64) {
+func (k *laneKernel) Absorb(round int, heard []uint64, sym [][]uint64) {
 	for v := range k.has {
-		k.has[v] |= heard[v] & heardM[v]
+		nonDef := uint64(0)
+		for c := range k.bel {
+			nonDef |= sym[c][v]
+		}
+		adopt := heard[v] & nonDef &^ k.has[v]
+		for c := range k.bel {
+			k.bel[c][v] |= adopt & sym[c][v]
+		}
+		k.has[v] |= adopt
 	}
 }
 
 func (k *laneKernel) Verdict() uint64 {
 	and := ^uint64(0)
-	for _, w := range k.has {
+	for _, w := range k.bel[0] {
 		and &= w
 	}
 	return and

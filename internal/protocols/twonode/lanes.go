@@ -1,0 +1,61 @@
+package twonode
+
+import "faultcast/internal/sim"
+
+// Lane kernel: the parity-timing protocol in the transposed layout. The
+// protocol is content-free — the receiver's output depends only on WHICH
+// rounds it received in, never on payload bytes — so the kernel transmits
+// the default symbol, ignores the received symbol columns, and keeps just
+// two words of receiver state: prev (lanes that received last round) and
+// sawPair (lanes that have received in two consecutive rounds). The
+// content-freeness is also what lets the public layer lower every
+// payload-rewriting adversary for this protocol to the keep-the-targets
+// corruption: rewriting bytes the receiver never reads is unobservable.
+
+// NewLaneKernel returns a kernel constructor for the given source vertex
+// and source bit (bit1 selects the even-steps-only timing pattern).
+func (p *Proto) NewLaneKernel(source int, bit1 bool) func(symbols int) sim.LaneKernel {
+	return func(symbols int) sim.LaneKernel {
+		return &laneKernel{m: p.m, source: source, bit1: bit1}
+	}
+}
+
+type laneKernel struct {
+	m      int
+	source int
+	bit1   bool
+
+	prev    uint64 // receiver heard last round
+	sawPair uint64 // receiver heard in two consecutive rounds
+}
+
+func (k *laneKernel) Reset() { k.prev, k.sawPair = 0, 0 }
+
+// Transmit implements the sender's timing pattern: bit 0 transmits on
+// every 1-indexed step 1..2m, bit 1 only on the even steps. Payload
+// columns stay clear — the receiver ignores content.
+func (k *laneKernel) Transmit(round int, intent []uint64, pay [][]uint64) {
+	if round >= 2*k.m {
+		return
+	}
+	if k.bit1 && (round+1)%2 != 0 {
+		return
+	}
+	intent[k.source] = ^uint64(0)
+}
+
+func (k *laneKernel) Absorb(round int, heard []uint64, sym [][]uint64) {
+	h := heard[1-k.source]
+	k.sawPair |= h & k.prev
+	k.prev = h
+}
+
+// Verdict: the sender always outputs its own bit; the receiver outputs 0
+// iff it saw two consecutive receptions, so the broadcast succeeds on the
+// sawPair lanes for bit 0 and on the complement for bit 1.
+func (k *laneKernel) Verdict() uint64 {
+	if k.bit1 {
+		return ^k.sawPair
+	}
+	return k.sawPair
+}

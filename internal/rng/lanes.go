@@ -63,6 +63,90 @@ func bernoulliThreshold(p float64) uint64 {
 	return uint64(math.Ceil(p * (1 << 53)))
 }
 
+// LaneSources is a bank of 64 independent xoshiro256** generators, one per
+// bit lane, advanced selectively: every operation takes a lane mask and
+// draws only on the masked lanes, leaving the others untouched. It backs
+// the trial-parallel core's adversary streams, where lane L's generator
+// must reproduce the scalar trial's adversary Source exactly — including
+// rounds in which only some trials' adversaries draw at all.
+//
+// Unlike Lanes (whose Bernoulli transposition always advances every lane
+// in lockstep), a LaneSources advance is data-dependent per lane, so the
+// state lives in the same structure-of-arrays layout but is walked mask-
+// bit by mask-bit. Not safe for concurrent use.
+type LaneSources struct {
+	s0, s1, s2, s3 [LaneCount]uint64
+}
+
+// Seed re-initializes the bank in place: lane L's stream becomes identical
+// to a fresh New(seeds[L]), with the same splitmix64 expansion and
+// nonzero-state guard as Lanes.Seed.
+func (l *LaneSources) Seed(seeds *[LaneCount]uint64) {
+	for lane, seed := range seeds {
+		sm := seed
+		a := splitmix64(&sm)
+		b := splitmix64(&sm)
+		c := splitmix64(&sm)
+		d := splitmix64(&sm)
+		if a|b|c|d == 0 {
+			a = 0x9e3779b97f4a7c15
+		}
+		l.s0[lane] = a
+		l.s1[lane] = b
+		l.s2[lane] = c
+		l.s3[lane] = d
+	}
+}
+
+// next advances one lane and returns its raw xoshiro256** output — the
+// same recurrence Source.Uint64 applies.
+func (l *LaneSources) next(lane int) uint64 {
+	s0, s1, s2, s3 := l.s0[lane], l.s1[lane], l.s2[lane], l.s3[lane]
+	x := bits.RotateLeft64(s1*5, 7) * 9
+	tt := s1 << 17
+	s2 ^= s0
+	s3 ^= s1
+	s1 ^= s2
+	s0 ^= s3
+	s2 ^= tt
+	s3 = bits.RotateLeft64(s3, 45)
+	l.s0[lane], l.s1[lane], l.s2[lane], l.s3[lane] = s0, s1, s2, s3
+	return x
+}
+
+// LessMasked draws Float64() < p on every lane in mask (exactly one Uint64
+// per masked lane, like the scalar Float64 — the draw happens regardless
+// of p) and returns the lanes whose draw was below p. Non-masked lanes do
+// not advance. The comparison uses the integer threshold form, which
+// bernoulliThreshold proves decision-identical to the scalar float
+// comparison for every draw.
+func (l *LaneSources) LessMasked(p float64, mask uint64) uint64 {
+	var out uint64
+	t := bernoulliThreshold(p)
+	for m := mask; m != 0; m &= m - 1 {
+		lane := bits.TrailingZeros64(m)
+		if l.next(lane)>>11 < t {
+			out |= 1 << uint(lane)
+		}
+	}
+	return out
+}
+
+// Intn2Masked draws Intn(2) on every lane in mask and returns the lanes
+// that drew 1. Non-masked lanes do not advance. It reproduces the scalar
+// Lemire path for bound 2 exactly: hi of x·2 is x>>63, lo is x<<1 (always
+// even, so the `lo < bound` rejection branch compares against threshold
+// (-2 mod 2) = 0 and never redraws) — exactly one Uint64 per draw, with
+// the result being the top bit.
+func (l *LaneSources) Intn2Masked(mask uint64) uint64 {
+	var out uint64
+	for m := mask; m != 0; m &= m - 1 {
+		lane := bits.TrailingZeros64(m)
+		out |= l.next(lane) >> 63 << uint(lane)
+	}
+	return out
+}
+
 // BernoulliWords fills out[0..n-1] with transposed Bernoulli(p) draws: bit
 // L of out[i] is the i-th draw of lane L. Per lane the draws are identical,
 // in number and order, to n successive Bernoulli(p) calls on a Source

@@ -79,6 +79,88 @@ func TestLanesSeedReuse(t *testing.T) {
 	}
 }
 
+// TestLaneSourcesMatchScalarStreams pins the adversary-bank contract: per
+// lane, LessMasked and Intn2Masked draw exactly when the lane is masked,
+// and each draw is value-identical to the scalar Source's Float64()<p /
+// Intn(2). The mask pattern varies per step so lanes advance by different
+// amounts, and a residual-stream check catches any hidden extra draw.
+func TestLaneSourcesMatchScalarStreams(t *testing.T) {
+	var seeds [LaneCount]uint64
+	scalars := make([]*Source, LaneCount)
+	for lane := range seeds {
+		seeds[lane] = 0xfeed_beef_0000_0001 + uint64(lane)*0x9e3779b97f4a7c15
+		scalars[lane] = New(seeds[lane])
+	}
+	var bank LaneSources
+	bank.Seed(&seeds)
+	masks := []uint64{
+		^uint64(0), 0, 0xaaaa_aaaa_aaaa_aaaa, 1, 1 << 63,
+		0x00ff_ff00_0f0f_0f0f, 0x5555_5555_5555_5555,
+	}
+	ps := []float64{0.1, 0.3, 0.499, 0.9}
+	step := 0
+	for _, p := range ps {
+		for _, mask := range masks {
+			step++
+			var got uint64
+			if step%2 == 0 {
+				got = bank.LessMasked(p, mask)
+				for lane := 0; lane < LaneCount; lane++ {
+					if mask>>uint(lane)&1 == 0 {
+						continue
+					}
+					want := scalars[lane].Float64() < p
+					if got>>uint(lane)&1 == 1 != want {
+						t.Fatalf("step %d LessMasked(%v) lane %d: got %v want %v", step, p, lane, !want, want)
+					}
+				}
+			} else {
+				got = bank.Intn2Masked(mask)
+				for lane := 0; lane < LaneCount; lane++ {
+					if mask>>uint(lane)&1 == 0 {
+						continue
+					}
+					want := scalars[lane].Intn(2)
+					if int(got>>uint(lane)&1) != want {
+						t.Fatalf("step %d Intn2Masked lane %d: got %d want %d", step, lane, got>>uint(lane)&1, want)
+					}
+				}
+			}
+			if got&^mask != 0 {
+				t.Fatalf("step %d: result bits outside mask: %#x &^ %#x", step, got, mask)
+			}
+		}
+	}
+	// Residual streams: non-masked lanes must not have advanced anywhere
+	// above, so the next full-mask draw agrees lane by lane.
+	out := bank.Intn2Masked(^uint64(0))
+	for lane := 0; lane < LaneCount; lane++ {
+		if want := scalars[lane].Intn(2); int(out>>uint(lane)&1) != want {
+			t.Fatalf("residual lane %d: got %d want %d (draw counts diverged)", lane, out>>uint(lane)&1, want)
+		}
+	}
+}
+
+// TestLaneSourcesSeedReuse pins that reseeding a bank in place matches a
+// fresh bank (the lane runner reseeds one adversary bank per trial block).
+func TestLaneSourcesSeedReuse(t *testing.T) {
+	var a, b [LaneCount]uint64
+	for lane := range a {
+		a[lane] = uint64(lane)*313 + 7
+		b[lane] = uint64(lane)*911 + 3
+	}
+	var reused, fresh LaneSources
+	reused.Seed(&a)
+	reused.LessMasked(0.5, ^uint64(0))
+	reused.Seed(&b)
+	fresh.Seed(&b)
+	for i := 0; i < 5; i++ {
+		if g, w := reused.Intn2Masked(^uint64(0)), fresh.Intn2Masked(^uint64(0)); g != w {
+			t.Fatalf("draw %d: reused %#x != fresh %#x", i, g, w)
+		}
+	}
+}
+
 // TestBernoulliThresholdEdges spot-checks the integer threshold at values
 // where float rounding could plausibly bite.
 func TestBernoulliThresholdEdges(t *testing.T) {

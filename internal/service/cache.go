@@ -64,11 +64,13 @@ func (c *lru[V]) remove(key string) {
 
 func (c *lru[V]) len() int { return c.order.Len() }
 
-// resultEntry is one cached estimate with the plan's round horizon (so a
-// cache hit can answer without touching the plan) and its expiry instant.
+// resultEntry is one cached estimate with the plan's round horizon and
+// the estimation core that computed it (so a cache hit can answer without
+// touching the plan) and its expiry instant.
 type resultEntry struct {
 	est     faultcast.Estimate
 	rounds  int
+	core    string
 	expires time.Time
 }
 

@@ -91,14 +91,14 @@ func TestStoreResultKeepsLargerEstimate(t *testing.T) {
 	s := New(Options{})
 	big := faultcast.Estimate{Rate: 1, Low: 0.99, Hi: 1, Trials: 10000, Succeeds: 10000}
 	small := faultcast.Estimate{Rate: 1, Low: 0.9, Hi: 1, Trials: 100, Succeeds: 100}
-	s.storeResult("k", big, 7)
-	s.storeResult("k", small, 7)
+	s.storeResult("k", big, 7, "bitset")
+	s.storeResult("k", small, 7, "bitset")
 	if got, ok := s.cachedAny("k"); !ok || got.Trials != big.Trials {
 		t.Fatalf("large estimate clobbered: %+v ok=%v", got, ok)
 	}
 	// The other direction must still upgrade.
-	s.storeResult("k2", small, 7)
-	s.storeResult("k2", big, 7)
+	s.storeResult("k2", small, 7, "bitset")
+	s.storeResult("k2", big, 7, "bitset")
 	if got, ok := s.cachedAny("k2"); !ok || got.Trials != big.Trials {
 		t.Fatalf("upgrade lost: %+v ok=%v", got, ok)
 	}

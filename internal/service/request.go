@@ -73,6 +73,10 @@ type EstimateResponse struct {
 	// Rounds is the compiled round horizon; N the vertex count.
 	Rounds int `json:"rounds"`
 	N      int `json:"n"`
+	// Core names the estimation engine the plan selects for this scenario
+	// ("lanes", "bitset", "scalar", or "concurrent"). Cached and coalesced
+	// answers echo the core that originally computed the estimate.
+	Core string `json:"core"`
 	// Served says how the answer was produced: "simulated" (fresh run),
 	// "refined" (cached estimate topped up), "cache" (cached estimate
 	// already satisfied the request — zero trials simulated), or

@@ -172,6 +172,27 @@ type counters struct {
 	shardsDrained      atomic.Uint64
 	storeHits          atomic.Uint64
 	storeRefines       atomic.Uint64
+
+	// Per-core execution counters: which engine (Plan.EstimationCore)
+	// actually simulated, across estimates, sweep cells, and shards.
+	coreLanes      atomic.Uint64
+	coreBitset     atomic.Uint64
+	coreScalar     atomic.Uint64
+	coreConcurrent atomic.Uint64
+}
+
+// countCore bumps the execution counter of the named estimation core.
+func (c *counters) countCore(core string) {
+	switch core {
+	case "lanes":
+		c.coreLanes.Add(1)
+	case "scalar":
+		c.coreScalar.Add(1)
+	case "concurrent":
+		c.coreConcurrent.Add(1)
+	default:
+		c.coreBitset.Add(1)
+	}
 }
 
 // New returns a Server with the given options (zero fields defaulted).
@@ -256,7 +277,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	// confidence requirement answers with zero simulation and no slot.
 	if e, ok := s.cachedSatisfying(key, trials, req.HalfWidth); ok {
 		s.c.cacheHits.Add(1)
-		resp := s.response(cfg, key, e.est, e.rounds, "cache", 0)
+		resp := s.response(cfg, key, e.est, e.rounds, e.core, "cache", 0)
 		annotate(&resp)
 		writeJSON(w, http.StatusOK, resp)
 		return
@@ -314,7 +335,7 @@ func (s *Server) execute(ctx context.Context, cfg faultcast.Config, key string, 
 	// an earlier leader on the same key to finish.
 	if e, ok := s.cachedSatisfying(key, trials, halfWidth); ok {
 		s.c.cacheHits.Add(1)
-		return outcome{status: http.StatusOK, resp: s.response(cfg, key, e.est, e.rounds, "cache", 0)}
+		return outcome{status: http.StatusOK, resp: s.response(cfg, key, e.est, e.rounds, e.core, "cache", 0)}
 	}
 	switch s.acquire(ctx) {
 	case admitted:
@@ -380,7 +401,9 @@ func (s *Server) execute(ctx context.Context, cfg faultcast.Config, key string, 
 	if err != nil {
 		return outcome{status: http.StatusInternalServerError, errResp: ErrorResponse{Error: err.Error(), Code: "internal"}}
 	}
+	core := plan.EstimationCore()
 	s.c.executions.Add(1)
+	s.c.countCore(core)
 	if s.opts.Store == nil {
 		resumed = prev.Trials
 	}
@@ -403,8 +426,8 @@ func (s *Server) execute(ctx context.Context, cfg faultcast.Config, key string, 
 		served = "refined"
 		s.c.refines.Add(1)
 	}
-	s.storeResult(key, est, plan.Rounds())
-	return outcome{status: http.StatusOK, resp: s.response(cfg, key, est, plan.Rounds(), served, simulated)}
+	s.storeResult(key, est, plan.Rounds(), core)
+	return outcome{status: http.StatusOK, resp: s.response(cfg, key, est, plan.Rounds(), core, served, simulated)}
 }
 
 // admission is the outcome of acquire: a slot was taken, capacity is
@@ -507,7 +530,7 @@ func (s *Server) cachedAny(key string) (faultcast.Estimate, bool) {
 	return e.est, true
 }
 
-func (s *Server) storeResult(key string, est faultcast.Estimate, rounds int) {
+func (s *Server) storeResult(key string, est faultcast.Estimate, rounds int, core string) {
 	expires := s.opts.Now().Add(s.opts.ResultTTL)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -520,10 +543,10 @@ func (s *Server) storeResult(key string, est faultcast.Estimate, rounds int) {
 		s.results.put(key, old)
 		return
 	}
-	s.results.put(key, resultEntry{est: est, rounds: rounds, expires: expires})
+	s.results.put(key, resultEntry{est: est, rounds: rounds, core: core, expires: expires})
 }
 
-func (s *Server) response(cfg faultcast.Config, key string, est faultcast.Estimate, rounds int, served string, simulated int) EstimateResponse {
+func (s *Server) response(cfg faultcast.Config, key string, est faultcast.Estimate, rounds int, core, served string, simulated int) EstimateResponse {
 	n := cfg.Graph.N()
 	target := 1 - 1/float64(n)
 	return EstimateResponse{
@@ -538,6 +561,7 @@ func (s *Server) response(cfg faultcast.Config, key string, est faultcast.Estima
 		Almostsafe:       est.AlmostSafe(n),
 		Rounds:           rounds,
 		N:                n,
+		Core:             core,
 		Served:           served,
 		TrialsSimulated:  simulated,
 	}
@@ -586,6 +610,9 @@ type Stats struct {
 	// marginal batches. Both zero unless the daemon runs with -store.
 	StoreHits    uint64 `json:"store_hits"`
 	StoreRefines uint64 `json:"store_refines"`
+	// ExecutionsByCore splits simulating work (estimates, sweep cells,
+	// shards) by the estimation engine that ran it.
+	ExecutionsByCore map[string]uint64 `json:"executions_by_core"`
 	// Store is the durable tally store's own ledger — loads, appends,
 	// rewinds, corrupt-records-skipped. Present only with -store.
 	Store *store.Stats `json:"store,omitempty"`
@@ -635,6 +662,12 @@ func (s *Server) Stats() Stats {
 		Draining:           s.draining.Load(),
 		StoreHits:          s.c.storeHits.Load(),
 		StoreRefines:       s.c.storeRefines.Load(),
+		ExecutionsByCore: map[string]uint64{
+			"lanes":      s.c.coreLanes.Load(),
+			"bitset":     s.c.coreBitset.Load(),
+			"scalar":     s.c.coreScalar.Load(),
+			"concurrent": s.c.coreConcurrent.Load(),
+		},
 		Latency: map[string]hist.Summary{
 			"estimate": s.lat.estimate.Snapshot().Summarize(),
 			"sweep":    s.lat.sweep.Snapshot().Summarize(),

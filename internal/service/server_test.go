@@ -123,6 +123,37 @@ func TestEstimateHappyPath(t *testing.T) {
 	}
 }
 
+// TestEstimateCoreField pins the execution-core surface: responses carry
+// the engine that computed them (echoed on cache hits), and /v1/stats
+// splits executions per core.
+func TestEstimateCoreField(t *testing.T) {
+	s, ts := testServer(t, Options{})
+
+	// Default line:16 omission flooding has a lane lowering.
+	er := postEstimate(t, ts.URL, EstimateRequest{Graph: "line:16", P: 0.3, Trials: 400})
+	if er.Core != "lanes" {
+		t.Fatalf("lane-supported scenario reported core %q, want lanes", er.Core)
+	}
+	// A repeat is a cache hit and must echo the computing core.
+	er = postEstimate(t, ts.URL, EstimateRequest{Graph: "line:16", P: 0.3, Trials: 400})
+	if er.Served != "cache" || er.Core != "lanes" {
+		t.Fatalf("cache hit lost the core: %+v", er)
+	}
+	// A gated scenario (default message "0") falls back to the bitset core.
+	er = postEstimate(t, ts.URL, EstimateRequest{Graph: "line:16", P: 0.3, Trials: 400, Message: "0"})
+	if er.Core != "bitset" {
+		t.Fatalf("gated scenario reported core %q, want bitset", er.Core)
+	}
+
+	st := s.Stats()
+	if st.ExecutionsByCore["lanes"] != 1 || st.ExecutionsByCore["bitset"] != 1 {
+		t.Fatalf("per-core execution counters: %+v", st.ExecutionsByCore)
+	}
+	if st.ExecutionsByCore["scalar"] != 0 || st.ExecutionsByCore["concurrent"] != 0 {
+		t.Fatalf("unexpected scalar/concurrent executions: %+v", st.ExecutionsByCore)
+	}
+}
+
 // TestCoalescing is the acceptance-criteria test: 64 concurrent identical
 // requests must trigger exactly one underlying plan execution, with every
 // caller receiving the same answer. Run under -race in CI.

@@ -124,6 +124,7 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 	}
 	tally := plan.TallyShard(req.BaseSeed, req.Trials, req.Batch, s.opts.Workers)
 	s.c.shardsExecuted.Add(1)
+	s.c.countCore(plan.EstimationCore())
 	s.c.shardTrials.Add(uint64(tally.Trials))
 	s.c.trialsSimulated.Add(uint64(tally.Trials))
 	source := "compiled"

@@ -233,7 +233,7 @@ func TestStoreModeSkipsMemoryPrev(t *testing.T) {
 	// A poisoned 64-trial estimate under the real key: too small for the
 	// cachedSatisfying fast path, so only a regression to cachedAny
 	// resume could pick it up — and its absurd success count would show.
-	s.storeResult(cfg.Fingerprint(), faultcast.Estimate{Rate: 1, Low: 1, Hi: 1, Trials: 64, Succeeds: 64}, 1)
+	s.storeResult(cfg.Fingerprint(), faultcast.Estimate{Rate: 1, Low: 1, Hi: 1, Trials: 64, Succeeds: 64}, 1, "bitset")
 	got := postEstimate(t, ts.URL, req)
 	if got.Served != "simulated" || got.TrialsSimulated != got.Trials {
 		t.Fatalf("store-mode execution resumed the in-memory cache: %+v", got)

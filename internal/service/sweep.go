@@ -406,9 +406,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		if simulated > 0 {
 			s.c.trialsSimulated.Add(uint64(simulated))
 			summary.TrialsSimulated += simulated
+			s.c.countCore(res.Cell.Plan().EstimationCore())
 		}
 		s.c.sweepCells.Add(1)
-		s.storeResult(res.Cell.Key, res.Estimate, res.Cell.Rounds())
+		s.storeResult(res.Cell.Key, res.Estimate, res.Cell.Rounds(), res.Cell.Plan().EstimationCore())
 		cfg := res.Cell.Config
 		n := cfg.Graph.N()
 		_ = enc.Encode(SweepCellResponse{

@@ -106,7 +106,7 @@ type goldenCase struct {
 func goldenCases(t *testing.T) map[string]goldenCase {
 	t.Helper()
 	cases := map[string]goldenCase{}
-	laneSpec := func(cfg *sim.Config, corr sim.LaneCorruption, targets [][]int, newKernel func() sim.LaneKernel) *sim.LaneSpec {
+	laneSpec := func(cfg *sim.Config, corr sim.LaneCorruption, targets [][]int, newKernel func(symbols int) sim.LaneKernel) *sim.LaneSpec {
 		return &sim.LaneSpec{
 			Graph: cfg.Graph, Model: cfg.Model, Fault: cfg.Fault, P: cfg.P,
 			Rounds: cfg.Rounds, Corruption: corr, Targets: targets, NewKernel: newKernel,

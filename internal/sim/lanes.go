@@ -15,24 +15,31 @@ import (
 // scenario, and each word operation advances all 64 trials at once.
 //
 // The trade that makes the transposition possible: the engine stops
-// simulating payload bytes and histories, and tracks only, per (vertex,
-// lane), whether the vertex transmits and whether its payload equals the
-// source message. That is lossless exactly when the protocol's payload
-// universe is two-valued {M, Default} — true for the paper's algorithms
-// under the supported fault lowerings (omission silencing; malicious
-// adversaries that crash or rewrite payloads to the default) — and the
-// public layer only routes a plan here when it has proven that gate
-// (see run.go). Everything that needs per-round histories, stats, or
-// arbitrary payloads stays on the scalar/bitset reference paths, which
-// remain selectable and differentially tested.
+// simulating payload bytes and histories, and tracks payloads as k bit
+// columns per (vertex, lane) — a lane-sliced encoding of a small, fixed
+// symbol alphabet. Symbol 0 is the protocol default ("0"), encoded as all
+// columns clear; symbol 1 is the source message M (column 0 set); symbol 2
+// is the third payload value some adversaries inject (column 1 set). A
+// two-symbol scenario — every payload is M or the default — needs one
+// column (k = 1, the original layout); the noise adversary's {"0","1"}
+// draws alongside a non-bit message need two (k = 2). The public layer
+// computes the alphabet and only routes a plan here when the encoding is
+// faithful (see run.go buildLaneSpec); everything needing per-round
+// histories, stats, or arbitrary payloads stays on the scalar/bitset
+// reference paths, which remain selectable and differentially tested.
 //
 // Bit-identity contract: lane L of Run(baseSeed, count) equals the scalar
 // engine's Result.Success for seed baseSeed+L. It holds because
 //   - the per-lane fault stream is seeded exactly like the scalar trial's
 //     (rng.New(seed).Uint64() is the fault Split of the trial master) and
 //     rng.Lanes draws per lane in the scalar order (n draws per round);
-//   - the supported adversaries and protocols never draw from the
-//     adversary or node streams, so skipping those Splits is unobservable;
+//   - adversaries that draw (RandomNoise's per-transmission alphabet
+//     draws, the equivocator's slowing draw) are reproduced on a second
+//     per-lane bank seeded like the scalar trial's adversary Split, with
+//     per-lane draw order matching the scalar Corrupt order (faulty ids
+//     ascending, intents in emission order); adversaries that never draw
+//     skip the bank entirely, which is unobservable because the adversary
+//     stream is private to the adversary;
 //   - delivery reproduces the scalar rules exactly (first-sender payload
 //     for message passing, the seen-once/seen-twice collision rule for
 //     radio).
@@ -46,44 +53,63 @@ const LaneWidth = 64
 // LaneCorruption selects how the lane engine models what this scenario's
 // fault semantics do to a faulty vertex's transmissions — the lane
 // counterpart of (FaultType, Adversary) after the public layer has lowered
-// the adversary to a payload-free form.
+// the adversary to a symbol-alphabet form.
 type LaneCorruption int
 
 const (
 	// LaneSilence drops the faulty vertex's transmissions (omission
 	// failures, and malicious runs under a crashing adversary).
 	LaneSilence LaneCorruption = iota
-	// LaneFlip keeps the transmissions but rewrites their payloads to a
-	// non-source value (adversary.Flip with a wrong value that is not the
-	// source message).
+	// LaneFlip keeps the transmissions but rewrites their payloads to the
+	// default symbol (adversary.Flip — flipOf rewrites every non-default
+	// message to "0", and content-free protocols ignore payloads entirely).
 	LaneFlip
 	// LaneShout makes the faulty vertex broadcast a non-source value
 	// regardless of intent (adversary.OutOfTurn). Full-malicious only, and
 	// only with broadcast targeting (Targets == nil), since the shout goes
 	// to all neighbors.
 	LaneShout
+	// LaneNoise keeps the transmissions and targets but redraws each faulty
+	// transmission's payload uniformly from {"0","1"}
+	// (adversary.RandomNoise with the default alphabet): per faulty
+	// transmission one Intn(2) draw on the lane's adversary stream, "1"
+	// mapping to the symbol LaneSpec.NoiseSym. With directed targets the
+	// scalar adversary draws once per (sender, target) intent; with
+	// broadcasts once per transmitting faulty vertex — the delivery loops
+	// fuse the draws in exactly that order.
+	LaneNoise
+	// LaneEquivocate is adversary.Equivocator{M0:"0", M1:"1", SourceOnly}
+	// on a bit message: whenever the source is faulty the payloads of its
+	// intended transmissions toggle between "0" and "1" (one column flip),
+	// except that for P > 1/2 the proof's slowing reduction first draws
+	// Float64() < (P-1/2)/P on the lane's adversary stream — once per round
+	// in which the source is faulty, transmitting or not — and skips the
+	// swap on success. Two-symbol scenarios only (the message must be "1").
+	LaneEquivocate
 )
 
 // LaneKernel is a protocol compiled to the transposed layout. The runner
-// drives it once per round: Transmit fills the per-vertex intent and
-// payload-is-M words (both pre-zeroed by the runner), the runner applies
-// faults and the model's delivery rule, and Absorb consumes the resulting
-// per-vertex heard and heard-is-M words. Verdict returns the lanes whose
-// trial succeeded (every vertex would output exactly M).
+// drives it once per round: Transmit fills the per-vertex intent word and
+// the k payload symbol columns (all pre-zeroed by the runner; leaving a
+// transmitting vertex's columns clear transmits the default symbol), the
+// runner applies faults and the model's delivery rule, and Absorb consumes
+// the per-vertex heard word plus the k received-symbol columns (sym[c][v]
+// is set only where heard[v] is). Verdict returns the lanes whose trial
+// succeeded (every vertex would output exactly M).
 //
 // Kernels are stateful per trial block and reset by Reset; they are not
 // safe for concurrent use (one kernel per runner, one runner per worker).
 type LaneKernel interface {
 	Reset()
-	Transmit(round int, intent, payloadM []uint64)
-	Absorb(round int, heard, heardM []uint64)
+	Transmit(round int, intent []uint64, pay [][]uint64)
+	Absorb(round int, heard []uint64, sym [][]uint64)
 	Verdict() uint64
 }
 
 // LaneSpec describes a scenario compiled for the lane engine. It mirrors
 // the corresponding Config exactly except that the protocol and adversary
-// are already lowered: NewKernel builds the transposed protocol, and
-// Corruption is the adversary's payload-free form.
+// are already lowered: NewKernel builds the transposed protocol for the
+// scenario's symbol count, and Corruption is the adversary's lane form.
 type LaneSpec struct {
 	Graph *graph.Graph
 	Model Model
@@ -95,13 +121,34 @@ type LaneSpec struct {
 	// Corruption is the lowered fault semantics (ignored for NoFaults and
 	// Omission, which always silence).
 	Corruption LaneCorruption
+	// Symbols is the payload alphabet size: 0 or 2 for the two-symbol
+	// universe {default, M} (one payload column), 3 when a third symbol is
+	// in play (two columns; only LaneNoise injects one).
+	Symbols int
+	// NoiseSym is the symbol index ("1" of the noise alphabet) a LaneNoise
+	// draw of 1 produces: 1 when the source message itself is "1", else 2.
+	NoiseSym int
+	// Source is the source vertex (used by LaneEquivocate, whose slowing
+	// and swapping are keyed to the source's fault bit).
+	Source int
 	// Targets, when non-nil, restricts vertex v's transmissions to the
 	// listed neighbors (message passing only; the tree-directed sends of
 	// the paper's protocols). nil means every transmission is a broadcast
-	// to all neighbors.
+	// to all neighbors — and counts as ONE intent for LaneNoise draws, so a
+	// scalar twin must emit a single Broadcast transmission, not one per
+	// neighbor.
 	Targets [][]int
-	// NewKernel builds the transposed protocol instance.
-	NewKernel func() LaneKernel
+	// NewKernel builds the transposed protocol instance for the given
+	// effective symbol count (2 or 3; kernels track symbols-1 columns).
+	NewKernel func(symbols int) LaneKernel
+}
+
+// symbols returns the effective alphabet size (Symbols defaulted to 2).
+func (s *LaneSpec) symbols() int {
+	if s.Symbols == 0 {
+		return 2
+	}
+	return s.Symbols
 }
 
 // Validate reports specification errors before a runner is built.
@@ -128,15 +175,42 @@ func (s *LaneSpec) Validate() error {
 	default:
 		return fmt.Errorf("sim: unknown fault type %d", int(s.Fault))
 	}
+	if s.Symbols != 0 && s.Symbols != 2 && s.Symbols != 3 {
+		return fmt.Errorf("sim: %d payload symbols unsupported (want 2 or 3)", s.Symbols)
+	}
 	if s.Model == Radio && s.Targets != nil {
 		return errors.New("sim: radio transmissions are broadcasts; LaneSpec.Targets must be nil")
 	}
-	if s.Corruption == LaneShout {
+	switch s.Corruption {
+	case LaneShout:
 		if s.Fault == LimitedMalicious {
 			return errors.New("sim: limited-malicious cannot speak out of turn (LaneShout)")
 		}
 		if s.Targets != nil {
 			return errors.New("sim: LaneShout broadcasts to all neighbors; LaneSpec.Targets must be nil")
+		}
+		if s.symbols() != 2 {
+			return errors.New("sim: LaneShout is a two-symbol corruption")
+		}
+	case LaneNoise:
+		if s.Fault != Malicious && s.Fault != LimitedMalicious {
+			return errors.New("sim: LaneNoise requires a malicious fault type")
+		}
+		switch {
+		case s.NoiseSym == 1 && s.symbols() == 2:
+		case s.NoiseSym == 2 && s.symbols() == 3:
+		default:
+			return fmt.Errorf("sim: LaneNoise symbol %d inconsistent with %d-symbol alphabet", s.NoiseSym, s.symbols())
+		}
+	case LaneEquivocate:
+		if s.Fault != Malicious && s.Fault != LimitedMalicious {
+			return errors.New("sim: LaneEquivocate requires a malicious fault type")
+		}
+		if s.Source < 0 || s.Source >= s.Graph.N() {
+			return fmt.Errorf("sim: LaneEquivocate source %d out of range", s.Source)
+		}
+		if s.symbols() != 2 {
+			return errors.New("sim: LaneEquivocate is a two-symbol corruption (bit messages)")
 		}
 	}
 	return nil
@@ -149,20 +223,29 @@ type LaneRunner struct {
 	spec   *LaneSpec
 	kernel LaneKernel
 	nbrs   [][]int // neighbor lists, used for broadcasts and radio
+	k      int     // payload columns: symbols-1
+	noise  bool    // LaneNoise active (fault type draws corruption)
 
 	seeds [rng.LaneCount]uint64
 	rnd   rng.Lanes
 
+	// Adversary draw bank, seeded per block only when the corruption draws
+	// (LaneNoise always; LaneEquivocate's slowing for P > 1/2).
+	needAdv  bool
+	advSeeds [rng.LaneCount]uint64
+	adv      rng.LaneSources
+
 	// Per-vertex lane words, reused across rounds and blocks.
-	intent []uint64 // kernel's intended transmitters
-	payM   []uint64 // payload == M, meaningful where transmitting
-	act    []uint64 // actual transmitters after fault semantics
-	fault  []uint64 // this round's faulty vertices
-	heard  []uint64 // lanes where the vertex receives this round
-	heardM []uint64 // ... and the received payload is M
-	once   []uint64 // radio: covered by >= 1 transmitter
-	twice  []uint64 // radio: covered by >= 2 transmitters
-	seenM  []uint64 // radio: OR of transmitting neighbors' payload-is-M
+	intent []uint64   // kernel's intended transmitters
+	pay    [][]uint64 // k payload symbol columns, meaningful where transmitting
+	act    []uint64   // actual transmitters after fault semantics
+	fault  []uint64   // this round's faulty vertices
+	heard  []uint64   // lanes where the vertex receives this round
+	sym    [][]uint64 // ... and the received payload's k symbol columns
+	once   []uint64   // radio: covered by >= 1 transmitter
+	twice  []uint64   // radio: covered by >= 2 transmitters
+	seen   [][]uint64 // radio: OR of transmitting neighbors' payload columns
+	pc     []uint64   // per-sender masked payload columns (delivery scratch)
 }
 
 // NewLaneRunner validates the spec and builds a reusable runner.
@@ -171,20 +254,33 @@ func NewLaneRunner(spec *LaneSpec) (*LaneRunner, error) {
 		return nil, err
 	}
 	n := spec.Graph.N()
+	k := spec.symbols() - 1
+	maliciousFault := spec.Fault == Malicious || spec.Fault == LimitedMalicious
 	r := &LaneRunner{
-		spec:   spec,
-		kernel: spec.NewKernel(),
-		intent: make([]uint64, n),
-		payM:   make([]uint64, n),
-		act:    make([]uint64, n),
-		fault:  make([]uint64, n),
-		heard:  make([]uint64, n),
-		heardM: make([]uint64, n),
+		spec:    spec,
+		kernel:  spec.NewKernel(spec.symbols()),
+		k:       k,
+		noise:   maliciousFault && spec.Corruption == LaneNoise,
+		needAdv: maliciousFault && (spec.Corruption == LaneNoise || (spec.Corruption == LaneEquivocate && spec.P > 0.5)),
+		intent:  make([]uint64, n),
+		act:     make([]uint64, n),
+		fault:   make([]uint64, n),
+		heard:   make([]uint64, n),
+		pc:      make([]uint64, k),
+	}
+	r.pay = make([][]uint64, k)
+	r.sym = make([][]uint64, k)
+	for c := 0; c < k; c++ {
+		r.pay[c] = make([]uint64, n)
+		r.sym[c] = make([]uint64, n)
 	}
 	if spec.Model == Radio {
 		r.once = make([]uint64, n)
 		r.twice = make([]uint64, n)
-		r.seenM = make([]uint64, n)
+		r.seen = make([][]uint64, k)
+		for c := 0; c < k; c++ {
+			r.seen[c] = make([]uint64, n)
+		}
 	}
 	if spec.Model == Radio || spec.Targets == nil {
 		r.nbrs = make([][]int, n)
@@ -210,19 +306,31 @@ func (r *LaneRunner) Run(baseSeed uint64, count int) uint64 {
 	spec := r.spec
 	n := spec.Graph.N()
 	for lane := 0; lane < LaneWidth; lane++ {
-		// The scalar trial derives its fault stream as master.Split() —
-		// rng.New of the master's first output — so lane L's stream seed is
-		// that first output for seed baseSeed+L.
-		r.seeds[lane] = rng.New(baseSeed + uint64(lane)).Uint64()
+		// The scalar trial derives its streams from the trial master
+		// rng.New(seed): the fault stream is the first Split (rng.New of the
+		// master's first output), the adversary stream the second.
+		src := rng.New(baseSeed + uint64(lane))
+		r.seeds[lane] = src.Uint64()
+		if r.needAdv {
+			r.advSeeds[lane] = src.Uint64()
+		}
 	}
 	r.rnd.Seed(&r.seeds)
+	if r.needAdv {
+		r.adv.Seed(&r.advSeeds)
+	}
 	r.kernel.Reset()
 	for round := 0; round < spec.Rounds; round++ {
 		for v := 0; v < n; v++ {
 			r.intent[v] = 0
-			r.payM[v] = 0
 		}
-		r.kernel.Transmit(round, r.intent, r.payM)
+		for c := 0; c < r.k; c++ {
+			payc := r.pay[c]
+			for v := 0; v < n; v++ {
+				payc[v] = 0
+			}
+		}
+		r.kernel.Transmit(round, r.intent, r.pay)
 
 		// Fault semantics. NoFaults draws nothing (matching the scalar
 		// engine, which skips sampling entirely); otherwise each vertex
@@ -237,20 +345,44 @@ func (r *LaneRunner) Run(baseSeed uint64, count int) uint64 {
 					r.act[v] = r.intent[v] &^ r.fault[v]
 				}
 			case spec.Corruption == LaneFlip:
-				// Targets unchanged; faulty payloads become non-M. A faulty
-				// vertex with no intent stays silent (Flip never adds
-				// transmissions), which intent&^... preserves via act=intent.
+				// Targets unchanged; faulty payloads become the default. A
+				// faulty vertex with no intent stays silent (Flip never adds
+				// transmissions), which act=intent preserves.
 				for v := 0; v < n; v++ {
 					r.act[v] = r.intent[v]
-					r.payM[v] &^= r.fault[v]
 				}
-			default: // LaneShout
+				for c := 0; c < r.k; c++ {
+					payc := r.pay[c]
+					for v := 0; v < n; v++ {
+						payc[v] &^= r.fault[v]
+					}
+				}
+			case spec.Corruption == LaneShout:
 				// Faulty vertices broadcast a non-M payload regardless of
 				// intent (intended payloads are replaced wholesale).
 				for v := 0; v < n; v++ {
 					r.act[v] = r.intent[v] | r.fault[v]
-					r.payM[v] &^= r.fault[v]
+					r.pay[0][v] &^= r.fault[v]
 				}
+			case spec.Corruption == LaneEquivocate:
+				// Targets and non-source payloads unchanged (SourceOnly).
+				// The slowing draw fires on every lane whose source is
+				// faulty this round, transmitting or not, exactly like the
+				// scalar adversary (it is invoked on the faulty set, not the
+				// transmitting set); the surviving lanes toggle the source's
+				// intended payloads between "0" and "1" (one column flip).
+				copy(r.act, r.intent)
+				src := spec.Source
+				swap := r.fault[src]
+				if spec.P > 0.5 && swap != 0 {
+					swap &^= r.adv.LessMasked((spec.P-0.5)/spec.P, swap)
+				}
+				r.pay[0][src] ^= swap & r.intent[src]
+			default: // LaneNoise
+				// Targets unchanged; payload draws are fused into delivery,
+				// which visits faulty transmissions in the scalar Corrupt
+				// order (senders ascending, intents in emission order).
+				copy(r.act, r.intent)
 			}
 		}
 
@@ -259,7 +391,7 @@ func (r *LaneRunner) Run(baseSeed uint64, count int) uint64 {
 		} else {
 			r.deliverRadio(n)
 		}
-		r.kernel.Absorb(round, r.heard, r.heardM)
+		r.kernel.Absorb(round, r.heard, r.sym)
 	}
 	v := r.kernel.Verdict()
 	if count >= LaneWidth {
@@ -269,32 +401,99 @@ func (r *LaneRunner) Run(baseSeed uint64, count int) uint64 {
 }
 
 // deliverMP is the transposed message-passing rule. heard[u] collects the
-// lanes in which u receives at least one message; heardM[u] reports, per
-// lane, the payload-is-M bit of the LOWEST-ID transmitting sender — the
-// first delivery of the scalar engine's increasing-sender order. The
-// paper's protocols either receive from a single sender per round
-// (tree-directed traffic) or adopt the first delivery, so the first-sender
-// payload is exactly what their kernels need.
+// lanes in which u receives at least one message; sym[c][u] reports, per
+// lane, symbol column c of the LOWEST-ID transmitting sender — the first
+// delivery of the scalar engine's increasing-sender order. The paper's
+// protocols either receive from a single sender per round (tree-directed
+// traffic) or adopt the first delivery, so the first-sender payload is
+// exactly what their kernels need. LaneNoise redraws a faulty sender's
+// payload per directed target (or once per broadcast), matching the scalar
+// adversary's one-draw-per-intent rule.
 func (r *LaneRunner) deliverMP(n int) {
 	for u := 0; u < n; u++ {
 		r.heard[u] = 0
-		r.heardM[u] = 0
+	}
+	for c := 0; c < r.k; c++ {
+		symc := r.sym[c]
+		for u := 0; u < n; u++ {
+			symc[u] = 0
+		}
 	}
 	targets := r.spec.Targets
+	if r.k == 1 && !r.noise {
+		// Two-symbol fast path: the original one-column delivery loop.
+		pay0, sym0 := r.pay[0], r.sym[0]
+		for w := 0; w < n; w++ {
+			a := r.act[w]
+			if a == 0 {
+				continue
+			}
+			pm := pay0[w] & a
+			var tos []int
+			if targets != nil {
+				tos = targets[w]
+			} else {
+				tos = r.nbrs[w]
+			}
+			for _, u := range tos {
+				sym0[u] |= pm &^ r.heard[u]
+				r.heard[u] |= a
+			}
+		}
+		return
+	}
+	noiseCol := r.spec.NoiseSym - 1
 	for w := 0; w < n; w++ {
 		a := r.act[w]
 		if a == 0 {
 			continue
 		}
-		pm := r.payM[w] & a
-		var tos []int
-		if targets != nil {
-			tos = targets[w]
-		} else {
-			tos = r.nbrs[w]
+		for c := 0; c < r.k; c++ {
+			r.pc[c] = r.pay[c][w] & a
 		}
-		for _, u := range tos {
-			r.heardM[u] |= pm &^ r.heard[u]
+		var draw uint64
+		if r.noise {
+			draw = r.fault[w] & a
+		}
+		if targets != nil {
+			for _, u := range targets[w] {
+				fresh := ^r.heard[u]
+				if draw != 0 {
+					// One draw per (sender, target) intent, in target-list
+					// order — the emission order of the scalar protocols.
+					high := r.adv.Intn2Masked(draw)
+					for c := 0; c < r.k; c++ {
+						pc := r.pc[c] &^ draw
+						if c == noiseCol {
+							pc |= high
+						}
+						r.sym[c][u] |= pc & fresh
+					}
+				} else {
+					for c := 0; c < r.k; c++ {
+						r.sym[c][u] |= r.pc[c] & fresh
+					}
+				}
+				r.heard[u] |= a
+			}
+			continue
+		}
+		if draw != 0 {
+			// A broadcast is one intent: one draw per transmitting faulty
+			// vertex, shared by every neighbor.
+			high := r.adv.Intn2Masked(draw)
+			for c := 0; c < r.k; c++ {
+				r.pc[c] &^= draw
+				if c == noiseCol {
+					r.pc[c] |= high
+				}
+			}
+		}
+		for _, u := range r.nbrs[w] {
+			fresh := ^r.heard[u]
+			for c := 0; c < r.k; c++ {
+				r.sym[c][u] |= r.pc[c] & fresh
+			}
 			r.heard[u] |= a
 		}
 	}
@@ -302,28 +501,75 @@ func (r *LaneRunner) deliverMP(n int) {
 
 // deliverRadio is the transposed radio collision rule: per lane, a vertex
 // hears iff it is silent and exactly one neighbor transmits, in which case
-// seenM carries that unique neighbor's payload bit.
+// the seen columns carry that unique neighbor's payload symbol. LaneNoise
+// redraws a faulty transmitter's payload once per vertex (a radio
+// transmission is a single broadcast intent).
 func (r *LaneRunner) deliverRadio(n int) {
 	for v := 0; v < n; v++ {
 		r.once[v] = 0
 		r.twice[v] = 0
-		r.seenM[v] = 0
 	}
+	for c := 0; c < r.k; c++ {
+		seenc := r.seen[c]
+		for v := 0; v < n; v++ {
+			seenc[v] = 0
+		}
+	}
+	if r.k == 1 && !r.noise {
+		// Two-symbol fast path: the original one-column collision loop.
+		pay0, seen0, sym0 := r.pay[0], r.seen[0], r.sym[0]
+		for w := 0; w < n; w++ {
+			a := r.act[w]
+			if a == 0 {
+				continue
+			}
+			pm := pay0[w] & a
+			for _, u := range r.nbrs[w] {
+				r.twice[u] |= r.once[u] & a
+				r.once[u] |= a
+				seen0[u] |= pm
+			}
+		}
+		for v := 0; v < n; v++ {
+			h := r.once[v] &^ r.twice[v] &^ r.act[v]
+			r.heard[v] = h
+			sym0[v] = h & seen0[v]
+		}
+		return
+	}
+	noiseCol := r.spec.NoiseSym - 1
 	for w := 0; w < n; w++ {
 		a := r.act[w]
 		if a == 0 {
 			continue
 		}
-		pm := r.payM[w] & a
+		for c := 0; c < r.k; c++ {
+			r.pc[c] = r.pay[c][w] & a
+		}
+		if r.noise {
+			if draw := r.fault[w] & a; draw != 0 {
+				high := r.adv.Intn2Masked(draw)
+				for c := 0; c < r.k; c++ {
+					r.pc[c] &^= draw
+					if c == noiseCol {
+						r.pc[c] |= high
+					}
+				}
+			}
+		}
 		for _, u := range r.nbrs[w] {
 			r.twice[u] |= r.once[u] & a
 			r.once[u] |= a
-			r.seenM[u] |= pm
+			for c := 0; c < r.k; c++ {
+				r.seen[c][u] |= r.pc[c]
+			}
 		}
 	}
 	for v := 0; v < n; v++ {
 		h := r.once[v] &^ r.twice[v] &^ r.act[v]
 		r.heard[v] = h
-		r.heardM[v] = h & r.seenM[v]
+		for c := 0; c < r.k; c++ {
+			r.sym[c][v] = h & r.seen[c][v]
+		}
 	}
 }

@@ -1,54 +1,75 @@
 package sim
 
 import (
+	"fmt"
 	"testing"
+
+	"faultcast/internal/graph"
+	"faultcast/internal/rng"
 )
 
 // This file extends the differential matrix to the lane-transposed core:
 // for every generated configuration (the same genCase matrix the
-// bitset-vs-scalar and sequential-vs-concurrent tests run on), the lane
-// runner's per-trial success verdicts must be bit-identical to the scalar
-// reference engine's Result.Success across a full 64-trial block. The test
-// protocols (floodNode for message passing, relayNode for radio) are
-// re-expressed as lane kernels below, and the generated adversaries map
-// onto the three lane corruption modes (silencer → LaneSilence,
-// flip → LaneFlip, out-of-turn → LaneShout).
+// bitset-vs-scalar and sequential-vs-concurrent tests run on, plus a
+// second matrix of drawing adversaries), the lane runner's per-trial
+// success verdicts must be bit-identical to the scalar reference engine's
+// Result.Success across a full 64-trial block. The test protocols
+// (floodNode for message passing, relayNode for radio) are re-expressed
+// as lane kernels below, and the adversaries map onto the lane corruption
+// modes (silencer → LaneSilence, flip → LaneFlip, out-of-turn →
+// LaneShout, noise → LaneNoise, equivocator → LaneEquivocate).
 
 // floodLaneKernel is floodNode in the transposed layout: every informed
 // vertex broadcasts its belief each round; an uninformed vertex adopts the
-// first payload delivered (whatever it is). has marks informed lanes, isM
-// the lanes whose belief equals the source message.
+// first payload delivered (whatever it is). has marks informed lanes, the
+// bel columns the adopted payload's symbol (bel[0] = "belief is M").
 type floodLaneKernel struct {
-	source   int
-	has, isM []uint64
+	source int
+	has    []uint64
+	bel    [][]uint64
+}
+
+func newFloodLaneKernel(source, n, symbols int) *floodLaneKernel {
+	k := &floodLaneKernel{source: source, has: make([]uint64, n), bel: make([][]uint64, symbols-1)}
+	for c := range k.bel {
+		k.bel[c] = make([]uint64, n)
+	}
+	return k
 }
 
 func (k *floodLaneKernel) Reset() {
 	for v := range k.has {
-		k.has[v], k.isM[v] = 0, 0
+		k.has[v] = 0
+		for c := range k.bel {
+			k.bel[c][v] = 0
+		}
 	}
 	k.has[k.source] = ^uint64(0)
-	k.isM[k.source] = ^uint64(0)
+	k.bel[0][k.source] = ^uint64(0)
 }
 
-func (k *floodLaneKernel) Transmit(round int, intent, payM []uint64) {
+func (k *floodLaneKernel) Transmit(round int, intent []uint64, pay [][]uint64) {
 	for v := range k.has {
 		intent[v] = k.has[v]
-		payM[v] = k.isM[v]
+		for c := range k.bel {
+			pay[c][v] = k.bel[c][v]
+		}
 	}
 }
 
-func (k *floodLaneKernel) Absorb(round int, heard, heardM []uint64) {
+func (k *floodLaneKernel) Absorb(round int, heard []uint64, sym [][]uint64) {
 	for v := range k.has {
 		adopt := heard[v] &^ k.has[v]
-		k.isM[v] |= adopt & heardM[v]
+		for c := range k.bel {
+			k.bel[c][v] |= adopt & sym[c][v]
+		}
 		k.has[v] |= adopt
 	}
 }
 
 func (k *floodLaneKernel) Verdict() uint64 {
 	and := ^uint64(0)
-	for _, w := range k.isM {
+	for _, w := range k.bel[0] {
 		and &= w
 	}
 	return and
@@ -58,42 +79,110 @@ func (k *floodLaneKernel) Verdict() uint64 {
 // relay where an informed vertex v transmits its belief in the slots
 // round ≡ v (mod n).
 type relayLaneKernel struct {
-	source   int
-	has, isM []uint64
+	source int
+	has    []uint64
+	bel    [][]uint64
+}
+
+func newRelayLaneKernel(source, n, symbols int) *relayLaneKernel {
+	k := &relayLaneKernel{source: source, has: make([]uint64, n), bel: make([][]uint64, symbols-1)}
+	for c := range k.bel {
+		k.bel[c] = make([]uint64, n)
+	}
+	return k
 }
 
 func (k *relayLaneKernel) Reset() {
 	for v := range k.has {
-		k.has[v], k.isM[v] = 0, 0
+		k.has[v] = 0
+		for c := range k.bel {
+			k.bel[c][v] = 0
+		}
 	}
 	k.has[k.source] = ^uint64(0)
-	k.isM[k.source] = ^uint64(0)
+	k.bel[0][k.source] = ^uint64(0)
 }
 
-func (k *relayLaneKernel) Transmit(round int, intent, payM []uint64) {
+func (k *relayLaneKernel) Transmit(round int, intent []uint64, pay [][]uint64) {
 	v := round % len(k.has)
 	intent[v] = k.has[v]
-	payM[v] = k.isM[v]
+	for c := range k.bel {
+		pay[c][v] = k.bel[c][v]
+	}
 }
 
-func (k *relayLaneKernel) Absorb(round int, heard, heardM []uint64) {
+func (k *relayLaneKernel) Absorb(round int, heard []uint64, sym [][]uint64) {
 	for v := range k.has {
 		adopt := heard[v] &^ k.has[v]
-		k.isM[v] |= adopt & heardM[v]
+		for c := range k.bel {
+			k.bel[c][v] |= adopt & sym[c][v]
+		}
 		k.has[v] |= adopt
 	}
 }
 
 func (k *relayLaneKernel) Verdict() uint64 {
 	and := ^uint64(0)
-	for _, w := range k.isM {
+	for _, w := range k.bel[0] {
 		and &= w
 	}
 	return and
 }
 
-// laneSpecFor lowers a generated diffCase configuration to a LaneSpec, or
-// reports that the case has no lane form (it always does in this matrix).
+// noiseAdversary mirrors adversary.RandomNoise with the default {"0","1"}
+// alphabet: one uniform draw per intended transmission of each faulty
+// node, targets kept. (The test redeclares it so the sim package's
+// differential harness stays free of the adversary package.)
+type noiseAdversary struct{}
+
+func (noiseAdversary) Corrupt(e *Exec, faulty []int) map[int][]Transmission {
+	ab := [][]byte{{'0'}, {'1'}}
+	out := make(map[int][]Transmission, len(faulty))
+	for _, id := range faulty {
+		ts := make([]Transmission, 0, len(e.Intents[id]))
+		for _, intent := range e.Intents[id] {
+			ts = append(ts, Transmission{To: intent.To, Payload: ab[e.Rand.Intn(len(ab))]})
+		}
+		out[id] = ts
+	}
+	return out
+}
+
+// equivocatorAdversary mirrors adversary.Equivocator{M0:"0", M1:"1",
+// SourceOnly:true}: whenever the source is faulty, its payloads toggle
+// between "0" and "1" (others unchanged), except that for P > 1/2 the
+// slowing draw skips the swap with probability (P−1/2)/P.
+type equivocatorAdversary struct{}
+
+func (equivocatorAdversary) Corrupt(e *Exec, faulty []int) map[int][]Transmission {
+	out := make(map[int][]Transmission, len(faulty))
+	for _, id := range faulty {
+		if id != e.Source {
+			continue
+		}
+		if e.P > 0.5 && e.Rand.Float64() < (e.P-0.5)/e.P {
+			continue
+		}
+		intents := e.Intents[id]
+		ts := make([]Transmission, 0, len(intents))
+		for _, intent := range intents {
+			p := intent.Payload
+			switch string(p) {
+			case "0":
+				p = []byte("1")
+			case "1":
+				p = []byte("0")
+			}
+			ts = append(ts, Transmission{To: intent.To, Payload: p})
+		}
+		out[id] = ts
+	}
+	return out
+}
+
+// laneSpecFor lowers a differential configuration to a LaneSpec. The
+// symbol alphabet follows the public layer's rule: two symbols unless the
+// noise adversary's "1" falls outside {default, M}.
 func laneSpecFor(cfg *Config, advName string) *LaneSpec {
 	n := cfg.Graph.N()
 	spec := &LaneSpec{
@@ -102,7 +191,9 @@ func laneSpecFor(cfg *Config, advName string) *LaneSpec {
 		Fault:  cfg.Fault,
 		P:      cfg.P,
 		Rounds: cfg.Rounds,
+		Source: cfg.Source,
 	}
+	symbols := 2
 	switch advName {
 	case "silencer":
 		spec.Corruption = LaneSilence
@@ -110,14 +201,25 @@ func laneSpecFor(cfg *Config, advName string) *LaneSpec {
 		spec.Corruption = LaneFlip
 	case "out-of-turn":
 		spec.Corruption = LaneShout
+	case "noise":
+		spec.Corruption = LaneNoise
+		if string(cfg.SourceMsg) == "1" {
+			spec.NoiseSym = 1
+		} else {
+			symbols = 3
+			spec.NoiseSym = 2
+		}
+	case "equivocator":
+		spec.Corruption = LaneEquivocate
 	}
+	spec.Symbols = symbols
 	if cfg.Model == MessagePassing {
-		spec.NewKernel = func() LaneKernel {
-			return &floodLaneKernel{source: cfg.Source, has: make([]uint64, n), isM: make([]uint64, n)}
+		spec.NewKernel = func(symbols int) LaneKernel {
+			return newFloodLaneKernel(cfg.Source, n, symbols)
 		}
 	} else {
-		spec.NewKernel = func() LaneKernel {
-			return &relayLaneKernel{source: cfg.Source, has: make([]uint64, n), isM: make([]uint64, n)}
+		spec.NewKernel = func(symbols int) LaneKernel {
+			return newRelayLaneKernel(cfg.Source, n, symbols)
 		}
 	}
 	return spec
@@ -133,8 +235,118 @@ func advNameOf(cfg *Config) string {
 		return "flip"
 	case outOfTurnAdversary:
 		return "out-of-turn"
+	case noiseAdversary:
+		return "noise"
+	case equivocatorAdversary:
+		return "equivocator"
 	default:
 		return "none"
+	}
+}
+
+// genDrawCase derives configuration i of the drawing-adversary matrix:
+// the noise adversary over both the three-symbol (message "diff") and
+// two-symbol (message "1") alphabets, and the source-only equivocator on
+// bit messages — including p > 1/2, which exercises the slowing draw.
+func genDrawCase(i int) diffCase {
+	r := rng.New(uint64(i)*0x51ed2701 + 5)
+	model := []Model{MessagePassing, Radio}[r.Intn(2)]
+	fault := []FaultType{Malicious, LimitedMalicious}[r.Intn(2)]
+	p := []float64{0.05, 0.2, 0.4, 0.6, 0.8}[r.Intn(5)]
+
+	var g *graph.Graph
+	switch r.Intn(5) {
+	case 0:
+		g = graph.Line(2 + r.Intn(14))
+	case 1:
+		g = graph.Star(2 + r.Intn(14))
+	case 2:
+		g = graph.KaryTree(2+r.Intn(14), 1+r.Intn(3))
+	case 3:
+		g = graph.Complete(2 + r.Intn(8))
+	default:
+		g = graph.GNP(2+r.Intn(14), 0.2+0.4*r.Float64(), r)
+	}
+	n := g.N()
+
+	cfg := &Config{
+		Graph:  g,
+		Model:  model,
+		Fault:  fault,
+		P:      p,
+		Source: r.Intn(n),
+		Rounds: 1 + r.Intn(2*n+4),
+		Seed:   uint64(i)*40503 + 7,
+	}
+	var advName string
+	switch r.Intn(3) {
+	case 0:
+		cfg.Adversary, advName = noiseAdversary{}, "noise"
+		cfg.SourceMsg = []byte("diff") // 3 symbols: noise's "1" is a third value
+	case 1:
+		cfg.Adversary, advName = noiseAdversary{}, "noise"
+		cfg.SourceMsg = []byte("1") // 2 symbols: the alphabet is {default, M}
+	default:
+		cfg.Adversary, advName = equivocatorAdversary{}, "equivocator"
+		cfg.SourceMsg = []byte("1")
+	}
+	if model == MessagePassing {
+		cfg.NewNode = func(id int) Node { return &floodNode{} }
+	} else {
+		cfg.NewNode = func(id int) Node { return &relayNode{} }
+	}
+	return diffCase{
+		desc: fmt.Sprintf("draw case %d: %v/%v/%s msg=%s p=%v g=%v src=%d rounds=%d seed=%d",
+			i, model, fault, advName, cfg.SourceMsg, p, g, cfg.Source, cfg.Rounds, cfg.Seed),
+		cfg: cfg,
+	}
+}
+
+const drawCases = 100
+
+// checkLanesVsScalar runs one differential comparison: a full 64-lane
+// block against 64 scalar reference trials, plus partial-block masking
+// and runner reuse.
+func checkLanesVsScalar(t *testing.T, c diffCase) {
+	t.Helper()
+	spec := laneSpecFor(c.cfg, advNameOf(c.cfg))
+	lr, err := NewLaneRunner(spec)
+	if err != nil {
+		t.Fatalf("%s: NewLaneRunner: %v", c.desc, err)
+	}
+
+	refCfg := *c.cfg
+	refCfg.ScalarCore = true
+	refCfg.RecordHistory = false
+	refCfg.TrackCompletion = false
+	runner, err := NewRunner(&refCfg)
+	if err != nil {
+		t.Fatalf("%s: NewRunner: %v", c.desc, err)
+	}
+
+	base := c.cfg.Seed
+	got := lr.Run(base, LaneWidth)
+	var want uint64
+	for lane := 0; lane < LaneWidth; lane++ {
+		res, err := runner.Run(base + uint64(lane))
+		if err != nil {
+			t.Fatalf("%s: scalar trial %d: %v", c.desc, lane, err)
+		}
+		if res.Success {
+			want |= 1 << uint(lane)
+		}
+	}
+	if got != want {
+		t.Fatalf("%s: lane verdicts %016x != scalar %016x (xor %016x)", c.desc, got, want, got^want)
+	}
+
+	// Partial blocks mask the tail but never change the low lanes, and
+	// a reused runner must reproduce the block bit-identically.
+	if partial := lr.Run(base, 7); partial != want&(1<<7-1) {
+		t.Fatalf("%s: partial block %016x != masked %016x", c.desc, partial, want&(1<<7-1))
+	}
+	if again := lr.Run(base, LaneWidth); again != want {
+		t.Fatalf("%s: reused lane runner diverged: %016x != %016x", c.desc, again, want)
 	}
 }
 
@@ -143,46 +355,17 @@ func advNameOf(cfg *Config) string {
 // core — including partial-block masking.
 func TestDifferentialLanesVsScalar(t *testing.T) {
 	for i := 0; i < diffCases; i++ {
-		c := genCase(i)
-		spec := laneSpecFor(c.cfg, advNameOf(c.cfg))
-		lr, err := NewLaneRunner(spec)
-		if err != nil {
-			t.Fatalf("%s: NewLaneRunner: %v", c.desc, err)
-		}
+		checkLanesVsScalar(t, genCase(i))
+	}
+}
 
-		refCfg := *c.cfg
-		refCfg.ScalarCore = true
-		refCfg.RecordHistory = false
-		refCfg.TrackCompletion = false
-		runner, err := NewRunner(&refCfg)
-		if err != nil {
-			t.Fatalf("%s: NewRunner: %v", c.desc, err)
-		}
-
-		base := c.cfg.Seed
-		got := lr.Run(base, LaneWidth)
-		var want uint64
-		for lane := 0; lane < LaneWidth; lane++ {
-			res, err := runner.Run(base + uint64(lane))
-			if err != nil {
-				t.Fatalf("%s: scalar trial %d: %v", c.desc, lane, err)
-			}
-			if res.Success {
-				want |= 1 << uint(lane)
-			}
-		}
-		if got != want {
-			t.Fatalf("%s: lane verdicts %016x != scalar %016x (xor %016x)", c.desc, got, want, got^want)
-		}
-
-		// Partial blocks mask the tail but never change the low lanes, and
-		// a reused runner must reproduce the block bit-identically.
-		if partial := lr.Run(base, 7); partial != want&(1<<7-1) {
-			t.Fatalf("%s: partial block %016x != masked %016x", c.desc, partial, want&(1<<7-1))
-		}
-		if again := lr.Run(base, LaneWidth); again != want {
-			t.Fatalf("%s: reused lane runner diverged: %016x != %016x", c.desc, again, want)
-		}
+// TestDifferentialLanesVsScalarDrawingAdversaries runs the same check over
+// the matrix of adversaries that consume randomness (noise over both
+// alphabet widths, the slowing equivocator), pinning the lane adversary
+// bank's per-lane draw order against the scalar adversary stream.
+func TestDifferentialLanesVsScalarDrawingAdversaries(t *testing.T) {
+	for i := 0; i < drawCases; i++ {
+		checkLanesVsScalar(t, genDrawCase(i))
 	}
 }
 
@@ -213,6 +396,48 @@ func TestLaneSpecValidate(t *testing.T) {
 			s.Fault = Malicious
 			s.Corruption = LaneShout
 			s.Targets = make([][]int, s.Graph.N())
+		})},
+		{"three-symbol shout", mk(func(s *LaneSpec) {
+			s.Fault = Malicious
+			s.Corruption = LaneShout
+			s.Symbols = 3
+		})},
+		{"bad symbol count", mk(func(s *LaneSpec) { s.Symbols = 4 })},
+		{"one symbol", mk(func(s *LaneSpec) { s.Symbols = 1 })},
+		{"omission noise", mk(func(s *LaneSpec) {
+			s.Fault = Omission
+			s.Corruption = LaneNoise
+			s.NoiseSym = 1
+		})},
+		{"noise symbol inconsistent (2-sym)", mk(func(s *LaneSpec) {
+			s.Fault = Malicious
+			s.Corruption = LaneNoise
+			s.Symbols = 2
+			s.NoiseSym = 2
+		})},
+		{"noise symbol inconsistent (3-sym)", mk(func(s *LaneSpec) {
+			s.Fault = Malicious
+			s.Corruption = LaneNoise
+			s.Symbols = 3
+			s.NoiseSym = 1
+		})},
+		{"noise symbol unset", mk(func(s *LaneSpec) {
+			s.Fault = Malicious
+			s.Corruption = LaneNoise
+		})},
+		{"omission equivocate", mk(func(s *LaneSpec) {
+			s.Fault = Omission
+			s.Corruption = LaneEquivocate
+		})},
+		{"equivocate source out of range", mk(func(s *LaneSpec) {
+			s.Fault = Malicious
+			s.Corruption = LaneEquivocate
+			s.Source = s.Graph.N()
+		})},
+		{"three-symbol equivocate", mk(func(s *LaneSpec) {
+			s.Fault = Malicious
+			s.Corruption = LaneEquivocate
+			s.Symbols = 3
 		})},
 	}
 	for _, tc := range cases {

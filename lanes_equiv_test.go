@@ -1,7 +1,10 @@
 package faultcast
 
 import (
+	"fmt"
+	"reflect"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -97,6 +100,83 @@ func laneScenarios() map[string]Config {
 			Model: Radio, Fault: Malicious, P: 0.35, WindowC: 2,
 			Algorithm: RadioRepeat, Adversary: CrashAdv,
 		},
+		// Noise adversary: two symbols when the message is "1" (the noise
+		// alphabet {"0","1"} is {default, M}), three when it is not.
+		"flooding/malicious/noise-bit": {
+			Graph: KaryTree(2, 10), Source: 0, Message: []byte("1"),
+			Model: MessagePassing, Fault: Malicious, P: 0.3,
+			Algorithm: Flooding, Adversary: NoiseAdv,
+		},
+		"flooding/limited/noise-3sym": {
+			Graph: Grid(3, 3), Source: 0, Message: msg,
+			Model: MessagePassing, Fault: LimitedMalicious, P: 0.4,
+			Algorithm: Flooding, Adversary: NoiseAdv,
+		},
+		"simple-malicious/mp/noise-3sym": {
+			Graph: Line(7), Source: 0, Message: msg,
+			Model: MessagePassing, Fault: Malicious, P: 0.35, WindowC: 2,
+			Algorithm: SimpleMalicious, Adversary: NoiseAdv,
+		},
+		"simple-malicious/radio/noise-bit": {
+			Graph: Star(7), Source: 1, Message: []byte("1"),
+			Model: Radio, Fault: Malicious, P: 0.3, WindowC: 2,
+			Algorithm: SimpleMalicious, Adversary: NoiseAdv,
+		},
+		"simple-omission/malicious/noise-bit": {
+			Graph: Ring(8), Source: 0, Message: []byte("1"),
+			Model: MessagePassing, Fault: Malicious, P: 0.3, WindowC: 1,
+			Algorithm: SimpleOmission, Adversary: NoiseAdv,
+		},
+		"radio-repeat/malicious/noise-3sym": {
+			Graph: Layered(3), Source: 0, Message: msg,
+			Model: Radio, Fault: Malicious, P: 0.3, WindowC: 2,
+			Algorithm: RadioRepeat, Adversary: NoiseAdv,
+		},
+		// Worst-case on a bit message over message passing is the
+		// source-only equivocator; P > 1/2 exercises its slowing draw.
+		"simple-malicious/mp/equivocator": {
+			Graph: KaryTree(2, 9), Source: 0, Message: []byte("1"),
+			Model: MessagePassing, Fault: Malicious, P: 0.35, WindowC: 2,
+			Algorithm: SimpleMalicious, Adversary: WorstCase,
+		},
+		"simple-malicious/mp/equivocator-slow": {
+			Graph: Line(6), Source: 0, Message: []byte("1"),
+			Model: MessagePassing, Fault: Malicious, P: 0.7, WindowC: 2,
+			Algorithm: SimpleMalicious, Adversary: WorstCase,
+		},
+		"flooding/malicious/equivocator": {
+			Graph: Grid(2, 4), Source: 0, Message: []byte("1"),
+			Model: MessagePassing, Fault: Malicious, P: 0.3,
+			Algorithm: Flooding, Adversary: WorstCase,
+		},
+		"composed/limited/equivocator": {
+			Graph: KaryTree(2, 7), Source: 0, Message: []byte("1"),
+			Model: MessagePassing, Fault: LimitedMalicious, P: 0.2,
+			Algorithm: Composed, Adversary: WorstCase,
+		},
+		// The timing protocol is content-free, so every payload-rewriting
+		// adversary lowers to keep-the-targets corruption — including on
+		// the message "0", where the content protocols are gated.
+		"timing/omission/bit1": {
+			Graph: Complete(2), Source: 0, Message: []byte("1"),
+			Model: MessagePassing, Fault: Omission, P: 0.35, WindowC: 8,
+			Algorithm: TimingBit,
+		},
+		"timing/limited/crash-bit1": {
+			Graph: Complete(2), Source: 0, Message: []byte("1"),
+			Model: MessagePassing, Fault: LimitedMalicious, P: 0.4, WindowC: 8,
+			Algorithm: TimingBit, Adversary: CrashAdv,
+		},
+		"timing/limited/worst-bit0": {
+			Graph: Complete(2), Source: 1, Message: []byte("0"),
+			Model: MessagePassing, Fault: LimitedMalicious, P: 0.45, WindowC: 8,
+			Algorithm: TimingBit, Adversary: WorstCase,
+		},
+		"timing/malicious/noise-bit0": {
+			Graph: Complete(2), Source: 0, Message: []byte("0"),
+			Model: MessagePassing, Fault: Malicious, P: 0.3, WindowC: 8,
+			Algorithm: TimingBit, Adversary: NoiseAdv,
+		},
 	}
 }
 
@@ -190,6 +270,83 @@ func TestLanesEstimateIdentity(t *testing.T) {
 	}
 }
 
+// memTallyStore is the in-memory TallyStore the refinement test writes
+// through: a map from (plan key, base seed, batch) to a contiguous bucket
+// sequence, with the same append-at-end / supersede-from-boundary
+// contract the disk store implements.
+type memTallyStore struct {
+	mu sync.Mutex
+	m  map[string][]TallyBucket
+}
+
+func (s *memTallyStore) streamKey(planKey string, baseSeed uint64, batch int) string {
+	return fmt.Sprintf("%s|%d|%d", planKey, baseSeed, batch)
+}
+
+func (s *memTallyStore) LoadTally(planKey string, baseSeed uint64, batch int) ([]TallyBucket, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]TallyBucket(nil), s.m[s.streamKey(planKey, baseSeed, batch)]...), nil
+}
+
+func (s *memTallyStore) AppendTally(planKey string, baseSeed uint64, batch int, start int, buckets []TallyBucket) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m == nil {
+		s.m = make(map[string][]TallyBucket)
+	}
+	k := s.streamKey(planKey, baseSeed, batch)
+	cur := s.m[k]
+	pos, i := 0, 0
+	for i < len(cur) && pos < start {
+		pos += cur[i].Trials
+		i++
+	}
+	if pos != start {
+		return fmt.Errorf("append at trial %d does not land on a stored bucket boundary", start)
+	}
+	s.m[k] = append(append([]TallyBucket(nil), cur[:i]...), buckets...)
+	return nil
+}
+
+// TestLanesStoreBackedRefinementIdentity pins the durable-store path
+// across cores: a bitset-core run persists a partial prefix, the lane
+// core refines from that store to the full budget, and the result must be
+// bit-identical to a cold full-budget bitset run.
+func TestLanesStoreBackedRefinementIdentity(t *testing.T) {
+	for name, cfg := range laneScenarios() {
+		lanes, err := Compile(withCore(cfg, CoreLanes))
+		if err != nil {
+			t.Fatalf("%s: compile lanes: %v", name, err)
+		}
+		bitset, err := Compile(withCore(cfg, CoreBitset))
+		if err != nil {
+			t.Fatalf("%s: compile bitset: %v", name, err)
+		}
+		opts := []EstimateOption{WithBaseSeed(cfg.Seed + 3)}
+		cold, err := bitset.Estimate(200, opts...)
+		if err != nil {
+			t.Fatalf("%s: cold bitset: %v", name, err)
+		}
+		st := &memTallyStore{}
+		if _, err := bitset.Estimate(90, WithBaseSeed(cfg.Seed+3), WithTallyStore(st)); err != nil {
+			t.Fatalf("%s: bitset store prefix: %v", name, err)
+		}
+		var resumed int
+		got, err := lanes.Estimate(200, WithBaseSeed(cfg.Seed+3), WithTallyStore(st),
+			WithResumeReport(func(n int) { resumed = n }))
+		if err != nil {
+			t.Fatalf("%s: lanes store refine: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, cold) {
+			t.Fatalf("%s: store-backed lane refinement diverged: %+v != cold %+v", name, got, cold)
+		}
+		if resumed < 32 {
+			t.Fatalf("%s: lane refinement resumed only %d stored trials", name, resumed)
+		}
+	}
+}
+
 // TestLanesShardTallyIdentity pins the cluster shard protocol: per-batch
 // tallies (the wire unit coordinators merge and replay) must be identical
 // whichever core computes them, including blocks straddling bucket
@@ -217,30 +374,45 @@ func TestLanesShardTallyIdentity(t *testing.T) {
 	}
 }
 
-// TestCoreLanesUnsupported pins the Compile-time gate: scenarios with no
-// two-symbol lane lowering must fail under Core=lanes (and silently fall
-// back to the bitset core under the default CoreAuto).
+// TestCoreLanesUnsupported pins the Compile-time gate for the shapes that
+// remain outside the lane lowering: each must fail under Core=lanes with
+// an error naming the specific blocking feature, and silently fall back
+// to the round engine under the default CoreAuto.
 func TestCoreLanesUnsupported(t *testing.T) {
 	base := Config{
 		Graph: Line(6), Source: 0, Message: []byte("1"),
 		Model: MessagePassing, Fault: Malicious, P: 0.3,
 		Algorithm: SimpleMalicious,
 	}
-	cases := map[string]Config{
-		"noise adversary": func() Config { c := base; c.Adversary = NoiseAdv; return c }(),
-		"equivocator":     func() Config { c := base; c.Adversary = WorstCase; return c }(), // bit message
-		"default message": func() Config { c := base; c.Message = []byte("0"); c.Adversary = CrashAdv; return c }(),
-		"timing bit": {
-			Graph: Complete(2), Source: 0, Message: []byte("1"),
-			Model: MessagePassing, Fault: LimitedMalicious, P: 0.3,
-			Algorithm: TimingBit,
+	cases := map[string]struct {
+		cfg  Config
+		want string
+	}{
+		"default message": {
+			cfg:  func() Config { c := base; c.Message = []byte("0"); c.Adversary = CrashAdv; return c }(),
+			want: "default symbol",
 		},
-		"concurrent": func() Config { c := base; c.Adversary = CrashAdv; c.Concurrent = true; return c }(),
+		"radio star": {
+			cfg: Config{
+				Graph: Layered(3), Source: 0, Message: []byte("1"),
+				Model: Radio, Fault: Malicious, P: 0.3, WindowC: 2,
+				Algorithm: RadioRepeat, Adversary: WorstCase,
+			},
+			want: "out of turn",
+		},
+		"concurrent": {
+			cfg:  func() Config { c := base; c.Adversary = CrashAdv; c.Concurrent = true; return c }(),
+			want: "Concurrent",
+		},
 	}
-	for name, cfg := range cases {
+	for name, tc := range cases {
+		cfg := tc.cfg
 		cfg.Core = CoreLanes
-		if _, err := Compile(cfg); err == nil {
+		_, err := Compile(cfg)
+		if err == nil {
 			t.Errorf("%s: Core=lanes compiled but the scenario has no lane lowering", name)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Core=lanes error %q does not name the blocking feature %q", name, err, tc.want)
 		}
 		// CoreAuto must still compile (falling back to the round engine) …
 		cfg.Core = CoreAuto
@@ -252,6 +424,66 @@ func TestCoreLanesUnsupported(t *testing.T) {
 		// must not use it).
 		if plan.newBlockMaker() != nil {
 			t.Errorf("%s: CoreAuto plan unexpectedly built a lane block maker", name)
+		}
+	}
+}
+
+// TestCoreLanesErrorNamesFeature walks every gated shape and checks the
+// Core=lanes compile error names the unsupported feature, table-driven
+// over the gate reasons buildLaneSpec can emit.
+func TestCoreLanesErrorNamesFeature(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{
+			name: "flooding default message",
+			cfg: Config{
+				Graph: Line(5), Source: 0, Message: []byte("0"),
+				Model: MessagePassing, Fault: Omission, P: 0.3,
+				Algorithm: Flooding,
+			},
+			want: `message "0" is the default symbol`,
+		},
+		{
+			name: "simple-omission default message",
+			cfg: Config{
+				Graph: Line(5), Source: 0, Message: []byte("0"),
+				Model: MessagePassing, Fault: Omission, P: 0.3, WindowC: 1,
+				Algorithm: SimpleOmission,
+			},
+			want: "default symbol",
+		},
+		{
+			name: "composed default message",
+			cfg: Config{
+				Graph: Line(5), Source: 0, Message: []byte("0"),
+				Model: MessagePassing, Fault: LimitedMalicious, P: 0.2,
+				Algorithm: Composed, Adversary: CrashAdv,
+			},
+			want: "default symbol",
+		},
+		{
+			name: "radio worst-case star",
+			cfg: Config{
+				Graph: Star(6), Source: 1, Message: []byte("1"),
+				Model: Radio, Fault: Malicious, P: 0.3, WindowC: 2,
+				Algorithm: SimpleMalicious, Adversary: WorstCase,
+			},
+			want: "out of turn",
+		},
+	}
+	for _, tc := range cases {
+		cfg := tc.cfg
+		cfg.Core = CoreLanes
+		_, err := Compile(cfg)
+		if err == nil {
+			t.Errorf("%s: expected a Core=lanes compile error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not contain %q", tc.name, err, tc.want)
 		}
 	}
 }

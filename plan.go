@@ -40,7 +40,7 @@ type Plan struct {
 // is honored by Plan.Run (each run appends to the writer), and ignored by
 // Estimate.
 func Compile(cfg Config) (*Plan, error) {
-	simCfg, lanes, err := build(cfg)
+	simCfg, lanes, laneGate, err := build(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -48,11 +48,11 @@ func Compile(cfg Config) (*Plan, error) {
 	case CoreAuto, CoreLanes:
 		if cfg.Core == CoreLanes {
 			if lanes == nil {
-				return nil, fmt.Errorf("faultcast: Core=lanes but the scenario has no lane lowering (algorithm %s, adversary %s, message %q)",
-					cfg.Algorithm, cfg.Adversary, cfg.Message)
+				return nil, fmt.Errorf("faultcast: Core=lanes unsupported here: %s (algorithm %s, adversary %s, message %q)",
+					laneGate, cfg.Algorithm, cfg.Adversary, cfg.Message)
 			}
 			if cfg.Concurrent {
-				return nil, errors.New("faultcast: Core=lanes is incompatible with Concurrent")
+				return nil, errors.New("faultcast: Core=lanes is incompatible with Concurrent (the goroutine-per-node engine has no trial-parallel form)")
 			}
 		}
 		if lanes != nil {
@@ -342,6 +342,26 @@ func (p *Plan) TallyShard(baseSeed uint64, trials, batch, workers int) ShardTall
 		t = exec.RunShard(workers, baseSeed, trials, batch, p.newTrialMaker())
 	}
 	return ShardTally{Trials: t.Trials, Batch: t.Batch, Successes: t.Successes}
+}
+
+// EstimationCore reports which execution core this plan's estimation
+// paths (Estimate, EstimateFrom, TallyShard) run trials on: "lanes" (the
+// trial-parallel lane-transposed core), "bitset" (the word-parallel round
+// core), "scalar" (the scalar reference round core), or "concurrent" (the
+// goroutine-per-node reference engine). The choice is a pure function of
+// the compiled plan — results are bit-identical across cores; this is the
+// observability hook the serving layer reports per response.
+func (p *Plan) EstimationCore() string {
+	switch {
+	case p.newBlockMaker() != nil:
+		return "lanes"
+	case p.cfg.Concurrent:
+		return "concurrent"
+	case p.sim.ScalarCore:
+		return "scalar"
+	default:
+		return "bitset"
+	}
 }
 
 // newTrialMaker returns the per-worker trial constructor for this plan:

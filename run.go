@@ -378,19 +378,20 @@ func EstimateSuccess(cfg Config, trials int) (Estimate, error) {
 
 // build lowers the public Config to an engine configuration, plus the
 // lane-transposed trial-parallel lowering when the scenario has one (nil
-// otherwise — callers fall back to the scalar/bitset engine).
-func build(cfg Config) (*sim.Config, *sim.LaneSpec, error) {
+// otherwise — callers fall back to the scalar/bitset engine, and laneGate
+// says which scenario feature blocked the lowering).
+func build(cfg Config) (simCfg *sim.Config, lanes *sim.LaneSpec, laneGate string, err error) {
 	if cfg.Graph == nil {
-		return nil, nil, errors.New("faultcast: Config.Graph is nil")
+		return nil, nil, "", errors.New("faultcast: Config.Graph is nil")
 	}
 	if len(cfg.Message) == 0 {
-		return nil, nil, errors.New("faultcast: empty message")
+		return nil, nil, "", errors.New("faultcast: empty message")
 	}
 	if cfg.Source < 0 || cfg.Source >= cfg.Graph.N() {
-		return nil, nil, fmt.Errorf("faultcast: source %d out of range", cfg.Source)
+		return nil, nil, "", fmt.Errorf("faultcast: source %d out of range", cfg.Source)
 	}
 	if cfg.P < 0 || cfg.P >= 1 {
-		return nil, nil, fmt.Errorf("faultcast: P=%v outside [0,1)", cfg.P)
+		return nil, nil, "", fmt.Errorf("faultcast: P=%v outside [0,1)", cfg.P)
 	}
 	model := sim.MessagePassing
 	if cfg.Model == Radio {
@@ -405,7 +406,7 @@ func build(cfg Config) (*sim.Config, *sim.LaneSpec, error) {
 	case LimitedMalicious:
 		fault = sim.LimitedMalicious
 	default:
-		return nil, nil, fmt.Errorf("faultcast: unknown fault %d", int(cfg.Fault))
+		return nil, nil, "", fmt.Errorf("faultcast: unknown fault %d", int(cfg.Fault))
 	}
 
 	algo := cfg.Algorithm
@@ -414,12 +415,12 @@ func build(cfg Config) (*sim.Config, *sim.LaneSpec, error) {
 	}
 	newNode, rounds, lp, err := buildProtocol(cfg, algo, model)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, "", err
 	}
 	if cfg.Rounds > 0 {
 		rounds = cfg.Rounds
 	}
-	simCfg := &sim.Config{
+	simCfg = &sim.Config{
 		Graph:      cfg.Graph,
 		Model:      model,
 		Fault:      fault,
@@ -434,33 +435,45 @@ func build(cfg Config) (*sim.Config, *sim.LaneSpec, error) {
 	if fault == sim.Malicious || fault == sim.LimitedMalicious {
 		simCfg.Adversary = buildAdversary(cfg)
 	}
-	lanes := buildLaneSpec(cfg, simCfg, lp)
-	return simCfg, lanes, nil
+	lanes, laneGate = buildLaneSpec(cfg, simCfg, lp)
+	return simCfg, lanes, laneGate, nil
 }
 
 // laneParts is a protocol's contribution to its lane lowering: the
-// transposed kernel constructor and the per-vertex send-target lists (nil
-// for radio broadcast).
+// transposed kernel constructor (parameterized by the payload symbol
+// count), the per-vertex send-target lists (nil for radio broadcast), and
+// whether the protocol is content-free (its outputs never depend on
+// payload bytes — the timing protocol — so payload-only adversary effects
+// are unobservable and the default-message gate does not apply).
 type laneParts struct {
-	newKernel func() sim.LaneKernel
-	targets   [][]int
+	newKernel   func(symbols int) sim.LaneKernel
+	targets     [][]int
+	contentFree bool
 }
 
 // buildLaneSpec assembles the lane-transposed lowering of a built
-// scenario, or nil when it has none. The lane core tracks one bit of
-// payload state per (vertex, trial) — "payload is the source message" —
-// which is faithful exactly when the payload universe of every execution
-// is the two symbols {message, default}: the message must not itself be
-// the default, and the adversary must only silence faulty transmissions
-// (crash) or rewrite them to the default (flip — flipOf returns the
-// default for every non-default message). The equivocating worst-case bit
-// adversaries and the noise adversary inject other symbols, so those
-// scenarios stay on the scalar/bitset cores.
-func buildLaneSpec(cfg Config, simCfg *sim.Config, lp *laneParts) *sim.LaneSpec {
-	if lp == nil || protocol.IsDefault(cfg.Message) {
-		return nil
+// scenario, or nil plus the gating reason when it has none. The lane core
+// tracks payloads as k = symbols−1 bit columns per (vertex, trial) over a
+// small fixed symbol alphabet — {default, M} for the crash, flip, and
+// equivocating adversaries (flipOf rewrites every non-default message to
+// the default, and the equivocator toggles a bit message), plus the noise
+// adversary's third value when its {"0","1"} draws fall outside
+// {default, M}. The lowering is faithful exactly when that alphabet
+// covers every payload any execution can carry, which leaves two gated
+// shapes: a content protocol broadcasting the default message itself (the
+// encoding cannot tell M from an adopted default), and the radio
+// worst-case star adversary (it adds out-of-turn transmissions, which no
+// keep-or-silence corruption models).
+func buildLaneSpec(cfg Config, simCfg *sim.Config, lp *laneParts) (*sim.LaneSpec, string) {
+	if lp == nil {
+		return nil, "the algorithm has no lane kernel"
+	}
+	if !lp.contentFree && protocol.IsDefault(cfg.Message) {
+		return nil, `message "0" is the default symbol, which the lane payload encoding cannot distinguish from an uninformed node's default`
 	}
 	corruption := sim.LaneSilence
+	symbols := 2
+	noiseSym := 0
 	if simCfg.Fault != sim.Omission {
 		switch cfg.Adversary {
 		case CrashAdv:
@@ -468,12 +481,33 @@ func buildLaneSpec(cfg Config, simCfg *sim.Config, lp *laneParts) *sim.LaneSpec 
 		case FlipAdv:
 			corruption = sim.LaneFlip
 		case NoiseAdv:
-			return nil
+			if lp.contentFree {
+				// Payload rewrites are unobservable to a content-free
+				// protocol, and the adversary's draws live on its private
+				// stream, so keep-the-targets is an exact model.
+				corruption = sim.LaneFlip
+			} else {
+				corruption = sim.LaneNoise
+				if string(cfg.Message) == "1" {
+					noiseSym = 1 // the noise alphabet {"0","1"} is {default, M}
+				} else {
+					symbols = 3 // noise's "1" is a third symbol
+					noiseSym = 2
+				}
+			}
 		default: // WorstCase and out-of-range kinds fall back to Flip
 			if isBit(cfg.Message) {
-				return nil // equivocator/star: not a two-symbol lowering
+				if simCfg.Model == sim.Radio {
+					return nil, "the radio worst-case star adversary transmits out of turn, which the lane corruptions cannot model"
+				}
+				if lp.contentFree {
+					corruption = sim.LaneFlip // the equivocator swaps bits the receiver never reads
+				} else {
+					corruption = sim.LaneEquivocate
+				}
+			} else {
+				corruption = sim.LaneFlip
 			}
-			corruption = sim.LaneFlip
 		}
 	}
 	return &sim.LaneSpec{
@@ -483,9 +517,12 @@ func buildLaneSpec(cfg Config, simCfg *sim.Config, lp *laneParts) *sim.LaneSpec 
 		P:          simCfg.P,
 		Rounds:     simCfg.Rounds,
 		Corruption: corruption,
+		Symbols:    symbols,
+		NoiseSym:   noiseSym,
+		Source:     cfg.Source,
 		Targets:    lp.targets,
 		NewKernel:  lp.newKernel,
-	}
+	}, ""
 }
 
 func pickAlgorithm(cfg Config) Algorithm {
@@ -518,7 +555,7 @@ func buildProtocol(cfg Config, algo Algorithm, model sim.Model) (func(int) sim.N
 			c = protocol.WindowCOmission(cfg.P)
 		}
 		p := simpleomission.New(cfg.Graph, cfg.Source, model, c)
-		return p.NewNode, p.Rounds(), &laneParts{p.NewLaneKernel, p.LaneTargets()}, nil
+		return p.NewNode, p.Rounds(), &laneParts{newKernel: p.NewLaneKernel, targets: p.LaneTargets()}, nil
 
 	case SimpleMalicious:
 		c := cfg.WindowC
@@ -530,7 +567,7 @@ func buildProtocol(cfg Config, algo Algorithm, model sim.Model) (func(int) sim.N
 			}
 		}
 		p := simplemalicious.New(cfg.Graph, cfg.Source, model, c)
-		return p.NewNode, p.Rounds(), &laneParts{p.NewLaneKernel, p.LaneTargets()}, nil
+		return p.NewNode, p.Rounds(), &laneParts{newKernel: p.NewLaneKernel, targets: p.LaneTargets()}, nil
 
 	case Flooding:
 		if model != sim.MessagePassing {
@@ -541,7 +578,7 @@ func buildProtocol(cfg Config, algo Algorithm, model sim.Model) (func(int) sim.N
 			a = 6
 		}
 		p := flooding.New(cfg.Graph, cfg.Source)
-		return p.NewNode, p.Rounds(a), &laneParts{p.NewLaneKernel, p.LaneTargets()}, nil
+		return p.NewNode, p.Rounds(a), &laneParts{newKernel: p.NewLaneKernel, targets: p.LaneTargets()}, nil
 
 	case Composed:
 		if model != sim.MessagePassing {
@@ -559,7 +596,7 @@ func buildProtocol(cfg Config, algo Algorithm, model sim.Model) (func(int) sim.N
 		if err != nil {
 			return nil, 0, nil, err
 		}
-		return p.NewNode, p.Rounds(), &laneParts{p.NewLaneKernel, p.LaneTargets()}, nil
+		return p.NewNode, p.Rounds(), &laneParts{newKernel: p.NewLaneKernel, targets: p.LaneTargets()}, nil
 
 	case RadioRepeat:
 		if model != sim.Radio {
@@ -596,7 +633,11 @@ func buildProtocol(cfg Config, algo Algorithm, model sim.Model) (func(int) sim.N
 			m = int(cfg.WindowC)
 		}
 		p := twonode.New(m)
-		return p.NewNode, p.Rounds(), nil, nil
+		lp := &laneParts{
+			newKernel:   p.NewLaneKernel(cfg.Source, cfg.Message[0] == '1'),
+			contentFree: true,
+		}
+		return p.NewNode, p.Rounds(), lp, nil
 
 	default:
 		return nil, 0, nil, fmt.Errorf("faultcast: unknown algorithm %d", int(algo))
