@@ -8,10 +8,12 @@ package faultcast_test
 
 import (
 	"context"
+	"sync/atomic"
 	"testing"
 
 	"faultcast"
 	"faultcast/internal/adversary"
+	"faultcast/internal/exec"
 	"faultcast/internal/graph"
 	"faultcast/internal/harness"
 	"faultcast/internal/kucera"
@@ -26,6 +28,7 @@ import (
 	"faultcast/internal/rng"
 	"faultcast/internal/sim"
 	"faultcast/internal/stat"
+	"faultcast/internal/telemetry"
 )
 
 // runCfg executes one simulation per iteration with rotating seeds.
@@ -511,6 +514,43 @@ func bitsetCore(cfg faultcast.Config) faultcast.Config {
 
 func BenchmarkEstimatePlanComposedLanes(b *testing.B) {
 	benchEstimatePlan(b, laneCore(composedCfg()))
+}
+
+// BenchmarkEstimatePlanComposedLanesTraced is the telemetry-overhead
+// twin of BenchmarkEstimatePlanComposedLanes: the identical workload
+// with a live span and batch probe attached, the way the service runs it
+// when tracing is on. The gap between the pair is the full observation
+// cost (two clock reads per engine call plus the probe fold) and is
+// budgeted at under 2% — spans are per-batch, not per-trial, so the cost
+// amortizes over the whole batch of simulations.
+func BenchmarkEstimatePlanComposedLanesTraced(b *testing.B) {
+	cfg := laneCore(composedCfg())
+	plan, err := faultcast.Compile(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tel := telemetry.NewCollector(16, 4)
+	var batches atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := tel.StartTrace("estimate")
+		sp := tr.StartSpan("execute")
+		est, err := plan.Estimate(estimateTrials, faultcast.WithBaseSeed(uint64(i)),
+			faultcast.WithSpan(sp),
+			faultcast.WithBatchProbe(func(bs exec.BatchStat) { batches.Add(1) }))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if est.Trials != estimateTrials {
+			b.Fatal("short estimate")
+		}
+		sp.End()
+		tr.Finish()
+	}
+	if batches.Load() == 0 {
+		b.Fatal("probe never fired")
+	}
 }
 
 func BenchmarkEstimatePlanComposedBitsetCore(b *testing.B) {

@@ -78,7 +78,7 @@ var benchLine = regexp.MustCompile(
 	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 func main() {
-	bench := flag.String("bench", `^Benchmark(EstimatePlan(Composed|RadioRepeat)(ScalarCore|Lanes|BitsetCore)?|EstimateLanes(Noise|Equivocator|Timing)(BitsetCore)?|Engine.*)$`,
+	bench := flag.String("bench", `^Benchmark(EstimatePlan(Composed|RadioRepeat)(ScalarCore|Lanes|LanesTraced|BitsetCore)?|EstimateLanes(Noise|Equivocator|Timing)(BitsetCore)?|Engine.*)$`,
 		"benchmark selection regexp, passed to go test -bench")
 	pkg := flag.String("pkg", ".", "package pattern to benchmark")
 	benchtime := flag.String("benchtime", "1s", "go test -benchtime value")

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -16,6 +17,7 @@ import (
 	"faultcast/internal/hist"
 	"faultcast/internal/load"
 	"faultcast/internal/service"
+	"faultcast/internal/telemetry"
 )
 
 // benchFile is the BENCH_service.json schema: the same header discipline
@@ -44,9 +46,15 @@ type benchFile struct {
 	// (cumulative since server start — comparable to Client when the
 	// server is fresh, as in CI).
 	ServerLatency map[string]hist.Summary `json:"server_latency"`
-	SLO           map[string]string       `json:"slo,omitempty"`
-	SLOOk         bool                    `json:"slo_ok"`
-	Violations    []string                `json:"violations,omitempty"`
+	// MetricsDelta is the /metrics counter story of the same window,
+	// keyed by canonical series name (faultcast_..._total{labels}). It
+	// restates StatsDelta through the Prometheus surface — a divergence
+	// between the two is itself a bug — and additionally carries the
+	// per-core and per-worker breakdowns /v1/stats does not expose.
+	MetricsDelta map[string]float64 `json:"metrics_delta,omitempty"`
+	SLO          map[string]string  `json:"slo,omitempty"`
+	SLOOk        bool               `json:"slo_ok"`
+	Violations   []string           `json:"violations,omitempty"`
 }
 
 // statsDelta is the difference of two /v1/stats snapshots taken around
@@ -158,11 +166,26 @@ func cmdBench(c *client, args []string) error {
 		}
 		return st, json.Unmarshal(body, &st)
 	}
+	// The /metrics scrape rides the same window boundaries; a server
+	// without the endpoint (or a failed scrape) just omits metrics_delta
+	// rather than failing the bench.
+	var beforeMetrics *telemetry.Metrics
+	scrapeMetrics := func() *telemetry.Metrics {
+		body, err := c.get("/metrics")
+		if err != nil {
+			return nil
+		}
+		m, err := telemetry.ParseText(bytes.NewReader(body))
+		if err != nil {
+			return nil
+		}
+		return m
+	}
 	fmt.Printf("bench: %s arrivals at %g req/s for %v (warmup %v), seed %d\n",
 		spec.Arrival, spec.Rate, *duration, *warmup, spec.Seed)
 	rep, err := load.Run(context.Background(), c.base, spec, load.Options{
 		Client:       c.http,
-		OnWarmupDone: func() { before, beforeErr = snapshot() },
+		OnWarmupDone: func() { before, beforeErr = snapshot(); beforeMetrics = scrapeMetrics() },
 	})
 	if err != nil {
 		return err
@@ -175,6 +198,10 @@ func cmdBench(c *client, args []string) error {
 		return fmt.Errorf("bench: stats snapshot at run end: %w", err)
 	}
 	delta := deltaStats(before, after)
+	var metricsDelta map[string]float64
+	if afterMetrics := scrapeMetrics(); beforeMetrics != nil && afterMetrics != nil {
+		metricsDelta = telemetry.Delta(beforeMetrics, afterMetrics)
+	}
 
 	printBenchReport(rep, delta, after.Latency)
 
@@ -191,6 +218,7 @@ func cmdBench(c *client, args []string) error {
 		Client:        rep,
 		StatsDelta:    delta,
 		ServerLatency: after.Latency,
+		MetricsDelta:  metricsDelta,
 		SLO:           objectives,
 		SLOOk:         len(violations) == 0,
 		Violations:    violations,

@@ -52,7 +52,7 @@ import (
 func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8347", "faultcastd base URL")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: faultcastctl [-addr URL] {health|scenarios|stats|estimate|sweep|workers|smoke|bench|store} [flags]")
+		fmt.Fprintln(os.Stderr, "usage: faultcastctl [-addr URL] {health|scenarios|stats|trace|metrics|estimate|sweep|workers|smoke|bench|store} [flags]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -70,6 +70,10 @@ func main() {
 		err = c.getJSONPrint("/v1/scenarios")
 	case "stats":
 		err = cmdStats(c, args[1:])
+	case "trace":
+		err = cmdTrace(c, args[1:])
+	case "metrics":
+		err = cmdMetrics(c, args[1:])
 	case "estimate":
 		err = cmdEstimate(c, args[1:])
 	case "sweep":
@@ -154,7 +158,12 @@ func (c *client) estimate(req service.EstimateRequest) (service.EstimateResponse
 func cmdStats(c *client, args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	out := fs.String("out", "", "also write the stats JSON to this file")
+	watch := fs.Duration("watch", 0, "poll every interval and print a compact delta line (reqs/s, hit rate, p95 by endpoint) instead of the JSON dump")
+	count := fs.Int("count", 0, "with -watch, stop after this many intervals (0 = until interrupted)")
 	fs.Parse(args)
+	if *watch > 0 {
+		return watchStats(c, *watch, *count)
+	}
 	body, err := c.get("/v1/stats")
 	if err != nil {
 		return err

@@ -1,0 +1,206 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"faultcast/internal/telemetry"
+)
+
+// cmdTrace lists retained traces (no argument) or renders one span tree.
+//
+//	faultcastctl trace              recent + slowest retained traces
+//	faultcastctl trace ID [ID...]   render each trace's span tree
+//
+// Every faultcastd response carries a trace_id; feed it back here while
+// the server still retains the trace (bounded ring + slowest-N index).
+func cmdTrace(c *client, args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	fs.Parse(args)
+	ids := fs.Args()
+	if len(ids) == 0 {
+		body, err := c.get("/v1/trace")
+		if err != nil {
+			return err
+		}
+		var idx telemetry.Index
+		if err := json.Unmarshal(body, &idx); err != nil {
+			return err
+		}
+		fmt.Printf("traces: %d started, %d finished, ring capacity %d\n", idx.Started, idx.Finished, idx.Capacity)
+		tw := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+		section := func(title string, list []telemetry.Summary) {
+			if len(list) == 0 {
+				return
+			}
+			fmt.Fprintf(tw, "%s\tNAME\tSTART\tDURATION\n", title)
+			for _, s := range list {
+				fmt.Fprintf(tw, "%s\t%s\t%s\t%.3fms\n", s.ID, s.Name, s.Start, s.DurationMs)
+			}
+		}
+		section("RECENT", idx.Recent)
+		section("SLOWEST", idx.Slowest)
+		return tw.Flush()
+	}
+	for i, id := range ids {
+		if i > 0 {
+			fmt.Println()
+		}
+		body, err := c.get("/v1/trace/" + id)
+		if err != nil {
+			return err
+		}
+		var t telemetry.TraceJSON
+		if err := json.Unmarshal(body, &t); err != nil {
+			return err
+		}
+		fmt.Printf("trace %s (%s) started %s, %.3fms total\n", t.ID, t.Name, t.Start, t.DurationMs)
+		renderSpan(os.Stdout, t.Root, 0)
+	}
+	return nil
+}
+
+// renderSpan prints one span line — offset from trace start, duration,
+// name, attrs — then recurses into children in start order.
+func renderSpan(w io.Writer, sp *telemetry.Span, depth int) {
+	if sp == nil {
+		return
+	}
+	attrs := ""
+	if len(sp.Attrs) > 0 {
+		parts := make([]string, len(sp.Attrs))
+		for i, a := range sp.Attrs {
+			parts[i] = a.Key + "=" + a.Value
+		}
+		attrs = "  {" + strings.Join(parts, " ") + "}"
+	}
+	fmt.Fprintf(w, "%s%-12s +%.3fms %.3fms%s\n",
+		strings.Repeat("  ", depth+1), sp.Name,
+		float64(sp.StartNs)/1e6, float64(sp.DurNs)/1e6, attrs)
+	for _, child := range sp.Children {
+		renderSpan(w, child, depth+1)
+	}
+}
+
+// cmdMetrics scrapes GET /metrics, verifies it parses as Prometheus text
+// exposition format, and prints it. -names prints the family ledger
+// ("name kind" per line) instead; -check FILE additionally diffs that
+// ledger against a committed golden (the CI metrics-smoke gate).
+func cmdMetrics(c *client, args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	names := fs.Bool("names", false, "print the sorted family ledger (name kind) instead of the raw text")
+	check := fs.String("check", "", "verify the family ledger matches this golden file (implies parsing)")
+	fs.Parse(args)
+	body, err := c.get("/metrics")
+	if err != nil {
+		return err
+	}
+	m, err := telemetry.ParseText(bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("metrics: scrape does not parse as Prometheus text: %w", err)
+	}
+	ledger := strings.Join(m.Families(), "\n") + "\n"
+	if *check != "" {
+		want, err := os.ReadFile(*check)
+		if err != nil {
+			return err
+		}
+		if string(want) != ledger {
+			return fmt.Errorf("metrics: family ledger differs from %s — metric names are a compatibility surface; update the golden (and DESIGN.md) deliberately:\n%s",
+				*check, ledgerDiff(string(want), ledger))
+		}
+		fmt.Printf("metrics: %d families match %s\n", len(m.Families()), *check)
+		return nil
+	}
+	if *names {
+		_, err := io.WriteString(os.Stdout, ledger)
+		return err
+	}
+	_, err = os.Stdout.Write(body)
+	return err
+}
+
+// ledgerDiff renders a line-set diff of two name ledgers (order-sensitive
+// sets are fine here: both sides are sorted).
+func ledgerDiff(want, got string) string {
+	wantSet := map[string]bool{}
+	for _, l := range strings.Split(strings.TrimSpace(want), "\n") {
+		wantSet[l] = true
+	}
+	gotSet := map[string]bool{}
+	for _, l := range strings.Split(strings.TrimSpace(got), "\n") {
+		gotSet[l] = true
+	}
+	var lines []string
+	for l := range gotSet {
+		if !wantSet[l] {
+			lines = append(lines, "+ "+l)
+		}
+	}
+	for l := range wantSet {
+		if !gotSet[l] {
+			lines = append(lines, "- "+l)
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// watchStats polls /metrics every interval and prints one compact delta
+// line per tick: request throughput, cache hit rate, and the window's
+// p95 per endpoint class, all computed client-side from counter and
+// histogram-bucket deltas — no server-side windowing needed.
+func watchStats(c *client, interval time.Duration, iterations int) error {
+	scrape := func() (*telemetry.Metrics, error) {
+		body, err := c.get("/metrics")
+		if err != nil {
+			return nil, err
+		}
+		return telemetry.ParseText(bytes.NewReader(body))
+	}
+	prev, err := scrape()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-9s %9s %9s %7s %12s %12s %12s\n",
+		"TIME", "REQ/S", "EST/S", "HIT%", "P95(est)", "P95(sweep)", "P95(shard)")
+	for i := 0; iterations <= 0 || i < iterations; i++ {
+		time.Sleep(interval)
+		cur, err := scrape()
+		if err != nil {
+			return err
+		}
+		d := telemetry.Delta(prev, cur)
+		secs := interval.Seconds()
+		reqs := d["faultcast_http_requests_total"] / secs
+		ests := d[`faultcast_api_requests_total{endpoint="estimate"}`] / secs
+		served := d[`faultcast_api_requests_total{endpoint="estimate"}`] + d["faultcast_sweep_cells_total"]
+		hits := d["faultcast_cache_hits_total"] + d["faultcast_sweep_cell_cache_hits_total"] +
+			d[`faultcast_coalesced_total{outcome="shared"}`]
+		hitRate := "-"
+		if served > 0 {
+			hitRate = fmt.Sprintf("%.0f%%", 100*hits/served)
+		}
+		p95 := func(endpoint string) string {
+			v, ok := telemetry.HistogramQuantile(prev, cur, "faultcast_request_duration_seconds",
+				map[string]string{"endpoint": endpoint}, 0.95)
+			if !ok || v == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.1fms", v*1e3)
+		}
+		fmt.Printf("%-9s %9.1f %9.1f %7s %12s %12s %12s\n",
+			time.Now().Format("15:04:05"), reqs, ests, hitRate,
+			p95("estimate"), p95("sweep"), p95("shard"))
+		prev = cur
+	}
+	return nil
+}

@@ -5,12 +5,19 @@
 // and bounded admission (429 + Retry-After under overload).
 //
 // Endpoints: POST /v1/estimate, POST /v1/sweep, POST /v1/shard,
-// GET /v1/scenarios, GET /v1/stats, GET /healthz. /v1/stats exposes the
-// full serving ledger — cache/coalescing/admission counters plus
-// per-endpoint latency histograms — with semantics documented on
-// internal/service.Stats. See cmd/faultcastctl for a client, including
-// the open-loop load bench (faultcastctl bench) that exercises a daemon
-// and gates its latency/reject SLOs in CI.
+// GET /v1/scenarios, GET /v1/stats, GET /v1/trace, GET /v1/trace/{id},
+// GET /metrics, GET /healthz. /v1/stats exposes the full serving ledger —
+// cache/coalescing/admission counters plus per-endpoint latency
+// histograms — with semantics documented on internal/service.Stats;
+// /metrics re-expresses the same counters in Prometheus text format under
+// the stable names in DESIGN.md's metric ledger. Every response carries a
+// trace_id; GET /v1/trace/{id} (or faultcastctl trace ID) returns that
+// request's span tree — admission wait, plan lookup/compile, execution
+// batches, store replay, and per-shard worker timings in coordinator
+// mode. With -debug-addr a second loopback listener serves
+// net/http/pprof. See cmd/faultcastctl for a client, including the
+// open-loop load bench (faultcastctl bench) that exercises a daemon and
+// gates its latency/reject SLOs in CI.
 //
 // Every faultcastd is also a cluster worker: POST /v1/shard executes one
 // shard of a remote coordinator's trial stream against the local plan
@@ -45,6 +52,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux for -debug-addr
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -72,6 +80,9 @@ func main() {
 		workerURLs    = flag.String("workers", "", "comma-separated worker base URLs; enables coordinator mode")
 		shardTrials   = flag.Int("shard-trials", 0, "trials per dispatched shard in coordinator mode (0 = 512)")
 		storeDir      = flag.String("store", "", "durable tally store directory; enables warm restart (empty = in-memory caches only)")
+		traceRing     = flag.Int("trace-ring", 0, "finished request traces retained for /v1/trace (0 = 256, negative disables tracing)")
+		traceSlowest  = flag.Int("trace-slowest", 0, "slowest traces retained beyond ring eviction (0 = 16)")
+		debugAddr     = flag.String("debug-addr", "", "optional second listener for net/http/pprof profiling (e.g. 127.0.0.1:8348); empty disables")
 	)
 	flag.Parse()
 
@@ -85,6 +96,8 @@ func main() {
 		MaxInflight:     *maxInflight,
 		MaxQueue:        *maxQueue,
 		Workers:         *workers,
+		TraceRing:       *traceRing,
+		TraceSlowest:    *traceSlowest,
 	}
 	if *workerURLs != "" {
 		urls := strings.Split(*workerURLs, ",")
@@ -126,6 +139,24 @@ func main() {
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	if *debugAddr != "" {
+		// Profiling listens on its OWN address, never the serving one:
+		// pprof endpoints expose process internals and must be bindable to
+		// loopback while the API faces the network. The DefaultServeMux
+		// carries net/http/pprof's registrations (the blank import above).
+		dbg := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           http.DefaultServeMux,
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			log.Printf("faultcastd: pprof debug listener on http://%s/debug/pprof/", *debugAddr)
+			if err := dbg.ListenAndServe(); err != http.ErrServerClosed {
+				log.Printf("faultcastd: debug listener: %v", err)
+			}
+		}()
 	}
 
 	done := make(chan struct{})

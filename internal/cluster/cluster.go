@@ -15,6 +15,7 @@ import (
 	"faultcast"
 	"faultcast/internal/exec"
 	"faultcast/internal/stat"
+	"faultcast/internal/telemetry"
 )
 
 // Options tunes a Coordinator. The zero value gets sensible defaults.
@@ -286,7 +287,7 @@ func (c *Coordinator) runCell(ctx context.Context, poolWorkers int, cell *exec.C
 			req.BaseSeed = cell.BaseSeed + uint64(first)
 			req.Trials = n
 			req.Batch = min(batch, n)
-			go c.dispatchShard(cctx, req, cell.NewTrial, resCh)
+			go c.dispatchShard(cctx, req, cell.Trace, cell.NewTrial, resCh)
 			next++
 			inflight++
 		}
@@ -330,7 +331,17 @@ func (c *Coordinator) runCell(ctx context.Context, poolWorkers int, cell *exec.C
 // remains (all tried, down, or the fleet is empty) the shard runs locally
 // on the cell's own trial maker — bit-identical, since a tally is a pure
 // function of the shard spec.
-func (c *Coordinator) dispatchShard(ctx context.Context, req ShardRequest, newTrial stat.TrialMaker, resCh chan<- shardRes) {
+//
+// When the cell carries a trace span, the shard gets one "shard" child
+// recording its trial range, the worker that finally answered (or
+// "local"), the retry count, and — grafted in — the worker's own span
+// tree from the ShardResponse.
+func (c *Coordinator) dispatchShard(ctx context.Context, req ShardRequest, parent *telemetry.Span, newTrial stat.TrialMaker, resCh chan<- shardRes) {
+	sp := parent.StartChild("shard")
+	sp.SetAttr("index", req.Index)
+	sp.SetAttr("trials", req.Trials)
+	defer sp.End()
+	retries := 0
 	tried := make(map[*worker]bool)
 	for {
 		if ctx.Err() != nil {
@@ -342,19 +353,25 @@ func (c *Coordinator) dispatchShard(ctx context.Context, req ShardRequest, newTr
 			break // no eligible worker — fall over to local execution
 		}
 		c.dispatched.Add(1)
-		resp, err := c.post(ctx, w, req)
+		resp, err := c.post(ctx, w, req, sp.TraceID())
 		// A post that died because the cell was decided (or the caller
 		// cancelled) says nothing about the worker's health — don't let
 		// early-stop cancellations bench a healthy fleet.
 		cancelled := err != nil && ctx.Err() != nil
 		c.settle(w, req, resp, err, cancelled)
 		if err == nil {
+			sp.SetAttr("worker", w.url)
+			if retries > 0 {
+				sp.SetAttr("retries", retries)
+			}
+			sp.Graft(resp.Trace)
 			resCh <- shardRes{index: req.Index, tally: resp.Tally()}
 			return
 		}
 		tried[w] = true
 		if ctx.Err() == nil {
 			c.retried.Add(1)
+			retries++
 		}
 	}
 	if ctx.Err() != nil {
@@ -362,6 +379,10 @@ func (c *Coordinator) dispatchShard(ctx context.Context, req ShardRequest, newTr
 		return
 	}
 	c.failovers.Add(1)
+	sp.SetAttr("worker", "local")
+	if retries > 0 {
+		sp.SetAttr("retries", retries)
+	}
 	resCh <- shardRes{index: req.Index, tally: exec.RunShard(c.opts.LocalWorkers, req.BaseSeed, req.Trials, req.Batch, newTrial)}
 }
 
@@ -440,7 +461,7 @@ func (c *Coordinator) settle(w *worker, req ShardRequest, resp *ShardResponse, e
 // drain), or malformed tally is a dispatch failure — the caller re-routes
 // the shard, so a lying worker can degrade throughput but never an
 // estimate.
-func (c *Coordinator) post(ctx context.Context, w *worker, req ShardRequest) (*ShardResponse, error) {
+func (c *Coordinator) post(ctx context.Context, w *worker, req ShardRequest, traceID string) (*ShardResponse, error) {
 	payload, err := json.Marshal(req)
 	if err != nil {
 		return nil, err
@@ -450,6 +471,12 @@ func (c *Coordinator) post(ctx context.Context, w *worker, req ShardRequest) (*S
 		return nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	if traceID != "" {
+		// Ask the worker to trace the shard and return its span tree; the
+		// header value ties the worker's own trace ring entry back to this
+		// coordinator trace.
+		hreq.Header.Set(telemetry.TraceHeader, traceID)
+	}
 	hresp, err := c.opts.HTTPClient.Do(hreq)
 	if err != nil {
 		return nil, err

@@ -34,6 +34,7 @@ import (
 	"faultcast"
 	"faultcast/internal/graph"
 	"faultcast/internal/stat"
+	"faultcast/internal/telemetry"
 )
 
 // ErrPlanKeyMismatch reports that a worker's rebuilt scenario hashed to a
@@ -96,6 +97,13 @@ type ShardResponse struct {
 	// cache ("cache") or compiled the scenario for it ("compiled") — the
 	// coordinator aggregates these into per-worker cache hit rates.
 	PlanSource string `json:"plan_source"`
+	// Trace, present only when the request carried an X-Faultcast-Trace
+	// header, is the worker-side span tree of this shard's execution —
+	// detached telemetry data the coordinator grafts under its dispatch
+	// span, so a distributed sweep renders as one tree with per-shard
+	// worker timings. Strictly observational: it never participates in
+	// tally validation.
+	Trace *telemetry.Span `json:"trace,omitempty"`
 }
 
 // Tally converts the response into the coordinator's merge format.

@@ -29,9 +29,25 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"time"
 
 	"faultcast/internal/stat"
+	"faultcast/internal/telemetry"
 )
+
+// BatchStat is the per-batch timing attribution delivered to Cell.Probe:
+// where one folded batch's wall-clock went. Engine is the time spent
+// inside trial/block calls, summed over every worker that contributed to
+// the batch — with several workers on one batch it can exceed Wall, the
+// open-to-fold span of the batch; the difference between Wall and
+// Engine/workers is scheduler overhead plus cross-cell interference.
+type BatchStat struct {
+	Cell      int // index of the cell in the schedule
+	Trials    int
+	Successes int
+	Engine    time.Duration
+	Wall      time.Duration
+}
 
 // Cell is one schedulable estimation stream: up to MaxTrials trials with
 // seeds BaseSeed+i, resumed from Start, stopped early once Rule is
@@ -65,6 +81,18 @@ type Cell struct {
 	// The resume prefix in Start is prior work, not a fold — it is never
 	// reported.
 	OnBatch func(trials, successes int)
+	// Probe, when non-nil, observes per-batch timing attribution (see
+	// BatchStat), called at the same boundary as OnBatch, after it, under
+	// the scheduler lock — keep it cheap. Timing is gathered only when a
+	// probe is attached, and it is purely observational: batch sizes,
+	// seeds, stop decisions, and tallies are identical with and without
+	// it.
+	Probe func(BatchStat)
+	// Trace, when non-nil, is the parent span for dispatcher-level
+	// telemetry. The in-process pool ignores it (Probe already attributes
+	// its batches); remote dispatchers hang one child span per shard off
+	// it, carrying worker identity, retries, and the worker-side subtree.
+	Trace *telemetry.Span
 	// NewTrial builds a worker-private trial function. It is called at
 	// most once per (worker, SharedKey) pair, so per-trial state — a
 	// reusable engine runner — persists across every batch a worker
@@ -125,6 +153,9 @@ func Run(ctx context.Context, workers int, cells []Cell, onDone func(i int, p st
 			continue
 		}
 		cs.batchEnd = cs.next + batchSize(c, cs.trials)
+		if c.Probe != nil {
+			cs.opened = time.Now()
+		}
 		s.active++
 	}
 	for _, i := range immediate {
@@ -214,6 +245,10 @@ type cellState struct {
 	next      int // next unclaimed trial index
 	inflight  int // claimed, not yet reported
 	batchSucc int
+	// Probe-only timing state: engineNs accumulates in-engine time of the
+	// open batch, opened is when it opened. Untouched without a Probe.
+	engineNs int64
+	opened   time.Time
 }
 
 type sched struct {
@@ -292,6 +327,10 @@ func (s *sched) worker(w int) {
 		if key == "" {
 			key = "#" + strconv.Itoa(ci)
 		}
+		var engStart time.Time
+		if spec.Probe != nil {
+			engStart = time.Now()
+		}
 		var succ int
 		if spec.NewBlock != nil {
 			block := blocks[key]
@@ -311,14 +350,31 @@ func (s *sched) worker(w int) {
 			}
 		}
 
+		var engNs int64
+		if spec.Probe != nil {
+			engNs = time.Since(engStart).Nanoseconds()
+		}
+
 		s.mu.Lock()
 		cs.inflight -= claim
 		cs.batchSucc += succ
+		cs.engineNs += engNs
 		var finished *stat.Proportion
 		if cs.next == cs.batchEnd && cs.inflight == 0 {
 			// Batch boundary: fold it in and decide.
 			if spec.OnBatch != nil {
 				spec.OnBatch(cs.batchEnd-cs.trials, cs.batchSucc)
+			}
+			if spec.Probe != nil {
+				spec.Probe(BatchStat{
+					Cell:      ci,
+					Trials:    cs.batchEnd - cs.trials,
+					Successes: cs.batchSucc,
+					Engine:    time.Duration(cs.engineNs),
+					Wall:      time.Since(cs.opened),
+				})
+				cs.engineNs = 0
+				cs.opened = time.Now()
 			}
 			cs.trials = cs.batchEnd
 			cs.successes += cs.batchSucc

@@ -223,3 +223,88 @@ func TestEstimateCell(t *testing.T) {
 		t.Fatalf("EstimateCell %+v != stream %+v", p, want)
 	}
 }
+
+// TestProbeObservation pins the Probe contract: per-batch stats fire at
+// every batch boundary, their trial/success sums reconcile exactly with
+// the cell's final tally, timing fields are populated, and — the
+// determinism half — attaching a probe changes nothing about the result.
+func TestProbeObservation(t *testing.T) {
+	mkCells := func(probe func(BatchStat)) []Cell {
+		return []Cell{
+			{
+				MaxTrials: 500, BaseSeed: 1,
+				// An enabled rule that cannot trigger in 500 trials, so the
+				// stream runs in 64-trial batches to budget exhaustion.
+				Rule:     stat.StopRule{HalfWidth: 0.0001, Batch: 64},
+				NewTrial: func() stat.Trial { return fakeTrial(0.5) },
+				Probe:    probe,
+			},
+			{
+				MaxTrials: 300, BaseSeed: 9,
+				Start:    stat.Proportion{Successes: 60, Trials: 100},
+				Rule:     stat.StopRule{Batch: 50},
+				NewTrial: func() stat.Trial { return fakeTrial(0.7) },
+				Probe:    probe,
+			},
+		}
+	}
+	run := func(cells []Cell) []stat.Proportion {
+		got := make([]stat.Proportion, len(cells))
+		if err := Run(context.Background(), 4, cells, func(i int, p stat.Proportion) { got[i] = p }); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+
+	var mu sync.Mutex
+	var stats []BatchStat
+	probed := run(mkCells(func(bs BatchStat) {
+		mu.Lock()
+		stats = append(stats, bs)
+		mu.Unlock()
+	}))
+	bare := run(mkCells(nil))
+	for i := range bare {
+		if probed[i] != bare[i] {
+			t.Fatalf("cell %d: probed tally %+v != unprobed %+v", i, probed[i], bare[i])
+		}
+	}
+
+	// Reconcile the probe stream against the final tallies. The resume
+	// prefix (cell 1's Start) is prior work, never reported.
+	trials := map[int]int{}
+	succ := map[int]int{}
+	for _, bs := range stats {
+		if bs.Cell != 0 && bs.Cell != 1 {
+			t.Fatalf("probe reported unknown cell %d", bs.Cell)
+		}
+		if bs.Trials <= 0 {
+			t.Fatalf("empty batch reported: %+v", bs)
+		}
+		if bs.Engine < 0 || bs.Wall <= 0 {
+			t.Fatalf("unpopulated timing: %+v", bs)
+		}
+		trials[bs.Cell] += bs.Trials
+		succ[bs.Cell] += bs.Successes
+	}
+	if trials[0] != probed[0].Trials || succ[0] != probed[0].Successes {
+		t.Fatalf("cell 0: probe saw %d/%d, tally %+v", succ[0], trials[0], probed[0])
+	}
+	wantTrials := probed[1].Trials - 100 // minus the resumed prefix
+	wantSucc := probed[1].Successes - 60
+	if trials[1] != wantTrials || succ[1] != wantSucc {
+		t.Fatalf("cell 1: probe saw %d/%d, want %d/%d", succ[1], trials[1], wantSucc, wantTrials)
+	}
+	// Batch sizing is probe-independent: cell 0 runs to budget with
+	// batch 64, partitioned the same way as without a probe
+	// (500 = 7×64 + 52).
+	var c0 int
+	for _, bs := range stats {
+		if bs.Cell == 0 {
+			c0++
+		}
+	}
+	if c0 != 8 {
+		t.Fatalf("cell 0 reported %d batches, want 8", c0)
+	}
+}

@@ -190,10 +190,18 @@ func (s *Snapshot) UnmarshalJSON(b []byte) error {
 // Quantile estimates the q-th quantile (q in [0, 1]) by linear
 // interpolation inside the bucket where the target rank falls. The
 // overflow bucket reports the recorded maximum; an empty histogram
-// reports zero. Estimates are bounded by the bucket resolution (~19%).
+// reports zero for every quantile, and a single-sample histogram
+// reports that sample (interpolating inside the sample's bucket would
+// fabricate a value below it — a p99 of a one-observation window must
+// be the observation). Estimates are bounded by the bucket resolution
+// (~19%); a NaN q reports zero rather than poisoning downstream math.
 func (s Snapshot) Quantile(q float64) time.Duration {
-	if s.Count == 0 {
+	if s.Count == 0 || math.IsNaN(q) {
 		return 0
+	}
+	if s.Count == 1 {
+		// The only recorded value is, exactly, the running max.
+		return s.Max
 	}
 	if q < 0 {
 		q = 0
@@ -249,6 +257,35 @@ type Summary struct {
 	P95Ms  float64 `json:"p95_ms"`
 	P99Ms  float64 `json:"p99_ms"`
 	MaxMs  float64 `json:"max_ms"`
+}
+
+// OctaveBounds returns the one-per-octave upper bucket edges in seconds
+// (2µs, 4µs, ..., 2^28µs ≈ 268s) used by the Prometheus rendering of a
+// histogram: coarse enough to keep a many-series scrape compact while
+// the full 4-per-octave resolution stays behind Quantile/Summarize.
+// Aligned index-for-index with Snapshot.CumulativeOctaves.
+func OctaveBounds() []float64 {
+	out := make([]float64, octaves)
+	for k := range out {
+		out[k] = float64(bounds[(k+1)*bucketsPerOctave-1]) / 1e9
+	}
+	return out
+}
+
+// CumulativeOctaves returns Prometheus-style cumulative bucket counts at
+// the OctaveBounds edges: element k counts observations at or below
+// 2^(k+1) µs. The overflow bucket is excluded — it is visible only in
+// the +Inf bucket, whose value is Count.
+func (s Snapshot) CumulativeOctaves() []uint64 {
+	out := make([]uint64, octaves)
+	var cum uint64
+	for k := range out {
+		for i := k * bucketsPerOctave; i < (k+1)*bucketsPerOctave; i++ {
+			cum += s.buckets[i]
+		}
+		out[k] = cum
+	}
+	return out
 }
 
 // Summarize renders the snapshot for JSON reports.

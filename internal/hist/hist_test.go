@@ -1,6 +1,7 @@
 package hist
 
 import (
+	"math"
 	"sync"
 	"testing"
 	"time"
@@ -138,5 +139,113 @@ func TestConcurrentObserve(t *testing.T) {
 	}
 	if bucketSum != s.Count {
 		t.Fatalf("buckets sum to %d, count is %d", bucketSum, s.Count)
+	}
+}
+
+// TestQuantileEdgeCases is the table over the degenerate inputs that used
+// to misbehave: an empty histogram must report zero for every q, a
+// single-sample histogram must report the sample itself (interpolating
+// inside its bucket fabricates a value below the only observation), and a
+// NaN q must report zero instead of poisoning downstream math.
+func TestQuantileEdgeCases(t *testing.T) {
+	var eh Histogram
+	empty := eh.Snapshot()
+	single := func(d time.Duration) Snapshot {
+		var h Histogram
+		h.Observe(d)
+		return h.Snapshot()
+	}
+	cases := []struct {
+		name string
+		s    Snapshot
+		q    float64
+		want time.Duration
+	}{
+		{"empty q0", empty, 0, 0},
+		{"empty q0.5", empty, 0.5, 0},
+		{"empty q1", empty, 1, 0},
+		{"empty NaN", empty, math.NaN(), 0},
+		{"single q0", single(3 * time.Millisecond), 0, 3 * time.Millisecond},
+		{"single q0.5", single(3 * time.Millisecond), 0.5, 3 * time.Millisecond},
+		{"single q0.95", single(3 * time.Millisecond), 0.95, 3 * time.Millisecond},
+		{"single q1", single(3 * time.Millisecond), 1, 3 * time.Millisecond},
+		{"single sub-minimum", single(time.Nanosecond), 0.99, time.Nanosecond},
+		{"single overflow", single(2 * time.Hour), 0.5, 2 * time.Hour},
+		{"single NaN", single(3 * time.Millisecond), math.NaN(), 0},
+		{"single q<0 clamps", single(3 * time.Millisecond), -1, 3 * time.Millisecond},
+		{"single q>1 clamps", single(3 * time.Millisecond), 2, 3 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		if got := tc.s.Quantile(tc.q); got != tc.want {
+			t.Errorf("%s: Quantile = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	// Two-sample histograms leave the single-sample special case: the
+	// estimate is interpolated, but stays within the recorded range.
+	var h Histogram
+	h.Observe(time.Millisecond)
+	h.Observe(time.Millisecond)
+	if got := h.Snapshot().Quantile(0.99); got > time.Millisecond {
+		t.Errorf("two equal samples: q99 %v exceeds the samples", got)
+	}
+}
+
+// TestOctaveRendering pins the coarse one-per-octave view behind the
+// Prometheus histogram rendering: edges align index-for-index with
+// CumulativeOctaves, counts are cumulative, and the overflow bucket is
+// visible only via Count (the +Inf bucket).
+func TestOctaveRendering(t *testing.T) {
+	edges := OctaveBounds()
+	if len(edges) != octaves {
+		t.Fatalf("%d octave edges, want %d", len(edges), octaves)
+	}
+	if edges[0] != 2e-6 {
+		t.Fatalf("first octave edge %v s, want 2µs", edges[0])
+	}
+	for k := 1; k < len(edges); k++ {
+		ratio := edges[k] / edges[k-1]
+		if ratio < 1.999 || ratio > 2.001 {
+			t.Fatalf("octave edge %d is %.4fx edge %d, want 2x", k, ratio, k-1)
+		}
+	}
+	// Each edge is the last 4-per-octave bound of its octave.
+	for k, e := range edges {
+		if want := float64(bounds[(k+1)*bucketsPerOctave-1]) / 1e9; e != want {
+			t.Fatalf("octave edge %d = %v, want bound %v", k, e, want)
+		}
+	}
+
+	var h Histogram
+	h.Observe(1500 * time.Nanosecond) // octave 0 (≤2µs)
+	h.Observe(3 * time.Microsecond)   // octave 1 (≤4µs)
+	h.Observe(3500 * time.Nanosecond) // octave 1
+	h.Observe(100 * time.Microsecond) // a middle octave
+	h.Observe(2 * time.Hour)          // overflow: beyond every edge
+	s := h.Snapshot()
+	cum := s.CumulativeOctaves()
+	if len(cum) != octaves {
+		t.Fatalf("%d cumulative octaves, want %d", len(cum), octaves)
+	}
+	if cum[0] != 1 || cum[1] != 3 {
+		t.Fatalf("low octaves: %v", cum[:2])
+	}
+	for k := 1; k < len(cum); k++ {
+		if cum[k] < cum[k-1] {
+			t.Fatalf("cumulative counts decrease at octave %d: %v", k, cum[:k+1])
+		}
+	}
+	// The last finite edge excludes the overflow observation; Count (the
+	// +Inf bucket) includes it.
+	if cum[octaves-1] != 4 {
+		t.Fatalf("last octave holds %d, want 4 (overflow excluded)", cum[octaves-1])
+	}
+	if s.Count != 5 {
+		t.Fatalf("count %d, want 5", s.Count)
+	}
+	// Empty snapshot: all-zero octaves.
+	for k, c := range (Snapshot{}).CumulativeOctaves() {
+		if c != 0 {
+			t.Fatalf("empty octave %d = %d", k, c)
+		}
 	}
 }

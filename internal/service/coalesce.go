@@ -6,11 +6,14 @@ import (
 )
 
 // outcome is the shared result of one coalesced estimate execution: either
-// a success response or a structured error with its HTTP status.
+// a success response or a structured error with its HTTP status. traceID
+// names the LEADER's trace, so riders can point their own (empty) traces
+// at the one that did the work.
 type outcome struct {
 	resp    EstimateResponse
 	status  int
 	errResp ErrorResponse
+	traceID string
 }
 
 // flightGroup is a minimal singleflight: concurrent do calls with the same

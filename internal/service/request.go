@@ -92,6 +92,10 @@ type EstimateResponse struct {
 	// the /v1/scenarios limits). Both are omitted when no clamp happened.
 	Clamped         bool `json:"clamped,omitempty"`
 	TrialsRequested int  `json:"trials_requested,omitempty"`
+	// TraceID names this request's trace, retrievable at
+	// GET /v1/trace/{id} while the server still retains it. Omitted when
+	// tracing is disabled (faultcastd -trace-ring=-1).
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx answer.
@@ -105,6 +109,9 @@ type ErrorResponse struct {
 	Field string `json:"field,omitempty"`
 	// RetryAfterSeconds mirrors the Retry-After header on 429 answers.
 	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
+	// TraceID names the failing request's trace, when tracing is enabled
+	// and the failure happened late enough to have one.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // requestError carries a structured validation failure to the handler.

@@ -16,6 +16,7 @@ import (
 	"faultcast/internal/cluster"
 	"faultcast/internal/hist"
 	"faultcast/internal/store"
+	"faultcast/internal/telemetry"
 )
 
 // Options tunes a Server. The zero value gets sensible defaults (see
@@ -56,6 +57,13 @@ type Options struct {
 	// results. The coordinator's per-worker health and shard counters are
 	// surfaced in /v1/stats.
 	Cluster *cluster.Coordinator
+	// TraceRing bounds the retained finished request traces (default 256;
+	// negative disables tracing entirely — span calls become nil no-ops).
+	// TraceSlowest keeps the N slowest traces beyond ring eviction
+	// (default 16). Retained traces are listed at GET /v1/trace and
+	// fetched at GET /v1/trace/{id}.
+	TraceRing    int
+	TraceSlowest int
 	// Store, when non-nil, is the durable tally store (faultcastd
 	// -store=DIR). Every estimate and sweep cell then resumes from the
 	// store's persisted trial prefix and appends its marginal batches
@@ -104,6 +112,12 @@ func (o Options) withDefaults() Options {
 	case o.MaxQueue < 0:
 		o.MaxQueue = 0
 	}
+	if o.TraceRing == 0 {
+		o.TraceRing = 256
+	}
+	if o.TraceSlowest <= 0 {
+		o.TraceSlowest = 16
+	}
 	if o.Now == nil {
 		o.Now = time.Now
 	}
@@ -137,6 +151,12 @@ type Server struct {
 	shardInflight atomic.Int64
 
 	c counters
+
+	// tel retains finished request traces (nil when Options.TraceRing is
+	// negative — every span call then no-ops); reg is the /metrics
+	// registry, re-expressing the same counters /v1/stats reads.
+	tel *telemetry.Collector
+	reg *telemetry.Registry
 
 	// lat records server-observed request latency per endpoint (handler
 	// entry to response written, all statuses), surfaced in /v1/stats so
@@ -198,7 +218,7 @@ func (c *counters) countCore(core string) {
 // New returns a Server with the given options (zero fields defaulted).
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
-	return &Server{
+	s := &Server{
 		opts:    opts,
 		start:   opts.Now(),
 		plans:   newLRU[*faultcast.Plan](opts.PlanCacheSize),
@@ -206,7 +226,19 @@ func New(opts Options) *Server {
 		sweeps:  newLRU[*faultcast.SweepPlan](16),
 		slots:   make(chan struct{}, opts.MaxInflight),
 	}
+	if opts.TraceRing > 0 {
+		s.tel = telemetry.NewCollector(opts.TraceRing, opts.TraceSlowest)
+	}
+	s.reg = s.buildMetrics()
+	return s
 }
+
+// Metrics exposes the server's registry (for golden-name tests and the
+// faultcastctl metrics subcommand's offline mode).
+func (s *Server) Metrics() *telemetry.Registry { return s.reg }
+
+// Traces exposes the trace collector (nil when tracing is disabled).
+func (s *Server) Traces() *telemetry.Collector { return s.tel }
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler {
@@ -216,10 +248,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/shard", s.handleShard)
 	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/trace", s.handleTraceIndex)
+	mux.HandleFunc("GET /v1/trace/{id}", s.handleTraceGet)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	// The catch-all matches before the mux's automatic 405, so method
 	// mismatches on known paths are distinguished from unknown paths here.
-	methods := map[string]string{"/v1/estimate": http.MethodPost, "/v1/sweep": http.MethodPost, "/v1/shard": http.MethodPost, "/v1/scenarios": http.MethodGet, "/v1/stats": http.MethodGet, "/healthz": http.MethodGet}
+	methods := map[string]string{"/v1/estimate": http.MethodPost, "/v1/sweep": http.MethodPost, "/v1/shard": http.MethodPost, "/v1/scenarios": http.MethodGet, "/v1/stats": http.MethodGet, "/v1/trace": http.MethodGet, "/metrics": http.MethodGet, "/healthz": http.MethodGet}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if want, ok := methods[r.URL.Path]; ok {
 			w.Header().Set("Allow", want)
@@ -244,20 +279,22 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	s.c.estimateCalls.Add(1)
 	start := time.Now()
 	defer func() { s.lat.estimate.Observe(time.Since(start)) }()
+	tr := s.tel.StartTrace("estimate")
+	defer tr.Finish()
 	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	var req EstimateRequest
 	if err := dec.Decode(&req); err != nil {
 		s.c.badRequests.Add(1)
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), Code: "bad-json"})
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), Code: "bad-json", TraceID: tr.ID()})
 		return
 	}
 	cfg, trials, err := req.config(s.opts)
 	if err != nil {
 		s.c.badRequests.Add(1)
 		re := err.(*requestError)
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: re.msg, Code: re.code, Field: re.field})
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: re.msg, Code: re.code, Field: re.field, TraceID: tr.ID()})
 		return
 	}
 	key := cfg.Fingerprint()
@@ -273,12 +310,16 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	tr.Root().SetAttr("key", key)
+
 	// Fast path: a fresh cached estimate that already satisfies the
 	// confidence requirement answers with zero simulation and no slot.
 	if e, ok := s.cachedSatisfying(key, trials, req.HalfWidth); ok {
 		s.c.cacheHits.Add(1)
+		tr.Root().SetAttr("served", "cache")
 		resp := s.response(cfg, key, e.est, e.rounds, e.core, "cache", 0)
 		annotate(&resp)
+		resp.TraceID = tr.ID()
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
@@ -291,9 +332,15 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		// one disconnecting client can't turn everyone's answer into a
 		// 429 while it waits for a slot. The wait stays bounded —
 		// estimates always terminate and MaxQueue caps the queue.
-		return s.execute(context.WithoutCancel(r.Context()), cfg, key, trials, req.HalfWidth)
+		o := s.execute(context.WithoutCancel(r.Context()), tr, cfg, key, trials, req.HalfWidth)
+		o.traceID = tr.ID()
+		return o
 	})
 	if shared {
+		// Riders have an empty trace of their own; record which trace did
+		// the work so /v1/trace navigates from the rider to the leader.
+		tr.Root().SetAttr("served", "coalesced")
+		tr.Root().SetAttr("coalesced_with", out.traceID)
 		// Only a shared SUCCESS is a coalesce — simulation the rider did
 		// not pay for. Riding a failed leader saved nothing; count it
 		// separately, and count every 429 actually returned as rejected
@@ -315,10 +362,14 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		if out.status == http.StatusTooManyRequests {
 			w.Header().Set("Retry-After", strconv.Itoa(out.errResp.RetryAfterSeconds))
 		}
+		out.errResp.TraceID = tr.ID()
 		writeJSON(w, out.status, out.errResp)
 		return
 	}
 	annotate(&out.resp)
+	// Every response echoes ITS request's trace, not the leader's: a
+	// rider's trace is where its coalesced_with pointer lives.
+	out.resp.TraceID = tr.ID()
 	writeJSON(w, http.StatusOK, out.resp)
 }
 
@@ -329,17 +380,25 @@ func estimateFlightKey(key string, trials int, halfWidth float64) string {
 }
 
 // execute is the singleflight leader's path: admission, plan lookup or
-// compile, and a fresh or topped-up estimate.
-func (s *Server) execute(ctx context.Context, cfg faultcast.Config, key string, trials int, halfWidth float64) outcome {
+// compile, and a fresh or topped-up estimate. The trace gains one span
+// per stage (admission wait, plan lookup/compile, execution) — purely
+// observational, and nil-safe when tracing is disabled.
+func (s *Server) execute(ctx context.Context, tr *telemetry.Trace, cfg faultcast.Config, key string, trials int, halfWidth float64) outcome {
 	// The result cache may have been filled while this call waited for
 	// an earlier leader on the same key to finish.
 	if e, ok := s.cachedSatisfying(key, trials, halfWidth); ok {
 		s.c.cacheHits.Add(1)
+		tr.Root().SetAttr("served", "cache")
 		return outcome{status: http.StatusOK, resp: s.response(cfg, key, e.est, e.rounds, e.core, "cache", 0)}
 	}
-	switch s.acquire(ctx) {
+	adm := tr.StartSpan("admission")
+	verdict := s.acquire(ctx)
+	adm.End()
+	switch verdict {
 	case admitted:
+		adm.SetAttr("outcome", "admitted")
 	case admitFull:
+		adm.SetAttr("outcome", "rejected")
 		s.c.rejected.Add(1)
 		return outcome{status: http.StatusTooManyRequests, errResp: ErrorResponse{
 			Error:             "estimation capacity exhausted; retry shortly",
@@ -350,6 +409,7 @@ func (s *Server) execute(ctx context.Context, cfg faultcast.Config, key string, 
 		// Unreachable in practice — handleEstimate detaches the leader's
 		// cancellation — but a canceled caller is not capacity exhaustion:
 		// no rejected bump, no Retry-After.
+		adm.SetAttr("outcome", "canceled")
 		s.c.canceled.Add(1)
 		return outcome{status: statusClientClosedRequest, errResp: ErrorResponse{
 			Error: "request canceled by the client while queued",
@@ -365,7 +425,9 @@ func (s *Server) execute(ctx context.Context, cfg faultcast.Config, key string, 
 	// cache stays on the seed-inclusive key — results DO depend on it.
 	seedless := cfg
 	seedless.Seed = 0
-	plan, _, err := s.plan(seedless.Fingerprint(), seedless)
+	psp := tr.StartSpan("plan")
+	plan, _, err := s.plan(psp, seedless.Fingerprint(), seedless)
+	psp.End()
 	if err != nil {
 		// Compile rejects scenario mismatches request validation cannot
 		// see (e.g. flooding requested under the radio model).
@@ -397,11 +459,22 @@ func (s *Server) execute(ctx context.Context, cfg faultcast.Config, key string, 
 	if halfWidth > 0 {
 		opts = append(opts, faultcast.WithHalfWidth(halfWidth))
 	}
+	xsp := tr.StartSpan("execute")
+	var agg batchAgg
+	if xsp != nil {
+		// Only attach observation hooks when someone is listening — the
+		// probe costs two clock reads per batch in the scheduler.
+		opts = append(opts, faultcast.WithSpan(xsp), faultcast.WithBatchProbe(agg.observe))
+	}
 	est, err := plan.EstimateFrom(prev, trials, opts...)
 	if err != nil {
+		xsp.End()
 		return outcome{status: http.StatusInternalServerError, errResp: ErrorResponse{Error: err.Error(), Code: "internal"}}
 	}
 	core := plan.EstimationCore()
+	xsp.SetAttr("core", core)
+	agg.annotate(xsp)
+	xsp.End()
 	s.c.executions.Add(1)
 	s.c.countCore(core)
 	if s.opts.Store == nil {
@@ -425,6 +498,11 @@ func (s *Server) execute(ctx context.Context, cfg faultcast.Config, key string, 
 	case refining:
 		served = "refined"
 		s.c.refines.Add(1)
+	}
+	tr.Root().SetAttr("served", served)
+	tr.Root().SetAttr("trials_simulated", simulated)
+	if resumed > 0 {
+		tr.Root().SetAttr("resumed_trials", resumed)
 	}
 	s.storeResult(key, est, plan.Rounds(), core)
 	return outcome{status: http.StatusOK, resp: s.response(cfg, key, est, plan.Rounds(), core, served, simulated)}
@@ -477,19 +555,25 @@ func (s *Server) release() { <-s.slots }
 // plan returns the cached compiled plan for key, compiling (outside the
 // cache lock — compiles can be slow) on a miss; cached reports which of
 // the two happened (the shard endpoint surfaces it to its coordinator).
-func (s *Server) plan(key string, cfg faultcast.Config) (plan *faultcast.Plan, cached bool, err error) {
+// sp is the caller's "plan" span (nil-safe): a hit tags it
+// source=cache, a miss hangs the compile time under it as a child.
+func (s *Server) plan(sp *telemetry.Span, key string, cfg faultcast.Config) (plan *faultcast.Plan, cached bool, err error) {
 	s.mu.Lock()
 	if p, ok := s.plans.get(key); ok {
 		s.mu.Unlock()
 		s.c.planCacheHits.Add(1)
+		sp.SetAttr("source", "cache")
 		return p, true, nil
 	}
 	s.mu.Unlock()
+	csp := sp.StartChild("compile")
 	plan, err = faultcast.Compile(cfg)
+	csp.End()
 	if err != nil {
 		return nil, false, err
 	}
 	s.c.planCompiles.Add(1)
+	sp.SetAttr("source", "compiled")
 	s.mu.Lock()
 	s.plans.put(key, plan)
 	s.mu.Unlock()

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"faultcast/internal/cluster"
+	"faultcast/internal/telemetry"
 )
 
 // BeginDrain puts the server into drain mode: new /v1/shard work is
@@ -90,39 +91,67 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), Code: "bad-request"})
 		return
 	}
-	switch s.acquire(r.Context()) {
+
+	// When the coordinator propagated a trace ID, record this shard's
+	// execution as a worker-local trace: it is filed in THIS worker's ring
+	// (tagged with the coordinator's ID for cross-referencing), and its
+	// finished span tree rides back on the response for the coordinator to
+	// graft under its dispatch span.
+	var tr *telemetry.Trace
+	if coordID := r.Header.Get(telemetry.TraceHeader); coordID != "" {
+		tr = s.tel.StartTrace("shard")
+		tr.Root().SetAttr("coordinator_trace", coordID)
+		tr.Root().SetAttr("index", req.Index)
+		defer tr.Finish()
+	}
+
+	adm := tr.StartSpan("admission")
+	verdict := s.acquire(r.Context())
+	adm.End()
+	switch verdict {
 	case admitted:
+		adm.SetAttr("outcome", "admitted")
 	case admitFull:
+		adm.SetAttr("outcome", "rejected")
 		s.c.rejected.Add(1)
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
 			Error:             "shard capacity exhausted; re-dispatch elsewhere or retry shortly",
 			Code:              "overloaded",
 			RetryAfterSeconds: 1,
+			TraceID:           tr.ID(),
 		})
 		return
 	case admitCanceled:
 		// The coordinator abandoned the shard while it was queued (its
 		// own deadline or caller hung up); this worker was not overloaded.
+		adm.SetAttr("outcome", "canceled")
 		s.c.canceled.Add(1)
 		writeJSON(w, statusClientClosedRequest, ErrorResponse{
-			Error: "shard canceled by the coordinator while queued",
-			Code:  "canceled",
+			Error:   "shard canceled by the coordinator while queued",
+			Code:    "canceled",
+			TraceID: tr.ID(),
 		})
 		return
 	}
 	defer s.release()
 
 	key := cfg.Fingerprint() // cfg is seed-less by wire construction
-	plan, cached, err := s.plan(key, cfg)
+	psp := tr.StartSpan("plan")
+	plan, cached, err := s.plan(psp, key, cfg)
+	psp.End()
 	if err != nil {
 		// Compile rejects scenario mismatches validation cannot see
 		// (e.g. flooding requested under the radio model).
 		s.c.badRequests.Add(1)
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), Code: "bad-request"})
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), Code: "bad-request", TraceID: tr.ID()})
 		return
 	}
+	xsp := tr.StartSpan("execute")
 	tally := plan.TallyShard(req.BaseSeed, req.Trials, req.Batch, s.opts.Workers)
+	xsp.SetAttr("core", plan.EstimationCore())
+	xsp.SetAttr("trials", tally.Trials)
+	xsp.End()
 	s.c.shardsExecuted.Add(1)
 	s.c.countCore(plan.EstimationCore())
 	s.c.shardTrials.Add(uint64(tally.Trials))
@@ -131,6 +160,9 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 	if cached {
 		source = "cache"
 	}
+	// Seal the trace BEFORE marshaling so the root span's duration is on
+	// the wire; the deferred Finish above then no-ops.
+	tr.Finish()
 	writeJSON(w, http.StatusOK, cluster.ShardResponse{
 		Key:        key,
 		Index:      req.Index,
@@ -138,5 +170,6 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 		Batch:      tally.Batch,
 		Successes:  tally.Successes,
 		PlanSource: source,
+		Trace:      tr.Root(),
 	})
 }

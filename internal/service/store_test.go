@@ -17,6 +17,7 @@ func sameBits(t *testing.T, label string, got, want EstimateResponse) {
 	t.Helper()
 	got.Served, want.Served = "", ""
 	got.TrialsSimulated, want.TrialsSimulated = 0, 0
+	got.TraceID, want.TraceID = "", ""
 	if got != want {
 		t.Fatalf("%s: answers differ:\n got %+v\nwant %+v", label, got, want)
 	}
@@ -113,18 +114,31 @@ func TestStoreRefinementCoalesces(t *testing.T) {
 	s.slots <- struct{}{} // hold the only execution slot
 	refine := prime
 	refine.Trials = 192
+	cfg, trials, err := refine.config(s.opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fk := estimateFlightKey(cfg.Fingerprint(), trials, refine.HalfWidth)
 	responses := make(chan EstimateResponse, 2)
 	var wg sync.WaitGroup
-	for i := 0; i < 2; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			responses <- postEstimate(t, ts.URL, refine)
-		}()
+	post := func() {
+		defer wg.Done()
+		responses <- postEstimate(t, ts.URL, refine)
 	}
-	// One leader must reach the admission queue; its twin is then parked
-	// on the flight group, not the queue.
+	// The leader registers the flight, then queues for the slot; only
+	// once it is confirmed queued does the twin start, and only once the
+	// riders gauge confirms the twin is parked on the flight is the slot
+	// released — the twin can neither miss the flight window nor find
+	// the leader's answer already cached.
+	wg.Add(1)
+	go post()
 	waitFor(t, "leader parked in the queue", func() bool { return s.waiting.Load() == 1 })
+	wg.Add(1)
+	go post()
+	waitFor(t, "twin riding the flight", func() bool {
+		n, ok := s.flight.ridersOf(fk)
+		return ok && n == 1
+	})
 	<-s.slots
 	wg.Wait()
 	close(responses)

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"faultcast"
+	"faultcast/internal/telemetry"
 )
 
 // sweepKey serializes a validated spec's identity for the compiled-sweep
@@ -58,20 +59,27 @@ func sweepKey(spec faultcast.SweepSpec) string {
 // identical compilation — the plan-LRU sharing /v1/estimate enjoys, at
 // sweep granularity. Hits and compiles tick the same plan-cache
 // counters (a sweep compile counts once per distinct cell plan).
-func (s *Server) sweepPlan(spec faultcast.SweepSpec) (*faultcast.SweepPlan, error) {
+// psp is the caller's "plan" span (nil-safe), tagged and timed exactly
+// like the estimate path's.
+func (s *Server) sweepPlan(psp *telemetry.Span, spec faultcast.SweepSpec) (*faultcast.SweepPlan, error) {
 	key := sweepKey(spec)
 	s.mu.Lock()
 	if sp, ok := s.sweeps.get(key); ok {
 		s.mu.Unlock()
 		s.c.planCacheHits.Add(1)
+		psp.SetAttr("source", "cache")
 		return sp, nil
 	}
 	s.mu.Unlock()
+	csp := psp.StartChild("compile")
 	sp, err := faultcast.CompileSweep(spec)
+	csp.End()
 	if err != nil {
 		return nil, err
 	}
 	s.c.planCompiles.Add(uint64(sp.PlanCount()))
+	psp.SetAttr("source", "compiled")
+	psp.SetAttr("distinct_plans", sp.PlanCount())
 	s.mu.Lock()
 	s.sweeps.put(key, sp)
 	s.mu.Unlock()
@@ -166,6 +174,9 @@ type SweepSummary struct {
 	CacheHits       int    `json:"cache_hits"`
 	Refined         int    `json:"refined"`
 	Error           string `json:"error,omitempty"`
+	// TraceID names the sweep's trace (GET /v1/trace/{id}); omitted when
+	// tracing is disabled.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // spec validates the request against the server limits and lowers it to a
@@ -297,20 +308,22 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.c.sweepCalls.Add(1)
 	start := time.Now()
 	defer func() { s.lat.sweep.Observe(time.Since(start)) }()
+	tr := s.tel.StartTrace("sweep")
+	defer tr.Finish()
 	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	var req SweepRequest
 	if err := dec.Decode(&req); err != nil {
 		s.c.badRequests.Add(1)
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), Code: "bad-json"})
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), Code: "bad-json", TraceID: tr.ID()})
 		return
 	}
 	spec, err := req.spec(s.opts)
 	if err != nil {
 		s.c.badRequests.Add(1)
 		re := err.(*requestError)
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: re.msg, Code: re.code, Field: re.field})
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: re.msg, Code: re.code, Field: re.field, TraceID: tr.ID()})
 		return
 	}
 	// The size gate is arithmetic (axis-length product), so an oversized
@@ -319,40 +332,51 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if n := spec.CellCount(); n > s.opts.MaxSweepCells {
 		s.c.badRequests.Add(1)
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{
-			Error: fmt.Sprintf("sweep expands to %d cells; this server serves at most %d", n, s.opts.MaxSweepCells),
-			Code:  "sweep-too-large",
+			Error:   fmt.Sprintf("sweep expands to %d cells; this server serves at most %d", n, s.opts.MaxSweepCells),
+			Code:    "sweep-too-large",
+			TraceID: tr.ID(),
 		})
 		return
 	}
-	switch s.acquire(r.Context()) {
+	adm := tr.StartSpan("admission")
+	verdict := s.acquire(r.Context())
+	adm.End()
+	switch verdict {
 	case admitted:
+		adm.SetAttr("outcome", "admitted")
 	case admitFull:
+		adm.SetAttr("outcome", "rejected")
 		s.c.rejected.Add(1)
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
 			Error:             "estimation capacity exhausted; retry shortly",
 			Code:              "overloaded",
 			RetryAfterSeconds: 1,
+			TraceID:           tr.ID(),
 		})
 		return
 	case admitCanceled:
 		// The client hung up while queued. Not overload: no rejected
 		// bump, no Retry-After — nobody is listening for one anyway.
+		adm.SetAttr("outcome", "canceled")
 		s.c.canceled.Add(1)
 		writeJSON(w, statusClientClosedRequest, ErrorResponse{
-			Error: "request canceled by the client while queued",
-			Code:  "canceled",
+			Error:   "request canceled by the client while queued",
+			Code:    "canceled",
+			TraceID: tr.ID(),
 		})
 		return
 	}
 	defer s.release()
 
-	sp, err := s.sweepPlan(spec)
+	psp := tr.StartSpan("plan")
+	sp, err := s.sweepPlan(psp, spec)
+	psp.End()
 	if err != nil {
 		// Compile rejects scenario mismatches validation cannot see
 		// (e.g. flooding requested under the radio model).
 		s.c.badRequests.Add(1)
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), Code: "bad-request"})
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), Code: "bad-request", TraceID: tr.ID()})
 		return
 	}
 
@@ -360,9 +384,17 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
-	summary := SweepSummary{Cells: len(sp.Cells()), DistinctPlans: sp.PlanCount()}
+	summary := SweepSummary{Cells: len(sp.Cells()), DistinctPlans: sp.PlanCount(), TraceID: tr.ID()}
 
 	var opts []faultcast.SweepOption
+	xsp := tr.StartSpan("execute")
+	var agg batchAgg
+	if xsp != nil {
+		// The span hangs store-replay and per-shard children under the
+		// sweep's execution; the probe attributes engine time vs scheduler
+		// overhead per decided batch. Both purely observational.
+		opts = append(opts, faultcast.WithSweepSpan(xsp), faultcast.WithSweepProbe(agg.observe))
+	}
 	if s.opts.Store != nil {
 		// Store mode: every cell resumes from the durable store's replay
 		// instead of the in-memory cache, so a restarted daemon re-runs
@@ -440,6 +472,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 	}, opts...)
+	agg.annotate(xsp)
+	xsp.End()
+	tr.Root().SetAttr("cells", len(sp.Cells()))
+	tr.Root().SetAttr("trials_simulated", summary.TrialsSimulated)
+	tr.Root().SetAttr("cache_hits", summary.CacheHits)
 	summary.Done = runErr == nil
 	if runErr != nil {
 		summary.Error = runErr.Error()

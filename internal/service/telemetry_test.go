@@ -1,0 +1,362 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+
+	"faultcast/internal/cluster"
+	"faultcast/internal/store"
+	"faultcast/internal/telemetry"
+)
+
+var updateMetricsGolden = flag.Bool("update-metrics", false, "rewrite the metrics_names.txt family ledger")
+
+func getJSON(t *testing.T, url string, into any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	// Error bodies are structured too (ErrorResponse) — decode whatever
+	// came back and let the caller assert on it.
+	_ = json.NewDecoder(resp.Body).Decode(into)
+	return resp.StatusCode
+}
+
+func spanByName(sp *telemetry.Span, name string) *telemetry.Span {
+	if sp == nil {
+		return nil
+	}
+	for _, c := range sp.Children {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+func attrValue(sp *telemetry.Span, key string) (string, bool) {
+	for _, a := range sp.Attrs {
+		if a.Key == key {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// TestEstimateTraceTree pins the span lifecycle of one estimate:
+// admission → plan (with compile child on a miss) → execute, with the
+// serving attributes the operator reads off a slow trace, and the
+// trace_id echoed on the response resolving to that tree.
+func TestEstimateTraceTree(t *testing.T) {
+	s, ts := testServer(t, Options{})
+	resp := postEstimate(t, ts.URL, EstimateRequest{Graph: "line:8", P: 0.3, Trials: 128, Seed: 4})
+	if resp.TraceID == "" {
+		t.Fatal("no trace_id on response")
+	}
+	tr, ok := s.Traces().Get(resp.TraceID)
+	if !ok {
+		t.Fatalf("trace %s not retained", resp.TraceID)
+	}
+	root := tr.Root()
+	if root.Name != "estimate" {
+		t.Fatalf("root span %q", root.Name)
+	}
+	if v, ok := attrValue(root, "served"); !ok || v != "simulated" {
+		t.Fatalf("served attr: %q %v (attrs %+v)", v, ok, root.Attrs)
+	}
+	adm := spanByName(root, "admission")
+	if adm == nil {
+		t.Fatalf("no admission span: %+v", root.Children)
+	}
+	if v, _ := attrValue(adm, "outcome"); v != "admitted" {
+		t.Fatalf("admission outcome %q", v)
+	}
+	plan := spanByName(root, "plan")
+	if plan == nil || spanByName(plan, "compile") == nil {
+		t.Fatalf("cold request missing plan/compile spans: %+v", root.Children)
+	}
+	if v, _ := attrValue(plan, "source"); v != "compiled" {
+		t.Fatalf("plan source %q", v)
+	}
+	ex := spanByName(root, "execute")
+	if ex == nil {
+		t.Fatal("no execute span")
+	}
+	if v, ok := attrValue(ex, "batches"); !ok || v == "0" {
+		t.Fatalf("execute batches attr: %q %v (attrs %+v)", v, ok, ex.Attrs)
+	}
+	if _, ok := attrValue(ex, "engine_time"); !ok {
+		t.Fatalf("execute missing engine-time attribution: %+v", ex.Attrs)
+	}
+
+	// A repeat is served from cache: no execute span, served=cache, and a
+	// distinct trace of its own.
+	repeat := postEstimate(t, ts.URL, EstimateRequest{Graph: "line:8", P: 0.3, Trials: 128, Seed: 4})
+	if repeat.TraceID == "" || repeat.TraceID == resp.TraceID {
+		t.Fatalf("repeat trace_id %q (first %q)", repeat.TraceID, resp.TraceID)
+	}
+	tr2, ok := s.Traces().Get(repeat.TraceID)
+	if !ok {
+		t.Fatal("repeat trace not retained")
+	}
+	if v, _ := attrValue(tr2.Root(), "served"); v != "cache" {
+		t.Fatalf("repeat served attr %q", v)
+	}
+	if spanByName(tr2.Root(), "execute") != nil {
+		t.Fatal("cache hit has an execute span")
+	}
+}
+
+// TestTraceEndpoints drives GET /v1/trace and /v1/trace/{id} over HTTP:
+// index counts, retrievable trees, 404 on unknown IDs, and the
+// tracing-disabled surface when -trace-ring is negative.
+func TestTraceEndpoints(t *testing.T) {
+	_, ts := testServer(t, Options{TraceRing: 4, TraceSlowest: 2})
+	resp := postEstimate(t, ts.URL, EstimateRequest{Graph: "line:8", P: 0.2, Trials: 64})
+
+	var idx telemetry.Index
+	if code := getJSON(t, ts.URL+"/v1/trace", &idx); code != http.StatusOK {
+		t.Fatalf("trace index: %d", code)
+	}
+	if idx.Started != 1 || idx.Finished != 1 || idx.Capacity != 4 || len(idx.Recent) != 1 {
+		t.Fatalf("index: %+v", idx)
+	}
+	if idx.Recent[0].ID != resp.TraceID {
+		t.Fatalf("index trace %s, response trace %s", idx.Recent[0].ID, resp.TraceID)
+	}
+
+	var tj telemetry.TraceJSON
+	if code := getJSON(t, ts.URL+"/v1/trace/"+resp.TraceID, &tj); code != http.StatusOK {
+		t.Fatalf("trace get: %d", code)
+	}
+	if tj.ID != resp.TraceID || tj.Root == nil || spanByName(tj.Root, "execute") == nil {
+		t.Fatalf("trace body: %+v", tj)
+	}
+
+	var er ErrorResponse
+	if code := getJSON(t, ts.URL+"/v1/trace/no-such-trace", &er); code != http.StatusNotFound || er.Code != "trace-not-found" {
+		t.Fatalf("unknown trace: %d %q", code, er.Code)
+	}
+
+	// Tracing disabled: responses carry no trace_id, the endpoints 404.
+	_, off := testServer(t, Options{TraceRing: -1})
+	if resp := postEstimate(t, off.URL, EstimateRequest{Graph: "line:8", P: 0.2, Trials: 64}); resp.TraceID != "" {
+		t.Fatalf("disabled tracing still issued trace_id %q", resp.TraceID)
+	}
+	if code := getJSON(t, off.URL+"/v1/trace", &er); code != http.StatusNotFound {
+		t.Fatalf("disabled trace index: %d", code)
+	}
+}
+
+// TestErrorResponsesCarryTraceID: failures are the traces someone will
+// actually want — the trace_id must ride error bodies too.
+func TestErrorResponsesCarryTraceID(t *testing.T) {
+	s, ts := testServer(t, Options{MaxNodes: 16})
+	status, _, raw := postJSON(t, ts.URL, `{"graph":"line:100","p":0.5}`)
+	if status != http.StatusBadRequest {
+		t.Fatalf("status %d", status)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(raw, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.TraceID == "" {
+		t.Fatalf("error response without trace_id: %s", raw)
+	}
+	if _, ok := s.Traces().Get(er.TraceID); !ok {
+		t.Fatalf("error trace %s not retained", er.TraceID)
+	}
+}
+
+// TestDistributedSweepTraceTree is the acceptance scenario: a
+// coordinator over two workers serves one estimate, and the coordinator
+// retains a single coherent tree — execute fanning out into shard spans,
+// each naming the worker that answered and carrying the worker's own
+// grafted span subtree with its per-shard timings.
+func TestDistributedSweepTraceTree(t *testing.T) {
+	w1, wts1 := testServer(t, Options{})
+	w2, wts2 := testServer(t, Options{})
+	coordCluster := cluster.New([]string{wts1.URL, wts2.URL}, cluster.Options{ShardTrials: 64})
+	s, ts := testServer(t, Options{Cluster: coordCluster})
+
+	resp := postEstimate(t, ts.URL, EstimateRequest{Graph: "grid:5x5", P: 0.5, Trials: 512})
+	tr, ok := s.Traces().Get(resp.TraceID)
+	if !ok {
+		t.Fatalf("coordinator trace %s not retained", resp.TraceID)
+	}
+	ex := spanByName(tr.Root(), "execute")
+	if ex == nil {
+		t.Fatal("no execute span on coordinator trace")
+	}
+	var shards []*telemetry.Span
+	for _, c := range ex.Children {
+		if c.Name == "shard" {
+			shards = append(shards, c)
+		}
+	}
+	if len(shards) != 512/64 {
+		t.Fatalf("execute has %d shard spans, want %d", len(shards), 512/64)
+	}
+	workersSeen := map[string]int{}
+	for _, sh := range shards {
+		worker, ok := attrValue(sh, "worker")
+		if !ok {
+			t.Fatalf("shard span without worker attr: %+v", sh.Attrs)
+		}
+		workersSeen[worker]++
+		// The worker's own subtree is grafted in, with the worker-side
+		// execute span carrying its timings.
+		grafted := spanByName(sh, "shard")
+		if grafted == nil {
+			t.Fatalf("shard span for %s has no grafted worker tree: %+v", worker, sh.Children)
+		}
+		wex := spanByName(grafted, "execute")
+		if wex == nil {
+			t.Fatalf("worker subtree missing execute span: %+v", grafted.Children)
+		}
+		if _, ok := attrValue(wex, "trials"); !ok {
+			t.Fatalf("worker execute span missing trials attr: %+v", wex.Attrs)
+		}
+		if grafted.DurNs <= 0 {
+			t.Fatalf("worker subtree has no duration: %+v", grafted)
+		}
+	}
+	if len(workersSeen) != 2 {
+		t.Fatalf("shards went to %d workers, want both: %v", len(workersSeen), workersSeen)
+	}
+
+	// Worker-side rings tie back: each worker retained shard traces whose
+	// coordinator_trace attr names the coordinator's trace.
+	for i, w := range []*Server{w1, w2} {
+		idx := w.Traces().Index()
+		if len(idx.Recent) == 0 {
+			t.Fatalf("worker %d retained no shard traces", i+1)
+		}
+		wt, ok := w.Traces().Get(idx.Recent[0].ID)
+		if !ok {
+			t.Fatal("worker trace vanished")
+		}
+		if v, _ := attrValue(wt.Root(), "coordinator_trace"); v != resp.TraceID {
+			t.Fatalf("worker %d shard trace points at %q, want %q", i+1, v, resp.TraceID)
+		}
+	}
+}
+
+// TestTracedServingBitIdentical: the same request served by a tracing
+// server and a tracing-disabled server must produce identical estimates
+// — the service-layer face of the observation-changes-nothing contract.
+func TestTracedServingBitIdentical(t *testing.T) {
+	_, on := testServer(t, Options{})
+	_, off := testServer(t, Options{TraceRing: -1})
+	for _, req := range []EstimateRequest{
+		{Graph: "grid:4x4", P: 0.35, Trials: 256, Seed: 9},
+		{Graph: "line:12", P: 0.2, Trials: 128, Seed: 1, HalfWidth: 0.05},
+	} {
+		a := postEstimate(t, on.URL, req)
+		b := postEstimate(t, off.URL, req)
+		sameBits(t, "traced vs untraced", a, b)
+	}
+}
+
+// TestMetricsEndpoint scrapes /metrics and cross-checks it against
+// /v1/stats: both surfaces read the same atomics, so the counters must
+// agree exactly.
+func TestMetricsEndpoint(t *testing.T) {
+	s, ts := testServer(t, Options{})
+	postEstimate(t, ts.URL, EstimateRequest{Graph: "line:8", P: 0.3, Trials: 128, Seed: 2})
+	postEstimate(t, ts.URL, EstimateRequest{Graph: "line:8", P: 0.3, Trials: 128, Seed: 2}) // cache hit
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	m, err := telemetry.ParseText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("scrape does not parse: %v\n%s", err, buf.String())
+	}
+
+	st := s.Stats()
+	checks := []struct {
+		name   string
+		labels map[string]string
+		want   float64
+	}{
+		{"faultcast_api_requests_total", map[string]string{"endpoint": "estimate"}, float64(st.EstimateRequests)},
+		{"faultcast_cache_hits_total", nil, float64(st.CacheHits)},
+		{"faultcast_executions_total", nil, float64(st.Executions)},
+		{"faultcast_trials_simulated_total", nil, float64(st.TrialsSimulated)},
+		{"faultcast_plan_compiles_total", nil, float64(st.PlanCompiles)},
+		{"faultcast_request_duration_seconds_count", map[string]string{"endpoint": "estimate"}, float64(st.Latency["estimate"].Count)},
+	}
+	for _, c := range checks {
+		if v, ok := m.Value(c.name, c.labels); !ok || v != c.want {
+			t.Errorf("%s%v = %v (present %v), stats say %v", c.name, c.labels, v, ok, c.want)
+		}
+	}
+	// Store and cluster families stay declared with no samples when those
+	// subsystems are off — the ledger must not depend on daemon flags.
+	if m.Types["faultcast_store_appends_total"] != "counter" {
+		t.Fatal("store family undeclared on a storeless server")
+	}
+	if m.Sum("faultcast_store_appends_total") != 0 {
+		t.Fatal("storeless server emitted store samples")
+	}
+	if m.Types["faultcast_cluster_shards_dispatched_total"] != "counter" {
+		t.Fatal("cluster family undeclared on a clusterless server")
+	}
+}
+
+// TestMetricsNamesGolden pins the metric-name stability ledger: the full
+// family set of a scrape must match the committed metrics_names.txt
+// byte-for-byte. Names are API — update the golden (and the DESIGN.md
+// ledger) deliberately with -update-metrics.
+func TestMetricsNamesGolden(t *testing.T) {
+	s, _ := testServer(t, Options{})
+	ledger := strings.Join(s.Metrics().Names(), "\n") + "\n"
+	const golden = "../../metrics_names.txt"
+	if *updateMetricsGolden {
+		if err := os.WriteFile(golden, []byte(ledger), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update-metrics to create): %v", err)
+	}
+	if string(want) != ledger {
+		t.Fatalf("metric families drifted from metrics_names.txt — names are a compatibility surface; if intentional, regenerate with -update-metrics and update DESIGN.md\ngolden:\n%s\ngot:\n%s", want, ledger)
+	}
+
+	// Every configuration of the server registers the same families:
+	// flags must never change the ledger.
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := []Options{
+		{TraceRing: -1},
+		{Store: st},
+		{Cluster: cluster.New([]string{"http://127.0.0.1:1"}, cluster.Options{})},
+	}
+	for i, o := range variants {
+		v, _ := testServer(t, o)
+		if got := strings.Join(v.Metrics().Names(), "\n") + "\n"; got != ledger {
+			t.Fatalf("variant %d registers a different family set", i)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package service
+
+import (
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"faultcast/internal/exec"
+	"faultcast/internal/telemetry"
+)
+
+// batchAgg folds exec.BatchStat probe callbacks into per-request totals:
+// how many stop-rule batches ran, how much of their wall time was spent
+// inside the simulation engine vs scheduler overhead (claiming, folding,
+// waiting). Atomic because sweep cells decide batches concurrently.
+type batchAgg struct {
+	batches  atomic.Int64
+	trials   atomic.Int64
+	engineNs atomic.Int64
+	wallNs   atomic.Int64
+}
+
+func (a *batchAgg) observe(bs exec.BatchStat) {
+	a.batches.Add(1)
+	a.trials.Add(int64(bs.Trials))
+	a.engineNs.Add(bs.Engine.Nanoseconds())
+	a.wallNs.Add(bs.Wall.Nanoseconds())
+}
+
+// annotate writes the totals onto the execution span. engine_time summed
+// over workers can exceed the batch wall total on multi-core runs;
+// sched_overhead is only reported when wall exceeds engine (the
+// single-worker reading of "time not spent simulating").
+func (a *batchAgg) annotate(sp *telemetry.Span) {
+	n := a.batches.Load()
+	if n == 0 {
+		return
+	}
+	sp.SetAttr("batches", n)
+	sp.SetAttr("batch_trials", a.trials.Load())
+	eng, wall := a.engineNs.Load(), a.wallNs.Load()
+	sp.SetAttr("engine_time", time.Duration(eng))
+	if over := wall - eng; over > 0 {
+		sp.SetAttr("sched_overhead", time.Duration(over))
+	}
+}
+
+func (s *Server) handleTraceIndex(w http.ResponseWriter, _ *http.Request) {
+	if s.tel == nil {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{
+			Error: "tracing is disabled on this server (trace ring size < 0)",
+			Code:  "tracing-disabled",
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.tel.Index())
+}
+
+func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	if s.tel == nil {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{
+			Error: "tracing is disabled on this server (trace ring size < 0)",
+			Code:  "tracing-disabled",
+		})
+		return
+	}
+	id := r.PathValue("id")
+	t, ok := s.tel.Get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{
+			Error: "no retained trace " + id + " (evicted, unfinished, or never started)",
+			Code:  "trace-not-found",
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, t.Export())
+}

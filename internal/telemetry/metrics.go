@@ -1,0 +1,203 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"faultcast/internal/hist"
+)
+
+// Label is one Prometheus label pair. Emitters pass labels in a fixed
+// order; the renderer preserves it (per-family orders are already
+// consistent at every call site, and Prometheus treats label order as
+// insignificant).
+type Label struct {
+	Name  string
+	Value string
+}
+
+// family is one registered metric family. Exactly one of collect /
+// collectHist is set, matching kind.
+type family struct {
+	name        string
+	help        string
+	kind        string // "counter", "gauge", or "histogram"
+	collect     func(emit func(labels []Label, v float64))
+	collectHist func(emit func(labels []Label, s hist.Snapshot))
+}
+
+// Registry renders registered metric families in Prometheus text
+// exposition format. Families are registered once at server construction
+// with read callbacks over live counters, so a scrape always reflects
+// the same atomics /v1/stats reads — the registry holds no state of its
+// own and WriteText is just "call every callback, print sorted".
+//
+// Metric names are API: the committed metrics_names.txt ledger pins the
+// full family set, and CI fails if a scrape's families drift from it.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter registers a cumulative metric family. collect is invoked on
+// every scrape and must emit each labeled series exactly once. Panics on
+// a duplicate or invalid name (registration is programmer-controlled).
+func (r *Registry) Counter(name, help string, collect func(emit func(labels []Label, v float64))) {
+	r.register(&family{name: name, help: help, kind: "counter", collect: collect})
+}
+
+// Gauge registers an instantaneous-value family.
+func (r *Registry) Gauge(name, help string, collect func(emit func(labels []Label, v float64))) {
+	r.register(&family{name: name, help: help, kind: "gauge", collect: collect})
+}
+
+// Histogram registers a latency family rendered from hist snapshots:
+// cumulative one-per-octave buckets in seconds plus _sum and _count.
+func (r *Registry) Histogram(name, help string, collect func(emit func(labels []Label, s hist.Snapshot))) {
+	r.register(&family{name: name, help: help, kind: "histogram", collectHist: collect})
+}
+
+func (r *Registry) register(f *family) {
+	if !validMetricName(f.name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", f.name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.families[f.name]; dup {
+		panic(fmt.Sprintf("telemetry: duplicate metric family %q", f.name))
+	}
+	r.families[f.name] = f
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Names returns the stability ledger: one "name kind" line per family,
+// sorted — the exact content of metrics_names.txt.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.families))
+	for _, f := range r.families {
+		out = append(out, f.name+" "+f.kind)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteText renders every family in Prometheus text exposition format
+// (version 0.0.4), families sorted by name, series sorted by label
+// string — a byte-deterministic function of the collected values.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var b strings.Builder
+	for _, f := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		if f.kind == "histogram" {
+			writeHistFamily(&b, f)
+			continue
+		}
+		var lines []string
+		f.collect(func(labels []Label, v float64) {
+			lines = append(lines, f.name+renderLabels(labels)+" "+formatValue(v))
+		})
+		sort.Strings(lines)
+		for _, l := range lines {
+			b.WriteString(l)
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeHistFamily(b *strings.Builder, f *family) {
+	bounds := hist.OctaveBounds()
+	type series struct {
+		key  string
+		text string
+	}
+	var all []series
+	f.collectHist(func(labels []Label, s hist.Snapshot) {
+		var sb strings.Builder
+		cum := s.CumulativeOctaves()
+		for i, edge := range bounds {
+			le := append(append([]Label{}, labels...), Label{"le", formatValue(edge)})
+			fmt.Fprintf(&sb, "%s_bucket%s %d\n", f.name, renderLabels(le), cum[i])
+		}
+		inf := append(append([]Label{}, labels...), Label{"le", "+Inf"})
+		fmt.Fprintf(&sb, "%s_bucket%s %d\n", f.name, renderLabels(inf), s.Count)
+		fmt.Fprintf(&sb, "%s_sum%s %s\n", f.name, renderLabels(labels), formatValue(s.Sum.Seconds()))
+		fmt.Fprintf(&sb, "%s_count%s %d\n", f.name, renderLabels(labels), s.Count)
+		all = append(all, series{key: renderLabels(labels), text: sb.String()})
+	})
+	sort.Slice(all, func(i, j int) bool { return all[i].key < all[j].key })
+	for _, s := range all {
+		b.WriteString(s.text)
+	}
+}
+
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return s
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,237 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"faultcast/internal/hist"
+)
+
+func testRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("test_requests_total", "Requests served.", func(emit func([]Label, float64)) {
+		emit([]Label{{"endpoint", "estimate"}}, 40)
+		emit([]Label{{"endpoint", "sweep"}}, 2)
+	})
+	r.Gauge("test_inflight", "Currently executing.", func(emit func([]Label, float64)) {
+		emit(nil, 3)
+	})
+	r.Counter("test_empty_total", "Always registered, no samples when the subsystem is off.", func(emit func([]Label, float64)) {})
+	return r
+}
+
+// TestWriteTextParseRoundTrip is the load-bearing property of the whole
+// metrics surface: whatever WriteText emits, ParseText must accept, and
+// the values must survive — the same pair backs /metrics, faultcastctl,
+// and the CI metrics-smoke gate.
+func TestWriteTextParseRoundTrip(t *testing.T) {
+	r := testRegistry()
+	var h hist.Histogram
+	h.Observe(100 * time.Microsecond)
+	h.Observe(3 * time.Millisecond)
+	h.Observe(40 * time.Millisecond)
+	r.Histogram("test_duration_seconds", "Request latency.", func(emit func([]Label, hist.Snapshot)) {
+		emit([]Label{{"endpoint", "estimate"}}, h.Snapshot())
+	})
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	m, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("WriteText output does not parse: %v\n%s", err, text)
+	}
+
+	if v, ok := m.Value("test_requests_total", map[string]string{"endpoint": "estimate"}); !ok || v != 40 {
+		t.Fatalf("estimate counter = %v, %v", v, ok)
+	}
+	if got := m.Sum("test_requests_total"); got != 42 {
+		t.Fatalf("Sum = %v, want 42", got)
+	}
+	if v, ok := m.Value("test_inflight", nil); !ok || v != 3 {
+		t.Fatalf("gauge = %v, %v", v, ok)
+	}
+	// Histogram components: +Inf bucket and _count equal the observation
+	// count; _sum is the total in seconds.
+	if v, ok := m.Value("test_duration_seconds_bucket", map[string]string{"endpoint": "estimate", "le": "+Inf"}); !ok || v != 3 {
+		t.Fatalf("+Inf bucket = %v, %v", v, ok)
+	}
+	if v, ok := m.Value("test_duration_seconds_count", map[string]string{"endpoint": "estimate"}); !ok || v != 3 {
+		t.Fatalf("_count = %v, %v", v, ok)
+	}
+	sum, ok := m.Value("test_duration_seconds_sum", map[string]string{"endpoint": "estimate"})
+	if !ok || math.Abs(sum-0.0431) > 1e-6 {
+		t.Fatalf("_sum = %v s", sum)
+	}
+
+	// An empty-but-registered family still declares HELP/TYPE — the
+	// ledger must not depend on which subsystems are live.
+	if m.Types["test_empty_total"] != "counter" {
+		t.Fatalf("empty family undeclared: %v", m.Types)
+	}
+	wantLedger := []string{
+		"test_duration_seconds histogram",
+		"test_empty_total counter",
+		"test_inflight gauge",
+		"test_requests_total counter",
+	}
+	reg, scrape := r.Names(), m.Families()
+	for i := range wantLedger {
+		if reg[i] != wantLedger[i] || scrape[i] != wantLedger[i] {
+			t.Fatalf("ledger drift:\nregistry %v\nscrape   %v\nwant     %v", reg, scrape, wantLedger)
+		}
+	}
+
+	// Two scrapes of the same state are byte-identical (determinism of
+	// the renderer; the goldens depend on it).
+	var sb2 strings.Builder
+	if err := r.WriteText(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != text {
+		t.Fatal("WriteText is not deterministic for identical state")
+	}
+}
+
+func TestRegistryRejectsBadRegistration(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	r := NewRegistry()
+	r.Counter("ok_total", "", func(emit func([]Label, float64)) {})
+	mustPanic("duplicate", func() {
+		r.Counter("ok_total", "", func(emit func([]Label, float64)) {})
+	})
+	mustPanic("bad name", func() {
+		r.Counter("7starts_with_digit", "", func(emit func([]Label, float64)) {})
+	})
+	mustPanic("bad chars", func() {
+		r.Gauge("has-dash", "", func(emit func([]Label, float64)) {})
+	})
+}
+
+func TestLabelAndHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "help with \\ and\nnewline", func(emit func([]Label, float64)) {
+		emit([]Label{{"worker", `http://h:1/"q"` + "\n\\"}}, 1)
+	})
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ParseText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("escaped output does not parse: %v\n%s", err, sb.String())
+	}
+	if v, ok := m.Value("esc_total", map[string]string{"worker": `http://h:1/"q"` + "\n\\"}); !ok || v != 1 {
+		t.Fatalf("escaped label did not round-trip: %v %v\n%s", v, ok, sb.String())
+	}
+}
+
+func TestParseTextRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no TYPE":          "orphan_total 3\n",
+		"bad value":        "# TYPE x counter\nx pancake\n",
+		"duplicate series": "# TYPE x counter\nx 1\nx 2\n",
+		"bad label block":  "# TYPE x counter\nx{oops 1\n",
+		"bad type":         "# TYPE x sandwich\nx 1\n",
+		"duplicate TYPE":   "# TYPE x counter\n# TYPE x counter\nx 1\n",
+	}
+	for name, text := range cases {
+		if _, err := ParseText(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: parsed without error:\n%s", name, text)
+		}
+	}
+	// Standard variations WriteText never emits must still parse: bare
+	// comments, timestamps, Inf/NaN values.
+	ok := "# just a comment\n# TYPE x counter\nx{a=\"b\"} 4 1700000000000\n# TYPE y gauge\ny +Inf\n"
+	if _, err := ParseText(strings.NewReader(ok)); err != nil {
+		t.Fatalf("standard variation rejected: %v", err)
+	}
+}
+
+func TestDelta(t *testing.T) {
+	parse := func(s string) *Metrics {
+		m, err := ParseText(strings.NewReader(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	before := parse("# TYPE a counter\na{e=\"x\"} 10\n# TYPE g gauge\ng 5\n")
+	after := parse("# TYPE a counter\na{e=\"x\"} 15\na{e=\"y\"} 3\n# TYPE g gauge\ng 9\n")
+	d := Delta(before, after)
+	if d[`a{e="x"}`] != 5 || d[`a{e="y"}`] != 3 {
+		t.Fatalf("delta: %v", d)
+	}
+	// Gauges are skipped; unchanged counters are omitted.
+	if _, ok := d["g"]; ok {
+		t.Fatalf("gauge leaked into delta: %v", d)
+	}
+	if len(d) != 2 {
+		t.Fatalf("extra deltas: %v", d)
+	}
+	// nil before counts from zero.
+	d0 := Delta(nil, after)
+	if d0[`a{e="x"}`] != 15 {
+		t.Fatalf("nil-before delta: %v", d0)
+	}
+}
+
+// TestHistogramQuantileWindow: quantiles over a scrape window come from
+// bucket deltas — observations before the window must not drag the
+// estimate down.
+func TestHistogramQuantileWindow(t *testing.T) {
+	render := func(h *hist.Histogram) *Metrics {
+		r := NewRegistry()
+		r.Histogram("lat_seconds", "", func(emit func([]Label, hist.Snapshot)) {
+			emit([]Label{{"endpoint", "estimate"}}, h.Snapshot())
+		})
+		var sb strings.Builder
+		if err := r.WriteText(&sb); err != nil {
+			t.Fatal(err)
+		}
+		m, err := ParseText(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	var h hist.Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(100 * time.Microsecond) // fast era
+	}
+	before := render(&h)
+	for i := 0; i < 100; i++ {
+		h.Observe(50 * time.Millisecond) // slow era
+	}
+	after := render(&h)
+
+	sel := map[string]string{"endpoint": "estimate"}
+	// All-time p50 sits between the eras; the windowed p50 must be slow.
+	windowed, ok := HistogramQuantile(before, after, "lat_seconds", sel, 0.5)
+	if !ok || windowed < 0.03 {
+		t.Fatalf("windowed p50 = %v s, %v — window ignored the era split", windowed, ok)
+	}
+	alltime, ok := HistogramQuantile(nil, after, "lat_seconds", sel, 0.5)
+	if !ok || alltime >= windowed {
+		t.Fatalf("all-time p50 %v should sit below windowed %v", alltime, windowed)
+	}
+	// An empty window reports no observations.
+	if _, ok := HistogramQuantile(after, after, "lat_seconds", sel, 0.95); ok {
+		t.Fatal("empty window produced a quantile")
+	}
+	// Selecting a missing series reports no observations.
+	if _, ok := HistogramQuantile(before, after, "lat_seconds", map[string]string{"endpoint": "nope"}, 0.5); ok {
+		t.Fatal("missing series produced a quantile")
+	}
+}

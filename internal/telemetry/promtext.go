@@ -1,0 +1,379 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the read side of the metrics surface: a minimal
+// Prometheus text-format (0.0.4) parser used by `faultcastctl metrics`
+// and `stats -watch`, by `bench` to record /metrics deltas into
+// BENCH_service.json, and by the CI metrics-smoke assertion that a
+// scrape actually parses. It accepts the subset WriteText emits plus
+// standard variations (bare comments, optional timestamps), and rejects
+// structural errors: bad names, unparseable values, duplicate series,
+// samples with no TYPE declaration.
+
+// Sample is one parsed series sample.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Metrics is one parsed scrape.
+type Metrics struct {
+	Help    map[string]string
+	Types   map[string]string // family name -> counter|gauge|histogram|summary|untyped
+	Samples []Sample
+	index   map[string]int // canonical series key -> Samples index
+}
+
+// ParseText parses a Prometheus text-format scrape.
+func ParseText(r io.Reader) (*Metrics, error) {
+	m := &Metrics{
+		Help:  make(map[string]string),
+		Types: make(map[string]string),
+		index: make(map[string]int),
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := m.parseComment(line); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		if err := m.parseSample(line); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (m *Metrics) parseComment(line string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+		return nil // free-form comment
+	}
+	name := fields[2]
+	if !validMetricName(name) {
+		return fmt.Errorf("invalid metric name %q in %s", name, fields[1])
+	}
+	if fields[1] == "HELP" {
+		if len(fields) == 4 {
+			m.Help[name] = fields[3]
+		} else {
+			m.Help[name] = ""
+		}
+		return nil
+	}
+	if len(fields) != 4 {
+		return fmt.Errorf("TYPE line for %q missing type", name)
+	}
+	switch fields[3] {
+	case "counter", "gauge", "histogram", "summary", "untyped":
+	default:
+		return fmt.Errorf("unknown metric type %q for %q", fields[3], name)
+	}
+	if _, dup := m.Types[name]; dup {
+		return fmt.Errorf("duplicate TYPE for %q", name)
+	}
+	m.Types[name] = fields[3]
+	return nil
+}
+
+func (m *Metrics) parseSample(line string) error {
+	i := 0
+	for i < len(line) && isNameChar(line[i], i) {
+		i++
+	}
+	name := line[:i]
+	if name == "" {
+		return fmt.Errorf("sample line does not start with a metric name: %q", line)
+	}
+	labels := map[string]string{}
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end, err := parseLabels(rest, labels)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		rest = rest[end:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // value [timestamp]
+		return fmt.Errorf("%s: expected value after series, got %q", name, rest)
+	}
+	v, err := parseFloat(fields[0])
+	if err != nil {
+		return fmt.Errorf("%s: bad value %q", name, fields[0])
+	}
+	if _, ok := m.Types[familyOf(m.Types, name)]; !ok {
+		return fmt.Errorf("sample %q has no preceding TYPE declaration", name)
+	}
+	key := seriesKey(name, labels)
+	if _, dup := m.index[key]; dup {
+		return fmt.Errorf("duplicate series %s", key)
+	}
+	m.index[key] = len(m.Samples)
+	m.Samples = append(m.Samples, Sample{Name: name, Labels: labels, Value: v})
+	return nil
+}
+
+func isNameChar(c byte, pos int) bool {
+	return c == '_' || c == ':' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+		(pos > 0 && c >= '0' && c <= '9')
+}
+
+// parseLabels parses a {k="v",...} block at the start of s into out and
+// returns the index just past the closing brace.
+func parseLabels(s string, out map[string]string) (int, error) {
+	i := 1 // past '{'
+	for {
+		for i < len(s) && (s[i] == ' ' || s[i] == ',') {
+			i++
+		}
+		if i < len(s) && s[i] == '}' {
+			return i + 1, nil
+		}
+		start := i
+		for i < len(s) && isNameChar(s[i], i-start) {
+			i++
+		}
+		key := s[start:i]
+		if key == "" || i >= len(s) || s[i] != '=' {
+			return 0, fmt.Errorf("malformed label block %q", s)
+		}
+		i++ // '='
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("unquoted label value in %q", s)
+		}
+		i++
+		var val strings.Builder
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\', '"':
+					val.WriteByte(s[i])
+				default:
+					val.WriteByte('\\')
+					val.WriteByte(s[i])
+				}
+			} else {
+				val.WriteByte(s[i])
+			}
+			i++
+		}
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label value in %q", s)
+		}
+		i++ // closing '"'
+		out[key] = val.String()
+	}
+}
+
+func parseFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// familyOf maps a sample name to its declaring family: histogram
+// component samples (_bucket/_sum/_count) belong to the base name when
+// that base is a declared histogram.
+func familyOf(types map[string]string, name string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suffix); ok {
+			if t, declared := types[base]; declared && (t == "histogram" || t == "summary") {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+func seriesKey(name string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Families returns the sorted "name kind" ledger lines of the scrape —
+// directly comparable with Registry.Names and metrics_names.txt.
+func (m *Metrics) Families() []string {
+	out := make([]string, 0, len(m.Types))
+	for name, kind := range m.Types {
+		out = append(out, name+" "+kind)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Value looks up one series by exact name and label set.
+func (m *Metrics) Value(name string, labels map[string]string) (float64, bool) {
+	i, ok := m.index[seriesKey(name, labels)]
+	if !ok {
+		return 0, false
+	}
+	return m.Samples[i].Value, true
+}
+
+// Sum adds every sample with exactly the given name (all label sets) —
+// e.g. Sum("faultcast_api_requests_total") across endpoints.
+func (m *Metrics) Sum(name string) float64 {
+	var total float64
+	for _, s := range m.Samples {
+		if s.Name == name {
+			total += s.Value
+		}
+	}
+	return total
+}
+
+// Delta returns after-minus-before for every cumulative series (samples
+// of counter and histogram families), keyed by canonical series string,
+// omitting zero deltas. Series absent from before count from zero;
+// gauges are skipped (an instantaneous value has no meaningful delta).
+func Delta(before, after *Metrics) map[string]float64 {
+	out := make(map[string]float64)
+	for _, s := range after.Samples {
+		fam := familyOf(after.Types, s.Name)
+		switch after.Types[fam] {
+		case "counter", "histogram":
+		default:
+			continue
+		}
+		key := seriesKey(s.Name, s.Labels)
+		var prev float64
+		if before != nil {
+			if i, ok := before.index[key]; ok {
+				prev = before.Samples[i].Value
+			}
+		}
+		if d := s.Value - prev; d != 0 {
+			out[key] = d
+		}
+	}
+	return out
+}
+
+// HistogramQuantile estimates the q-th quantile in seconds over the
+// scrape window [before, after] for the histogram family fam, selecting
+// the series whose non-le labels equal sel exactly. Pass before == nil
+// for an all-time quantile. Returns ok=false when the window holds no
+// observations.
+func HistogramQuantile(before, after *Metrics, fam string, sel map[string]string, q float64) (float64, bool) {
+	type bucket struct {
+		le  float64
+		cum float64
+	}
+	var buckets []bucket
+	for _, s := range after.Samples {
+		if s.Name != fam+"_bucket" || !labelsMatch(s.Labels, sel) {
+			continue
+		}
+		le, err := parseFloat(s.Labels["le"])
+		if err != nil {
+			continue
+		}
+		cum := s.Value
+		if before != nil {
+			if i, ok := before.index[seriesKey(s.Name, s.Labels)]; ok {
+				cum -= before.Samples[i].Value
+			}
+		}
+		buckets = append(buckets, bucket{le: le, cum: cum})
+	}
+	if len(buckets) == 0 {
+		return 0, false
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	total := buckets[len(buckets)-1].cum
+	if total <= 0 {
+		return 0, false
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * total
+	prevLe, prevCum := 0.0, 0.0
+	for _, b := range buckets {
+		if b.cum >= rank {
+			if math.IsInf(b.le, 1) {
+				// No finite upper edge: report the last finite bound.
+				return prevLe, true
+			}
+			frac := 0.0
+			if b.cum > prevCum {
+				frac = (rank - prevCum) / (b.cum - prevCum)
+			}
+			return prevLe + frac*(b.le-prevLe), true
+		}
+		if !math.IsInf(b.le, 1) {
+			prevLe = b.le
+		}
+		prevCum = b.cum
+	}
+	return prevLe, true
+}
+
+// labelsMatch reports whether the sample's labels minus "le" equal sel
+// exactly (nil sel matches only an unlabeled series).
+func labelsMatch(labels, sel map[string]string) bool {
+	n := 0
+	for k, v := range labels {
+		if k == "le" {
+			continue
+		}
+		if sel[k] != v {
+			return false
+		}
+		n++
+	}
+	return n == len(sel)
+}

@@ -1,0 +1,413 @@
+// Package telemetry provides the observability spine shared by every
+// layer of faultcast: lightweight request tracing (Span trees collected
+// into a bounded ring, propagated to cluster workers over the
+// X-Faultcast-Trace header) and a dependency-free Prometheus-text-format
+// metrics registry that re-expresses the service's counters and
+// internal/hist latency histograms under stable names.
+//
+// Tracing is ~zero-cost when disabled: every method on Span and Trace is
+// nil-safe, so call sites thread a possibly-nil *Span unconditionally and
+// a disabled server pays one nil check per would-be span. Observation is
+// strictly passive — spans record wall-clock timing and annotations, and
+// never feed back into seeds, stop decisions, or tallies, so a traced
+// execution is bit-identical to an untraced one.
+package telemetry
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// TraceHeader carries a trace ID across the HTTP boundary: a coordinator
+// dispatching shards sets it on POST /v1/shard, and the worker answers
+// with its own span subtree (ShardResponse.Trace) for the coordinator to
+// graft under the dispatch span — one coherent tree per distributed
+// sweep.
+const TraceHeader = "X-Faultcast-Trace"
+
+// Attr is one key/value annotation on a span. Values are pre-rendered to
+// strings so span trees marshal deterministically and survive the wire
+// round-trip to workers untyped.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is one timed region of a trace. StartNs is the offset from the
+// owning trace's start (not wall clock), DurNs the region's duration;
+// both are nanoseconds. Spans decoded from the wire are detached (no
+// owning trace) and serve as plain data for Graft.
+//
+// All methods are nil-safe no-ops on a nil receiver, so disabled tracing
+// costs only the nil checks.
+type Span struct {
+	Name     string  `json:"name"`
+	StartNs  int64   `json:"start_ns"`
+	DurNs    int64   `json:"dur_ns"`
+	Attrs    []Attr  `json:"attrs,omitempty"`
+	Children []*Span `json:"children,omitempty"`
+
+	tr    *Trace    // owning trace; nil when detached (wire-decoded)
+	began time.Time // wall-clock start, for End
+}
+
+// StartChild opens a child span under s. The child must be closed with
+// End. Safe for concurrent use with other spans of the same trace.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil || s.tr == nil {
+		return nil
+	}
+	return s.tr.newSpan(s, name)
+}
+
+// End closes the span, fixing its duration. Ending twice keeps the first
+// duration.
+func (s *Span) End() {
+	if s == nil || s.tr == nil {
+		return
+	}
+	d := time.Since(s.began).Nanoseconds()
+	s.tr.mu.Lock()
+	if s.DurNs == 0 {
+		s.DurNs = d
+	}
+	s.tr.mu.Unlock()
+}
+
+// SetAttr annotates the span. Values render to strings: durations via
+// Duration.String, numbers in decimal, everything else via fmt.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil || s.tr == nil {
+		return
+	}
+	a := Attr{Key: key, Value: formatAttr(value)}
+	s.tr.mu.Lock()
+	s.Attrs = append(s.Attrs, a)
+	s.tr.mu.Unlock()
+}
+
+// TraceID returns the owning trace's ID, or "" for nil/detached spans.
+// Dispatchers use this to decide whether to propagate TraceHeader.
+func (s *Span) TraceID() string {
+	if s == nil || s.tr == nil {
+		return ""
+	}
+	return s.tr.id
+}
+
+// Graft attaches a detached span subtree (typically decoded from a
+// worker's ShardResponse) as a child of s, rebasing the subtree's
+// offsets so the worker's work appears to start when the dispatch span
+// started. Cross-host clock skew is not corrected — worker-side
+// durations are authoritative, offsets are best-effort alignment.
+func (s *Span) Graft(child *Span) {
+	if s == nil || s.tr == nil || child == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	rebase(child, s.StartNs)
+	s.Children = append(s.Children, child)
+	s.tr.mu.Unlock()
+}
+
+func rebase(sp *Span, off int64) {
+	sp.StartNs += off
+	for _, c := range sp.Children {
+		rebase(c, off)
+	}
+}
+
+func formatAttr(v any) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case time.Duration:
+		return x.String()
+	case int:
+		return strconv.Itoa(x)
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case uint64:
+		return strconv.FormatUint(x, 10)
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case bool:
+		return strconv.FormatBool(x)
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// Trace is one request's span tree. Created by Collector.StartTrace,
+// sealed by Finish (which files it into the collector's ring). Nil-safe
+// like Span, for the disabled-tracing path.
+type Trace struct {
+	id    string
+	name  string
+	start time.Time
+	root  *Span
+	c     *Collector
+
+	// mu guards every span of this trace (tree shape, attrs, durations):
+	// span creation is rare relative to the work being traced, so one
+	// trace-wide lock beats per-span locks.
+	mu       sync.Mutex
+	finished bool
+}
+
+// ID returns the trace's collector-unique ID ("" on nil).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Root returns the trace's root span (nil on nil).
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// StartSpan opens a new top-level child of the root. Equivalent to
+// t.Root().StartChild(name), kept for call-site brevity.
+func (t *Trace) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.newSpan(t.root, name)
+}
+
+func (t *Trace) newSpan(parent *Span, name string) *Span {
+	now := time.Now()
+	sp := &Span{
+		Name:    name,
+		StartNs: now.Sub(t.start).Nanoseconds(),
+		tr:      t,
+		began:   now,
+	}
+	t.mu.Lock()
+	parent.Children = append(parent.Children, sp)
+	t.mu.Unlock()
+	return sp
+}
+
+// Finish seals the trace (root duration = time since start) and files it
+// into the collector's ring and slowest index. Finishing twice is safe —
+// the second call is a no-op — so handlers can Finish explicitly before
+// marshaling a span tree to the wire and still keep a deferred Finish as
+// the error-path backstop.
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	d := time.Since(t.start).Nanoseconds()
+	t.mu.Lock()
+	if t.finished {
+		t.mu.Unlock()
+		return
+	}
+	t.finished = true
+	if t.root.DurNs == 0 {
+		t.root.DurNs = d
+	}
+	t.mu.Unlock()
+	if t.c != nil {
+		t.c.add(t)
+	}
+}
+
+// Export renders the trace for GET /v1/trace/{id}.
+func (t *Trace) Export() TraceJSON {
+	return TraceJSON{
+		ID:         t.id,
+		Name:       t.name,
+		Start:      t.start.UTC().Format(time.RFC3339Nano),
+		DurationMs: float64(t.root.DurNs) / 1e6,
+		Root:       t.root,
+	}
+}
+
+// TraceJSON is the wire rendering of one finished trace.
+type TraceJSON struct {
+	ID         string  `json:"trace_id"`
+	Name       string  `json:"name"`
+	Start      string  `json:"start"`
+	DurationMs float64 `json:"duration_ms"`
+	Root       *Span   `json:"root"`
+}
+
+// Summary is one line of the trace index.
+type Summary struct {
+	ID         string  `json:"trace_id"`
+	Name       string  `json:"name"`
+	Start      string  `json:"start"`
+	DurationMs float64 `json:"duration_ms"`
+}
+
+// Index is the GET /v1/trace listing: the most recent traces (newest
+// first) and the slowest ones retained beyond ring eviction.
+type Index struct {
+	Started  uint64    `json:"traces_started"`
+	Finished uint64    `json:"traces_finished"`
+	Capacity int       `json:"ring_capacity"`
+	Recent   []Summary `json:"recent"`
+	Slowest  []Summary `json:"slowest"`
+}
+
+// Collector retains finished traces in a bounded FIFO ring plus a
+// slowest-N index that survives ring eviction — so the one pathological
+// sweep from an hour ago is still retrievable after thousands of fast
+// estimates have rotated through. A nil *Collector disables tracing:
+// StartTrace returns a nil *Trace and every downstream span call no-ops.
+type Collector struct {
+	mu       sync.Mutex
+	cap      int
+	slowCap  int
+	seq      uint64
+	prefix   string
+	started  uint64
+	finished uint64
+	ring     []*Trace // oldest first
+	slowest  []*Trace // longest first
+	byID     map[string]*Trace
+}
+
+// NewCollector builds a collector retaining ringSize recent traces
+// (default 256 when <= 0) and slowSize slowest traces (default 16).
+func NewCollector(ringSize, slowSize int) *Collector {
+	if ringSize <= 0 {
+		ringSize = 256
+	}
+	if slowSize <= 0 {
+		slowSize = 16
+	}
+	return &Collector{
+		cap:     ringSize,
+		slowCap: slowSize,
+		// The prefix distinguishes restarts, so a stale trace_id from a
+		// previous process can never resolve to the wrong trace.
+		prefix: strconv.FormatInt(time.Now().UnixMilli(), 36),
+		byID:   make(map[string]*Trace),
+	}
+}
+
+// StartTrace opens a new trace. IDs come from a process-local counter
+// (no randomness: trace allocation must never touch any entropy source a
+// simulation seed could observe). Returns nil on a nil collector.
+func (c *Collector) StartTrace(name string) *Trace {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	c.seq++
+	c.started++
+	id := fmt.Sprintf("%s-%06d", c.prefix, c.seq)
+	c.mu.Unlock()
+	now := time.Now()
+	t := &Trace{id: id, name: name, start: now, c: c}
+	t.root = &Span{Name: name, tr: t, began: now}
+	return t
+}
+
+func (c *Collector) add(t *Trace) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.finished++
+	c.byID[t.id] = t
+
+	c.ring = append(c.ring, t)
+	if len(c.ring) > c.cap {
+		evicted := c.ring[0]
+		copy(c.ring, c.ring[1:])
+		c.ring = c.ring[:len(c.ring)-1]
+		if !contains(c.slowest, evicted) {
+			delete(c.byID, evicted.id)
+		}
+	}
+
+	// Insert into the slowest index (longest first, stable for ties so
+	// the earlier trace wins), dropping the fastest over capacity.
+	pos := len(c.slowest)
+	for pos > 0 && c.slowest[pos-1].root.DurNs < t.root.DurNs {
+		pos--
+	}
+	c.slowest = append(c.slowest, nil)
+	copy(c.slowest[pos+1:], c.slowest[pos:])
+	c.slowest[pos] = t
+	if len(c.slowest) > c.slowCap {
+		dropped := c.slowest[len(c.slowest)-1]
+		c.slowest = c.slowest[:len(c.slowest)-1]
+		if dropped != t && !contains(c.ring, dropped) {
+			delete(c.byID, dropped.id)
+		}
+	}
+}
+
+func contains(list []*Trace, t *Trace) bool {
+	for _, x := range list {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Get returns the finished trace with the given ID, if still retained.
+func (c *Collector) Get(id string) (*Trace, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.byID[id]
+	return t, ok
+}
+
+// Started reports how many traces have been opened — the
+// faultcast_traces_total counter.
+func (c *Collector) Started() uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.started
+}
+
+// Index lists retained traces: Recent newest-first, Slowest
+// longest-first.
+func (c *Collector) Index() Index {
+	if c == nil {
+		return Index{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	idx := Index{
+		Started:  c.started,
+		Finished: c.finished,
+		Capacity: c.cap,
+		Recent:   make([]Summary, 0, len(c.ring)),
+		Slowest:  make([]Summary, 0, len(c.slowest)),
+	}
+	for i := len(c.ring) - 1; i >= 0; i-- {
+		idx.Recent = append(idx.Recent, summarize(c.ring[i]))
+	}
+	for _, t := range c.slowest {
+		idx.Slowest = append(idx.Slowest, summarize(t))
+	}
+	return idx
+}
+
+func summarize(t *Trace) Summary {
+	return Summary{
+		ID:         t.id,
+		Name:       t.name,
+		Start:      t.start.UTC().Format(time.RFC3339Nano),
+		DurationMs: float64(t.root.DurNs) / 1e6,
+	}
+}

@@ -1,0 +1,270 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilSafety pins the disabled-tracing contract: every method on a nil
+// Collector, Trace, and Span must no-op, so call sites thread
+// possibly-nil values unconditionally and a disabled server pays only
+// nil checks.
+func TestNilSafety(t *testing.T) {
+	var c *Collector
+	tr := c.StartTrace("estimate")
+	if tr != nil {
+		t.Fatalf("nil collector started a trace: %+v", tr)
+	}
+	if id := tr.ID(); id != "" {
+		t.Fatalf("nil trace ID = %q", id)
+	}
+	if tr.Root() != nil {
+		t.Fatal("nil trace has a root")
+	}
+	sp := tr.StartSpan("plan")
+	if sp != nil {
+		t.Fatalf("nil trace started a span: %+v", sp)
+	}
+	// The full span surface on nil:
+	child := sp.StartChild("compile")
+	if child != nil {
+		t.Fatal("nil span started a child")
+	}
+	sp.SetAttr("k", "v")
+	sp.End()
+	sp.Graft(&Span{Name: "worker"})
+	if sp.TraceID() != "" {
+		t.Fatalf("nil span trace ID = %q", sp.TraceID())
+	}
+	tr.Finish()
+	if _, ok := c.Get("anything"); ok {
+		t.Fatal("nil collector resolved a trace")
+	}
+	if c.Started() != 0 {
+		t.Fatal("nil collector counted starts")
+	}
+	if idx := c.Index(); idx.Capacity != 0 || len(idx.Recent) != 0 {
+		t.Fatalf("nil collector index: %+v", idx)
+	}
+
+	// Detached spans (wire-decoded, no owning trace) are equally inert.
+	detached := &Span{Name: "shard"}
+	detached.SetAttr("k", "v")
+	detached.End()
+	if detached.StartChild("x") != nil || detached.TraceID() != "" {
+		t.Fatalf("detached span is live: %+v", detached)
+	}
+	if len(detached.Attrs) != 0 {
+		t.Fatalf("detached SetAttr recorded: %+v", detached.Attrs)
+	}
+}
+
+func TestTraceTreeAndAttrs(t *testing.T) {
+	c := NewCollector(8, 4)
+	tr := c.StartTrace("estimate")
+	if tr.ID() == "" {
+		t.Fatal("empty trace ID")
+	}
+	adm := tr.StartSpan("admission")
+	adm.SetAttr("outcome", "admitted")
+	adm.End()
+	ex := tr.StartSpan("execute")
+	shard := ex.StartChild("shard")
+	shard.SetAttr("index", 3)
+	shard.SetAttr("trials", int64(512))
+	shard.SetAttr("rate", 0.25)
+	shard.SetAttr("wait", 2*time.Millisecond)
+	shard.SetAttr("retried", false)
+	shard.End()
+	ex.End()
+	tr.Finish()
+
+	root := tr.Root()
+	if len(root.Children) != 2 || root.Children[0].Name != "admission" || root.Children[1].Name != "execute" {
+		t.Fatalf("root children: %+v", root.Children)
+	}
+	if len(root.Children[1].Children) != 1 || root.Children[1].Children[0].Name != "shard" {
+		t.Fatalf("execute children: %+v", root.Children[1].Children)
+	}
+	want := []Attr{
+		{"index", "3"}, {"trials", "512"}, {"rate", "0.25"},
+		{"wait", "2ms"}, {"retried", "false"},
+	}
+	got := root.Children[1].Children[0].Attrs
+	if len(got) != len(want) {
+		t.Fatalf("shard attrs: %+v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("attr %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if root.DurNs <= 0 {
+		t.Fatalf("unfinalized root duration: %d", root.DurNs)
+	}
+
+	// The export marshals without error and carries the tree.
+	data, err := json.Marshal(tr.Export())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back TraceJSON
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != tr.ID() || back.Root == nil || len(back.Root.Children) != 2 {
+		t.Fatalf("export round-trip: %+v", back)
+	}
+}
+
+// TestFinishIdempotent: handlers Finish explicitly before marshaling a
+// span tree to the wire and keep a deferred Finish as the error-path
+// backstop — the second call must not file the trace twice.
+func TestFinishIdempotent(t *testing.T) {
+	c := NewCollector(8, 4)
+	tr := c.StartTrace("shard")
+	tr.Finish()
+	first := tr.Root().DurNs
+	tr.Finish()
+	idx := c.Index()
+	if idx.Finished != 1 || len(idx.Recent) != 1 {
+		t.Fatalf("double Finish filed twice: %+v", idx)
+	}
+	if tr.Root().DurNs != first {
+		t.Fatalf("second Finish reset duration: %d -> %d", first, tr.Root().DurNs)
+	}
+}
+
+func TestSpanEndKeepsFirstDuration(t *testing.T) {
+	c := NewCollector(8, 4)
+	tr := c.StartTrace("estimate")
+	sp := tr.StartSpan("plan")
+	sp.End()
+	d := sp.DurNs
+	time.Sleep(time.Millisecond)
+	sp.End()
+	if sp.DurNs != d {
+		t.Fatalf("second End overwrote duration: %d -> %d", d, sp.DurNs)
+	}
+}
+
+// TestRingEvictionAndSlowest: the ring drops oldest-first, but traces in
+// the slowest index stay retrievable past eviction — that one
+// pathological sweep from an hour ago must still resolve by ID.
+func TestRingEvictionAndSlowest(t *testing.T) {
+	c := NewCollector(4, 2)
+	finish := func(name string, dur time.Duration) string {
+		tr := c.StartTrace(name)
+		tr.Root().DurNs = dur.Nanoseconds() // pin the duration deterministically
+		tr.Finish()
+		return tr.ID()
+	}
+	slow := finish("slow", time.Hour)
+	var fastIDs []string
+	for i := 0; i < 10; i++ {
+		fastIDs = append(fastIDs, finish(fmt.Sprintf("fast-%d", i), time.Duration(i+1)*time.Microsecond))
+	}
+
+	idx := c.Index()
+	if idx.Started != 11 || idx.Finished != 11 || idx.Capacity != 4 {
+		t.Fatalf("index counts: %+v", idx)
+	}
+	if len(idx.Recent) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(idx.Recent))
+	}
+	// Recent is newest-first: the last four fast traces.
+	if idx.Recent[0].ID != fastIDs[9] || idx.Recent[3].ID != fastIDs[6] {
+		t.Fatalf("recent order: %+v", idx.Recent)
+	}
+	// Slowest is longest-first and survives ring eviction.
+	if len(idx.Slowest) != 2 || idx.Slowest[0].ID != slow {
+		t.Fatalf("slowest: %+v", idx.Slowest)
+	}
+	if _, ok := c.Get(slow); !ok {
+		t.Fatal("slow trace evicted despite slowest index")
+	}
+	// An evicted fast trace not in the slowest index is gone.
+	if _, ok := c.Get(fastIDs[0]); ok {
+		t.Fatal("evicted trace still resolvable")
+	}
+	// Everything still in the ring resolves.
+	for _, id := range fastIDs[6:] {
+		if _, ok := c.Get(id); !ok {
+			t.Fatalf("ring trace %s not resolvable", id)
+		}
+	}
+}
+
+func TestTraceIDsUnique(t *testing.T) {
+	c := NewCollector(0, 0) // defaults: 256 / 16
+	seen := make(map[string]bool)
+	for i := 0; i < 500; i++ {
+		id := c.StartTrace("t").ID()
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %s", id)
+		}
+		seen[id] = true
+	}
+	if c.Started() != 500 {
+		t.Fatalf("started = %d", c.Started())
+	}
+}
+
+// TestGraftRebasesOffsets: a worker subtree grafts under the dispatch
+// span with its offsets rebased by the dispatch span's own offset, so
+// the worker's work appears to start when the dispatch began.
+func TestGraftRebasesOffsets(t *testing.T) {
+	c := NewCollector(8, 4)
+	tr := c.StartTrace("sweep")
+	ex := tr.StartSpan("execute")
+	sh := ex.StartChild("shard")
+	sh.StartNs = 5_000_000 // pin for determinism
+
+	worker := &Span{
+		Name: "shard", StartNs: 0, DurNs: 3_000_000,
+		Children: []*Span{{Name: "execute", StartNs: 1_000_000, DurNs: 2_000_000}},
+	}
+	sh.Graft(worker)
+	sh.End()
+	ex.End()
+	tr.Finish()
+
+	if len(sh.Children) != 1 {
+		t.Fatalf("graft did not attach: %+v", sh.Children)
+	}
+	g := sh.Children[0]
+	if g.StartNs != 5_000_000 || g.Children[0].StartNs != 6_000_000 {
+		t.Fatalf("graft offsets not rebased: root %d, child %d", g.StartNs, g.Children[0].StartNs)
+	}
+	if g.DurNs != 3_000_000 || g.Children[0].DurNs != 2_000_000 {
+		t.Fatalf("graft durations changed: %d, %d", g.DurNs, g.Children[0].DurNs)
+	}
+}
+
+// TestConcurrentSpans: spans of one trace are built from many goroutines
+// (the shard fan-out path); run under -race this pins the locking.
+func TestConcurrentSpans(t *testing.T) {
+	c := NewCollector(8, 4)
+	tr := c.StartTrace("estimate")
+	ex := tr.StartSpan("execute")
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sp := ex.StartChild("shard")
+			sp.SetAttr("index", i)
+			sp.Graft(&Span{Name: "worker"})
+			sp.End()
+		}(i)
+	}
+	wg.Wait()
+	ex.End()
+	tr.Finish()
+	if len(ex.Children) != 32 {
+		t.Fatalf("lost spans under concurrency: %d", len(ex.Children))
+	}
+}

@@ -69,3 +69,66 @@ func TestCountersAggregate(t *testing.T) {
 		t.Fatal("empty counter string")
 	}
 }
+
+// lane-eligible scenario: simpleomission over MessagePassing is one of
+// the configurations the root package lowers to the lane core for
+// estimation. Per-round observation still goes through the round
+// engines, and both round cores must feed observers identically.
+func laneEligibleConfig(scalar bool, observer func(*sim.RoundRecord)) *sim.Config {
+	g := graph.Line(7)
+	proto := simpleomission.New(g, 0, sim.MessagePassing, 1)
+	return &sim.Config{
+		Graph: g, Model: sim.MessagePassing, Fault: sim.Omission, P: 0.45,
+		Source: 0, SourceMsg: []byte("1"),
+		NewNode: proto.NewNode, Rounds: proto.Rounds(), Seed: 12,
+		ScalarCore: scalar,
+		Observer:   observer,
+	}
+}
+
+// TestCountersIdenticalAcrossRoundCores pins the observer contract for
+// the two round cores on a lane-eligible scenario: the scalar reference
+// engine and the word-parallel bitset engine must deliver the same
+// per-round stream, so Counters aggregates to the same totals. (The lane
+// core is absent by design — it has no per-round records to observe; see
+// the package comment.)
+func TestCountersIdenticalAcrossRoundCores(t *testing.T) {
+	run := func(scalar bool) *Counters {
+		c := NewCounters()
+		if _, err := sim.Run(laneEligibleConfig(scalar, c.Observe)); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	scalar, bitset := run(true), run(false)
+	if scalar.Rounds == 0 || scalar.Transmissions == 0 {
+		t.Fatalf("scalar counters empty: %+v", scalar)
+	}
+	if scalar.Rounds != bitset.Rounds || scalar.Faults != bitset.Faults ||
+		scalar.Transmissions != bitset.Transmissions ||
+		scalar.Deliveries != bitset.Deliveries || scalar.Collisions != bitset.Collisions {
+		t.Fatalf("round cores observe differently:\nscalar %+v\nbitset %+v", scalar, bitset)
+	}
+	for k, v := range scalar.FaultsPerRound {
+		if bitset.FaultsPerRound[k] != v {
+			t.Fatalf("fault histograms differ at %d: scalar %d, bitset %d", k, v, bitset.FaultsPerRound[k])
+		}
+	}
+}
+
+// TestLoggerIdenticalAcrossRoundCores: the rendered per-round log — the
+// user-visible face of observation — is byte-identical across the round
+// cores.
+func TestLoggerIdenticalAcrossRoundCores(t *testing.T) {
+	render := func(scalar bool) string {
+		var sb strings.Builder
+		l := &Logger{W: &sb, Verbose: true}
+		if _, err := sim.Run(laneEligibleConfig(scalar, l.Observe)); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if s, b := render(true), render(false); s != b {
+		t.Fatalf("logs differ between round cores:\nscalar:\n%s\nbitset:\n%s", s, b)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"faultcast/internal/exec"
 	"faultcast/internal/sim"
 	"faultcast/internal/stat"
+	"faultcast/internal/telemetry"
 	"faultcast/internal/trace"
 )
 
@@ -122,6 +123,8 @@ type estimateOptions struct {
 	dispatcher   exec.Dispatcher
 	store        TallyStore
 	resumeReport func(resumedTrials int)
+	span         *telemetry.Span
+	probe        func(exec.BatchStat)
 }
 
 // EstimateOption tunes Plan.Estimate.
@@ -207,6 +210,26 @@ func WithResumeReport(f func(resumedTrials int)) EstimateOption {
 	return func(o *estimateOptions) { o.resumeReport = f }
 }
 
+// WithSpan hangs the estimate's execution telemetry off s: the store
+// replay (if any) becomes a "store-replay" child span, and the cell
+// carries s for dispatcher-level spans — a cluster dispatcher attaches
+// one "shard" child per dispatched shard, with worker identity and the
+// worker-side subtree grafted in. Tracing is strictly observational (the
+// bit-identity matrices run with it forced on); a nil s is a no-op, so
+// callers thread a possibly-nil span unconditionally.
+func WithSpan(s *telemetry.Span) EstimateOption {
+	return func(o *estimateOptions) { o.span = s }
+}
+
+// WithBatchProbe observes per-batch timing attribution from the
+// in-process pool (see exec.BatchStat): engine time versus batch wall
+// span, the raw material for the engine-vs-scheduler-overhead numbers on
+// trace spans. The probe runs under the scheduler lock — accumulate,
+// don't block. Purely observational, like WithSpan.
+func WithBatchProbe(f func(exec.BatchStat)) EstimateOption {
+	return func(o *estimateOptions) { o.probe = f }
+}
+
 // Estimate runs up to `trials` independent simulations (seeds Seed+i)
 // across worker goroutines and estimates the success probability with a
 // 95% Wilson interval. Each sequential worker reuses one engine state for
@@ -266,9 +289,12 @@ func (p *Plan) EstimateFrom(prev Estimate, trials int, opts ...EstimateOption) (
 		// A load error just means a cold run; the append then restocks.
 		batch := storeBatch(o.rule)
 		planKey := p.StoreKey()
+		replaySpan := o.span.StartChild("store-replay")
 		if stored, err := o.store.LoadTally(planKey, baseSeed, batch); err == nil {
 			start, _ = replayStored(stored, trials, o.rule)
 		}
+		replaySpan.SetAttr("resumed_trials", start.Trials)
+		replaySpan.End()
 		rec = &tallyRecorder{store: o.store, planKey: planKey, baseSeed: baseSeed, batch: batch, start: start.Trials}
 	}
 	cell := exec.Cell{
@@ -279,6 +305,8 @@ func (p *Plan) EstimateFrom(prev Estimate, trials int, opts ...EstimateOption) (
 		NewTrial:  p.newTrialMaker(),
 		NewBlock:  p.newBlockMaker(),
 		Scenario:  p.cfg,
+		Trace:     o.span,
+		Probe:     o.probe,
 	}
 	if rec != nil {
 		// Store granularity even without a rule: un-ruled streams fold in

@@ -9,6 +9,7 @@ import (
 	"faultcast/internal/exec"
 	"faultcast/internal/rng"
 	"faultcast/internal/stat"
+	"faultcast/internal/telemetry"
 )
 
 // SweepGraph is the graph axis entry of a SweepSpec: a topology plus the
@@ -320,6 +321,8 @@ type sweepOptions struct {
 	prev       func(c *SweepCell) (Estimate, bool)
 	dispatcher exec.Dispatcher
 	store      TallyStore
+	span       *telemetry.Span
+	probe      func(exec.BatchStat)
 }
 
 // SweepOption tunes SweepPlan.Run.
@@ -360,6 +363,21 @@ func WithSweepDispatcher(d exec.Dispatcher) SweepOption {
 	return func(o *sweepOptions) { o.dispatcher = d }
 }
 
+// WithSweepSpan hangs every cell's execution telemetry off s — the sweep
+// analogue of WithSpan: store replay becomes a "store-replay" child with
+// the total resumed-trial count, and every exec cell carries s so a
+// cluster dispatcher's shard spans land under it. Nil s is a no-op.
+func WithSweepSpan(s *telemetry.Span) SweepOption {
+	return func(o *sweepOptions) { o.span = s }
+}
+
+// WithSweepProbe observes per-batch timing attribution across all cells
+// (exec.BatchStat.Cell is the distinct-key group index) — WithBatchProbe
+// at sweep granularity, with the same keep-it-cheap contract.
+func WithSweepProbe(f func(exec.BatchStat)) SweepOption {
+	return func(o *sweepOptions) { o.probe = f }
+}
+
 // Run executes every cell on one bounded worker pool and calls emit once
 // per cell as its estimate is decided. Workers multiplex across cells —
 // an early-stopped cell's workers immediately flow to undecided ones —
@@ -393,6 +411,11 @@ func (sp *SweepPlan) Run(ctx context.Context, emit func(CellResult), opts ...Swe
 	execCells := make([]exec.Cell, len(order))
 	prevs := make([]Estimate, len(order))
 	recs := make([]*tallyRecorder, len(order))
+	var replaySpan *telemetry.Span
+	resumedTotal := 0
+	if o.store != nil {
+		replaySpan = o.span.StartChild("store-replay")
+	}
 	for gi, k := range order {
 		c := &sp.cells[groups[k][0]]
 		if o.prev != nil {
@@ -410,6 +433,8 @@ func (sp *SweepPlan) Run(ctx context.Context, emit func(CellResult), opts ...Swe
 			NewBlock:  c.plan.newBlockMaker(),
 			SharedKey: c.PlanKey,
 			Scenario:  c.Config,
+			Trace:     o.span,
+			Probe:     o.probe,
 		}
 		if o.store != nil && prevs[gi].Trials == 0 {
 			// Durable resume, exactly as in EstimateFrom: replay the
@@ -426,7 +451,12 @@ func (sp *SweepPlan) Run(ctx context.Context, emit func(CellResult), opts ...Swe
 			rec := &tallyRecorder{store: o.store, planKey: c.PlanKey, baseSeed: c.Config.Seed, batch: batch, start: start.Trials}
 			execCells[gi].OnBatch = rec.observe
 			recs[gi] = rec
+			resumedTotal += start.Trials
 		}
+	}
+	if replaySpan != nil {
+		replaySpan.SetAttr("resumed_trials", resumedTotal)
+		replaySpan.End()
 	}
 	d := o.dispatcher
 	if d == nil {
